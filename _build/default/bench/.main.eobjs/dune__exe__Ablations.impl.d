@@ -1,0 +1,1 @@
+bench/ablations.ml: Adversary Array Branch_bound Common Dp_encoding Evaluate Float Flow_rows Fmt Gap_problem Graph Inner_problem Kkt Linexpr List Model Pathset Solver Topologies Unix

@@ -1,0 +1,1 @@
+bench/common.ml: Adversary Blackbox Branch_bound Demand Graph List Pathset Printf Sys

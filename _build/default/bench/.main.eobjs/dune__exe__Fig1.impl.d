@@ -1,0 +1,1 @@
+bench/fig1.ml: Adversary Array Common Demand Demand_pinning Evaluate Float Opt_max_flow Option Pathset Printf Topologies

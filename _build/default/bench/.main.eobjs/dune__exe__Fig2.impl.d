@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Branch_bound Common Inner_problem Kkt Model Option Solver

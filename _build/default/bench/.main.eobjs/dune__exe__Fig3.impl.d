@@ -1,0 +1,1 @@
+bench/fig3.ml: Adversary Blackbox Common Evaluate Float Rng Topologies

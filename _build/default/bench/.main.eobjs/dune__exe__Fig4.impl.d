@@ -1,0 +1,1 @@
+bench/fig4.ml: Adversary Common Evaluate List Printf String Topologies

@@ -1,0 +1,1 @@
+bench/fig5.ml: Adversary Common Evaluate Float Graph List Opt_max_flow Pathset Pop Rng Topologies

@@ -1,0 +1,1 @@
+bench/fig6.ml: Branch_bound Common Demand Demand_pinning Float Fmt Gap_problem Graph List Opt_max_flow Pathset Pop Printf Rng Solver Topologies Unix

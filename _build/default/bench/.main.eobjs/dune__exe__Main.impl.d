@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Common Fig1 Fig2 Fig3 Fig4 Fig5 Fig6 List Micro Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Demand Demand_pinning Float Gap_problem Hashtbl Instance List Measure Opt_max_flow Option Pathset Pop Printf Rng Staged Test Time Toolkit Topologies

@@ -1,0 +1,55 @@
+(* Shared plumbing for the figure-regeneration harness.
+
+   Every experiment is scaled by a "budget" profile: the default profile
+   keeps the full run in minutes on a laptop; REPRO_BENCH_FULL=1 switches
+   to larger time budgets and enables the MILP phase everywhere (closer to
+   the paper's one-hour-per-search setting). *)
+
+let full_mode =
+  match Sys.getenv_opt "REPRO_BENCH_FULL" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* default experiment parameters (paper §4 "Methodology") *)
+let default_paths = 2
+let default_pop_parts = 2
+
+let threshold_of g ~fraction = fraction *. Graph.max_capacity g
+
+let pathset_of g ~paths = Pathset.compute (Demand.full_space g) ~k:paths
+
+(* search budgets *)
+let whitebox_time = if full_mode then 120. else 12.
+let blackbox_time = if full_mode then 120. else 10.
+let probe_budget = if full_mode then 3000 else 600
+
+let dp_whitebox_options ?(run_milp = true) () =
+  {
+    Adversary.default_options with
+    probe_budget;
+    run_milp = run_milp && (full_mode || true);
+    bb =
+      {
+        Branch_bound.default_options with
+        time_limit = whitebox_time;
+        stall_time = whitebox_time /. 3.;
+      };
+  }
+
+let probe_only_options () =
+  { (dp_whitebox_options ()) with run_milp = false }
+
+let blackbox_options () =
+  { Blackbox.default_options with time_limit = blackbox_time }
+
+let pp_trace trace =
+  List.iter (fun (t, g) -> row "    t=%7.2fs  best gap %10.1f" t g) trace
+
+let norm g gap = gap /. Graph.total_capacity g

@@ -1,0 +1,47 @@
+(* Figure 1: the illustrative DP suboptimality example.
+
+   Paper numbers: demands 1->3: 50 (at threshold), 1->2: 130, 2->3: 180;
+   DP carries 260, OPT carries 360, gap 100 units (over 38% of DP). *)
+
+let run () =
+  Common.section "Figure 1: DP suboptimality on the 3-node example";
+  let g = Topologies.fig1 () in
+  let pathset = Common.pathset_of g ~paths:2 in
+  let space = Pathset.space pathset in
+  let demand = Demand.zero space in
+  let set s d v = demand.(Option.get (Demand.index space ~src:s ~dst:d)) <- v in
+  set 0 1 130.;
+  set 1 2 180.;
+  set 0 2 50.;
+  let opt = Opt_max_flow.solve pathset demand in
+  let dp_total =
+    match Demand_pinning.solve pathset ~threshold:50. demand with
+    | Demand_pinning.Feasible { total; _ } -> total
+    | Demand_pinning.Infeasible_pinning _ -> Float.nan
+  in
+  Common.row "demand (paper nodes) | volume | DP    | OPT";
+  Common.row "1 -> 2               | 130    | see allocations below";
+  Common.row "2 -> 3               | 180    |";
+  Common.row "1 -> 3               | 50     | pinned to 1->2->3 by DP";
+  Common.row "";
+  Common.row "OPT total flow: %.0f   (paper: 360)" opt.Opt_max_flow.total;
+  Common.row "DP  total flow: %.0f   (paper: 260)" dp_total;
+  Common.row "gap          : %.0f   (paper: 100, 'over 38%%' of DP = %.1f%%)"
+    (opt.Opt_max_flow.total -. dp_total)
+    (100. *. (opt.Opt_max_flow.total -. dp_total) /. dp_total);
+  (* and the white-box search proves this is the worst case *)
+  let ev = Evaluate.make_dp pathset ~threshold:50. in
+  let r = Adversary.find ev ~options:(Common.dp_whitebox_options ()) () in
+  Common.row "";
+  Common.row "white-box adversary on the same instance:";
+  Common.row "  worst-case gap found: %.1f%s" r.Adversary.gap
+    (match r.Adversary.upper_bound with
+    | Some ub -> Printf.sprintf " (proven upper bound %.1f)" ub
+    | None -> "");
+  Common.row "  adversarial demands (routable pairs):";
+  Array.iteri
+    (fun k v ->
+      if v > 0.5 && Pathset.routable pathset k then
+        let s, d = Demand.pair space k in
+        Common.row "    %d -> %d : %.1f" (s + 1) (d + 1) v)
+    r.Adversary.demands

@@ -1,0 +1,54 @@
+(* Figure 2: the KKT rewrite worked example.
+
+   The paper's example is a quadratic program (minimize the diameter of a
+   rectangle with perimeter >= P); our follower class is linear (the TE
+   followers are LPs), so we demonstrate the same encode/optimize/solve
+   pipeline on the LP analog: maximize the rectangle's half-perimeter
+   subject to w <= P/4 and l <= P/4. The KKT system alone (no objective)
+   pins w = l = P/4 — the follower's optimum — exactly as the paper's
+   figure shows the feasibility system recovering w = l = P/4. *)
+
+let run () =
+  Common.section "Figure 2: KKT rewrite worked example (LP analog)";
+  let p_value = 8. in
+  let model = Model.create ~name:"fig2" () in
+  let p = Model.add_var ~name:"P" ~lb:p_value ~ub:p_value model in
+  let inner =
+    Inner_problem.create ~name:"rect" ~num_vars:2
+      ~objective:[ (0, 1.); (1, 1.) ]
+      [
+        {
+          Inner_problem.row_name = "w_cap";
+          inner_terms = [ (0, 1.) ];
+          outer_terms = [ (p, -0.25) ];
+          sense = Inner_problem.Le;
+          rhs = 0.;
+        };
+        {
+          Inner_problem.row_name = "l_cap";
+          inner_terms = [ (1, 1.) ];
+          outer_terms = [ (p, -0.25) ];
+          sense = Inner_problem.Le;
+          rhs = 0.;
+        };
+      ]
+  in
+  let before_vars = Model.num_vars model
+  and before_rows = Model.num_constrs model in
+  let emitted = Kkt.emit model inner in
+  Common.row "encode:   follower 'max w + l s.t. w <= P/4, l <= P/4' (P = %g)" p_value;
+  Common.row "KKT adds: %d variables, %d constraints, %d complementarity (SOS1) pairs"
+    (Model.num_vars model - before_vars)
+    (Model.num_constrs model - before_rows)
+    emitted.Kkt.num_complementarity;
+  (* the host adversarially pulls the follower value DOWN; KKT resists *)
+  Model.set_objective model Model.Minimize emitted.Kkt.value;
+  let r = Solver.solve model in
+  let x = Option.get r.Branch_bound.primal in
+  Common.row "solve:    w = %g, l = %g   (expected P/4 = %g each)"
+    x.(emitted.Kkt.x.(0)) x.(emitted.Kkt.x.(1)) (p_value /. 4.);
+  Common.row "          follower value pinned at %g even under a hostile host objective"
+    r.Branch_bound.objective;
+  Common.row
+    "(paper's example is quadratic; the substitution to an LP follower is\n\
+    \ recorded in DESIGN.md - the rewrite pipeline is identical)"

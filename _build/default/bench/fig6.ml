@@ -1,0 +1,115 @@
+(* Figure 6: metaoptimization problem sizes and solver latency on B4.
+
+   The metaopt formulations (DP+OPT, POP+OPT) have more variables and
+   constraints than the plain OPT or heuristic problems, but the latency
+   blow-up is disproportionate: it is driven by the multiplicative
+   (SOS1 / complementarity) constraints from the KKT rewrite, not by raw
+   size. We also report the "naive" ablation in which OPT is KKT-rewritten
+   too instead of merged with the outer maximization (DESIGN.md §5). *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let run () =
+  Common.section "Figure 6: problem sizes and solver latency (B4)";
+  let g = Topologies.b4 () in
+  let pathset = Common.pathset_of g ~paths:Common.default_paths in
+  let threshold = Common.threshold_of g ~fraction:0.05 in
+  let pop_instances = if Common.full_mode then 5 else 2 in
+  let specs =
+    [
+      ("DP", Gap_problem.Dp { threshold });
+      ( Printf.sprintf "POP(%d inst)" pop_instances,
+        let rng = Rng.create 99 in
+        Gap_problem.Pop
+          {
+            parts = Common.default_pop_parts;
+            partitions =
+              List.init pop_instances (fun _ ->
+                  Pop.random_partition ~rng
+                    ~num_pairs:(Pathset.num_pairs pathset)
+                    ~parts:Common.default_pop_parts);
+            reduce = `Average;
+          } )
+    ]
+  in
+  Common.row "%-28s %8s %8s %8s %12s" "problem" "#vars" "#linear" "#SOS1"
+    "latency (s)";
+  List.iter
+    (fun (name, heuristic) ->
+      (* plain formulations *)
+      List.iter
+        (fun (bname, (v, c, s)) ->
+          (* latency of the plain problems: one direct solve *)
+          let latency =
+            match bname with
+            | "opt" ->
+                let d =
+                  Demand.constant (Pathset.space pathset)
+                    (0.5 *. Graph.max_capacity g)
+                in
+                snd (time (fun () -> Opt_max_flow.solve pathset d))
+            | "heuristic" ->
+                let d =
+                  Demand.constant (Pathset.space pathset)
+                    (0.5 *. Graph.max_capacity g)
+                in
+                (match heuristic with
+                | Gap_problem.Dp { threshold } ->
+                    snd (time (fun () -> Demand_pinning.solve pathset ~threshold d))
+                | Gap_problem.Pop { parts; partitions; _ } ->
+                    snd
+                      (time (fun () ->
+                           Pop.solve pathset ~parts (List.hd partitions) d)))
+            | _ -> Float.nan
+          in
+          if bname <> "naive-metaopt" then
+            Common.row "%-28s %8d %8d %8d %12.3f"
+              (Printf.sprintf "%s: %s" name bname)
+              v c s latency)
+        (Gap_problem.baseline_sizes pathset ~heuristic);
+      (* the metaopt problem: size + root LP latency + short search *)
+      let gp, build_t =
+        time (fun () -> Gap_problem.build pathset ~heuristic ())
+      in
+      let v, c, s = Gap_problem.size gp in
+      let _, root_t =
+        time (fun () -> Solver.solve_lp gp.Gap_problem.model)
+      in
+      Common.row "%-28s %8d %8d %8d %12.3f"
+        (Printf.sprintf "%s: metaopt (root LP)" name)
+        v c s (build_t +. root_t);
+      (* naive ablation size *)
+      let naive =
+        List.assoc "naive-metaopt" (Gap_problem.baseline_sizes pathset ~heuristic)
+      in
+      let nv, nc, ns = naive in
+      Common.row "%-28s %8d %8d %8d %12s"
+        (Printf.sprintf "%s: naive (OPT also KKT)" name)
+        nv nc ns "-")
+    specs;
+  Common.row "";
+  Common.row
+    "paper check: metaopt is a constant factor larger, but latency grows\n\
+     disproportionately with the #SOS1 complementarity constraints";
+  (* latency vs #SOS demonstration: DP metaopt short branch-and-bound *)
+  let gp =
+    Gap_problem.build pathset ~heuristic:(Gap_problem.Dp { threshold }) ()
+  in
+  let r, t =
+    time (fun () ->
+        Branch_bound.solve
+          ~options:
+            {
+              Branch_bound.default_options with
+              time_limit = (if Common.full_mode then 60. else 8.);
+              stall_time = 4.;
+            }
+          gp.Gap_problem.model)
+  in
+  Common.row
+    "DP metaopt branch-and-bound: %d nodes, %d pivots in %.1fs (outcome: %s)"
+    r.Branch_bound.nodes r.Branch_bound.simplex_iterations t
+    (Fmt.str "%a" Branch_bound.pp_result r)

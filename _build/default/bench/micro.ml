@@ -1,0 +1,97 @@
+(* Bechamel microbenchmarks: one Test.make per figure family, measuring
+   the building blocks whose costs the figures aggregate. *)
+
+open Bechamel
+open Toolkit
+
+let b4_fixture () =
+  let g = Topologies.b4 () in
+  let pathset = Common.pathset_of g ~paths:2 in
+  let rng = Rng.create 2024 in
+  let demand = Demand.uniform (Pathset.space pathset) ~rng ~max:500. in
+  (g, pathset, demand)
+
+let tests () =
+  let g, pathset, demand = b4_fixture () in
+  let threshold = Common.threshold_of g ~fraction:0.05 in
+  let rng = Rng.create 31337 in
+  let partition =
+    Pop.random_partition ~rng ~num_pairs:(Pathset.num_pairs pathset) ~parts:2
+  in
+  let partitions = [ partition ] in
+  (* fig 1 / fig 3-5 primitive: the solves every search iterates *)
+  let opt_solve =
+    Test.make ~name:"opt_max_flow(b4)"
+      (Staged.stage (fun () -> ignore (Opt_max_flow.solve pathset demand)))
+  in
+  let dp_solve =
+    Test.make ~name:"demand_pinning(b4)"
+      (Staged.stage (fun () ->
+           ignore (Demand_pinning.solve pathset ~threshold demand)))
+  in
+  let pop_solve =
+    Test.make ~name:"pop_2parts(b4)"
+      (Staged.stage (fun () ->
+           ignore (Pop.solve pathset ~parts:2 partition demand)))
+  in
+  (* fig 2 / fig 6 primitive: assembling the metaopt MILP *)
+  let build_dp_metaopt =
+    Test.make ~name:"gap_model_build_dp(b4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Gap_problem.build pathset
+                ~heuristic:(Gap_problem.Dp { threshold })
+                ())))
+  in
+  let build_pop_metaopt =
+    Test.make ~name:"gap_model_build_pop(b4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Gap_problem.build pathset
+                ~heuristic:
+                  (Gap_problem.Pop
+                     { parts = 2; partitions; reduce = `Average })
+                ())))
+  in
+  (* fig 4b primitive: path-set computation on synthetic circles *)
+  let yen =
+    let circle = Topologies.circle ~n:10 ~neighbors:2 () in
+    let space = Demand.full_space circle in
+    Test.make ~name:"pathset_k2(circle-10-2)"
+      (Staged.stage (fun () -> ignore (Pathset.compute space ~k:2)))
+  in
+  [ opt_solve; dp_solve; pop_solve; build_dp_metaopt; build_pop_metaopt; yen ]
+
+let run () =
+  Common.section "Microbenchmarks (Bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if Common.full_mode then 2.0 else 0.5))
+      ~kde:(Some 1000) ()
+  in
+  Common.row "%-30s %15s %10s" "benchmark" "time/run" "r²";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | _ -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square est) in
+          let human =
+            if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Common.row "%-30s %15s %10.3f" name human r2)
+        results)
+    (tests ())

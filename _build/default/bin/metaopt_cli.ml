@@ -1,0 +1,371 @@
+(* repro-metaopt: command-line front end for the reproduction.
+
+   Subcommands:
+     topology   inspect a built-in topology
+     evaluate   run OPT and a heuristic on a generated demand matrix
+     find-gap   search for adversarial inputs (white-box or black-box)
+
+   Examples:
+     repro-metaopt topology b4
+     repro-metaopt evaluate -t abilene -H dp --threshold-frac 0.05 --seed 3
+     repro-metaopt find-gap -t b4 -H dp -m whitebox --time 30
+     repro-metaopt find-gap -t b4 -H pop --parts 3 -m annealing --time 20 *)
+
+open Cmdliner
+
+let topology_conv =
+  let parse s =
+    match Topologies.by_name s with
+    | Some g -> Ok g
+    | None -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf g = Fmt.string ppf (Graph.name g) in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  let doc =
+    "Topology: fig1, b4, abilene, swan, circle-N-K, line-N, star-N, grid-RxC."
+  in
+  Arg.(
+    value
+    & opt topology_conv (Topologies.b4 ())
+    & info [ "t"; "topology" ] ~docv:"NAME" ~doc)
+
+let paths_arg =
+  let doc = "Paths per node pair (the paper's default is 2)." in
+  Arg.(value & opt int 2 & info [ "paths" ] ~docv:"K" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (partitions, demand generators, black-box search)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+type heuristic_kind = Dp | Pop_h
+
+let heuristic_arg =
+  let doc = "Heuristic: 'dp' (demand pinning) or 'pop'." in
+  Arg.(
+    value
+    & opt (enum [ ("dp", Dp); ("pop", Pop_h) ]) Dp
+    & info [ "H"; "heuristic" ] ~docv:"NAME" ~doc)
+
+let threshold_frac_arg =
+  let doc = "DP pinning threshold as a fraction of link capacity." in
+  Arg.(value & opt float 0.05 & info [ "threshold-frac" ] ~docv:"F" ~doc)
+
+let parts_arg =
+  let doc = "POP partition count." in
+  Arg.(value & opt int 2 & info [ "parts" ] ~docv:"N" ~doc)
+
+let instances_arg =
+  let doc = "POP random partition instances averaged by the adversary." in
+  Arg.(value & opt int 5 & info [ "instances" ] ~docv:"R" ~doc)
+
+let make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances ~seed =
+  let pathset = Pathset.compute (Demand.full_space g) ~k:paths in
+  match heuristic with
+  | Dp ->
+      Evaluate.make_dp pathset
+        ~threshold:(threshold_frac *. Graph.max_capacity g)
+  | Pop_h ->
+      Evaluate.make_pop pathset ~parts ~instances ~rng:(Rng.create seed) ()
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let run g paths =
+    Fmt.pr "%a@." Graph.pp g;
+    Fmt.pr "average shortest path length: %.2f hops@."
+      (Topologies.average_shortest_path_length g);
+    let pathset = Pathset.compute (Demand.full_space g) ~k:paths in
+    let routable = ref 0 in
+    for k = 0 to Pathset.num_pairs pathset - 1 do
+      if Pathset.routable pathset k then incr routable
+    done;
+    Fmt.pr "%d of %d ordered pairs routable with %d paths each@." !routable
+      (Pathset.num_pairs pathset) paths;
+    Graph.fold_edges
+      (fun e () ->
+        Fmt.pr "  edge %2d: %2d -> %2d  capacity %g weight %g@." e
+          (Graph.edge_src g e) (Graph.edge_dst g e) (Graph.capacity g e)
+          (Graph.weight g e))
+      g ()
+  in
+  let term = Term.(const run $ topology_arg $ paths_arg) in
+  Cmd.v (Cmd.info "topology" ~doc:"Describe a built-in topology") term
+
+(* ------------------------------------------------------------------ *)
+(* evaluate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let demand_gen_arg =
+  let doc = "Demand generator: uniform, gravity or bimodal." in
+  Arg.(
+    value
+    & opt (enum [ ("uniform", `Uniform); ("gravity", `Gravity); ("bimodal", `Bimodal) ]) `Gravity
+    & info [ "demands" ] ~docv:"GEN" ~doc)
+
+let demands_file_arg =
+  let doc = "Read the demand matrix from a src,dst,volume CSV instead of generating one." in
+  Arg.(value & opt (some file) None & info [ "demands-file" ] ~docv:"FILE" ~doc)
+
+let evaluate_cmd =
+  let run g paths heuristic threshold_frac parts instances seed gen file =
+    let ev =
+      make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
+        ~seed
+    in
+    let space = Pathset.space ev.Evaluate.pathset in
+    let rng = Rng.create (seed + 1) in
+    let demand =
+      match file with
+      | Some path -> (
+          match Demand.load_csv space path with
+          | Ok d -> d
+          | Error e ->
+              Fmt.epr "cannot load %s: %s@." path e;
+              exit 1)
+      | None -> (
+          match gen with
+          | `Uniform ->
+              Demand.uniform space ~rng ~max:(0.5 *. Graph.max_capacity g)
+          | `Gravity ->
+              Demand.gravity space ~rng ~total:(0.5 *. Graph.total_capacity g)
+          | `Bimodal ->
+              Demand.bimodal space ~rng ~fraction_large:0.2
+                ~small_max:(0.1 *. Graph.max_capacity g)
+                ~large_max:(Graph.max_capacity g))
+    in
+    let opt = Evaluate.opt_value ev demand in
+    Fmt.pr "demand total %.1f over %d pairs@." (Demand.total demand)
+      (Demand.size space);
+    Fmt.pr "OPT        : %.1f@." opt;
+    (match Evaluate.heuristic_value ev demand with
+    | Some h ->
+        Fmt.pr "heuristic  : %.1f@." h;
+        Fmt.pr "gap        : %.1f  (gap/capacity %.4f)@." (opt -. h)
+          ((opt -. h) /. Graph.total_capacity g)
+    | None -> Fmt.pr "heuristic  : INFEASIBLE on this input (pinning overload)@.")
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
+      $ parts_arg $ instances_arg $ seed_arg $ demand_gen_arg
+      $ demands_file_arg)
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate OPT vs a heuristic on one demand matrix")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* find-gap                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let method_arg =
+  let doc = "Search method: whitebox, sweep, hillclimb or annealing." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("whitebox", `Whitebox); ("sweep", `Sweep);
+             ("hillclimb", `Hillclimb); ("annealing", `Annealing) ])
+        `Whitebox
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let time_arg =
+  let doc = "Time budget in seconds." in
+  Arg.(value & opt float 30. & info [ "time" ] ~docv:"SECONDS" ~doc)
+
+let no_milp_arg =
+  let doc =
+    "Skip the branch-and-bound phase of the white-box search (probe-only; \
+     faster on large POP models, but no optimality bound)."
+  in
+  Arg.(value & flag & info [ "no-milp" ] ~doc)
+
+let show_demands_arg =
+  let doc = "Print the adversarial demand matrix." in
+  Arg.(value & flag & info [ "show-demands" ] ~doc)
+
+let out_arg =
+  let doc = "Write the adversarial demand matrix to a CSV file." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Log solver progress (incumbents, nodes) to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let find_gap_cmd =
+  let run g paths heuristic threshold_frac parts instances seed method_ time
+      no_milp show_demands out verbose =
+    setup_logs verbose;
+    let ev =
+      make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
+        ~seed
+    in
+    let space = Pathset.space ev.Evaluate.pathset in
+    let report ~gap ~normalized ~trace ~extra demands =
+      Fmt.pr "max gap found : %.1f@." gap;
+      Fmt.pr "gap/capacity  : %.4f@." normalized;
+      extra ();
+      Fmt.pr "progress trace:@.";
+      List.iter (fun (t, v) -> Fmt.pr "  %7.2fs  %.1f@." t v) trace;
+      if show_demands then begin
+        Fmt.pr "adversarial demands:@.";
+        Fmt.pr "%a@." (Demand.pp space) demands
+      end;
+      match out with
+      | Some path ->
+          Demand.save_csv space demands path;
+          Fmt.pr "demands written to %s@." path
+      | None -> ()
+    in
+    match method_ with
+    | `Whitebox | `Sweep ->
+        let options =
+          {
+            Adversary.default_options with
+            run_milp = not no_milp;
+            search =
+              (match method_ with
+              | `Sweep -> Adversary.Binary_sweep { probes = 5; probe_time = time /. 6. }
+              | _ -> Adversary.Direct);
+            bb =
+              {
+                Branch_bound.default_options with
+                time_limit = time;
+                stall_time = Float.max 2. (time /. 4.);
+                log_progress = verbose;
+              };
+          }
+        in
+        let r = Adversary.find ev ~options () in
+        report ~gap:r.Adversary.gap ~normalized:r.Adversary.normalized_gap
+          ~trace:r.Adversary.trace
+          ~extra:(fun () ->
+            (match r.Adversary.upper_bound with
+            | Some ub -> Fmt.pr "proven bound  : %.1f@." ub
+            | None -> Fmt.pr "proven bound  : (none - probe-only mode)@.");
+            Fmt.pr
+              "model         : %d vars, %d linear constraints, %d SOS1; %d \
+               nodes, %d oracle calls@."
+              r.Adversary.stats.Adversary.model_vars
+              r.Adversary.stats.Adversary.model_constrs
+              r.Adversary.stats.Adversary.model_sos1
+              r.Adversary.stats.Adversary.nodes
+              r.Adversary.stats.Adversary.oracle_calls)
+          r.Adversary.demands
+    | `Hillclimb | `Annealing ->
+        let options = { Blackbox.default_options with time_limit = time } in
+        let rng = Rng.create seed in
+        let r =
+          match method_ with
+          | `Hillclimb -> Blackbox.hill_climb ev ~rng ~options ()
+          | _ -> Blackbox.simulated_annealing ev ~rng ~options ()
+        in
+        report ~gap:r.Blackbox.gap ~normalized:r.Blackbox.normalized_gap
+          ~trace:r.Blackbox.trace
+          ~extra:(fun () ->
+            Fmt.pr "evaluations   : %d (%d restarts)@." r.Blackbox.evaluations
+              r.Blackbox.restarts)
+          r.Blackbox.demands
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
+      $ parts_arg $ instances_arg $ seed_arg $ method_arg $ time_arg
+      $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "find-gap"
+       ~doc:"Search for inputs maximizing the heuristic's optimality gap")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* find-capacity-gap                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let find_capacity_gap_cmd =
+  let run g paths threshold_frac seed gen file slack =
+    let pathset = Pathset.compute (Demand.full_space g) ~k:paths in
+    let space = Pathset.space pathset in
+    let rng = Rng.create (seed + 1) in
+    let demand =
+      match file with
+      | Some path -> (
+          match Demand.load_csv space path with
+          | Ok d -> d
+          | Error e ->
+              Fmt.epr "cannot load %s: %s@." path e;
+              exit 1)
+      | None -> (
+          match gen with
+          | `Uniform ->
+              Demand.uniform space ~rng ~max:(0.5 *. Graph.max_capacity g)
+          | `Gravity ->
+              Demand.gravity space ~rng ~total:(0.5 *. Graph.total_capacity g)
+          | `Bimodal ->
+              Demand.bimodal space ~rng ~fraction_large:0.2
+                ~small_max:(0.1 *. Graph.max_capacity g)
+                ~large_max:(Graph.max_capacity g))
+    in
+    let ne = Graph.num_edges g in
+    let cap_lower =
+      Array.init ne (fun e -> (1. -. slack) *. Graph.capacity g e)
+    in
+    let cap_upper =
+      Array.init ne (fun e -> (1. +. slack) *. Graph.capacity g e)
+    in
+    let threshold = threshold_frac *. Graph.max_capacity g in
+    let r =
+      Capacity_adversary.find_dp pathset ~demand ~threshold ~cap_lower
+        ~cap_upper ()
+    in
+    Fmt.pr
+      "worst capacity assignment within +-%.0f%% of nominal (demands fixed):@."
+      (100. *. slack);
+    Fmt.pr "max gap found : %.1f (gap/sum-upper-caps %.4f)@."
+      r.Capacity_adversary.gap r.Capacity_adversary.normalized_gap;
+    (match r.Capacity_adversary.upper_bound with
+    | Some ub -> Fmt.pr "proven bound  : %.1f@." ub
+    | None -> ());
+    Fmt.pr "edges moved away from nominal:@.";
+    Array.iteri
+      (fun e c ->
+        let nominal = Graph.capacity g e in
+        if Float.abs (c -. nominal) > 1e-6 then
+          Fmt.pr "  edge %2d (%d->%d): %.1f -> %.1f@." e (Graph.edge_src g e)
+            (Graph.edge_dst g e) nominal c)
+      r.Capacity_adversary.capacities
+  in
+  let slack_arg =
+    let doc = "Allowed relative capacity deviation per link." in
+    Arg.(value & opt float 0.3 & info [ "slack" ] ~docv:"FRACTION" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ paths_arg $ threshold_frac_arg $ seed_arg
+      $ demand_gen_arg $ demands_file_arg $ slack_arg)
+  in
+  Cmd.v
+    (Cmd.info "find-capacity-gap"
+       ~doc:
+         "Search for topology (capacity) changes maximizing DP's optimality \
+          gap at fixed demands")
+    term
+
+let () =
+  let info =
+    Cmd.info "repro-metaopt" ~version:"1.0.0"
+      ~doc:
+        "Find adversarial inputs for TE heuristics (HotNets '22 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topology_cmd; evaluate_cmd; find_gap_cmd; find_capacity_gap_cmd ]))

@@ -1,0 +1,1 @@
+examples/constrained_adversary.ml: Adversary Demand Evaluate Fmt Graph Input_constraints Pathset Rng Topologies

@@ -1,0 +1,1 @@
+examples/constrained_adversary.mli:

@@ -1,0 +1,1 @@
+examples/dp_threshold_study.ml: Adversary Array Demand Demand_pinning Evaluate Fmt Graph List Pathset Printf Sys Topologies

@@ -1,0 +1,1 @@
+examples/pop_partition_study.ml: Adversary Demand Evaluate Float Fmt Graph List Opt_max_flow Pathset Pop Rng Topologies

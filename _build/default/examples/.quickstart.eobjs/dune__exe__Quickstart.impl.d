@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Demand Demand_pinning Evaluate Fmt Opt_max_flow Option Pathset Topologies

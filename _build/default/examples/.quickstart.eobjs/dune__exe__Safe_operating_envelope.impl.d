@@ -1,0 +1,1 @@
+examples/safe_operating_envelope.ml: Array Demand Evaluate Fmt Input_constraints List Pathset Sufficient_conditions Topologies

@@ -1,0 +1,1 @@
+lib/lp/branch_bound.ml: Array Float Fmt Hashtbl Heap List Logs Model Option Simplex Standard_form Unix

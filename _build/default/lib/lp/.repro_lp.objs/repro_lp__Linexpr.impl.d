@@ -1,0 +1,1 @@
+lib/lp/linexpr.ml: Float Fmt Int List Map Printf

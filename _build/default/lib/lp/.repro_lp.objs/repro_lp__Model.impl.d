@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Buf Float Fmt Linexpr List Option Printf

@@ -1,0 +1,1 @@
+lib/lp/solver.ml: Array Branch_bound Float Model Option Presolve Simplex Standard_form

@@ -1,0 +1,1 @@
+lib/lp/solver.mli: Branch_bound Model Simplex

@@ -1,0 +1,338 @@
+type options = {
+  time_limit : float;
+  node_limit : int;
+  gap_tol : float;
+  stall_time : float;
+  stall_improvement : float;
+  int_tol : float;
+  sos_tol : float;
+  log_progress : bool;
+}
+
+let default_options =
+  {
+    time_limit = 60.;
+    node_limit = 100_000;
+    gap_tol = 1e-6;
+    stall_time = 10.;
+    stall_improvement = 0.005;
+    int_tol = 1e-6;
+    sos_tol = 1e-6;
+    log_progress = false;
+  }
+
+type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
+
+type result = {
+  outcome : outcome;
+  objective : float;
+  best_bound : float;
+  mip_gap : float;
+  primal : float array option;
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+  incumbent_trace : (float * float) list;
+}
+
+type node = {
+  (* full list of bound overrides along the path from the root; later
+     entries shadow earlier ones for the same variable *)
+  overrides : (int * float * float) list;
+  depth : int;
+}
+
+let src = Logs.Src.create "repro.branch_bound" ~doc:"MILP branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type state = {
+  model : Model.t;
+  maximize : bool;
+  opts : options;
+  simplex : Simplex.t;
+  root_lb : float array;
+  root_ub : float array;
+  int_vars : int array;
+  sos : int array array;
+  heap : node Heap.t;
+  applied : (int, unit) Hashtbl.t;
+  mutable incumbent : float option;
+  mutable incumbent_x : float array option;
+  mutable trace : (float * float) list;
+  mutable nodes : int;
+  mutable truncated : bool; (* a node was dropped without a valid bound *)
+  mutable last_progress_t : float;
+  start : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* All comparisons happen in the model's direction: [better a b] means "a is
+   a strictly better objective than b". *)
+let better st a b = if st.maximize then a > b else a < b
+
+let worst st = if st.maximize then neg_infinity else infinity
+
+let apply_node st node =
+  let targets = Hashtbl.create 16 in
+  List.iter
+    (fun (v, lo, hi) -> Hashtbl.replace targets v (lo, hi))
+    node.overrides;
+  (* reset previously-applied vars that this node does not override *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun v () -> if not (Hashtbl.mem targets v) then stale := v :: !stale)
+    st.applied;
+  List.iter
+    (fun v ->
+      Simplex.set_bounds st.simplex v ~lb:st.root_lb.(v) ~ub:st.root_ub.(v);
+      Hashtbl.remove st.applied v)
+    !stale;
+  Hashtbl.iter
+    (fun v (lo, hi) ->
+      Simplex.set_bounds st.simplex v ~lb:lo ~ub:hi;
+      Hashtbl.replace st.applied v ())
+    targets
+
+(* Most-violated branching entity in a relaxation solution. *)
+type violation =
+  | No_violation
+  | Fractional of int * float (* var, value *)
+  | Sos_violated of int array * int (* group, index of largest member *)
+
+let find_violation st x =
+  let best = ref No_violation and best_score = ref 0. in
+  Array.iter
+    (fun v ->
+      let frac = Float.abs (x.(v) -. Float.round x.(v)) in
+      if frac > st.opts.int_tol && frac > !best_score then begin
+        best := Fractional (v, x.(v));
+        best_score := frac
+      end)
+    st.int_vars;
+  Array.iter
+    (fun group ->
+      (* second-largest magnitude must be ~0 for SOS1 feasibility *)
+      let arg_max = ref 0 and vmax = ref (-1.) and second = ref 0. in
+      Array.iteri
+        (fun i v ->
+          let m = Float.abs x.(v) in
+          if m > !vmax then begin
+            second := !vmax;
+            vmax := m;
+            arg_max := i
+          end
+          else if m > !second then second := m)
+        group;
+      if !second > st.opts.sos_tol && !second > !best_score then begin
+        best := Sos_violated (group, !arg_max);
+        best_score := !second
+      end)
+    st.sos;
+  !best
+
+let record_incumbent st ?x value on_incumbent =
+  let improved =
+    match st.incumbent with
+    | None -> true
+    | Some v -> better st value v
+  in
+  if improved then begin
+    let t = now () -. st.start in
+    let meaningful =
+      match st.incumbent with
+      | None -> true
+      | Some v ->
+          Float.abs (value -. v) /. Float.max 1. (Float.abs v)
+          >= st.opts.stall_improvement
+    in
+    st.incumbent <- Some value;
+    (match x with
+    | Some x -> st.incumbent_x <- Some (Array.copy x)
+    | None -> st.incumbent_x <- None);
+    st.trace <- (t, value) :: st.trace;
+    if meaningful then st.last_progress_t <- now ();
+    if st.opts.log_progress then
+      Log.info (fun m -> m "incumbent %.6g at %.2fs (%d nodes)" value t st.nodes);
+    on_incumbent value
+  end
+
+let fix_to_zero _st v = (v, 0., 0.)
+
+let mip_gap_of ~objective ~bound =
+  if Float.is_nan objective || Float.is_nan bound then Float.nan
+  else Float.abs (bound -. objective) /. Float.max 1e-9 (Float.abs objective)
+
+let solve ?(options = default_options) ?primal_heuristic
+    ?(on_incumbent = fun _ -> ()) model =
+  let dir, _ = Model.objective model in
+  let maximize = dir = Model.Maximize in
+  let sf = Standard_form.of_model model in
+  let simplex = Simplex.create sf in
+  let n = Model.num_vars model in
+  let st =
+    {
+      model;
+      maximize;
+      opts = options;
+      simplex;
+      root_lb = Array.init n (Model.var_lb model);
+      root_ub = Array.init n (Model.var_ub model);
+      int_vars = Model.integer_vars model;
+      sos = Model.sos1_groups model;
+      heap = Heap.create ();
+      applied = Hashtbl.create 64;
+      incumbent = None;
+      incumbent_x = None;
+      trace = [];
+      nodes = 0;
+      truncated = false;
+      last_progress_t = now ();
+      start = now ();
+    }
+  in
+  let prio bound = if maximize then bound else -.bound in
+  let finish outcome ~best_bound =
+    let objective = Option.value st.incumbent ~default:Float.nan in
+    {
+      outcome;
+      objective;
+      best_bound;
+      mip_gap =
+        (match outcome with
+        | Optimal -> 0.
+        | _ -> mip_gap_of ~objective ~bound:best_bound);
+      primal = st.incumbent_x;
+      nodes = st.nodes;
+      simplex_iterations = Simplex.total_iterations simplex;
+      elapsed = now () -. st.start;
+      incumbent_trace = List.rev st.trace;
+    }
+  in
+  (* prune test: can this bound still beat the incumbent by more than tol? *)
+  let prunable bound =
+    match st.incumbent with
+    | None -> false
+    | Some inc ->
+        let margin = st.opts.gap_tol *. Float.max 1. (Float.abs inc) in
+        if maximize then bound <= inc +. margin else bound >= inc -. margin
+  in
+  let open_bound () =
+    (* best bound among open nodes, in model direction *)
+    if Heap.is_empty st.heap then None
+    else Some (if maximize then Heap.max_priority st.heap else -.(Heap.max_priority st.heap))
+  in
+  Heap.push st.heap (prio (if maximize then infinity else neg_infinity))
+    { overrides = []; depth = 0 };
+  let stop_outcome = ref None in
+  let best_root_bound = ref (if maximize then infinity else neg_infinity) in
+  (try
+     while not (Heap.is_empty st.heap) do
+       let elapsed = now () -. st.start in
+       if elapsed > st.opts.time_limit then begin
+         stop_outcome := Some (if st.incumbent = None then No_incumbent else Feasible);
+         raise Exit
+       end;
+       if st.nodes >= st.opts.node_limit then begin
+         stop_outcome := Some (if st.incumbent = None then No_incumbent else Feasible);
+         raise Exit
+       end;
+       if
+         st.incumbent <> None
+         && now () -. st.last_progress_t > st.opts.stall_time
+       then begin
+         stop_outcome := Some Feasible;
+         raise Exit
+       end;
+       let node_prio, node = Heap.pop st.heap in
+       let parent_bound = if maximize then node_prio else -.node_prio in
+       if prunable parent_bound then ()
+       else begin
+         st.nodes <- st.nodes + 1;
+         apply_node st node;
+         let sol = Simplex.resolve simplex in
+         (match sol.status with
+         | Simplex.Infeasible -> ()
+         | Simplex.Unbounded ->
+             if node.depth = 0 then begin
+               stop_outcome := Some Unbounded;
+               raise Exit
+             end
+             else st.truncated <- true
+         | Simplex.Iteration_limit -> st.truncated <- true
+         | Simplex.Optimal ->
+             let bound = sol.objective in
+             if node.depth = 0 then best_root_bound := bound;
+             if not (prunable bound) then begin
+               match find_violation st sol.primal with
+               | No_violation ->
+                   record_incumbent st ~x:sol.primal bound on_incumbent
+               | viol ->
+                   (match primal_heuristic with
+                   | None -> ()
+                   | Some h -> (
+                       match h sol.primal with
+                       | None -> ()
+                       | Some (value, Some x) ->
+                           record_incumbent st ~x value on_incumbent
+                       | Some (value, None) ->
+                           record_incumbent st value on_incumbent));
+                   let mk extra =
+                     { overrides = node.overrides @ extra; depth = node.depth + 1 }
+                   in
+                   (match viol with
+                   | No_violation -> assert false
+                   | Fractional (v, value) ->
+                       let lo = Simplex.get_lb simplex v
+                       and hi = Simplex.get_ub simplex v in
+                       let down = Float.floor value and up = Float.ceil value in
+                       if down >= lo -. 1e-9 then
+                         Heap.push st.heap (prio bound) (mk [ (v, lo, down) ]);
+                       if up <= hi +. 1e-9 then
+                         Heap.push st.heap (prio bound) (mk [ (v, up, hi) ])
+                   | Sos_violated (group, arg_max) ->
+                       (* child A: the largest member is zero;
+                          child B: every other member is zero *)
+                       let biggest = group.(arg_max) in
+                       Heap.push st.heap (prio bound)
+                         (mk [ fix_to_zero st biggest ]);
+                       let others =
+                         group |> Array.to_list
+                         |> List.filteri (fun i _ -> i <> arg_max)
+                         |> List.map (fix_to_zero st)
+                       in
+                       Heap.push st.heap (prio bound) (mk others))
+             end)
+       end
+     done
+   with Exit -> ());
+  match !stop_outcome with
+  | Some outcome ->
+      let best_bound =
+        match open_bound () with
+        | Some b -> b
+        | None -> Option.value st.incumbent ~default:!best_root_bound
+      in
+      finish outcome ~best_bound
+  | None ->
+      (* heap exhausted *)
+      if st.incumbent = None then
+        if st.truncated then finish No_incumbent ~best_bound:!best_root_bound
+        else finish Infeasible ~best_bound:(worst st)
+      else if st.truncated then
+        finish Feasible ~best_bound:!best_root_bound
+      else
+        finish Optimal ~best_bound:(Option.get st.incumbent)
+
+let pp_outcome ppf = function
+  | Optimal -> Fmt.string ppf "optimal"
+  | Feasible -> Fmt.string ppf "feasible (limit)"
+  | No_incumbent -> Fmt.string ppf "no incumbent (limit)"
+  | Infeasible -> Fmt.string ppf "infeasible"
+  | Unbounded -> Fmt.string ppf "unbounded"
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a: obj %.6g, bound %.6g, gap %.2f%%, %d nodes, %d pivots, %.2fs"
+    pp_outcome r.outcome r.objective r.best_bound (100. *. r.mip_gap) r.nodes
+    r.simplex_iterations r.elapsed

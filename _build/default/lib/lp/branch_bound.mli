@@ -1,0 +1,69 @@
+(** Branch-and-bound for MILPs with SOS1 (complementarity) constraints.
+
+    This plays the role of Gurobi in the paper: it solves models whose
+    nonconvexity comes from integer variables and from SOS1 groups — the
+    "special ordered sets" that the KKT rewrite uses to express
+    complementary slackness (§3.1). Branching only ever tightens variable
+    bounds, so every node is warm-started with the dual simplex.
+
+    The search mirrors the behaviours §3.3 exploits in commercial solvers:
+    it reports incumbents as they are found (via [on_incumbent] and the
+    incumbent trace), exposes the primal–dual gap, and stops early when
+    incremental progress stalls below a configurable threshold within a
+    time window — the paper's 0.5%-per-window timeout policy. *)
+
+type options = {
+  time_limit : float;  (** wall-clock seconds; [infinity] disables *)
+  node_limit : int;
+  gap_tol : float;  (** stop when relative MIP gap falls below this *)
+  stall_time : float;
+      (** stop when no relative improvement >= [stall_improvement] has been
+          seen for this many seconds (and an incumbent exists) *)
+  stall_improvement : float;
+  int_tol : float;  (** integrality tolerance *)
+  sos_tol : float;  (** SOS1 violation tolerance *)
+  log_progress : bool;
+}
+
+val default_options : options
+
+type outcome =
+  | Optimal  (** incumbent proven optimal within [gap_tol] *)
+  | Feasible  (** stopped by a limit with an incumbent in hand *)
+  | No_incumbent  (** stopped by a limit before finding any solution *)
+  | Infeasible
+  | Unbounded
+
+type result = {
+  outcome : outcome;
+  objective : float;  (** incumbent objective, in model direction *)
+  best_bound : float;  (** proven bound on the optimum, model direction *)
+  mip_gap : float;  (** relative primal–dual gap; 0 when proven optimal *)
+  primal : float array option;  (** incumbent assignment when available *)
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+  incumbent_trace : (float * float) list;
+      (** (seconds since start, incumbent objective) at each improvement,
+          oldest first — the raw series behind Fig. 3 style plots *)
+}
+
+(** [solve model] runs branch-and-bound.
+
+    [primal_heuristic] is called on each node's relaxation values and may
+    return a trusted feasible objective value (model direction) with an
+    optional full assignment — the mechanism the metaopt layer uses to turn
+    relaxation demands into true-gap incumbents (§3.3 "solvers usually find
+    a reasonable solution quickly"). Returned values are trusted: callers
+    must only report objective values realized by some feasible point of
+    the model.
+
+    [on_incumbent] observes every incumbent improvement. *)
+val solve :
+  ?options:options ->
+  ?primal_heuristic:(float array -> (float * float array option) option) ->
+  ?on_incumbent:(float -> unit) ->
+  Model.t ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,41 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length b = b.len
+
+let grow b x =
+  let cap = Array.length b.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data = Array.make cap' x in
+  Array.blit b.data 0 data 0 b.len;
+  b.data <- data
+
+let push b x =
+  if b.len = Array.length b.data then grow b x;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1;
+  b.len - 1
+
+let check b i = if i < 0 || i >= b.len then invalid_arg "Buf: index out of bounds"
+
+let get b i =
+  check b i;
+  b.data.(i)
+
+let set b i x =
+  check b i;
+  b.data.(i) <- x
+
+let to_array b = Array.sub b.data 0 b.len
+
+let iteri f b =
+  for i = 0 to b.len - 1 do
+    f i b.data.(i)
+  done
+
+let fold_left f acc b =
+  let acc = ref acc in
+  for i = 0 to b.len - 1 do
+    acc := f !acc b.data.(i)
+  done;
+  !acc

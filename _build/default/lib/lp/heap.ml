@@ -1,0 +1,59 @@
+type 'a t = { mutable prio : float array; mutable data : 'a array; mutable len : int }
+
+let create () = { prio = [||]; data = [||]; len = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let p = h.prio.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.prio.(j) <- p;
+  let d = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(parent) < h.prio.(i) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.len && h.prio.(l) > h.prio.(!best) then best := l;
+  if r < h.len && h.prio.(r) > h.prio.(!best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let push h p x =
+  if h.len = Array.length h.prio then begin
+    let cap = if h.len = 0 then 16 else 2 * h.len in
+    let prio = Array.make cap 0. and data = Array.make cap x in
+    Array.blit h.prio 0 prio 0 h.len;
+    Array.blit h.data 0 data 0 h.len;
+    h.prio <- prio;
+    h.data <- data
+  end;
+  h.prio.(h.len) <- p;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let max_priority h = if h.len = 0 then raise Not_found else h.prio.(0)
+
+let pop h =
+  if h.len = 0 then raise Not_found;
+  let p = h.prio.(0) and x = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.prio.(0) <- h.prio.(h.len);
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end;
+  (p, x)

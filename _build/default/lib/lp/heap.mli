@@ -1,0 +1,14 @@
+(** Binary max-heap keyed by float priorities. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+(** Highest priority currently in the heap. @raise Not_found when empty. *)
+val max_priority : 'a t -> float
+
+(** Pop the entry with the highest priority. @raise Not_found when empty. *)
+val pop : 'a t -> float * 'a

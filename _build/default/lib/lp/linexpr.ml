@@ -1,0 +1,80 @@
+module Imap = Map.Make (Int)
+
+type t = { coefs : float Imap.t; const : float }
+
+let zero = { coefs = Imap.empty; const = 0. }
+let constant c = { coefs = Imap.empty; const = c }
+
+let norm c = if c = 0. then None else Some c
+
+let var ?(coef = 1.) v =
+  match norm coef with
+  | None -> zero
+  | Some c -> { coefs = Imap.singleton v c; const = 0. }
+
+let add_term e v c =
+  let update = function
+    | None -> norm c
+    | Some c0 -> norm (c0 +. c)
+  in
+  { e with coefs = Imap.update v update e.coefs }
+
+let of_terms ?(constant = 0.) terms =
+  List.fold_left
+    (fun acc (v, c) -> add_term acc v c)
+    { coefs = Imap.empty; const = constant }
+    terms
+
+let add a b =
+  let merge _ ca cb =
+    match (ca, cb) with
+    | Some x, Some y -> norm (x +. y)
+    | Some x, None | None, Some x -> Some x
+    | None, None -> None
+  in
+  { coefs = Imap.merge merge a.coefs b.coefs; const = a.const +. b.const }
+
+let scale k a =
+  if k = 0. then zero
+  else { coefs = Imap.map (fun c -> k *. c) a.coefs; const = k *. a.const }
+
+let neg a = scale (-1.) a
+let sub a b = add a (neg b)
+let add_constant e c = { e with const = e.const +. c }
+let sum es = List.fold_left add zero es
+let const_part e = e.const
+
+let coef e v =
+  match Imap.find_opt v e.coefs with
+  | None -> 0.
+  | Some c -> c
+
+let terms e = Imap.bindings e.coefs
+let size e = Imap.cardinal e.coefs
+let is_constant e = Imap.is_empty e.coefs
+
+let eval e value =
+  Imap.fold (fun v c acc -> acc +. (c *. value v)) e.coefs e.const
+
+let map_vars f e =
+  Imap.fold (fun v c acc -> add_term acc (f v) c) e.coefs (constant e.const)
+
+let equal a b = a.const = b.const && Imap.equal Float.equal a.coefs b.coefs
+
+let pp ?name ppf e =
+  let name v =
+    match name with
+    | Some f -> f v
+    | None -> Printf.sprintf "x%d" v
+  in
+  let first = ref true in
+  let pp_term v c =
+    let sign = if c < 0. then "- " else if !first then "" else "+ " in
+    let mag = Float.abs c in
+    first := false;
+    if mag = 1. then Fmt.pf ppf "%s%s " sign (name v)
+    else Fmt.pf ppf "%s%g %s " sign mag (name v)
+  in
+  Imap.iter pp_term e.coefs;
+  if e.const <> 0. || !first then
+    Fmt.pf ppf "%s%g" (if e.const < 0. then "- " else if !first then "" else "+ ") (Float.abs e.const)

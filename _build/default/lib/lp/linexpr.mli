@@ -1,0 +1,68 @@
+(** Sparse linear expressions over integer-indexed decision variables.
+
+    An expression is a finite map from variable indices to coefficients plus
+    a constant term. All operations are purely functional. Coefficients that
+    become exactly [0.] are dropped so that [terms] never reports spurious
+    entries. *)
+
+type t
+
+(** The expression [0]. *)
+val zero : t
+
+(** [constant c] is the expression with constant term [c] and no variables. *)
+val constant : float -> t
+
+(** [var ?coef v] is [coef * x_v] (default coefficient [1.]). *)
+val var : ?coef:float -> int -> t
+
+(** [of_terms ?constant terms] builds an expression from a list of
+    [(variable, coefficient)] pairs; duplicate variables are summed. *)
+val of_terms : ?constant:float -> (int * float) list -> t
+
+(** [add a b] is the sum of two expressions. *)
+val add : t -> t -> t
+
+(** [sub a b] is [a - b]. *)
+val sub : t -> t -> t
+
+(** [scale k a] multiplies every coefficient and the constant by [k]. *)
+val scale : float -> t -> t
+
+(** [add_term e v c] is [e + c * x_v]. *)
+val add_term : t -> int -> float -> t
+
+(** [add_constant e c] is [e + c]. *)
+val add_constant : t -> float -> t
+
+(** [sum es] adds a list of expressions. *)
+val sum : t list -> t
+
+(** [neg a] is [-a]. *)
+val neg : t -> t
+
+(** Constant term of the expression. *)
+val const_part : t -> float
+
+(** [coef e v] is the coefficient of variable [v] ([0.] if absent). *)
+val coef : t -> int -> float
+
+(** Sorted [(variable, coefficient)] pairs, zero coefficients dropped. *)
+val terms : t -> (int * float) list
+
+(** Number of variables with non-zero coefficient. *)
+val size : t -> int
+
+(** [is_constant e] holds when [e] has no variable terms. *)
+val is_constant : t -> bool
+
+(** [eval e value] evaluates [e] with [value v] giving each variable. *)
+val eval : t -> (int -> float) -> float
+
+(** [map_vars f e] renames variable [v] to [f v]; collisions are summed. *)
+val map_vars : (int -> int) -> t -> t
+
+(** Structural equality up to coefficient equality. *)
+val equal : t -> t -> bool
+
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+(* CPLEX LP file format. Identifier rules are stricter than our variable
+   names (no leading digits, limited punctuation), so names are sanitized
+   and deduplicated via an index suffix. *)
+
+let sanitize name idx =
+  let buf = Buffer.create (String.length name + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  let s = if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "v" ^ s else s in
+  Printf.sprintf "%s#%d" s idx
+
+let var_name model v = sanitize (Model.var_name model v) v
+
+let pp_terms buf model expr =
+  let terms = Linexpr.terms expr in
+  if terms = [] then Buffer.add_string buf "0 "
+  else
+    List.iteri
+      (fun i (v, c) ->
+        if c >= 0. then Buffer.add_string buf (if i = 0 then "" else "+ ")
+        else Buffer.add_string buf "- ";
+        Buffer.add_string buf (Printf.sprintf "%.12g %s " (Float.abs c) (var_name model v)))
+      terms
+
+let to_buffer buf model =
+  let dir, obj = Model.objective model in
+  Buffer.add_string buf
+    (match dir with
+    | Model.Minimize -> "Minimize\n obj: "
+    | Model.Maximize -> "Maximize\n obj: ");
+  pp_terms buf model obj;
+  (* the LP format has no objective constant; emit it as a comment *)
+  if Linexpr.const_part obj <> 0. then
+    Buffer.add_string buf
+      (Printf.sprintf "\n\\ objective constant: %.12g" (Linexpr.const_part obj));
+  Buffer.add_string buf "\nSubject To\n";
+  for i = 0 to Model.num_constrs model - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " %s: " (sanitize (Model.constr_name model i) i));
+    pp_terms buf model (Model.constr_expr model i);
+    let rel =
+      match Model.constr_sense model i with
+      | Model.Le -> "<="
+      | Model.Ge -> ">="
+      | Model.Eq -> "="
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s %.12g\n" rel (Model.constr_rhs model i))
+  done;
+  Buffer.add_string buf "Bounds\n";
+  for v = 0 to Model.num_vars model - 1 do
+    let lo = Model.var_lb model v and hi = Model.var_ub model v in
+    let name = var_name model v in
+    if lo = hi then Buffer.add_string buf (Printf.sprintf " %s = %.12g\n" name lo)
+    else begin
+      let lo_s =
+        if lo = neg_infinity then "-inf" else Printf.sprintf "%.12g" lo
+      in
+      let hi_s = if hi = infinity then "+inf" else Printf.sprintf "%.12g" hi in
+      Buffer.add_string buf (Printf.sprintf " %s <= %s <= %s\n" lo_s name hi_s)
+    end
+  done;
+  let generals =
+    List.filter
+      (fun v -> Model.var_kind model v = Model.Integer)
+      (List.init (Model.num_vars model) (fun v -> v))
+  in
+  let binaries =
+    List.filter
+      (fun v -> Model.var_kind model v = Model.Binary)
+      (List.init (Model.num_vars model) (fun v -> v))
+  in
+  if generals <> [] then begin
+    Buffer.add_string buf "Generals\n";
+    List.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf " %s\n" (var_name model v)))
+      generals
+  end;
+  if binaries <> [] then begin
+    Buffer.add_string buf "Binaries\n";
+    List.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf " %s\n" (var_name model v)))
+      binaries
+  end;
+  let sos = Model.sos1_groups model in
+  if Array.length sos > 0 then begin
+    Buffer.add_string buf "SOS\n";
+    Array.iteri
+      (fun gi group ->
+        Buffer.add_string buf (Printf.sprintf " sos%d: S1 ::" gi);
+        Array.iteri
+          (fun j v ->
+            Buffer.add_string buf
+              (Printf.sprintf " %s : %d" (var_name model v) (j + 1)))
+          group;
+        Buffer.add_char buf '\n')
+      sos
+  end;
+  Buffer.add_string buf "End\n"
+
+let to_string model =
+  let buf = Buffer.create 4096 in
+  to_buffer buf model;
+  Buffer.contents buf
+
+let to_channel oc model = output_string oc (to_string model)
+
+let write path model =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc model)

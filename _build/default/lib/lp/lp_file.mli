@@ -1,0 +1,12 @@
+(** CPLEX LP-format writer, for debugging models and interoperating with
+    external solvers (the format Gurobi, CPLEX, SCIP, HiGHS and lp_solve
+    all read). SOS1 groups are emitted in the standard [SOS] section, so
+    a metaopt model dumped here can be loaded into Gurobi directly —
+    useful for cross-checking this repository's solver substrate. *)
+
+val to_string : Model.t -> string
+
+val to_channel : out_channel -> Model.t -> unit
+
+val write : string -> Model.t -> unit
+(** [write path model] writes the model to a file. *)

@@ -1,0 +1,158 @@
+type var = int
+type constr = int
+type var_kind = Continuous | Binary | Integer
+type sense = Le | Ge | Eq
+type direction = Minimize | Maximize
+
+type var_data = {
+  v_name : string;
+  mutable v_lb : float;
+  mutable v_ub : float;
+  v_kind : var_kind;
+}
+
+type constr_data = {
+  c_name : string;
+  c_expr : Linexpr.t; (* constant part already folded into c_rhs *)
+  c_sense : sense;
+  c_rhs : float;
+}
+
+type t = {
+  m_name : string;
+  vars : var_data Buf.t;
+  constrs : constr_data Buf.t;
+  sos1 : var array Buf.t;
+  mutable obj : direction * Linexpr.t;
+}
+
+let create ?(name = "model") () =
+  {
+    m_name = name;
+    vars = Buf.create ();
+    constrs = Buf.create ();
+    sos1 = Buf.create ();
+    obj = (Minimize, Linexpr.zero);
+  }
+
+let name t = t.m_name
+
+let add_var ?name ?(lb = 0.) ?(ub = infinity) ?(kind = Continuous) t =
+  let lb, ub =
+    match kind with
+    | Binary -> (Float.max lb 0., Float.min ub 1.)
+    | Continuous | Integer -> (lb, ub)
+  in
+  if lb > ub then
+    invalid_arg
+      (Printf.sprintf "Model.add_var: lb %g > ub %g (%s)" lb ub
+         (Option.value name ~default:"<anon>"));
+  let idx = Buf.length t.vars in
+  let v_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "x%d" idx
+  in
+  Buf.push t.vars { v_name; v_lb = lb; v_ub = ub; v_kind = kind }
+
+let add_vars ?name ?lb ?ub ?kind t n =
+  let make i =
+    let name = Option.map (fun p -> Printf.sprintf "%s_%d" p i) name in
+    add_var ?name ?lb ?ub ?kind t
+  in
+  Array.init n make
+
+let add_constr ?name t expr sense rhs =
+  let idx = Buf.length t.constrs in
+  let c_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "c%d" idx
+  in
+  let c_rhs = rhs -. Linexpr.const_part expr in
+  let c_expr = Linexpr.add_constant expr (-.Linexpr.const_part expr) in
+  Buf.push t.constrs { c_name; c_expr; c_sense = sense; c_rhs }
+
+let add_sos1 ?name:_ t vars =
+  if List.length vars < 2 then invalid_arg "Model.add_sos1: group of < 2 vars";
+  let n = Buf.length t.vars in
+  List.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Model.add_sos1: bad var")
+    vars;
+  ignore (Buf.push t.sos1 (Array.of_list vars))
+
+let set_objective t dir expr = t.obj <- (dir, expr)
+
+let num_vars t = Buf.length t.vars
+let num_constrs t = Buf.length t.constrs
+let num_sos1 t = Buf.length t.sos1
+let var_name t v = (Buf.get t.vars v).v_name
+let var_lb t v = (Buf.get t.vars v).v_lb
+let var_ub t v = (Buf.get t.vars v).v_ub
+let var_kind t v = (Buf.get t.vars v).v_kind
+
+let set_var_bounds t v ~lb ~ub =
+  if lb > ub then invalid_arg "Model.set_var_bounds: lb > ub";
+  let d = Buf.get t.vars v in
+  d.v_lb <- lb;
+  d.v_ub <- ub
+
+let constr_name t c = (Buf.get t.constrs c).c_name
+let constr_expr t c = (Buf.get t.constrs c).c_expr
+let constr_sense t c = (Buf.get t.constrs c).c_sense
+let constr_rhs t c = (Buf.get t.constrs c).c_rhs
+let sos1_groups t = Buf.to_array t.sos1
+let objective t = t.obj
+
+let integer_vars t =
+  let acc = Buf.create () in
+  Buf.iteri
+    (fun i d ->
+      match d.v_kind with
+      | Binary | Integer -> ignore (Buf.push acc i)
+      | Continuous -> ())
+    t.vars;
+  Buf.to_array acc
+
+let is_mip t = Array.length (integer_vars t) > 0 || Buf.length t.sos1 > 0
+
+let constr_violation t values c =
+  let { c_expr; c_sense; c_rhs; _ } = Buf.get t.constrs c in
+  let lhs = Linexpr.eval c_expr (fun v -> values.(v)) in
+  match c_sense with
+  | Le -> Float.max 0. (lhs -. c_rhs)
+  | Ge -> Float.max 0. (c_rhs -. lhs)
+  | Eq -> Float.abs (lhs -. c_rhs)
+
+let max_violation t values =
+  let worst = ref 0. in
+  let bump x = if x > !worst then worst := x in
+  for c = 0 to num_constrs t - 1 do
+    bump (constr_violation t values c)
+  done;
+  Buf.iteri
+    (fun i d ->
+      bump (d.v_lb -. values.(i));
+      bump (values.(i) -. d.v_ub);
+      match d.v_kind with
+      | Binary | Integer -> bump (Float.abs (values.(i) -. Float.round values.(i)))
+      | Continuous -> ())
+    t.vars;
+  let sos_violation group =
+    (* second-largest magnitude must be zero *)
+    let mags = Array.map (fun v -> Float.abs values.(v)) group in
+    Array.sort (fun a b -> compare b a) mags;
+    if Array.length mags >= 2 then bump mags.(1)
+  in
+  Array.iter sos_violation (sos1_groups t);
+  !worst
+
+let objective_value t values =
+  let _, expr = t.obj in
+  Linexpr.eval expr (fun v -> values.(v))
+
+let pp_stats ppf t =
+  Fmt.pf ppf "model %s: %d vars (%d integer), %d constrs, %d sos1" t.m_name
+    (num_vars t)
+    (Array.length (integer_vars t))
+    (num_constrs t) (num_sos1 t)

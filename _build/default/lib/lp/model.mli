@@ -1,0 +1,94 @@
+(** Mutable LP / MILP model builder.
+
+    A model collects decision variables (continuous, binary or general
+    integer, with bounds), linear constraints, SOS1 groups (at most one
+    member of the group may be non-zero — the mechanism Gurobi exposes for
+    complementarity constraints, cf. paper §3.1), and a linear objective.
+
+    Variables and constraints are referred to by dense integer handles in
+    creation order, which downstream solvers use as array indices. *)
+
+type t
+
+type var = int
+type constr = int
+
+type var_kind = Continuous | Binary | Integer
+
+type sense = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+(** [add_var t] creates a variable. Defaults: [lb = 0.], [ub = infinity],
+    [kind = Continuous]. [Binary] forces bounds into [0, 1].
+    @raise Invalid_argument if [lb > ub]. *)
+val add_var :
+  ?name:string -> ?lb:float -> ?ub:float -> ?kind:var_kind -> t -> var
+
+(** [add_vars t n] creates [n] variables sharing the given attributes;
+    [name] is used as a prefix ([name_0], [name_1], ...). *)
+val add_vars :
+  ?name:string -> ?lb:float -> ?ub:float -> ?kind:var_kind -> t -> int -> var array
+
+(** [add_constr t expr sense rhs] adds the constraint
+    [expr sense (rhs - const_part expr)] — i.e. the expression's constant
+    term is folded into the right-hand side. *)
+val add_constr : ?name:string -> t -> Linexpr.t -> sense -> float -> constr
+
+(** [add_sos1 t vars] declares that at most one of [vars] may take a
+    non-zero value in a feasible solution.
+    @raise Invalid_argument on groups of fewer than two variables. *)
+val add_sos1 : ?name:string -> t -> var list -> unit
+
+(** [set_objective t dir expr] sets the objective; any constant term is
+    carried through to reported objective values. *)
+val set_objective : t -> direction -> Linexpr.t -> unit
+
+(** {1 Accessors} *)
+
+val num_vars : t -> int
+val num_constrs : t -> int
+val num_sos1 : t -> int
+
+val var_name : t -> var -> string
+val var_lb : t -> var -> float
+val var_ub : t -> var -> float
+val var_kind : t -> var -> var_kind
+
+(** Tighten (replace) a variable's bounds after creation. *)
+val set_var_bounds : t -> var -> lb:float -> ub:float -> unit
+
+val constr_name : t -> constr -> string
+val constr_expr : t -> constr -> Linexpr.t
+val constr_sense : t -> constr -> sense
+val constr_rhs : t -> constr -> float
+
+val sos1_groups : t -> var array array
+val objective : t -> direction * Linexpr.t
+
+(** [is_mip t] holds when the model has integer variables or SOS1 groups. *)
+val is_mip : t -> bool
+
+(** All integer-constrained (binary or integer) variables. *)
+val integer_vars : t -> var array
+
+(** {1 Solution checking}
+
+    Used by tests and by solvers to validate candidate points. *)
+
+(** [constr_violation t values c] is how far [values] is from satisfying
+    constraint [c] (0 when satisfied). *)
+val constr_violation : t -> float array -> constr -> float
+
+(** Maximum violation across constraints, variable bounds, integrality and
+    SOS1 groups. *)
+val max_violation : t -> float array -> float
+
+(** Objective value of an assignment (includes objective constant). *)
+val objective_value : t -> float array -> float
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** Bounded-variable primal/dual simplex over a {!Standard_form.t}.
+
+    This is the LP engine underneath {!Solver} and {!Branch_bound} — the
+    stand-in for the commercial solver (Gurobi) the paper uses. It is a
+    dense-tableau two-phase primal simplex with general variable bounds,
+    Dantzig pricing with a Bland anti-cycling fallback, and a dual simplex
+    for warm restarts after bound changes (the branch-and-bound workhorse:
+    branching only ever changes variable bounds, which preserves dual
+    feasibility of the incumbent basis).
+
+    A [t] value is a mutable solver state. The intended lifecycle is:
+    [create] once per standard form, [solve] for the root relaxation, then
+    any number of [set_bounds] + [resolve] cycles as the search tree is
+    explored. [resolve] falls back to a from-scratch primal solve whenever
+    the warm start is not viable, so it is always safe to call. *)
+
+type t
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  objective : float;
+      (** in the original model's direction (max stays max) *)
+  primal : float array;  (** structural variable values, length [n] *)
+  duals : float array;
+      (** one per row, in model direction; satisfies
+          [c - duals * A = reduced_costs] for the minimization form *)
+  reduced_costs : float array;  (** structural reduced costs *)
+  iterations : int;  (** simplex pivots performed by this call *)
+}
+
+val create : Standard_form.t -> t
+
+(** Change a structural variable's bounds in place. The current basis is
+    kept; basic values are patched so the tableau invariant holds. *)
+val set_bounds : t -> int -> lb:float -> ub:float -> unit
+
+val get_lb : t -> int -> float
+val get_ub : t -> int -> float
+
+(** Fresh two-phase primal solve, ignoring any previous basis. *)
+val solve_fresh : ?iter_limit:int -> t -> solution
+
+(** Warm-started solve: dual simplex from the current basis when possible,
+    falling back to {!solve_fresh}. Equivalent to {!solve_fresh} if the
+    state was never solved. *)
+val resolve : ?iter_limit:int -> t -> solution
+
+(** Total pivots performed over the lifetime of this state. *)
+val total_iterations : t -> int
+
+(** Diagnostic dump of the internal state (basis, statuses, basic values,
+    reduced costs) for debugging numerical issues. *)
+val pp_state : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type lp_result = {
+  status : Simplex.status;
+  objective : float;
+  primal : float array;
+  duals : float array;
+  reduced_costs : float array;
+  iterations : int;
+}
+
+let solve_lp ?iter_limit model =
+  let sf = Standard_form.of_model model in
+  let state = Simplex.create sf in
+  let sol = Simplex.solve_fresh ?iter_limit state in
+  {
+    status = sol.Simplex.status;
+    objective = sol.Simplex.objective;
+    primal = sol.Simplex.primal;
+    duals = sol.Simplex.duals;
+    reduced_costs = sol.Simplex.reduced_costs;
+    iterations = sol.Simplex.iterations;
+  }
+
+let value result var = result.primal.(var)
+
+let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
+    model =
+  if presolve then begin
+    match Presolve.reduce model with
+    | Presolve.Infeasible_model ->
+        {
+          Branch_bound.outcome = Branch_bound.Infeasible;
+          objective = Float.nan;
+          best_bound = Float.nan;
+          mip_gap = Float.nan;
+          primal = None;
+          nodes = 0;
+          simplex_iterations = 0;
+          elapsed = 0.;
+          incumbent_trace = [];
+        }
+    | Presolve.Reduced red ->
+        let primal_heuristic =
+          Option.map
+            (fun h reduced_x -> h (Presolve.restore red reduced_x))
+            primal_heuristic
+        in
+        let r =
+          solve ?options ~presolve:false ?primal_heuristic ?on_incumbent
+            red.Presolve.model
+        in
+        {
+          r with
+          Branch_bound.primal =
+            Option.map (Presolve.restore red) r.Branch_bound.primal;
+        }
+  end
+  else if Model.is_mip model then
+    Branch_bound.solve ?options ?primal_heuristic ?on_incumbent model
+  else begin
+    let r = solve_lp model in
+    let outcome =
+      match r.status with
+      | Simplex.Optimal -> Branch_bound.Optimal
+      | Simplex.Infeasible -> Branch_bound.Infeasible
+      | Simplex.Unbounded -> Branch_bound.Unbounded
+      | Simplex.Iteration_limit -> Branch_bound.No_incumbent
+    in
+    {
+      Branch_bound.outcome;
+      objective = r.objective;
+      best_bound = r.objective;
+      mip_gap = (if outcome = Branch_bound.Optimal then 0. else Float.nan);
+      primal = (if outcome = Branch_bound.Optimal then Some r.primal else None);
+      nodes = 1;
+      simplex_iterations = r.iterations;
+      elapsed = 0.;
+      incumbent_trace = [];
+    }
+  end

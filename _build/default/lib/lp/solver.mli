@@ -1,0 +1,36 @@
+(** Convenience facade over {!Simplex} and {!Branch_bound}.
+
+    [solve_lp] solves the continuous relaxation of a model directly;
+    [solve] dispatches to the LP path or branch-and-bound depending on
+    whether the model has integer variables or SOS1 groups. *)
+
+type lp_result = {
+  status : Simplex.status;
+  objective : float;  (** in the model's direction *)
+  primal : float array;
+  duals : float array;
+  reduced_costs : float array;
+  iterations : int;
+}
+
+(** Solve the continuous relaxation (integrality and SOS1 ignored). *)
+val solve_lp : ?iter_limit:int -> Model.t -> lp_result
+
+(** [value result var] reads a variable out of an LP result. *)
+val value : lp_result -> Model.var -> float
+
+(** Solve the model with full integrality/SOS1 enforcement; pure LPs take
+    the direct simplex path and are reported as a trivially-optimal
+    branch-and-bound result.
+
+    [presolve] (default false) runs {!Presolve.reduce} first and maps the
+    primal solution back to the original variable space; the
+    [primal_heuristic] callback then receives {e original-space} relaxation
+    values. *)
+val solve :
+  ?options:Branch_bound.options ->
+  ?presolve:bool ->
+  ?primal_heuristic:(float array -> (float * float array option) option) ->
+  ?on_incumbent:(float -> unit) ->
+  Model.t ->
+  Branch_bound.result

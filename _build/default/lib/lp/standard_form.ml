@@ -1,0 +1,34 @@
+type t = {
+  n : int;
+  m : int;
+  rows : (int * float) array array;
+  b : float array;
+  senses : Model.sense array;
+  lb : float array;
+  ub : float array;
+  c : float array;
+  obj_const : float;
+  flip_sign : bool;
+}
+
+let of_model model =
+  let n = Model.num_vars model in
+  let m = Model.num_constrs model in
+  let rows =
+    Array.init m (fun i -> Array.of_list (Linexpr.terms (Model.constr_expr model i)))
+  in
+  let b = Array.init m (Model.constr_rhs model) in
+  let senses = Array.init m (Model.constr_sense model) in
+  let lb = Array.init n (Model.var_lb model) in
+  let ub = Array.init n (Model.var_ub model) in
+  let dir, obj = Model.objective model in
+  let flip_sign =
+    match dir with
+    | Model.Maximize -> true
+    | Model.Minimize -> false
+  in
+  let sgn = if flip_sign then -1. else 1. in
+  let c = Array.make n 0. in
+  List.iter (fun (v, coef) -> c.(v) <- sgn *. coef) (Linexpr.terms obj);
+  let obj_const = sgn *. Linexpr.const_part obj in
+  { n; m; rows; b; senses; lb; ub; c; obj_const; flip_sign }

@@ -1,0 +1,27 @@
+(** Conversion of a {!Model.t} into the arrays consumed by {!Simplex}.
+
+    The standard form keeps the model's structural variables and their
+    bounds as-is (the simplex is a bounded-variable implementation), stores
+    constraints as sparse rows, and normalizes the objective to
+    minimization ([c] is negated for maximization models; [flip_sign]
+    records this so reported objective values and duals can be mapped
+    back). Integrality and SOS1 information is intentionally dropped: the
+    standard form is the continuous relaxation. *)
+
+type t = {
+  n : int;  (** number of structural variables *)
+  m : int;  (** number of rows *)
+  rows : (int * float) array array;
+      (** sparse constraint rows: (structural var, coefficient) *)
+  b : float array;  (** right-hand sides *)
+  senses : Model.sense array;
+  lb : float array;  (** structural lower bounds, may be [neg_infinity] *)
+  ub : float array;  (** structural upper bounds, may be [infinity] *)
+  c : float array;  (** minimization objective over structural variables *)
+  obj_const : float;  (** constant term of the (minimization) objective *)
+  flip_sign : bool;
+      (** true when the model maximizes: objective values and duals
+          returned by the simplex must be negated to be in model terms *)
+}
+
+val of_model : Model.t -> t

@@ -1,0 +1,1 @@
+lib/metaopt/adversary.ml: Array Branch_bound Demand Evaluate Float Gap_problem Hashtbl Input_constraints Int List Model Option Pathset Printf Probes String Unix

@@ -1,0 +1,1 @@
+lib/metaopt/adversary.mli: Branch_bound Demand Evaluate Gap_problem Input_constraints

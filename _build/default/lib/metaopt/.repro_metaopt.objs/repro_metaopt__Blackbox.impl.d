@@ -1,0 +1,1 @@
+lib/metaopt/blackbox.ml: Array Demand Evaluate Float Graph Input_constraints List Pathset Rng Unix

@@ -1,0 +1,1 @@
+lib/metaopt/blackbox.mli: Demand Evaluate Input_constraints Rng

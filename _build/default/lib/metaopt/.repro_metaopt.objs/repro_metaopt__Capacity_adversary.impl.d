@@ -1,0 +1,1 @@
+lib/metaopt/capacity_adversary.ml: Array Branch_bound Demand_pinning Float Flow_rows Graph Inner_problem Kkt Linexpr List Mcf Model Opt_max_flow Pathset Printf Unix

@@ -1,0 +1,1 @@
+lib/metaopt/capacity_adversary.mli: Branch_bound Demand Pathset

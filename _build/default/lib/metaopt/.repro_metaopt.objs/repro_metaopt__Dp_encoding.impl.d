@@ -1,0 +1,1 @@
+lib/metaopt/dp_encoding.ml: Array Flow_rows Inner_problem Kkt Linexpr List Model Pathset Printf

@@ -1,0 +1,1 @@
+lib/metaopt/dp_encoding.mli: Flow_rows Inner_problem Kkt Linexpr Model Pathset

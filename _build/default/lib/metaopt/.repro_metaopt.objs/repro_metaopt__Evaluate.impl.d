@@ -1,0 +1,1 @@
+lib/metaopt/evaluate.ml: Demand_pinning Graph List Opt_max_flow Option Pathset Pop

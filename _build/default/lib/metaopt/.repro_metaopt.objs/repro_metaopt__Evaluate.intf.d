@@ -1,0 +1,1 @@
+lib/metaopt/evaluate.mli: Demand Pathset Pop Rng

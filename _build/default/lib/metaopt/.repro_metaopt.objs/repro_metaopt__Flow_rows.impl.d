@@ -1,0 +1,1 @@
+lib/metaopt/flow_rows.ml: Array Graph Inner_problem List Pathset Printf

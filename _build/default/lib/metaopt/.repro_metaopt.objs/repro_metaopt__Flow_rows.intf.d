@@ -1,0 +1,1 @@
+lib/metaopt/flow_rows.mli: Inner_problem Model Pathset

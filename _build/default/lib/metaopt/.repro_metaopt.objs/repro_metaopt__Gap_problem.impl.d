@@ -1,0 +1,1 @@
+lib/metaopt/gap_problem.ml: Array Demand Dp_encoding Float Flow_rows Graph Inner_problem Input_constraints Kkt Linexpr List Mcf Model Pathset Pop Pop_encoding Printf

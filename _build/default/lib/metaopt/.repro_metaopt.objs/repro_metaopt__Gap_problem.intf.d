@@ -1,0 +1,1 @@
+lib/metaopt/gap_problem.mli: Demand Input_constraints Linexpr Mcf Model Pathset Pop

@@ -1,0 +1,1 @@
+lib/metaopt/inner_problem.ml: Array Linexpr List Model Printf Solver

@@ -1,0 +1,1 @@
+lib/metaopt/inner_problem.mli: Model Solver

@@ -1,0 +1,1 @@
+lib/metaopt/input_constraints.ml: Array Demand Float Graph Linexpr List Model Option Printf

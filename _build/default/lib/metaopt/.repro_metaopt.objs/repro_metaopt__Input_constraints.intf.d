@@ -1,0 +1,1 @@
+lib/metaopt/input_constraints.mli: Demand Model

@@ -1,0 +1,1 @@
+lib/metaopt/kkt.ml: Array Inner_problem Linexpr List Model Printf

@@ -1,0 +1,1 @@
+lib/metaopt/kkt.mli: Inner_problem Linexpr Model

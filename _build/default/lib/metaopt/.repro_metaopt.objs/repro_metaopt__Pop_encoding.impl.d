@@ -1,0 +1,1 @@
+lib/metaopt/pop_encoding.ml: Array Float Flow_rows Graph Inner_problem Kkt Linexpr List Model Pathset Pop Printf Sorting_network

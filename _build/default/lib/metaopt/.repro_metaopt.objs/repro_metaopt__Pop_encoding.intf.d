@@ -1,0 +1,1 @@
+lib/metaopt/pop_encoding.mli: Kkt Linexpr Model Pathset Pop

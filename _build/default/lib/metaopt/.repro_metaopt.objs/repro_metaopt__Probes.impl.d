@@ -1,0 +1,1 @@
+lib/metaopt/probes.ml: Array Evaluate Float Input_constraints Int List Paths Pathset

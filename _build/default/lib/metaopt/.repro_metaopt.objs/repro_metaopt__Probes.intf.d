@@ -1,0 +1,1 @@
+lib/metaopt/probes.mli: Demand Evaluate Input_constraints Pathset Pop

@@ -1,0 +1,1 @@
+lib/metaopt/sufficient_conditions.ml: Adversary Float Input_constraints List

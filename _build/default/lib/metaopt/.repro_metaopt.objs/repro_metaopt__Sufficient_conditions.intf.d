@@ -1,0 +1,1 @@
+lib/metaopt/sufficient_conditions.mli: Adversary Demand Evaluate Input_constraints

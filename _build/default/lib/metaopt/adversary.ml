@@ -1,0 +1,315 @@
+type search =
+  | Direct
+  | Binary_sweep of { probes : int; probe_time : float }
+
+type options = {
+  bb : Branch_bound.options;
+  search : search;
+  constraints : Input_constraints.t;
+  demand_ub : float option;
+  probe_budget : int;
+  run_milp : bool;
+  quantize : float option;
+}
+
+let default_options =
+  {
+    bb = { Branch_bound.default_options with time_limit = 30.; stall_time = 8. };
+    search = Direct;
+    constraints = Input_constraints.none;
+    demand_ub = None;
+    probe_budget = 200;
+    run_milp = true;
+    quantize = None;
+  }
+
+type stats = {
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+  model_vars : int;
+  model_constrs : int;
+  model_sos1 : int;
+  oracle_calls : int;
+}
+
+type result = {
+  demands : Demand.t;
+  gap : float;
+  normalized_gap : float;
+  opt_value : float;
+  heuristic_value : float;
+  upper_bound : float option;
+  outcome : Branch_bound.outcome;
+  trace : (float * float) list;
+  stats : stats;
+}
+
+let heuristic_of_spec (ev : Evaluate.t) =
+  match ev.Evaluate.spec with
+  | Evaluate.Dp_spec { threshold } -> Gap_problem.Dp { threshold }
+  | Evaluate.Pop_spec { parts; partitions; reduce } ->
+      Gap_problem.Pop { parts; partitions; reduce }
+
+let now () = Unix.gettimeofday ()
+
+(* Round demands so identical-up-to-noise relaxations hit the oracle cache. *)
+let cache_key demands =
+  String.concat ","
+    (Array.to_list (Array.map (fun d -> Printf.sprintf "%.4f" d) demands))
+
+type oracle_state = {
+  ev : Evaluate.t;
+  constraints : Input_constraints.t;
+  quantize : float option;
+  cache : (string, float option) Hashtbl.t;
+  mutable best : (Demand.t * float) option;
+  mutable calls : int;
+  mutable trace : (float * float) list;
+  started : float;
+}
+
+(* With a quantized outer space, only on-grid demands are feasible points
+   of the MILP: snap every probe before evaluating. *)
+let snap st demands =
+  match st.quantize with
+  | None -> demands
+  | Some step ->
+      Array.map (fun d -> step *. Float.round (d /. step)) demands
+
+let oracle_gap st demands =
+  let demands = snap st demands in
+  let key = cache_key demands in
+  match Hashtbl.find_opt st.cache key with
+  | Some cached -> cached
+  | None ->
+      st.calls <- st.calls + 1;
+      let g =
+        if not (Input_constraints.satisfied st.constraints demands) then None
+        else Evaluate.gap st.ev demands
+      in
+      Hashtbl.replace st.cache key g;
+      (match g with
+      | Some g -> (
+          match st.best with
+          | Some (_, b) when g <= b -> ()
+          | _ ->
+              st.best <- Some (Array.copy demands, g);
+              st.trace <- (now () -. st.started, g) :: st.trace)
+      | None -> ());
+      g
+
+let primal_heuristic st (gp : Gap_problem.t) relax_primal =
+  let demands = Gap_problem.demands_of_primal gp relax_primal in
+  let relax_gap = oracle_gap st demands in
+  (* always report the best oracle-verified value so far: probing results
+     become branch-and-bound incumbents *)
+  match (st.best, relax_gap) with
+  | Some (_, g), _ -> Some (g, None)
+  | None, Some g -> Some (g, None)
+  | None, None -> None
+
+(* Structure-aware probing (see Probes): the substitute for a commercial
+   solver's built-in primal heuristics. Candidates and greedy refinements
+   are scored with the exact oracle, so anything recorded is a genuine
+   adversarial input. *)
+let run_probes st (ev : Evaluate.t) ~demand_ub ~budget =
+  if budget <= 0 then ()
+  else begin
+  let pathset = ev.Evaluate.pathset in
+  let candidates =
+    match ev.Evaluate.spec with
+    | Evaluate.Dp_spec { threshold } ->
+        Probes.dp_candidates pathset ~threshold ~demand_ub
+    | Evaluate.Pop_spec { parts; partitions; _ } ->
+        Probes.pop_candidates pathset ~partitions ~parts ~demand_ub
+  in
+  let candidates =
+    List.filteri (fun i _ -> i < budget) candidates
+  in
+  List.iter (fun d -> ignore (oracle_gap st (Input_constraints.project st.constraints d))) candidates;
+  let refine_budget = Int.max 0 (budget - List.length candidates) in
+  match st.best with
+  | None -> ()
+  | Some (d, _) ->
+      let levels =
+        match ev.Evaluate.spec with
+        | Evaluate.Dp_spec { threshold } -> [ 0.; threshold; demand_ub ]
+        | Evaluate.Pop_spec _ -> [ 0.; demand_ub /. 2.; demand_ub ]
+      in
+      (* with a quantized outer space, refine over grid points only *)
+      let levels =
+        match st.quantize with
+        | None -> levels
+        | Some step ->
+            List.sort_uniq compare
+              (List.map (fun l -> step *. Float.round (l /. step)) levels)
+      in
+      (match
+         Probes.refine ev ~constraints:st.constraints ~budget:refine_budget
+           ~levels d
+       with
+      | None -> ()
+      | Some (d, _) ->
+          (* route through the oracle so the recorded value is snapped,
+             constraint-checked and cached consistently *)
+          ignore (oracle_gap st d))
+  end
+
+let solve_one st gp ~bb_options =
+  Branch_bound.solve ~options:bb_options
+    ~primal_heuristic:(primal_heuristic st gp) gp.Gap_problem.model
+
+let find (ev : Evaluate.t) ?(options = default_options) () =
+  let pathset = ev.Evaluate.pathset in
+  let heuristic = heuristic_of_spec ev in
+  let gp =
+    Gap_problem.build pathset ~heuristic ~constraints:options.constraints
+      ?demand_ub:options.demand_ub ?quantize:options.quantize ()
+  in
+  let st =
+    {
+      ev;
+      constraints = options.constraints;
+      quantize = options.quantize;
+      cache = Hashtbl.create 256;
+      best = None;
+      calls = 0;
+      trace = [];
+      started = now ();
+    }
+  in
+  run_probes st ev ~demand_ub:gp.Gap_problem.demand_ub
+    ~budget:options.probe_budget;
+  let bb_result, upper_bound =
+    if not options.run_milp then
+      (* probe-only mode: used when the KKT model is too large for the
+         MILP substrate to bound usefully within budget (e.g. many POP
+         instances); results stay oracle-verified but carry no bound *)
+      ( {
+          Branch_bound.outcome =
+            (if st.best = None then Branch_bound.No_incumbent
+             else Branch_bound.Feasible);
+          objective = (match st.best with Some (_, g) -> g | None -> Float.nan);
+          best_bound = infinity;
+          mip_gap = Float.nan;
+          primal = None;
+          nodes = 0;
+          simplex_iterations = 0;
+          elapsed = 0.;
+          incumbent_trace = [];
+        },
+        None )
+    else
+    match options.search with
+    | Direct ->
+        let r = solve_one st gp ~bb_options:options.bb in
+        let ub =
+          match r.Branch_bound.outcome with
+          | Branch_bound.Optimal | Branch_bound.Feasible
+          | Branch_bound.No_incumbent ->
+              Some r.Branch_bound.best_bound
+          | Branch_bound.Infeasible | Branch_bound.Unbounded -> None
+        in
+        (r, ub)
+    | Binary_sweep { probes; probe_time } ->
+        (* Z3-style: demand "gap >= target" feasibility probes, bisecting
+           the target; each probe is a fresh short solve of the same model
+           with an extra lower-bound row on the gap objective. *)
+        let _, obj = Model.objective gp.Gap_problem.model in
+        let root =
+          solve_one st gp
+            ~bb_options:
+              { options.bb with time_limit = probe_time; node_limit = 1 }
+        in
+        let hi = ref (Float.max 1. root.Branch_bound.best_bound) in
+        let lo =
+          ref
+            (match st.best with
+            | Some (_, g) -> g
+            | None -> 0.)
+        in
+        let last = ref root in
+        for _ = 1 to probes do
+          if !hi -. !lo > 1e-6 *. Float.max 1. !hi then begin
+            let target = (!lo +. !hi) /. 2. in
+            let gp' =
+              Gap_problem.build pathset ~heuristic
+                ~constraints:options.constraints ?demand_ub:options.demand_ub
+                ?quantize:options.quantize ()
+            in
+            ignore
+              (Model.add_constr ~name:"gap_target" gp'.Gap_problem.model obj
+                 Model.Ge target);
+            let r =
+              Branch_bound.solve
+                ~options:{ options.bb with time_limit = probe_time }
+                ~primal_heuristic:(primal_heuristic st gp')
+                gp'.Gap_problem.model
+            in
+            last := r;
+            let reached =
+              match st.best with
+              | Some (_, g) -> g >= target
+              | None -> false
+            in
+            if reached then lo := Option.get st.best |> snd
+            else if
+              (* probe proved no input reaches the target *)
+              r.Branch_bound.outcome = Branch_bound.Infeasible
+            then hi := target
+            else
+              (* inconclusive probe: shrink cautiously from above *)
+              hi := Float.max target (!lo +. (0.5 *. (!hi -. !lo)))
+          end
+        done;
+        (!last, Some !hi)
+  in
+  let demands, gap =
+    match st.best with
+    | Some (d, g) -> (d, g)
+    | None -> (Array.make (Pathset.num_pairs pathset) 0., 0.)
+  in
+  let opt_value = Evaluate.opt_value ev demands in
+  let heuristic_value =
+    match Evaluate.heuristic_value ev demands with
+    | Some h -> h
+    | None -> Float.nan
+  in
+  let vars, constrs, sos1 = Gap_problem.size gp in
+  {
+    demands;
+    gap;
+    normalized_gap = Evaluate.normalize ev gap;
+    opt_value;
+    heuristic_value;
+    upper_bound;
+    outcome = bb_result.Branch_bound.outcome;
+    trace = List.rev st.trace;
+    stats =
+      {
+        nodes = bb_result.Branch_bound.nodes;
+        simplex_iterations = bb_result.Branch_bound.simplex_iterations;
+        elapsed = now () -. st.started;
+        model_vars = vars;
+        model_constrs = constrs;
+        model_sos1 = sos1;
+        oracle_calls = st.calls;
+      };
+  }
+
+let find_diverse ev ?(options = default_options) ~count ~radius () =
+  let rec loop acc constraints remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let r = find ev ~options:{ options with constraints } () in
+      if r.gap <= 0. then List.rev acc
+      else
+        let constraints =
+          Input_constraints.combine constraints
+            (Input_constraints.exclude_ball ~center:r.demands ~radius)
+        in
+        loop (r :: acc) constraints (remaining - 1)
+    end
+  in
+  loop [] options.constraints count

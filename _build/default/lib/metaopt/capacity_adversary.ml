@@ -1,0 +1,265 @@
+type options = {
+  bb : Branch_bound.options;
+  probe_budget : int;
+  run_milp : bool;
+}
+
+let default_options =
+  {
+    bb = { Branch_bound.default_options with time_limit = 20.; stall_time = 6. };
+    probe_budget = 400;
+    run_milp = true;
+  }
+
+type result = {
+  capacities : float array;
+  gap : float;
+  normalized_gap : float;
+  opt_value : float;
+  heuristic_value : float;
+  upper_bound : float option;
+  oracle_calls : int;
+  elapsed : float;
+}
+
+let opt_at pathset ~demand ~capacities =
+  (Opt_max_flow.residual_capacity_solve pathset demand
+     ~only:(fun _ -> true)
+     ~residual:capacities)
+    .Opt_max_flow.total
+
+let evaluate_dp pathset ~demand ~threshold ~capacities =
+  match Demand_pinning.solve ~capacities pathset ~threshold demand with
+  | Demand_pinning.Infeasible_pinning _ -> None
+  | Demand_pinning.Feasible { total; _ } ->
+      Some (opt_at pathset ~demand ~capacities -. total)
+
+(* Pinned load per edge, a constant once the demands are fixed. *)
+let pinned_load pathset ~demand ~threshold =
+  let g = Pathset.graph pathset in
+  let load = Array.make (Graph.num_edges g) 0. in
+  let pinned = Array.make (Pathset.num_pairs pathset) false in
+  for k = 0 to Pathset.num_pairs pathset - 1 do
+    if Demand_pinning.pins ~threshold demand.(k) && Pathset.routable pathset k
+    then begin
+      pinned.(k) <- true;
+      Array.iter
+        (fun e -> load.(e) <- load.(e) +. demand.(k))
+        (Pathset.shortest pathset k)
+    end
+  done;
+  (load, pinned)
+
+let build_model pathset ~demand ~threshold ~cap_lower ~cap_upper =
+  let g = Pathset.graph pathset in
+  let ne = Graph.num_edges g in
+  if Array.length cap_lower <> ne || Array.length cap_upper <> ne then
+    invalid_arg "Capacity_adversary: capacity bound arrays must cover all edges";
+  Array.iteri
+    (fun e lo ->
+      if lo < 0. || lo > cap_upper.(e) then
+        invalid_arg (Printf.sprintf "Capacity_adversary: bad interval on edge %d" e))
+    cap_lower;
+  let model = Model.create ~name:"capacity_gap" () in
+  let cap_vars =
+    Array.init ne (fun e ->
+        Model.add_var
+          ~name:(Printf.sprintf "cap_%d" e)
+          ~lb:cap_lower.(e) ~ub:cap_upper.(e) model)
+  in
+  let load, pinned = pinned_load pathset ~demand ~threshold in
+  (* the heuristic must be feasible: pinned load fits every link *)
+  Array.iteri
+    (fun e l ->
+      if l > 0. then
+        ignore
+          (Model.add_constr
+             ~name:(Printf.sprintf "pin_fit_%d" e)
+             model (Linexpr.var cap_vars.(e)) Model.Ge l))
+    load;
+  (* OPT block, merged with the outer maximization: capacity rows bind to
+     the capacity variables *)
+  let opt_vars = Mcf.add_flow_vars ~prefix:"opt_f" model pathset in
+  let _ = Mcf.add_demand_constrs model pathset opt_vars (Mcf.Const demand) in
+  for e = 0 to ne - 1 do
+    let terms =
+      List.filter_map
+        (fun (k, p) ->
+          if Array.length opt_vars.(k) > p then Some (opt_vars.(k).(p), 1.)
+          else None)
+        (Pathset.pairs_using_edge pathset e)
+    in
+    ignore
+      (Model.add_constr
+         ~name:(Printf.sprintf "opt_cap_%d" e)
+         model
+         (Linexpr.add_term (Linexpr.of_terms terms) cap_vars.(e) (-1.))
+         Model.Le 0.)
+  done;
+  let opt_value = Mcf.total_flow_expr opt_vars in
+  (* heuristic follower: residual max-flow of the unpinned pairs, with
+     capacities (c_e - pinned load) as outer-linear right-hand sides *)
+  let flows = Flow_rows.make pathset ~only:(fun k -> not pinned.(k)) in
+  let cap_rows =
+    List.filter_map
+      (fun e ->
+        let terms =
+          List.filter_map
+            (fun (k, p) ->
+              if Flow_rows.included flows k then
+                Some (Flow_rows.var flows ~pair:k ~path:p, 1.)
+              else None)
+            (Pathset.pairs_using_edge pathset e)
+        in
+        if terms = [] then None
+        else
+          Some
+            {
+              Inner_problem.row_name = Printf.sprintf "dp_cap_%d" e;
+              inner_terms = terms;
+              outer_terms = [ (cap_vars.(e), -1.) ];
+              sense = Inner_problem.Le;
+              rhs = -.load.(e);
+            })
+      (List.init ne (fun e -> e))
+  in
+  let demand_rows =
+    List.filter_map
+      (fun k ->
+        if not (Flow_rows.included flows k) then None
+        else
+          let np = Array.length (Pathset.paths_of_pair pathset k) in
+          Some
+            {
+              Inner_problem.row_name = Printf.sprintf "dp_dem_%d" k;
+              inner_terms =
+                List.init np (fun p -> (Flow_rows.var flows ~pair:k ~path:p, 1.));
+              outer_terms = [];
+              sense = Inner_problem.Le;
+              rhs = demand.(k);
+            })
+      (List.init (Pathset.num_pairs pathset) (fun k -> k))
+  in
+  let inner =
+    Inner_problem.create ~name:"dp_residual"
+      ~num_vars:(Flow_rows.num_vars flows)
+      ~objective:(Flow_rows.objective flows)
+      (demand_rows @ cap_rows)
+  in
+  let kkt = Kkt.emit model inner in
+  let pinned_total =
+    Array.fold_left ( +. ) 0.
+      (Array.mapi (fun k d -> if pinned.(k) then d else 0.) demand)
+  in
+  let heuristic_value = Linexpr.add_constant kkt.Kkt.value pinned_total in
+  Model.set_objective model Model.Maximize
+    (Linexpr.sub opt_value heuristic_value);
+  (model, cap_vars)
+
+let probe_candidates ~cap_lower ~cap_upper ~pinned_edges =
+  let mid = Array.map2 (fun l u -> (l +. u) /. 2.) cap_lower cap_upper in
+  let on_pinned which other =
+    Array.mapi (fun e _ -> if pinned_edges.(e) then which.(e) else other.(e))
+      cap_lower
+  in
+  [
+    Array.copy cap_lower;
+    Array.copy cap_upper;
+    mid;
+    on_pinned cap_lower cap_upper;
+    on_pinned cap_upper cap_lower;
+  ]
+
+let find_dp pathset ~demand ~threshold ~cap_lower ~cap_upper
+    ?(options = default_options) () =
+  let g = Pathset.graph pathset in
+  let started = Unix.gettimeofday () in
+  let model, cap_vars =
+    build_model pathset ~demand ~threshold ~cap_lower ~cap_upper
+  in
+  let load, _ = pinned_load pathset ~demand ~threshold in
+  let pinned_edges = Array.map (fun l -> l > 0.) load in
+  let best = ref None in
+  let calls = ref 0 in
+  let score caps =
+    incr calls;
+    match evaluate_dp pathset ~demand ~threshold ~capacities:caps with
+    | None -> None
+    | Some gap ->
+        (match !best with
+        | Some (_, b) when gap <= b -> ()
+        | _ -> best := Some (Array.copy caps, gap));
+        Some gap
+  in
+  let clamp caps =
+    Array.mapi (fun e v -> Float.min cap_upper.(e) (Float.max cap_lower.(e) v)) caps
+  in
+  List.iter
+    (fun c -> ignore (score (clamp c)))
+    (probe_candidates ~cap_lower ~cap_upper ~pinned_edges);
+  (* coordinate refinement over interval endpoints *)
+  (match !best with
+  | None -> ()
+  | Some (start, _) ->
+      let current = ref (Array.copy start) in
+      let improved = ref true in
+      while !improved && !calls < options.probe_budget do
+        improved := false;
+        for e = 0 to Graph.num_edges g - 1 do
+          List.iter
+            (fun level ->
+              if !calls < options.probe_budget && !current.(e) <> level then begin
+                let cand = Array.copy !current in
+                cand.(e) <- level;
+                match (score cand, !best) with
+                | Some gap, Some (_, b) when gap >= b ->
+                    current := cand;
+                    improved := true
+                | _ -> ()
+              end)
+            [ cap_lower.(e); cap_upper.(e) ]
+        done
+      done);
+  let upper_bound =
+    if not options.run_milp then None
+    else begin
+      let heuristic relax =
+        let caps =
+          clamp (Array.map (fun v -> relax.(v)) cap_vars)
+        in
+        match score caps with
+        | None -> (
+            match !best with
+            | Some (_, g) -> Some (g, None)
+            | None -> None)
+        | Some _ -> (
+            match !best with
+            | Some (_, g) -> Some (g, None)
+            | None -> None)
+      in
+      let r =
+        Branch_bound.solve ~options:options.bb ~primal_heuristic:heuristic model
+      in
+      match r.Branch_bound.outcome with
+      | Branch_bound.Optimal | Branch_bound.Feasible | Branch_bound.No_incumbent
+        ->
+          Some r.Branch_bound.best_bound
+      | Branch_bound.Infeasible | Branch_bound.Unbounded -> None
+    end
+  in
+  let capacities, gap =
+    match !best with
+    | Some (c, g) -> (c, g)
+    | None -> (Array.copy cap_lower, 0.)
+  in
+  let opt_value = opt_at pathset ~demand ~capacities in
+  {
+    capacities;
+    gap;
+    normalized_gap = gap /. Array.fold_left ( +. ) 0. cap_upper;
+    opt_value;
+    heuristic_value = opt_value -. gap;
+    upper_bound;
+    oracle_calls = !calls;
+    elapsed = Unix.gettimeofday () -. started;
+  }

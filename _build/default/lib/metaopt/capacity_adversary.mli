@@ -1,0 +1,56 @@
+(** Topology-change adversary (paper §5, "Practical considerations"):
+
+    "the metaoptimization in (1) can be used to find topology changes
+    that cause the worst-case gap for a specific heuristic instead of
+    focusing only on the adversarial demands."
+
+    Here the demands are {e fixed} and the outer variables are the
+    per-edge capacities, each within an operator-given interval (failed
+    or upgraded links, capacity re-planning). Everything stays jointly
+    linear — capacities only appear on the right-hand side of the flow
+    constraints — so the same KKT machinery applies. With demands fixed,
+    Demand Pinning's pin set is a constant, so the DP follower needs no
+    conditional binaries at all: the only integer content is KKT
+    complementarity.
+
+    Capacity vectors that make the pinning itself infeasible (pinned
+    load exceeding a link) are excluded by explicit host rows, matching
+    the demand adversary's treatment of infeasible inputs. *)
+
+type options = {
+  bb : Branch_bound.options;
+  probe_budget : int;
+  run_milp : bool;
+}
+
+val default_options : options
+
+type result = {
+  capacities : float array;  (** adversarial per-edge capacities *)
+  gap : float;  (** oracle-verified gap at these capacities *)
+  normalized_gap : float;  (** gap / (sum of capacity upper bounds) *)
+  opt_value : float;
+  heuristic_value : float;
+  upper_bound : float option;
+  oracle_calls : int;
+  elapsed : float;
+}
+
+(** Ground truth at a concrete capacity vector (DP only for now). *)
+val evaluate_dp :
+  Pathset.t ->
+  demand:Demand.t ->
+  threshold:float ->
+  capacities:float array ->
+  float option
+
+val find_dp :
+  Pathset.t ->
+  demand:Demand.t ->
+  threshold:float ->
+  cap_lower:float array ->
+  cap_upper:float array ->
+  ?options:options ->
+  unit ->
+  result
+(** @raise Invalid_argument on malformed capacity intervals. *)

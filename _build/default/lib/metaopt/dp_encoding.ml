@@ -1,0 +1,76 @@
+type t = {
+  inner : Inner_problem.t;
+  kkt : Kkt.emitted;
+  indicators : (int * Model.var) list;
+  flows : Flow_rows.t;
+  value : Linexpr.t;
+}
+
+let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
+  if demand_ub <= 0. then invalid_arg "Dp_encoding.encode: demand_ub <= 0";
+  if threshold < 0. then invalid_arg "Dp_encoding.encode: threshold < 0";
+  let epsilon =
+    match epsilon with
+    | Some e -> e
+    | None -> 1e-6 *. demand_ub
+  in
+  let flows = Flow_rows.make pathset ~only:(fun _ -> true) in
+  let big_m = demand_ub +. epsilon in
+  let indicators = ref [] in
+  let pin_rows = ref [] in
+  for k = Pathset.num_pairs pathset - 1 downto 0 do
+    if Flow_rows.included flows k then begin
+      let z =
+        Model.add_var ~name:(Printf.sprintf "dp_z_%d" k) ~kind:Model.Binary model
+      in
+      indicators := (k, z) :: !indicators;
+      (* host linking rows: z = 1 <=> d_k > threshold
+         d_k - threshold <= (demand_ub - threshold) z
+         d_k >= (threshold + epsilon) z *)
+      ignore
+        (Model.add_constr ~name:(Printf.sprintf "dp_link_up_%d" k) model
+           (Linexpr.of_terms
+              [ (demand_vars.(k), 1.); (z, -.(demand_ub -. threshold)) ])
+           Model.Le threshold);
+      ignore
+        (Model.add_constr ~name:(Printf.sprintf "dp_link_dn_%d" k) model
+           (Linexpr.of_terms
+              [ (demand_vars.(k), 1.); (z, -.(threshold +. epsilon)) ])
+           Model.Ge 0.);
+      (* inner pinning rows (the paper's big-M or-constraints) *)
+      let np = Array.length (Pathset.paths_of_pair pathset k) in
+      let non_shortest =
+        List.init (np - 1) (fun i -> (Flow_rows.var flows ~pair:k ~path:(i + 1), 1.))
+      in
+      if non_shortest <> [] then
+        pin_rows :=
+          {
+            Inner_problem.row_name = Printf.sprintf "pin_spread_%d" k;
+            inner_terms = non_shortest;
+            outer_terms = [ (z, -.big_m) ];
+            sense = Inner_problem.Le;
+            rhs = 0.;
+          }
+          :: !pin_rows;
+      pin_rows :=
+        {
+          Inner_problem.row_name = Printf.sprintf "pin_full_%d" k;
+          inner_terms = [ (Flow_rows.var flows ~pair:k ~path:0, -1.) ];
+          outer_terms = [ (demand_vars.(k), 1.); (z, -.big_m) ];
+          sense = Inner_problem.Le;
+          rhs = 0.;
+        }
+        :: !pin_rows
+    end
+  done;
+  let rows =
+    Flow_rows.demand_rows flows ~demand_vars
+    @ Flow_rows.capacity_rows flows
+    @ List.rev !pin_rows
+  in
+  let inner =
+    Inner_problem.create ~name:"dp" ~num_vars:(Flow_rows.num_vars flows)
+      ~objective:(Flow_rows.objective flows) rows
+  in
+  let kkt = Kkt.emit model inner in
+  { inner; kkt; indicators = !indicators; flows; value = kkt.Kkt.value }

@@ -1,0 +1,39 @@
+(** Demand Pinning as a convex program inside the metaoptimization
+    (paper §3.2, "Supporting DP").
+
+    The heuristic's conditional "pin iff [d_k <= T_d]" is encoded with one
+    host binary [z_k] per routable pair ([z_k = 0] — pinned) linked to the
+    demand by big-M rows, and two big-M {e inner} rows per pair realizing
+    the paper's or-constraints:
+
+    {v sum_{p <> p-hat} f_k^p        <= M z_k
+       d_k - f_k^{p-hat}             <= M z_k v}
+
+    With [z_k = 0] these force all flow of pair k onto its shortest path
+    and pin it to exactly [d_k] (combined with [f_k <= d_k]); with
+    [z_k = 1] both rows are slack. The inner LP (given z) stays linear in
+    [(f; d, z)], so {!Kkt.emit} applies.
+
+    A tie tolerance [epsilon] excludes the open sliver [(T_d, T_d + eps)]
+    from the unpinned branch so that [d_k = T_d] means pinned, matching
+    the simulation semantics ("at or below the threshold", Fig 1). *)
+
+type t = {
+  inner : Inner_problem.t;
+  kkt : Kkt.emitted;
+  indicators : (int * Model.var) list;  (** routable pair -> z binary *)
+  flows : Flow_rows.t;
+  value : Linexpr.t;  (** the heuristic's optimal total flow *)
+}
+
+val encode :
+  Model.t ->
+  Pathset.t ->
+  demand_vars:Model.var array ->
+  threshold:float ->
+  demand_ub:float ->
+  ?epsilon:float ->
+  unit ->
+  t
+(** [demand_ub] must upper-bound every demand variable — it sizes the
+    big-M constants. [epsilon] defaults to [1e-6 * demand_ub]. *)

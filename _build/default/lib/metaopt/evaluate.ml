@@ -1,0 +1,61 @@
+type heuristic_spec =
+  | Dp_spec of { threshold : float }
+  | Pop_spec of {
+      parts : int;
+      partitions : Pop.partition list;
+      reduce : [ `Average | `Kth_smallest of int ];
+    }
+
+type t = { pathset : Pathset.t; spec : heuristic_spec }
+
+let make_dp pathset ~threshold = { pathset; spec = Dp_spec { threshold } }
+
+let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
+  if instances <= 0 then invalid_arg "Evaluate.make_pop: instances <= 0";
+  let num_pairs = Pathset.num_pairs pathset in
+  let partitions =
+    List.init instances (fun _ -> Pop.random_partition ~rng ~num_pairs ~parts)
+  in
+  { pathset; spec = Pop_spec { parts; partitions; reduce } }
+
+let partitions t =
+  match t.spec with
+  | Dp_spec _ -> []
+  | Pop_spec { partitions; _ } -> partitions
+
+let opt_value t demand = (Opt_max_flow.solve t.pathset demand).Opt_max_flow.total
+
+let reduce_values reduce values =
+  match reduce with
+  | `Average ->
+      List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+  | `Kth_smallest k ->
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      if k < 1 || k > n then invalid_arg "Evaluate: bad k for Kth_smallest";
+      List.nth sorted (k - 1)
+
+let heuristic_value t demand =
+  match t.spec with
+  | Dp_spec { threshold } -> (
+      match Demand_pinning.solve t.pathset ~threshold demand with
+      | Demand_pinning.Feasible { total; _ } -> Some total
+      | Demand_pinning.Infeasible_pinning _ -> None)
+  | Pop_spec { parts; partitions; reduce } ->
+      let totals =
+        List.map
+          (fun partition ->
+            (Pop.solve t.pathset ~parts partition demand).Pop.total)
+          partitions
+      in
+      Some (reduce_values reduce totals)
+
+let gap t demand =
+  match heuristic_value t demand with
+  | None -> None
+  | Some h -> Some (opt_value t demand -. h)
+
+let normalize t g =
+  g /. Graph.total_capacity (Pathset.graph t.pathset)
+
+let normalized_gap t demand = Option.map (normalize t) (gap t demand)

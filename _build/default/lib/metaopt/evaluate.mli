@@ -1,0 +1,53 @@
+(** Ground-truth gap oracle: given concrete demands, run the optimal
+    algorithm and the heuristic directly (no KKT, no search) and report
+    the gap. This is what black-box search iterates on (§3.4), what the
+    white-box search uses to turn relaxation demands into trusted
+    incumbents (§3.3), and what tests use to validate the
+    metaoptimization's answers. *)
+
+type heuristic_spec =
+  | Dp_spec of { threshold : float }
+  | Pop_spec of {
+      parts : int;
+      partitions : Pop.partition list;
+          (** the fixed random instantiations the gap is averaged over
+              (§3.2: the empirical stand-in for the expectation) *)
+      reduce : [ `Average | `Kth_smallest of int ];
+          (** how the per-instance heuristic totals are collapsed:
+              [`Kth_smallest 1] targets the worst instance (the tail
+              percentile of §3.2) *)
+    }
+
+type t = { pathset : Pathset.t; spec : heuristic_spec }
+
+val make_dp : Pathset.t -> threshold:float -> t
+
+val make_pop :
+  Pathset.t ->
+  parts:int ->
+  instances:int ->
+  rng:Rng.t ->
+  ?reduce:[ `Average | `Kth_smallest of int ] ->
+  unit ->
+  t
+(** Draws [instances] random partitions once; they stay fixed for the
+    oracle's lifetime so repeated evaluations are comparable. *)
+
+val partitions : t -> Pop.partition list
+(** Empty for DP. *)
+
+val opt_value : t -> Demand.t -> float
+
+val heuristic_value : t -> Demand.t -> float option
+(** [None] when the heuristic is infeasible on this input (DP pinning
+    overload, §5) — such inputs are outside the adversary's search set. *)
+
+val gap : t -> Demand.t -> float option
+(** [OPT(d) - Heuristic(d)]; [None] on heuristic infeasibility. *)
+
+val normalized_gap : t -> Demand.t -> float option
+(** Gap divided by total edge capacity — the cross-topology metric of
+    Fig 3. *)
+
+val normalize : t -> float -> float
+(** Divide an absolute gap by the topology's total capacity. *)

@@ -1,0 +1,28 @@
+(** Shared builder for the inner-problem rows of flow-based followers:
+    indexes the per-(pair, path) flow variables of a follower LP and
+    produces the FeasibleFlow rows (demand and capacity constraints) in
+    {!Inner_problem.row} form, with demands as outer host variables. *)
+
+type t
+
+val make : Pathset.t -> only:(int -> bool) -> t
+(** Index flow variables for every routable pair accepted by [only]. *)
+
+val num_vars : t -> int
+val included : t -> int -> bool
+
+val var : t -> pair:int -> path:int -> int
+(** @raise Invalid_argument for excluded pairs or bad path indices. *)
+
+val pair_of_var : t -> int -> int * int
+(** Inverse mapping: inner var -> (pair, path index). *)
+
+val objective : t -> (int * float) list
+(** Max total flow: coefficient 1 on every flow variable. *)
+
+val demand_rows :
+  t -> demand_vars:Model.var array -> Inner_problem.row list
+(** Per included pair: [sum_p f_k^p - d_k <= 0]. *)
+
+val capacity_rows : ?scale:float -> t -> Inner_problem.row list
+(** Per edge with included users: [sum f <= scale * capacity]. *)

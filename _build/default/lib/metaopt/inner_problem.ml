@@ -1,0 +1,55 @@
+type sense = Le | Eq
+
+type row = {
+  row_name : string;
+  inner_terms : (int * float) list;
+  outer_terms : (Model.var * float) list;
+  sense : sense;
+  rhs : float;
+}
+
+type t = {
+  name : string;
+  num_vars : int;
+  objective : (int * float) list;
+  rows : row list;
+}
+
+let create ~name ~num_vars ~objective rows =
+  let check_var (j, _) =
+    if j < 0 || j >= num_vars then
+      invalid_arg (Printf.sprintf "Inner_problem.create(%s): bad inner var %d" name j)
+  in
+  List.iter check_var objective;
+  List.iter (fun r -> List.iter check_var r.inner_terms) rows;
+  { name; num_vars; objective; rows }
+
+let num_le_rows t =
+  List.length (List.filter (fun r -> r.sense = Le) t.rows)
+
+let value t x =
+  List.fold_left (fun acc (j, c) -> acc +. (c *. x.(j))) 0. t.objective
+
+let solve_directly t ~outer_values =
+  let model = Model.create ~name:(t.name ^ "_direct") () in
+  let xs = Model.add_vars ~name:"x" model t.num_vars in
+  List.iter
+    (fun r ->
+      let expr =
+        Linexpr.of_terms (List.map (fun (j, c) -> (xs.(j), c)) r.inner_terms)
+      in
+      let shift =
+        List.fold_left
+          (fun acc (v, c) -> acc +. (c *. outer_values v))
+          0. r.outer_terms
+      in
+      let sense =
+        match r.sense with
+        | Le -> Model.Le
+        | Eq -> Model.Eq
+      in
+      ignore (Model.add_constr ~name:r.row_name model expr sense (r.rhs -. shift)))
+    t.rows;
+  Model.set_objective model Model.Maximize
+    (Linexpr.of_terms (List.map (fun (j, c) -> (xs.(j), c)) t.objective));
+  Solver.solve_lp model

@@ -1,0 +1,46 @@
+(** Declarative description of an inner (follower) linear program.
+
+    The metaoptimization (paper eq. 1) is a two-stage game: the outer
+    problem picks an input, the inner problems respond optimally. An
+    [Inner_problem.t] describes one follower:
+
+    {v maximize  c . x
+       subject to  A x + G theta <= / = b,   x >= 0 v}
+
+    where [x] are the follower's own variables and [theta] are variables
+    of the {e host} (outer) model — demands, threshold indicators — which
+    the follower treats as constants. Everything is jointly linear, which
+    is exactly the condition under which the KKT rewrite of §3.1 produces
+    a mixed-integer-linear (not merely bilinear) single-shot problem: the
+    only nonconvexity left is complementary slackness. *)
+
+type sense = Le | Eq
+
+type row = {
+  row_name : string;
+  inner_terms : (int * float) list;  (** (inner var index, coefficient) *)
+  outer_terms : (Model.var * float) list;  (** host-model variables *)
+  sense : sense;
+  rhs : float;
+}
+
+type t = private {
+  name : string;
+  num_vars : int;
+  objective : (int * float) list;  (** maximized *)
+  rows : row list;
+}
+
+val create :
+  name:string -> num_vars:int -> objective:(int * float) list -> row list -> t
+(** @raise Invalid_argument on out-of-range inner variable indices. *)
+
+val num_le_rows : t -> int
+
+(** [value t x] — objective value of a concrete inner assignment. *)
+val value : t -> float array -> float
+
+(** [solve_directly t ~outer_values] replaces every outer variable with the
+    value [outer_values v] and solves the follower LP on its own. Used by
+    tests to confirm that KKT-feasible points are actually inner-optimal. *)
+val solve_directly : t -> outer_values:(Model.var -> float) -> Solver.lp_result

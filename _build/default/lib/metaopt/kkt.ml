@@ -1,0 +1,84 @@
+type emitted = {
+  x : Model.var array;
+  row_duals : Model.var array;
+  row_slacks : Model.var option array;
+  bound_duals : Model.var array;
+  value : Linexpr.t;
+  num_complementarity : int;
+}
+
+let emit model (ip : Inner_problem.t) =
+  let prefix = ip.Inner_problem.name in
+  let n = ip.Inner_problem.num_vars in
+  let rows = Array.of_list ip.Inner_problem.rows in
+  let m = Array.length rows in
+  let x = Model.add_vars ~name:(prefix ^ "_x") model n in
+  let comp = ref 0 in
+  (* duals and slacks *)
+  let row_duals =
+    Array.init m (fun i ->
+        match rows.(i).Inner_problem.sense with
+        | Inner_problem.Le ->
+            Model.add_var ~name:(Printf.sprintf "%s_lam_%d" prefix i) model
+        | Inner_problem.Eq ->
+            Model.add_var ~name:(Printf.sprintf "%s_nu_%d" prefix i)
+              ~lb:neg_infinity model)
+  in
+  let row_slacks =
+    Array.init m (fun i ->
+        match rows.(i).Inner_problem.sense with
+        | Inner_problem.Le ->
+            Some (Model.add_var ~name:(Printf.sprintf "%s_s_%d" prefix i) model)
+        | Inner_problem.Eq -> None)
+  in
+  (* primal feasibility rows *)
+  Array.iteri
+    (fun i row ->
+      let expr =
+        Linexpr.of_terms
+          (List.map (fun (j, c) -> (x.(j), c)) row.Inner_problem.inner_terms
+          @ row.Inner_problem.outer_terms)
+      in
+      match row_slacks.(i) with
+      | Some s ->
+          let expr = Linexpr.add_term expr s 1. in
+          ignore
+            (Model.add_constr ~name:(row.Inner_problem.row_name ^ "_pf") model
+               expr Model.Eq row.Inner_problem.rhs);
+          Model.add_sos1 model [ row_duals.(i); s ];
+          incr comp
+      | None ->
+          ignore
+            (Model.add_constr ~name:(row.Inner_problem.row_name ^ "_pf") model
+               expr Model.Eq row.Inner_problem.rhs))
+    rows;
+  (* stationarity + bound-dual complementarity *)
+  let coef_of_col = Array.make n [] in
+  Array.iteri
+    (fun i row ->
+      List.iter
+        (fun (j, c) -> coef_of_col.(j) <- (row_duals.(i), c) :: coef_of_col.(j))
+        row.Inner_problem.inner_terms)
+    rows;
+  let c_obj = Array.make n 0. in
+  List.iter (fun (j, c) -> c_obj.(j) <- c_obj.(j) +. c) ip.Inner_problem.objective;
+  let bound_duals =
+    Array.init n (fun j ->
+        let mu = Model.add_var ~name:(Printf.sprintf "%s_mu_%d" prefix j) model in
+        (* c_j - sum_i dual_i a_ij + mu_j = 0 *)
+        let expr =
+          Linexpr.add_term
+            (Linexpr.of_terms (List.map (fun (d, c) -> (d, -.c)) coef_of_col.(j)))
+            mu 1.
+        in
+        ignore
+          (Model.add_constr ~name:(Printf.sprintf "%s_stat_%d" prefix j) model
+             expr Model.Eq (-.c_obj.(j)));
+        Model.add_sos1 model [ mu; x.(j) ];
+        incr comp;
+        mu)
+  in
+  let value =
+    Linexpr.of_terms (List.map (fun (j, c) -> (x.(j), c)) ip.Inner_problem.objective)
+  in
+  { x; row_duals; row_slacks; bound_duals; value; num_complementarity = !comp }

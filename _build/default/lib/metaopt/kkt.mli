@@ -1,0 +1,35 @@
+(** The KKT rewrite (paper §3.1, Fig 2): replace an inner convex follower
+    by its first-order optimality conditions inside the host model.
+
+    For the follower [max c.x s.t. Ax + G theta <= / = b, x >= 0] the
+    emitted system is:
+
+    - primal feasibility: [Ax + G theta + s = b], slack [s >= 0] for
+      inequality rows (equality rows keep their [=]);
+    - dual feasibility: [lambda >= 0] per inequality row, free [nu] per
+      equality row, [mu >= 0] per inner variable bound;
+    - stationarity: [c_j - sum_i dual_i a_ij + mu_j = 0] for every j;
+    - complementary slackness: [lambda_i * s_i = 0] and [mu_j * x_j = 0],
+      encoded as SOS1 pairs — the multiplicative constraints that the
+      paper identifies as the computational bottleneck (Fig 6).
+
+    Any assignment satisfying the emitted constraints has [x] optimal for
+    the follower given the host's outer values, so [value] can be used
+    as the follower's optimum inside the host objective — with a minus
+    sign this is what pins [Heuristic(I)] in eq. (1).
+
+    Correctness relies on Slater/strong duality, which holds for every LP
+    with a feasible point; if the follower is infeasible for some outer
+    assignment, the KKT system is infeasible there too, excluding that
+    input (the desired behaviour for e.g. infeasible DP pinnings, §5). *)
+
+type emitted = {
+  x : Model.var array;  (** host copies of the inner variables *)
+  row_duals : Model.var array;  (** per row, aligned with the row list *)
+  row_slacks : Model.var option array;  (** [Some s] for inequality rows *)
+  bound_duals : Model.var array;  (** [mu], per inner variable *)
+  value : Linexpr.t;  (** [c . x] — the follower's optimal value *)
+  num_complementarity : int;  (** SOS1 pairs added *)
+}
+
+val emit : Model.t -> Inner_problem.t -> emitted

@@ -1,0 +1,276 @@
+type t = {
+  followers : Kkt.emitted list;
+  instance_totals : Model.var list;
+  value : Linexpr.t;
+}
+
+(* One follower: the block-diagonal union of a single instance's
+   per-partition problems. All parts share the inner variable space; each
+   (edge, part) pair gets its own scaled capacity row over that part's
+   pairs only, and each pair's demand row binds to the shared outer demand
+   variable. *)
+let instance_follower model pathset ~demand_vars ~parts ~partition ~index =
+  let flows = Flow_rows.make pathset ~only:(fun _ -> true) in
+  let g = Pathset.graph pathset in
+  let scale = 1. /. float_of_int parts in
+  let cap_rows = ref [] in
+  for c = parts - 1 downto 0 do
+    for e = Graph.num_edges g - 1 downto 0 do
+      let inner_terms =
+        List.filter_map
+          (fun (k, p) ->
+            if Flow_rows.included flows k && partition.(k) = c then
+              Some (Flow_rows.var flows ~pair:k ~path:p, 1.)
+            else None)
+          (Pathset.pairs_using_edge pathset e)
+      in
+      if inner_terms <> [] then
+        cap_rows :=
+          {
+            Inner_problem.row_name = Printf.sprintf "pop%d_cap_%d_%d" index c e;
+            inner_terms;
+            outer_terms = [];
+            sense = Inner_problem.Le;
+            rhs = scale *. Graph.capacity g e;
+          }
+          :: !cap_rows
+    done
+  done;
+  let rows = Flow_rows.demand_rows flows ~demand_vars @ !cap_rows in
+  let inner =
+    Inner_problem.create
+      ~name:(Printf.sprintf "pop%d" index)
+      ~num_vars:(Flow_rows.num_vars flows)
+      ~objective:(Flow_rows.objective flows) rows
+  in
+  Kkt.emit model inner
+
+(* Bind one host variable to each follower's optimum and reduce them to
+   the deterministic descriptor the adversary optimizes (§3.2). *)
+let reduce_followers model followers ~cap_total ~reduce =
+  let instance_totals =
+    List.mapi
+      (fun index (follower : Kkt.emitted) ->
+        let h =
+          Model.add_var
+            ~name:(Printf.sprintf "pop_total_%d" index)
+            ~ub:cap_total model
+        in
+        ignore
+          (Model.add_constr
+             ~name:(Printf.sprintf "pop_total_def_%d" index)
+             model
+             (Linexpr.sub (Linexpr.var h) follower.Kkt.value)
+             Model.Eq 0.);
+        h)
+      followers
+  in
+  let value =
+    match reduce with
+    | `Average ->
+        let r = float_of_int (List.length instance_totals) in
+        Linexpr.of_terms (List.map (fun h -> (h, 1. /. r)) instance_totals)
+    | `Kth_smallest k ->
+        let sorted =
+          Sorting_network.encode model ~lo:0. ~hi:cap_total
+            (Array.of_list instance_totals)
+        in
+        if k < 1 || k > Array.length sorted then
+          invalid_arg "Pop_encoding: bad percentile index";
+        Linexpr.var sorted.(k - 1)
+  in
+  (instance_totals, value)
+
+let encode model pathset ~demand_vars ~parts ~partitions ~reduce () =
+  if partitions = [] then invalid_arg "Pop_encoding.encode: no partitions";
+  if parts <= 0 then invalid_arg "Pop_encoding.encode: parts <= 0";
+  List.iter
+    (fun p ->
+      if Array.length p <> Pathset.num_pairs pathset then
+        invalid_arg "Pop_encoding.encode: partition size mismatch")
+    partitions;
+  let followers =
+    List.mapi
+      (fun index partition ->
+        instance_follower model pathset ~demand_vars ~parts ~partition ~index)
+      partitions
+  in
+  let cap_total = Graph.total_capacity (Pathset.graph pathset) in
+  let instance_totals, value =
+    reduce_followers model followers ~cap_total ~reduce
+  in
+  { followers; instance_totals; value }
+
+(* ------------------------------------------------------------------ *)
+(* Appendix A: client splitting                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Virtual-client slots: pair k owns 2^(S+1)-1 slots; split level s (the
+   number of halvings Appendix A performs) activates its 2^s slots, each
+   carrying d_k / 2^s. Host binaries w_{k,s} select the level from the
+   demand value; inner big-M rows gate each slot's flow on its level. *)
+let split_follower model pathset ~demand_vars ~parts ~assignment
+    ~level_vars ~max_splits ~demand_ub ~index =
+  let g = Pathset.graph pathset in
+  let n_pairs = Pathset.num_pairs pathset in
+  (* inner variable indexing: flows per (pair, slot, path) *)
+  let offsets = Array.make n_pairs (-1) in
+  let next = ref 0 in
+  let slots = Pop.num_slots ~max_splits in
+  for k = 0 to n_pairs - 1 do
+    if Pathset.routable pathset k then begin
+      offsets.(k) <- !next;
+      next := !next + (slots * Array.length (Pathset.paths_of_pair pathset k))
+    end
+  done;
+  let fvar k ~level ~copy ~path =
+    let np = Array.length (Pathset.paths_of_pair pathset k) in
+    let slot_idx = (1 lsl level) - 1 + copy in
+    offsets.(k) + (slot_idx * np) + path
+  in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  for k = 0 to n_pairs - 1 do
+    if offsets.(k) >= 0 then begin
+      let np = Array.length (Pathset.paths_of_pair pathset k) in
+      for level = 0 to max_splits do
+        let copies = 1 lsl level in
+        for copy = 0 to copies - 1 do
+          let flows = List.init np (fun p -> (fvar k ~level ~copy ~path:p, 1.)) in
+          (* volume: sum_p f <= d_k / 2^level *)
+          add
+            {
+              Inner_problem.row_name =
+                Printf.sprintf "pop%d_vol_%d_%d_%d" index k level copy;
+              inner_terms = flows;
+              outer_terms =
+                [ (demand_vars.(k), -1. /. float_of_int copies) ];
+              sense = Inner_problem.Le;
+              rhs = 0.;
+            };
+          (* activity: sum_p f <= demand_ub * w_{k,level} *)
+          add
+            {
+              Inner_problem.row_name =
+                Printf.sprintf "pop%d_act_%d_%d_%d" index k level copy;
+              inner_terms = flows;
+              outer_terms = [ (level_vars.(k).(level), -.demand_ub) ];
+              sense = Inner_problem.Le;
+              rhs = 0.;
+            }
+        done
+      done
+    end
+  done;
+  (* capacity rows per (edge, part) over the slots assigned to the part *)
+  let scale = 1. /. float_of_int parts in
+  for c = 0 to parts - 1 do
+    for e = 0 to Graph.num_edges g - 1 do
+      let terms = ref [] in
+      List.iter
+        (fun (k, p) ->
+          if offsets.(k) >= 0 then
+            for level = 0 to max_splits do
+              for copy = 0 to (1 lsl level) - 1 do
+                if
+                  assignment.(Pop.slot ~max_splits ~pair:k ~level ~copy) = c
+                then terms := (fvar k ~level ~copy ~path:p, 1.) :: !terms
+              done
+            done)
+        (Pathset.pairs_using_edge pathset e);
+      if !terms <> [] then
+        add
+          {
+            Inner_problem.row_name = Printf.sprintf "pop%d_cap_%d_%d" index c e;
+            inner_terms = !terms;
+            outer_terms = [];
+            sense = Inner_problem.Le;
+            rhs = scale *. Graph.capacity g e;
+          }
+    done
+  done;
+  let inner =
+    Inner_problem.create
+      ~name:(Printf.sprintf "pop_split%d" index)
+      ~num_vars:!next
+      ~objective:(List.init !next (fun v -> (v, 1.)))
+      (List.rev !rows)
+  in
+  Kkt.emit model inner
+
+let encode_with_client_split model pathset ~demand_vars ~parts ~threshold
+    ~max_splits ~assignments ~demand_ub ~reduce ?epsilon () =
+  if assignments = [] then invalid_arg "Pop_encoding: no assignments";
+  if threshold <= 0. then invalid_arg "Pop_encoding: threshold <= 0";
+  if max_splits < 0 then invalid_arg "Pop_encoding: max_splits < 0";
+  let epsilon =
+    match epsilon with
+    | Some e -> e
+    | None -> 1e-6 *. demand_ub
+  in
+  let n_pairs = Pathset.num_pairs pathset in
+  List.iter
+    (fun a ->
+      if Array.length a <> n_pairs * Pop.num_slots ~max_splits then
+        invalid_arg "Pop_encoding: slot assignment size mismatch")
+    assignments;
+  (* host level-selector binaries shared by all instances: w_{k,s} = 1 iff
+     2^(s-1) th <= d_k < 2^s th (level 0: d < th; level S: unbounded) *)
+  let level_vars =
+    Array.init n_pairs (fun k ->
+        Array.init (max_splits + 1) (fun s ->
+            Model.add_var
+              ~name:(Printf.sprintf "pop_lvl_%d_%d" k s)
+              ~kind:Model.Binary model))
+  in
+  for k = 0 to n_pairs - 1 do
+    ignore
+      (Model.add_constr
+         ~name:(Printf.sprintf "pop_lvl_one_%d" k)
+         model
+         (Linexpr.of_terms
+            (Array.to_list (Array.map (fun w -> (w, 1.)) level_vars.(k))))
+         Model.Eq 1.);
+    for s = 0 to max_splits do
+      let lo = if s = 0 then 0. else (2. ** float_of_int (s - 1)) *. threshold in
+      let hi =
+        if s = max_splits then demand_ub
+        else
+          Float.min demand_ub ((2. ** float_of_int s) *. threshold -. epsilon)
+      in
+      if lo > demand_ub then
+        (* level unreachable within the demand bound *)
+        Model.set_var_bounds model level_vars.(k).(s) ~lb:0. ~ub:0.
+      else begin
+        (* w = 1 forces d_k >= lo *)
+        if lo > 0. then
+          ignore
+            (Model.add_constr model
+               (Linexpr.of_terms
+                  [ (demand_vars.(k), 1.); (level_vars.(k).(s), -.lo) ])
+               Model.Ge 0.);
+        (* w = 1 forces d_k <= hi *)
+        if hi < demand_ub then
+          ignore
+            (Model.add_constr model
+               (Linexpr.of_terms
+                  [
+                    (demand_vars.(k), 1.);
+                    (level_vars.(k).(s), demand_ub -. hi);
+                  ])
+               Model.Le demand_ub)
+      end
+    done
+  done;
+  let followers =
+    List.mapi
+      (fun index assignment ->
+        split_follower model pathset ~demand_vars ~parts ~assignment
+          ~level_vars ~max_splits ~demand_ub ~index)
+      assignments
+  in
+  let cap_total = Graph.total_capacity (Pathset.graph pathset) in
+  let instance_totals, value =
+    reduce_followers model followers ~cap_total ~reduce
+  in
+  { followers; instance_totals; value }

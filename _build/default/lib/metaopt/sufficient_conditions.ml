@@ -1,0 +1,63 @@
+type probe = {
+  parameter : float;
+  worst_gap : float;
+  upper_bound : float option;
+}
+
+type result = {
+  accepted : float option;
+  certified : bool;
+  probes : probe list;
+}
+
+let goalpost_family ~reference ~relative r =
+  Input_constraints.goalpost ~reference ~distance:r ~relative ()
+
+let search ev ~family ~lo ~hi ~gap_budget ?(probes = 6)
+    ?(options = Adversary.default_options) () =
+  if lo > hi then invalid_arg "Sufficient_conditions.search: lo > hi";
+  if probes < 1 then invalid_arg "Sufficient_conditions.search: probes < 1";
+  let run parameter =
+    let constraints =
+      Input_constraints.combine options.Adversary.constraints (family parameter)
+    in
+    let r =
+      Adversary.find ev ~options:{ options with Adversary.constraints } ()
+    in
+    {
+      parameter;
+      worst_gap = r.Adversary.gap;
+      upper_bound = r.Adversary.upper_bound;
+    }
+  in
+  let history = ref [] in
+  let accepted = ref None and accepted_probe = ref None in
+  let lo = ref lo and hi = ref hi in
+  (* probe the lower end first: if even [lo] overshoots, report failure *)
+  let first = run !lo in
+  history := [ first ];
+  if first.worst_gap > gap_budget then
+    { accepted = None; certified = false; probes = List.rev !history }
+  else begin
+    accepted := Some first.parameter;
+    accepted_probe := Some first;
+    for _ = 2 to probes do
+      if !hi -. !lo > 1e-9 *. Float.max 1. !hi then begin
+        let mid = (!lo +. !hi) /. 2. in
+        let p = run mid in
+        history := p :: !history;
+        if p.worst_gap <= gap_budget then begin
+          lo := mid;
+          accepted := Some mid;
+          accepted_probe := Some p
+        end
+        else hi := mid
+      end
+    done;
+    let certified =
+      match !accepted_probe with
+      | Some { upper_bound = Some ub; _ } -> ub <= gap_budget +. 1e-9
+      | _ -> false
+    in
+    { accepted = !accepted; certified; probes = List.rev !history }
+  end

@@ -1,0 +1,55 @@
+(** Searching for sufficient conditions (paper §5):
+
+    "A use case of our techniques is identifying realistic constraints on
+    the input space with small worst-case optimality gap, then safely use
+    the heuristic on inputs in that space."
+
+    Given a {e parametrized family} of input constraints (e.g. goalposts
+    of growing radius around historical demands) and a gap budget, this
+    module finds the largest parameter whose worst-case gap stays within
+    budget: the certificate an operator needs to run the heuristic
+    unattended on inputs satisfying the condition.
+
+    The search is a monotone bisection over the parameter (larger
+    parameter ⇒ larger input space ⇒ weakly larger worst-case gap), with
+    each probe a full adversary run. The returned gap values are
+    oracle-verified lower bounds on each probe's worst case; when the
+    white-box MILP phase proves bounds, [certified] carries the proven
+    worst-case bound for the accepted parameter. *)
+
+type probe = {
+  parameter : float;
+  worst_gap : float;  (** best adversarial gap found inside the space *)
+  upper_bound : float option;  (** proven bound, when available *)
+}
+
+type result = {
+  accepted : float option;
+      (** largest probed parameter whose worst-case gap fits the budget;
+          [None] if even the smallest probe overshoots *)
+  certified : bool;
+      (** true when the accepted probe's proven upper bound (not merely
+          the best-found gap) fits the budget *)
+  probes : probe list;  (** in probe order *)
+}
+
+val search :
+  Evaluate.t ->
+  family:(float -> Input_constraints.t) ->
+  lo:float ->
+  hi:float ->
+  gap_budget:float ->
+  ?probes:int ->
+  ?options:Adversary.options ->
+  unit ->
+  result
+(** [search ev ~family ~lo ~hi ~gap_budget ()] bisects the parameter in
+    [lo, hi] with [probes] adversary runs (default 6). [family] must be
+    monotone: a larger parameter yields a superset input space.
+    @raise Invalid_argument if [lo > hi] or [probes < 1]. *)
+
+val goalpost_family :
+  reference:Demand.t -> relative:bool -> float -> Input_constraints.t
+(** The workhorse family: goalposts of radius [r] around a reference
+    matrix — "how far from history can demands drift before the
+    heuristic's worst case exceeds the budget?" *)

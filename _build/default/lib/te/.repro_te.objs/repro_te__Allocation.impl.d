@@ -1,0 +1,1 @@
+lib/te/allocation.ml: Array Demand Fmt Format Graph Pathset Printf

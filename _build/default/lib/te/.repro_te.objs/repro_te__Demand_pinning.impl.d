@@ -1,0 +1,1 @@
+lib/te/demand_pinning.ml: Allocation Array Float Graph Opt_max_flow Pathset

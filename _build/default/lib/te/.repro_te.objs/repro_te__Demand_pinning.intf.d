@@ -1,0 +1,1 @@
+lib/te/demand_pinning.mli: Allocation Demand Graph Pathset

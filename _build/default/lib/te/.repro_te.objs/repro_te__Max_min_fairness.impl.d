@@ -1,0 +1,1 @@
+lib/te/max_min_fairness.ml: Allocation Array Float Fun Linexpr List Mcf Model Pathset Simplex Solver

@@ -1,0 +1,1 @@
+lib/te/max_min_fairness.mli: Allocation Demand Pathset

@@ -1,0 +1,1 @@
+lib/te/mcf.ml: Allocation Array Demand Float Graph Linexpr List Model Pathset Printf

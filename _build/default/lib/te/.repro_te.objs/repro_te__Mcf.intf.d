@@ -1,0 +1,1 @@
+lib/te/mcf.mli: Allocation Linexpr Model Pathset

@@ -1,0 +1,1 @@
+lib/te/opt_max_flow.ml: Allocation Array Graph Linexpr List Mcf Model Pathset Repro_lp Solver

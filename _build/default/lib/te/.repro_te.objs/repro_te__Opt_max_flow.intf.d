@@ -1,0 +1,1 @@
+lib/te/opt_max_flow.mli: Allocation Demand Pathset

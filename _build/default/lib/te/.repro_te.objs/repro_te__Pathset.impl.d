@@ -1,0 +1,1 @@
+lib/te/pathset.ml: Array Demand Graph List Paths

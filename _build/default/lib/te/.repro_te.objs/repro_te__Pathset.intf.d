@@ -1,0 +1,1 @@
+lib/te/pathset.mli: Demand Graph Paths

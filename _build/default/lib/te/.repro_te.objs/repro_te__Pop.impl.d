@@ -1,0 +1,1 @@
+lib/te/pop.ml: Allocation Array Graph List Opt_max_flow Pathset Rng

@@ -1,0 +1,1 @@
+lib/te/pop.mli: Allocation Demand Pathset Rng

@@ -1,0 +1,1 @@
+lib/te/sorting_network.ml: Array Linexpr List Model Printf

@@ -1,0 +1,1 @@
+lib/te/sorting_network.mli: Model

@@ -1,0 +1,1 @@
+lib/te/utility.ml: Allocation Array Float Linexpr List Mcf Model Pathset Printf Simplex Solver

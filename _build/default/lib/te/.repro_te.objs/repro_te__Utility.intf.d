@@ -1,0 +1,1 @@
+lib/te/utility.mli: Allocation Demand Pathset

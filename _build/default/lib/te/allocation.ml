@@ -1,0 +1,83 @@
+type t = {
+  pathset : Pathset.t;
+  flows : float array array;
+}
+
+let zero pathset =
+  {
+    pathset;
+    flows =
+      Array.init (Pathset.num_pairs pathset) (fun k ->
+          Array.make (Array.length (Pathset.paths_of_pair pathset k)) 0.);
+  }
+
+let flow_of_pair t k = Array.fold_left ( +. ) 0. t.flows.(k)
+
+let total_flow t =
+  let acc = ref 0. in
+  Array.iter (Array.iter (fun f -> acc := !acc +. f)) t.flows;
+  !acc
+
+let edge_load t =
+  let g = Pathset.graph t.pathset in
+  let load = Array.make (Graph.num_edges g) 0. in
+  Array.iteri
+    (fun k per_path ->
+      Array.iteri
+        (fun p f ->
+          if f <> 0. then
+            ignore
+              (Pathset.fold_path_edges t.pathset k p ~init:() ~f:(fun () e ->
+                   load.(e) <- load.(e) +. f)))
+        per_path)
+    t.flows;
+  load
+
+let merge a b =
+  if a.pathset != b.pathset then invalid_arg "Allocation.merge: pathset mismatch";
+  {
+    pathset = a.pathset;
+    flows = Array.mapi (fun k fa -> Array.mapi (fun p v -> v +. b.flows.(k).(p)) fa) a.flows;
+  }
+
+let check t ~demand ?(tol = 1e-6) () =
+  let g = Pathset.graph t.pathset in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  try
+    Array.iteri
+      (fun k per_path ->
+        Array.iteri
+          (fun p f ->
+            if f < -.tol then
+              raise (Bad (Printf.sprintf "negative flow %g on pair %d path %d" f k p)))
+          per_path;
+        let fk = flow_of_pair t k in
+        if fk > demand.(k) +. tol then
+          raise
+            (Bad
+               (Printf.sprintf "pair %d carries %g > demand %g" k fk demand.(k))))
+      t.flows;
+    let load = edge_load t in
+    Array.iteri
+      (fun e l ->
+        if l > Graph.capacity g e +. tol then
+          raise
+            (Bad
+               (Printf.sprintf "edge %d loaded %g > capacity %g" e l
+                  (Graph.capacity g e))))
+      load;
+    Ok ()
+  with Bad s -> err "%s" s
+
+let pp ppf t =
+  let space = Pathset.space t.pathset in
+  Fmt.pf ppf "@[<v>total flow %g@ " (total_flow t);
+  Array.iteri
+    (fun k per_path ->
+      let s, d = Demand.pair space k in
+      Array.iteri
+        (fun p f -> if f > 1e-9 then Fmt.pf ppf "%d->%d path#%d: %g@ " s d p f)
+        per_path)
+    t.flows;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,29 @@
+(** Flow assignments: the vector [f] of the paper (Table 1), with per-path
+    resolution [f_k^p], plus feasibility validation used throughout the
+    test suite. *)
+
+type t = {
+  pathset : Pathset.t;
+  flows : float array array;  (** [flows.(k).(p)] — flow of pair k on path p *)
+}
+
+val zero : Pathset.t -> t
+
+val flow_of_pair : t -> int -> float
+(** [f_k], the total flow a pair carries. *)
+
+val total_flow : t -> float
+(** The max-flow objective: sum over pairs. *)
+
+val edge_load : t -> float array
+(** Load per edge implied by the per-path flows. *)
+
+val merge : t -> t -> t
+(** Pointwise sum — the "vector union" of POP (eq. 6).
+    @raise Invalid_argument when the pathsets differ. *)
+
+val check : t -> demand:Demand.t -> ?tol:float -> unit -> (unit, string) result
+(** Validates the FeasibleFlow invariants (eq. 2): non-negativity,
+    [f_k <= d_k], and edge loads within capacity. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type result =
+  | Feasible of {
+      total : float;
+      pinned_flow : float;
+      allocation : Allocation.t;
+      pinned : bool array;
+    }
+  | Infeasible_pinning of {
+      edge : Graph.edge;
+      load : float;
+      capacity : float;
+    }
+
+let default_threshold_fraction = 0.05
+
+let pins ~threshold d = d > 0. && d <= threshold
+
+let solve ?capacities pathset ~threshold demand =
+  let g = Pathset.graph pathset in
+  let capacity_of =
+    match capacities with
+    | Some caps -> fun e -> caps.(e)
+    | None -> Graph.capacity g
+  in
+  let n_pairs = Pathset.num_pairs pathset in
+  let pinned = Array.make n_pairs false in
+  let residual = Array.init (Graph.num_edges g) capacity_of in
+  let pinned_alloc = Allocation.zero pathset in
+  let pinned_flow = ref 0. in
+  let overload = ref None in
+  for k = 0 to n_pairs - 1 do
+    if pins ~threshold demand.(k) && Pathset.routable pathset k then begin
+      pinned.(k) <- true;
+      pinned_flow := !pinned_flow +. demand.(k);
+      pinned_alloc.Allocation.flows.(k).(0) <- demand.(k);
+      Array.iter
+        (fun e ->
+          residual.(e) <- residual.(e) -. demand.(k);
+          if residual.(e) < -1e-9 && !overload = None then overload := Some e)
+        (Pathset.shortest pathset k)
+    end
+  done;
+  match !overload with
+  | Some edge ->
+      Infeasible_pinning
+        {
+          edge;
+          load = capacity_of edge -. residual.(edge);
+          capacity = capacity_of edge;
+        }
+  | None ->
+      let only k = not pinned.(k) in
+      let residual = Array.map (Float.max 0.) residual in
+      let r = Opt_max_flow.residual_capacity_solve pathset demand ~only ~residual in
+      Feasible
+        {
+          total = !pinned_flow +. r.Opt_max_flow.total;
+          pinned_flow = !pinned_flow;
+          allocation = Allocation.merge pinned_alloc r.Opt_max_flow.allocation;
+          pinned;
+        }
+
+let total_or_zero = function
+  | Feasible { total; _ } -> total
+  | Infeasible_pinning _ -> 0.

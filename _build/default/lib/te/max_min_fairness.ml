@@ -1,0 +1,181 @@
+type result = {
+  allocation : Allocation.t;
+  levels : float array;
+  rounds : int;
+}
+
+(* Build the common LP skeleton: flow variables for every routable pair,
+   capacity rows, and per-pair demand rows. Frozen pairs have their total
+   flow pinned to their frozen level. *)
+let base_model pathset ~demand ~frozen ~levels =
+  let model = Model.create ~name:"max_min" () in
+  let vars = Mcf.add_flow_vars model pathset in
+  let _ = Mcf.add_capacity_constrs model pathset vars in
+  Array.iteri
+    (fun k per_path ->
+      if Array.length per_path > 0 then begin
+        let total =
+          Linexpr.of_terms (Array.to_list (Array.map (fun v -> (v, 1.)) per_path))
+        in
+        if frozen.(k) then
+          ignore (Model.add_constr model total Model.Eq levels.(k))
+        else ignore (Model.add_constr model total Model.Le demand.(k))
+      end)
+    vars;
+  (model, vars)
+
+let active pathset demand frozen k =
+  (not frozen.(k)) && demand.(k) > 0. && Pathset.routable pathset k
+
+let solve pathset demand =
+  let n = Pathset.num_pairs pathset in
+  let frozen = Array.make n false in
+  let levels = Array.make n 0. in
+  (* unroutable or zero-demand pairs are frozen at 0 immediately *)
+  for k = 0 to n - 1 do
+    if not (active pathset demand frozen k) then frozen.(k) <- true
+  done;
+  let rounds = ref 0 in
+  let last_alloc = ref (Allocation.zero pathset) in
+  while Array.exists not frozen && !rounds < n + 1 do
+    incr rounds;
+    (* phase A: maximize the common level t of active pairs *)
+    let model, vars = base_model pathset ~demand ~frozen ~levels in
+    let t = Model.add_var ~name:"t" model in
+    Array.iteri
+      (fun k per_path ->
+        if active pathset demand frozen k then begin
+          let total =
+            Linexpr.of_terms
+              (Array.to_list (Array.map (fun v -> (v, 1.)) per_path))
+          in
+          ignore
+            (Model.add_constr model (Linexpr.add_term total t (-1.)) Model.Ge 0.);
+          (* t itself must stay achievable: t <= d_k would freeze k at d_k;
+             allow t beyond d_k is meaningless for k, so cap t per-pair via
+             the demand row only (f_k <= d_k already bounds f_k) *)
+          ignore (Model.add_constr model (Linexpr.var t) Model.Le demand.(k))
+        end)
+      vars;
+    Model.set_objective model Model.Maximize (Linexpr.var t);
+    let r = Solver.solve_lp model in
+    if r.Solver.status <> Simplex.Optimal then
+      failwith "Max_min_fairness.solve: level LP not optimal";
+    let t_star = r.Solver.objective in
+    (* phase B: which active pairs are stuck at t_star? First a bulk probe
+       (maximize total active flow at level >= t_star); pairs strictly
+       above t_star there are provably not blocked. *)
+    let model_b, vars_b = base_model pathset ~demand ~frozen ~levels in
+    let active_exprs =
+      Array.mapi
+        (fun k per_path ->
+          if active pathset demand frozen k then begin
+            let total =
+              Linexpr.of_terms
+                (Array.to_list (Array.map (fun v -> (v, 1.)) per_path))
+            in
+            ignore
+              (Model.add_constr model_b total Model.Ge
+                 (Float.min t_star demand.(k)));
+            Some total
+          end
+          else None)
+        vars_b
+    in
+    Model.set_objective model_b Model.Maximize
+      (Linexpr.sum (List.filter_map Fun.id (Array.to_list active_exprs)));
+    let rb = Solver.solve_lp model_b in
+    let bulk k =
+      match active_exprs.(k) with
+      | Some expr -> Linexpr.eval expr (fun v -> rb.Solver.primal.(v))
+      | None -> 0.
+    in
+    let tol = 1e-6 *. Float.max 1. t_star in
+    let froze_any = ref false in
+    for k = 0 to n - 1 do
+      if active pathset demand frozen k then
+        if demand.(k) <= t_star +. tol then begin
+          (* demand-saturated *)
+          frozen.(k) <- true;
+          levels.(k) <- demand.(k);
+          froze_any := true
+        end
+        else if bulk k <= t_star +. tol then begin
+          (* candidate capacity-block: confirm with an individual probe *)
+          let model_c, vars_c = base_model pathset ~demand ~frozen ~levels in
+          Array.iteri
+            (fun j per_path ->
+              if active pathset demand frozen j then begin
+                let total =
+                  Linexpr.of_terms
+                    (Array.to_list (Array.map (fun v -> (v, 1.)) per_path))
+                in
+                if j = k then
+                  Model.set_objective model_c Model.Maximize total
+                else
+                  ignore
+                    (Model.add_constr model_c total Model.Ge
+                       (Float.min t_star demand.(j)))
+              end)
+            vars_c;
+          let rc = Solver.solve_lp model_c in
+          if rc.Solver.objective <= t_star +. tol then begin
+            frozen.(k) <- true;
+            levels.(k) <- t_star;
+            froze_any := true
+          end
+        end
+    done;
+    (* safety: always make progress *)
+    if not !froze_any then
+      for k = 0 to n - 1 do
+        if active pathset demand frozen k then begin
+          frozen.(k) <- true;
+          levels.(k) <- Float.min t_star demand.(k)
+        end
+      done;
+    last_alloc := Mcf.allocation_of_primal pathset vars r.Solver.primal
+  done;
+  (* final allocation realizing the frozen levels exactly *)
+  let model, vars = base_model pathset ~demand ~frozen:(Array.map (fun _ -> true) levels) ~levels in
+  Model.set_objective model Model.Maximize Linexpr.zero;
+  let r = Solver.solve_lp model in
+  let allocation =
+    if r.Solver.status = Simplex.Optimal then
+      Mcf.allocation_of_primal pathset vars r.Solver.primal
+    else !last_alloc
+  in
+  { allocation; levels; rounds = !rounds }
+
+let is_max_min_fair pathset demand levels =
+  let n = Pathset.num_pairs pathset in
+  let tol = 1e-5 in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if !ok && Pathset.routable pathset k && demand.(k) > levels.(k) +. tol then begin
+      (* try to push k above its level while no pair at or below k's level
+         drops below its own level *)
+      let frozen = Array.make n false in
+      let model, vars = base_model pathset ~demand ~frozen ~levels:(Array.make n 0.) in
+      Array.iteri
+        (fun j per_path ->
+          if Array.length per_path > 0 then begin
+            let total =
+              Linexpr.of_terms
+                (Array.to_list (Array.map (fun v -> (v, 1.)) per_path))
+            in
+            if j = k then Model.set_objective model Model.Maximize total
+            else if levels.(j) <= levels.(k) +. tol then
+              (* pairs at or below k's level must not pay for k's gain;
+                 strictly higher pairs may (that is fair) *)
+              ignore (Model.add_constr model total Model.Ge levels.(j))
+          end)
+        vars;
+      let r = Solver.solve_lp model in
+      if
+        r.Solver.status = Simplex.Optimal
+        && r.Solver.objective > levels.(k) +. (10. *. tol)
+      then ok := false
+    end
+  done;
+  !ok

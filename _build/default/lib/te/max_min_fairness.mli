@@ -1,0 +1,27 @@
+(** Max–min fair flow allocation — the alternative TE objective the paper
+    cites for SWAN/B4 (§2: "max-min fairness [15, 16]").
+
+    Progressive filling over the path-based FeasibleFlow polytope: raise
+    the common allocation level [t] of all unfrozen pairs until some pair
+    saturates (by demand or by capacity), freeze the saturated pairs at
+    their level, and repeat. The result is the lexicographically-maximal
+    sorted allocation vector.
+
+    This substrate lets downstream users compare heuristics against a
+    fairness-oriented optimum; the metaoptimization itself (eq. 1) needs
+    a single-LP follower, so the adversary modules use the max-flow
+    objective, as does the paper's evaluation. *)
+
+type result = {
+  allocation : Allocation.t;
+  levels : float array;  (** per pair: the frozen max–min level *)
+  rounds : int;  (** progressive-filling iterations *)
+}
+
+val solve : Pathset.t -> Demand.t -> result
+(** Demands with zero volume or no path receive level 0. *)
+
+val is_max_min_fair : Pathset.t -> Demand.t -> float array -> bool
+(** Certificate check used by tests: no pair's level can be increased
+    without decreasing the level of a pair at or below it (verified by
+    per-pair improvement LPs). *)

@@ -1,0 +1,71 @@
+type flow_vars = Model.var array array
+
+type demand_bound = Const of float array | Var of Model.var array
+
+let everything _ = true
+
+let add_flow_vars ?(prefix = "f") ?(only = everything) model pathset =
+  let space = Pathset.space pathset in
+  Array.init (Pathset.num_pairs pathset) (fun k ->
+      if not (only k) then [||]
+      else
+        let s, d = Demand.pair space k in
+        Array.init
+          (Array.length (Pathset.paths_of_pair pathset k))
+          (fun p ->
+            Model.add_var ~name:(Printf.sprintf "%s_%d_%d__p%d" prefix s d p)
+              model))
+
+let pair_flow_expr vars k =
+  Linexpr.of_terms (Array.to_list (Array.map (fun v -> (v, 1.)) vars.(k)))
+
+let add_demand_constrs ?(only = everything) model pathset vars bound =
+  Array.init (Pathset.num_pairs pathset) (fun k ->
+      if (not (only k)) || Array.length vars.(k) = 0 then None
+      else
+        let expr = pair_flow_expr vars k in
+        let expr, rhs =
+          match bound with
+          | Const d -> (expr, d.(k))
+          | Var d -> (Linexpr.add_term expr d.(k) (-1.), 0.)
+        in
+        Some
+          (Model.add_constr ~name:(Printf.sprintf "dem_%d" k) model expr
+             Model.Le rhs))
+
+let add_capacity_constrs ?(scale = 1.) model pathset vars =
+  let g = Pathset.graph pathset in
+  Array.init (Graph.num_edges g) (fun e ->
+      let terms =
+        List.filter_map
+          (fun (k, p) ->
+            if Array.length vars.(k) > p then Some (vars.(k).(p), 1.) else None)
+          (Pathset.pairs_using_edge pathset e)
+      in
+      Model.add_constr ~name:(Printf.sprintf "cap_%d" e) model
+        (Linexpr.of_terms terms) Model.Le
+        (scale *. Graph.capacity g e))
+
+let total_flow_expr vars =
+  Linexpr.of_terms
+    (Array.to_list vars
+    |> List.concat_map (fun per_path ->
+           Array.to_list (Array.map (fun v -> (v, 1.)) per_path)))
+
+let add_feasible_flow ?prefix ?(only = everything) ?cap_scale model pathset
+    bound =
+  let vars = add_flow_vars ?prefix ~only model pathset in
+  let _ = add_demand_constrs ~only model pathset vars bound in
+  let _ = add_capacity_constrs ?scale:cap_scale model pathset vars in
+  vars
+
+let allocation_of_primal pathset vars primal =
+  {
+    Allocation.pathset;
+    flows =
+      Array.init (Pathset.num_pairs pathset) (fun k ->
+          let expected = Array.length (Pathset.paths_of_pair pathset k) in
+          if Array.length vars.(k) = expected then
+            Array.map (fun v -> Float.max 0. primal.(v)) vars.(k)
+          else Array.make expected 0.);
+  }

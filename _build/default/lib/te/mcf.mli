@@ -1,0 +1,53 @@
+(** Multi-commodity-flow constraint builder: FeasibleFlow (paper eq. 2)
+    emitted into an {!Repro_lp.Model}.
+
+    The builder is deliberately compositional so that the same pieces
+    serve the direct solves (OptMaxFlow, DP's residual problem, POP's
+    per-partition problems, where demands are constants) and the
+    metaoptimization (where demands are outer {e variables} of the host
+    model). The [only] filter restricts to a subset of pairs (POP
+    partitions); [scale] shrinks capacities (POP resource splitting). *)
+
+type flow_vars = Model.var array array
+(** [vars.(k).(p)] — flow variable of pair [k] on its path [p]; pairs
+    excluded by [only] or unroutable get an empty inner array. *)
+
+type demand_bound =
+  | Const of float array  (** demands as constants: [f_k <= d_k] rhs *)
+  | Var of Model.var array
+      (** demands as outer variables: [f_k - d_k <= 0] rows *)
+
+val add_flow_vars :
+  ?prefix:string -> ?only:(int -> bool) -> Model.t -> Pathset.t -> flow_vars
+
+val add_demand_constrs :
+  ?only:(int -> bool) ->
+  Model.t ->
+  Pathset.t ->
+  flow_vars ->
+  demand_bound ->
+  Model.constr option array
+(** One row per included routable pair: total pair flow at most demand. *)
+
+val add_capacity_constrs :
+  ?scale:float -> Model.t -> Pathset.t -> flow_vars -> Model.constr array
+(** One row per edge: load from the given flow variables at most
+    [scale * capacity] (default scale 1). Edges unused by any variable
+    still get a (trivial) row so indices align with edge ids. *)
+
+val total_flow_expr : flow_vars -> Linexpr.t
+(** The OptMaxFlow objective (eq. 3): sum of all flows. *)
+
+(** Bundles the above: flow variables + demand rows + capacity rows. *)
+val add_feasible_flow :
+  ?prefix:string ->
+  ?only:(int -> bool) ->
+  ?cap_scale:float ->
+  Model.t ->
+  Pathset.t ->
+  demand_bound ->
+  flow_vars
+
+val allocation_of_primal :
+  Pathset.t -> flow_vars -> float array -> Allocation.t
+(** Read a solved model's primal values back into an {!Allocation.t}. *)

@@ -1,0 +1,36 @@
+type result = {
+  total : float;
+  allocation : Allocation.t;
+}
+
+let solve_general pathset demand ~only ~capacity_of =
+  let g = Pathset.graph pathset in
+  let model = Model.create ~name:"max_flow" () in
+  let vars = Mcf.add_flow_vars ~only model pathset in
+  let _ = Mcf.add_demand_constrs ~only model pathset vars (Mcf.Const demand) in
+  (* capacity rows with custom rhs *)
+  for e = 0 to Graph.num_edges g - 1 do
+    let terms =
+      List.filter_map
+        (fun (k, p) ->
+          if Array.length vars.(k) > p then Some (vars.(k).(p), 1.) else None)
+        (Pathset.pairs_using_edge pathset e)
+    in
+    ignore (Model.add_constr model (Linexpr.of_terms terms) Model.Le (capacity_of e))
+  done;
+  Model.set_objective model Model.Maximize (Mcf.total_flow_expr vars);
+  let r = Solver.solve_lp model in
+  (match r.Solver.status with
+  | Repro_lp.Simplex.Optimal -> ()
+  | _ -> failwith "Opt_max_flow.solve: LP not optimal");
+  {
+    total = r.Solver.objective;
+    allocation = Mcf.allocation_of_primal pathset vars r.Solver.primal;
+  }
+
+let solve pathset demand =
+  let g = Pathset.graph pathset in
+  solve_general pathset demand ~only:(fun _ -> true) ~capacity_of:(Graph.capacity g)
+
+let residual_capacity_solve pathset demand ~only ~residual =
+  solve_general pathset demand ~only ~capacity_of:(fun e -> residual.(e))

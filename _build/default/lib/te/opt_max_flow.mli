@@ -1,0 +1,19 @@
+(** OptMaxFlow (paper eq. 3): the optimal total-flow LP that the
+    heuristics approximate — [OPT()] in the metaoptimization (1). *)
+
+type result = {
+  total : float;  (** optimal total flow *)
+  allocation : Allocation.t;
+}
+
+val solve : Pathset.t -> Demand.t -> result
+(** Always succeeds: the zero flow is feasible, the objective is bounded
+    by total capacity.
+    @raise Failure if the LP solver reports anything but optimal
+    (indicates a solver bug, not bad input). *)
+
+val residual_capacity_solve :
+  Pathset.t -> Demand.t -> only:(int -> bool) -> residual:float array -> result
+(** OptMaxFlow restricted to a subset of pairs with per-edge residual
+    capacities — the second phase of Demand Pinning. [residual] has one
+    entry per edge. *)

@@ -1,0 +1,40 @@
+type t = {
+  space : Demand.space;
+  paths : Paths.path array array;
+  incidence : (int * int) list array; (* per edge: (pair, path idx) *)
+}
+
+let compute space ~k =
+  if k <= 0 then invalid_arg "Pathset.compute: k <= 0";
+  let g = space.Demand.graph in
+  let paths =
+    Array.map
+      (fun (s, d) -> Array.of_list (Paths.k_shortest g ~k ~src:s ~dst:d))
+      space.Demand.pairs
+  in
+  let incidence = Array.make (Graph.num_edges g) [] in
+  Array.iteri
+    (fun pair pset ->
+      Array.iteri
+        (fun pi path ->
+          Array.iter
+            (fun e -> incidence.(e) <- (pair, pi) :: incidence.(e))
+            path)
+        pset)
+    paths;
+  { space; paths; incidence = Array.map List.rev incidence }
+
+let space t = t.space
+let graph t = t.space.Demand.graph
+let num_pairs t = Array.length t.paths
+let routable t k = Array.length t.paths.(k) > 0
+
+let shortest t k =
+  if not (routable t k) then invalid_arg "Pathset.shortest: unroutable pair";
+  t.paths.(k).(0)
+
+let paths_of_pair t k = t.paths.(k)
+
+let fold_path_edges t k p ~init ~f = Array.fold_left f init t.paths.(k).(p)
+
+let pairs_using_edge t e = t.incidence.(e)

@@ -1,0 +1,29 @@
+(** Pre-configured path sets: the [P] of the paper's TE formulation.
+
+    For every pair of the demand space this holds up to [k] loopless
+    shortest paths (Yen), with the pair's shortest path first — the path
+    Demand Pinning pins onto. Pairs with no path (possible in graphs with
+    unidirectional links, e.g. the Fig 1 triangle) get an empty set and
+    carry no flow in any formulation. *)
+
+type t
+
+val compute : Demand.space -> k:int -> t
+(** @raise Invalid_argument if [k <= 0]. *)
+
+val space : t -> Demand.space
+val graph : t -> Graph.t
+val num_pairs : t -> int
+val routable : t -> int -> bool
+val shortest : t -> int -> Paths.path
+(** The pinned path of a pair. @raise Invalid_argument if unroutable. *)
+
+val paths_of_pair : t -> int -> Paths.path array
+
+val fold_path_edges :
+  t -> int -> int -> init:'a -> f:('a -> Graph.edge -> 'a) -> 'a
+(** Fold over edges of path [p] of pair [k]. *)
+
+val pairs_using_edge : t -> Graph.edge -> (int * int) list
+(** All (pair, path index) whose path traverses the edge — the capacity
+    constraint incidence. Computed once at [compute] time. *)

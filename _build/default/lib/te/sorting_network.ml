@@ -1,0 +1,62 @@
+let comparators n =
+  if n < 0 then invalid_arg "Sorting_network.comparators";
+  let cs = ref [] in
+  for round = 0 to n - 1 do
+    let start = round mod 2 in
+    let i = ref start in
+    while !i + 1 < n do
+      cs := (!i, !i + 1) :: !cs;
+      i := !i + 2
+    done
+  done;
+  List.rev !cs
+
+let sort_floats a =
+  let a = Array.copy a in
+  List.iter
+    (fun (i, j) ->
+      if a.(i) > a.(j) then begin
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      end)
+    (comparators (Array.length a));
+  a
+
+let encode model ~lo ~hi inputs =
+  if hi < lo then invalid_arg "Sorting_network.encode: hi < lo";
+  let big_m = hi -. lo in
+  let wires = Array.copy inputs in
+  List.iteri
+    (fun idx (i, j) ->
+      let a = wires.(i) and b = wires.(j) in
+      let mx = Model.add_var ~name:(Printf.sprintf "snet_max_%d" idx) ~lb:lo ~ub:hi model in
+      let mn = Model.add_var ~name:(Printf.sprintf "snet_min_%d" idx) ~lb:lo ~ub:hi model in
+      let w = Model.add_var ~name:(Printf.sprintf "snet_sel_%d" idx) ~kind:Model.Binary model in
+      (* mx >= a, mx >= b *)
+      ignore (Model.add_constr model Linexpr.(sub (var mx) (var a)) Model.Ge 0.);
+      ignore (Model.add_constr model Linexpr.(sub (var mx) (var b)) Model.Ge 0.);
+      (* mx <= a + M w ; mx <= b + M (1 - w): forces mx = max(a, b) *)
+      ignore
+        (Model.add_constr model
+           Linexpr.(sub (sub (var mx) (var a)) (var ~coef:big_m w))
+           Model.Le 0.);
+      ignore
+        (Model.add_constr model
+           Linexpr.(add (sub (var mx) (var b)) (var ~coef:big_m w))
+           Model.Le big_m);
+      (* mn = a + b - mx *)
+      ignore
+        (Model.add_constr model
+           Linexpr.(sub (add (var mn) (var mx)) (add (var a) (var b)))
+           Model.Eq 0.);
+      wires.(i) <- mn;
+      wires.(j) <- mx)
+    (comparators (Array.length inputs));
+  wires
+
+let kth_largest model ~lo ~hi inputs k =
+  let n = Array.length inputs in
+  if k < 1 || k > n then invalid_arg "Sorting_network.kth_largest";
+  let sorted = encode model ~lo ~hi inputs in
+  sorted.(n - k)

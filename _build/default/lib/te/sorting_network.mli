@@ -1,0 +1,29 @@
+(** Sorting networks (paper §3.2): the device used to optimize against a
+    tail percentile of POP's random outcomes — a fixed comparator network
+    is data-oblivious, so each comparator can be encoded with linear
+    constraints plus one binary, letting the metaoptimization "bubble up
+    the worst outcomes" of several random partition instantiations.
+
+    We use the odd–even transposition network: O(n^2) comparators, valid
+    for any [n], and trivially correct (it is parallel bubble sort) — at
+    the instance counts the paper uses (5–10) network size is irrelevant. *)
+
+val comparators : int -> (int * int) list
+(** [(i, j)] with [i < j]: after the comparator, wire [i] holds the min
+    and wire [j] the max; applying all in order sorts ascending. *)
+
+val sort_floats : float array -> float array
+(** Apply the network to concrete values (reference semantics; tests
+    check it against [Array.sort]). *)
+
+(** [encode model ~lo ~hi inputs] emits the network over [inputs]
+    (each assumed within [lo, hi]) and returns the ascending output
+    variables. Adds one binary and four rows per comparator (big-M
+    max/min encoding). *)
+val encode :
+  Model.t -> lo:float -> hi:float -> Model.var array -> Model.var array
+
+(** [kth_largest model ~lo ~hi inputs k] — convenience: the output wire
+    holding the k-th largest input (k = 1 is the maximum). *)
+val kth_largest :
+  Model.t -> lo:float -> hi:float -> Model.var array -> int -> Model.var

@@ -1,0 +1,81 @@
+type curve = (float * float) list (* (width, slope), slopes non-increasing *)
+
+let curve segments =
+  if segments = [] then invalid_arg "Utility.curve: empty";
+  let rec check prev = function
+    | [] -> ()
+    | (width, slope) :: rest ->
+        if width <= 0. then invalid_arg "Utility.curve: non-positive width";
+        if slope < 0. then invalid_arg "Utility.curve: negative slope";
+        if slope > prev +. 1e-12 then
+          invalid_arg "Utility.curve: slopes must be non-increasing (concavity)";
+        check slope rest
+  in
+  check infinity segments;
+  segments
+
+let linear ~slope ~cap = curve [ (cap, slope) ]
+
+let span c = List.fold_left (fun acc (w, _) -> acc +. w) 0. c
+
+let value c flow =
+  let rec go acc remaining = function
+    | [] -> acc
+    | (width, slope) :: rest ->
+        if remaining <= 0. then acc
+        else
+          let used = Float.min width remaining in
+          go (acc +. (slope *. used)) (remaining -. used) rest
+  in
+  go 0. (Float.max 0. flow) c
+
+type result = {
+  total_utility : float;
+  allocation : Allocation.t;
+}
+
+let solve pathset demand ~curves =
+  let n = Pathset.num_pairs pathset in
+  if Array.length curves <> n then
+    invalid_arg "Utility.solve: one curve per pair required";
+  let model = Model.create ~name:"utility" () in
+  let vars = Mcf.add_flow_vars model pathset in
+  let _ = Mcf.add_demand_constrs model pathset vars (Mcf.Const demand) in
+  let _ = Mcf.add_capacity_constrs model pathset vars in
+  (* segment variables: f_k = sum_i s_{k,i}, 0 <= s_{k,i} <= width_i;
+     concavity (non-increasing slopes) makes the LP fill them in order *)
+  let objective = ref Linexpr.zero in
+  Array.iteri
+    (fun k per_path ->
+      if Array.length per_path > 0 then begin
+        let total =
+          Linexpr.of_terms (Array.to_list (Array.map (fun v -> (v, 1.)) per_path))
+        in
+        let segments =
+          List.mapi
+            (fun i (width, slope) ->
+              let s =
+                Model.add_var ~name:(Printf.sprintf "u_%d_%d" k i) ~ub:width
+                  model
+              in
+              objective := Linexpr.add_term !objective s slope;
+              s)
+            curves.(k)
+        in
+        let seg_sum =
+          Linexpr.of_terms (List.map (fun s -> (s, 1.)) segments)
+        in
+        (* flow beyond the curve's span earns nothing; cap it so segment
+           bookkeeping stays exact *)
+        ignore (Model.add_constr model (Linexpr.sub total seg_sum) Model.Eq 0.)
+      end)
+    vars;
+  Model.set_objective model Model.Maximize !objective;
+  let r = Solver.solve_lp model in
+  (match r.Solver.status with
+  | Simplex.Optimal -> ()
+  | _ -> failwith "Utility.solve: LP not optimal");
+  {
+    total_utility = r.Solver.objective;
+    allocation = Mcf.allocation_of_primal pathset vars r.Solver.primal;
+  }

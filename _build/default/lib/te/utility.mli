@@ -1,0 +1,35 @@
+(** Concave piecewise-linear utility objectives — the third TE objective
+    family the paper cites (§2: "utility curves [22]", BwE-style
+    bandwidth functions).
+
+    A utility curve maps a pair's carried flow to a value; concavity
+    (diminishing returns) lets the maximization stay an LP: the flow is
+    decomposed into segments with decreasing marginal utility, and the LP
+    fills segments greedily by itself. *)
+
+type curve
+(** A concave piecewise-linear, non-decreasing curve through the origin. *)
+
+val curve : (float * float) list -> curve
+(** [curve segments] — each [(width, slope)] pair is a segment of the
+    given width and marginal utility; slopes must be non-increasing and
+    non-negative, widths positive.
+    @raise Invalid_argument otherwise. *)
+
+val linear : slope:float -> cap:float -> curve
+(** One segment: utility [slope * min(flow, cap)]. *)
+
+val value : curve -> float -> float
+(** Evaluate the curve at a flow amount (clamped to the curve's span). *)
+
+val span : curve -> float
+(** Total width — flows beyond it earn no further utility. *)
+
+type result = {
+  total_utility : float;
+  allocation : Allocation.t;
+}
+
+val solve : Pathset.t -> Demand.t -> curves:curve array -> result
+(** Maximize the sum of per-pair utilities over FeasibleFlow. [curves]
+    has one entry per pair of the pathset's demand space. *)

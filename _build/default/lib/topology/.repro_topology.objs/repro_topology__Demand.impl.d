@@ -1,0 +1,1 @@
+lib/topology/demand.ml: Array Buffer Float Fmt Fun Graph Hashtbl In_channel Printf Rng String

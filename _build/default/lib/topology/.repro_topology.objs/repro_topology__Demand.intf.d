@@ -1,0 +1,1 @@
+lib/topology/demand.mli: Format Graph Rng

@@ -1,0 +1,1 @@
+lib/topology/rng.ml: Array Float Int64

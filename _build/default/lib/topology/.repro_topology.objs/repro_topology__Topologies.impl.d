@@ -1,0 +1,1 @@
+lib/topology/topologies.ml: Array Graph List Option Paths Printf Rng String

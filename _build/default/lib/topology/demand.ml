@@ -1,0 +1,120 @@
+type space = {
+  graph : Graph.t;
+  pairs : (Graph.node * Graph.node) array;
+}
+
+type t = float array
+
+let full_space graph = { graph; pairs = Graph.node_pairs graph }
+
+let space_of_pairs graph pairs =
+  let n = Graph.num_nodes graph in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (s, d) ->
+      if s < 0 || s >= n || d < 0 || d >= n then
+        invalid_arg "Demand.space_of_pairs: node out of range";
+      if s = d then invalid_arg "Demand.space_of_pairs: self pair";
+      if Hashtbl.mem seen (s, d) then
+        invalid_arg "Demand.space_of_pairs: duplicate pair";
+      Hashtbl.replace seen (s, d) ())
+    pairs;
+  { graph; pairs = Array.copy pairs }
+
+let size space = Array.length space.pairs
+let pair space k = space.pairs.(k)
+
+let index space ~src ~dst =
+  let found = ref None in
+  Array.iteri
+    (fun k (s, d) -> if s = src && d = dst && !found = None then found := Some k)
+    space.pairs;
+  !found
+
+let zero space = Array.make (size space) 0.
+let constant space v = Array.make (size space) v
+let total d = Array.fold_left ( +. ) 0. d
+let average d = if Array.length d = 0 then 0. else total d /. float_of_int (Array.length d)
+let max_volume d = Array.fold_left Float.max 0. d
+
+let uniform space ~rng ~max =
+  Array.init (size space) (fun _ -> Rng.uniform rng ~lo:0. ~hi:max)
+
+let gravity space ~rng ~total:target =
+  let n = Graph.num_nodes space.graph in
+  let mass = Array.init n (fun _ -> Rng.uniform rng ~lo:0.1 ~hi:1.) in
+  let raw =
+    Array.map (fun (s, d) -> mass.(s) *. mass.(d)) space.pairs
+  in
+  let s = total raw in
+  if s = 0. then raw else Array.map (fun v -> v *. target /. s) raw
+
+let bimodal space ~rng ~fraction_large ~small_max ~large_max =
+  Array.init (size space) (fun _ ->
+      if Rng.float rng < fraction_large then Rng.uniform rng ~lo:0. ~hi:large_max
+      else Rng.uniform rng ~lo:0. ~hi:small_max)
+
+let clamp_non_negative d = Array.map (Float.max 0.) d
+
+let to_csv space d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "src,dst,volume\n";
+  Array.iteri
+    (fun k v ->
+      if v <> 0. then begin
+        let s, t = space.pairs.(k) in
+        Buffer.add_string buf (Printf.sprintf "%d,%d,%.12g\n" s t v)
+      end)
+    d;
+  Buffer.contents buf
+
+let of_csv space text =
+  let d = zero space in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok d
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line = "src,dst,volume" then go (lineno + 1) rest
+        else
+          match String.split_on_char ',' line with
+          | [ s; t; v ] -> (
+              match
+                (int_of_string_opt (String.trim s),
+                 int_of_string_opt (String.trim t),
+                 float_of_string_opt (String.trim v))
+              with
+              | Some s, Some t, Some v -> (
+                  if v < 0. then err "line %d: negative volume" lineno
+                  else
+                    match index space ~src:s ~dst:t with
+                    | Some k ->
+                        d.(k) <- v;
+                        go (lineno + 1) rest
+                    | None -> err "line %d: pair %d->%d not in space" lineno s t)
+              | _ -> err "line %d: malformed fields" lineno)
+          | _ -> err "line %d: expected src,dst,volume" lineno)
+  in
+  go 1 lines
+
+let save_csv space d path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv space d))
+
+let load_csv space path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_csv space text
+  | exception Sys_error e -> Error e
+
+let pp space ppf d =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri
+    (fun k v ->
+      if v > 1e-9 then
+        let s, t = space.pairs.(k) in
+        Fmt.pf ppf "%d->%d: %g@ " s t v)
+    d;
+  Fmt.pf ppf "@]"

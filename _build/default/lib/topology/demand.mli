@@ -1,0 +1,69 @@
+(** Demand matrices — the adversary's input space.
+
+    A {!space} fixes the ordered node pairs that may carry demand (by
+    default every ordered pair, as in the paper's TE formulation); a
+    demand is then a plain [float array] aligned with the space's pairs.
+    This array is exactly the input vector [I] the metaoptimization (1)
+    searches over, and the format black-box search perturbs. *)
+
+type space = private {
+  graph : Graph.t;
+  pairs : (Graph.node * Graph.node) array;
+}
+
+type t = float array
+
+val full_space : Graph.t -> space
+(** All ordered pairs (s, t), s <> t — |D| quadratic in |V| (paper §2). *)
+
+val space_of_pairs : Graph.t -> (Graph.node * Graph.node) array -> space
+(** Restricted space. @raise Invalid_argument on duplicates, self-pairs or
+    out-of-range nodes. *)
+
+val size : space -> int
+val pair : space -> int -> Graph.node * Graph.node
+val index : space -> src:Graph.node -> dst:Graph.node -> int option
+
+val zero : space -> t
+val constant : space -> float -> t
+
+val total : t -> float
+val average : t -> float
+val max_volume : t -> float
+
+(** {1 Generators} (all deterministic given the [rng] state) *)
+
+val uniform : space -> rng:Rng.t -> max:float -> t
+(** Each volume independently uniform in [0, max]. *)
+
+val gravity : space -> rng:Rng.t -> total:float -> t
+(** Gravity model: node masses drawn uniformly; volume of (s,t)
+    proportional to mass(s) * mass(t), scaled so volumes sum to [total].
+    The standard stand-in for "historically observed" WAN matrices. *)
+
+val bimodal :
+  space -> rng:Rng.t -> fraction_large:float -> small_max:float -> large_max:float -> t
+(** A fraction of pairs draw from [0, large_max], the rest from
+    [0, small_max] — mice-and-elephants WAN traffic. *)
+
+val clamp_non_negative : t -> t
+
+(** {1 Serialization}
+
+    Demand matrices round-trip through a simple [src,dst,volume] CSV
+    (header line included) so adversarial inputs found by the CLI can be
+    stored, shared, and re-evaluated. *)
+
+val to_csv : space -> t -> string
+
+val of_csv : space -> string -> (t, string) result
+(** Unlisted pairs get volume 0; unknown pairs, malformed lines or
+    negative volumes are reported as [Error]. *)
+
+val save_csv : space -> t -> string -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val load_csv : space -> string -> (t, string) result
+
+val pp : space -> Format.formatter -> t -> unit
+(** Prints only non-zero entries. *)

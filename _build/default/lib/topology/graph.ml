@@ -1,0 +1,86 @@
+type node = int
+type edge = int
+
+type edge_data = { src : node; dst : node; capacity : float; weight : float }
+
+type t = {
+  g_name : string;
+  n : int;
+  mutable edges : edge_data array;
+  mutable num_edges : int;
+  out : edge list array; (* reversed insertion order, fixed at read time *)
+}
+
+let create ?(name = "graph") ~num_nodes () =
+  if num_nodes <= 0 then invalid_arg "Graph.create: num_nodes <= 0";
+  {
+    g_name = name;
+    n = num_nodes;
+    edges = [||];
+    num_edges = 0;
+    out = Array.make num_nodes [];
+  }
+
+let name t = t.g_name
+let num_nodes t = t.n
+let num_edges t = t.num_edges
+
+let check_node t v ctx =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Graph.%s: bad node %d" ctx v)
+
+let add_edge t ~src ~dst ~capacity ?(weight = 1.) () =
+  check_node t src "add_edge";
+  check_node t dst "add_edge";
+  if src = dst then invalid_arg "Graph.add_edge: self loop";
+  if capacity <= 0. then invalid_arg "Graph.add_edge: capacity <= 0";
+  if weight <= 0. then invalid_arg "Graph.add_edge: weight <= 0";
+  if t.num_edges = Array.length t.edges then begin
+    let cap = if t.num_edges = 0 then 8 else 2 * t.num_edges in
+    let edges = Array.make cap { src; dst; capacity; weight } in
+    Array.blit t.edges 0 edges 0 t.num_edges;
+    t.edges <- edges
+  end;
+  let e = t.num_edges in
+  t.edges.(e) <- { src; dst; capacity; weight };
+  t.num_edges <- t.num_edges + 1;
+  t.out.(src) <- e :: t.out.(src);
+  e
+
+let add_bidirectional t a b ~capacity ?weight () =
+  let e1 = add_edge t ~src:a ~dst:b ~capacity ?weight () in
+  let e2 = add_edge t ~src:b ~dst:a ~capacity ?weight () in
+  (e1, e2)
+
+let edge_src t e = t.edges.(e).src
+let edge_dst t e = t.edges.(e).dst
+let capacity t e = t.edges.(e).capacity
+let weight t e = t.edges.(e).weight
+let out_edges t v =
+  check_node t v "out_edges";
+  List.rev t.out.(v)
+
+let find_edge t src dst =
+  List.find_opt (fun e -> t.edges.(e).dst = dst) (out_edges t src)
+
+let fold_edges f t acc =
+  let acc = ref acc in
+  for e = 0 to t.num_edges - 1 do
+    acc := f e !acc
+  done;
+  !acc
+
+let total_capacity t = fold_edges (fun e acc -> acc +. capacity t e) t 0.
+let max_capacity t = fold_edges (fun e acc -> Float.max acc (capacity t e)) t 0.
+
+let node_pairs t =
+  let pairs = ref [] in
+  for s = t.n - 1 downto 0 do
+    for d = t.n - 1 downto 0 do
+      if s <> d then pairs := (s, d) :: !pairs
+    done
+  done;
+  Array.of_list !pairs
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d nodes, %d edges, total capacity %g" t.g_name t.n
+    t.num_edges (total_capacity t)

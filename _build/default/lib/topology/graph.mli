@@ -1,0 +1,49 @@
+(** Directed capacitated graphs for WAN topologies.
+
+    Edges are directed and carry a capacity (flow units) and a routing
+    weight (used only for shortest-path computation — WAN "IGP weights").
+    Nodes are dense integers [0 .. num_nodes-1]; edges are dense integer
+    handles in insertion order, which the TE formulations use as array
+    indices. *)
+
+type node = int
+type edge = int
+type t
+
+val create : ?name:string -> num_nodes:int -> unit -> t
+val name : t -> string
+val num_nodes : t -> int
+val num_edges : t -> int
+
+(** [add_edge t ~src ~dst ~capacity] adds a directed edge (default
+    [weight = 1.]).
+    @raise Invalid_argument on out-of-range nodes, self loops, or
+    non-positive capacity. *)
+val add_edge : t -> src:node -> dst:node -> capacity:float -> ?weight:float -> unit -> edge
+
+(** Add both directions with the same capacity and weight. *)
+val add_bidirectional :
+  t -> node -> node -> capacity:float -> ?weight:float -> unit -> edge * edge
+
+val edge_src : t -> edge -> node
+val edge_dst : t -> edge -> node
+val capacity : t -> edge -> float
+val weight : t -> edge -> float
+
+(** Outgoing edges of a node, in insertion order. *)
+val out_edges : t -> node -> edge list
+
+(** [find_edge t src dst] is the first edge from [src] to [dst], if any. *)
+val find_edge : t -> node -> node -> edge option
+
+(** Sum of all edge capacities — the normalizer of the paper's gap metric
+    (Fig. 3 plots gap divided by total capacity). *)
+val total_capacity : t -> float
+
+val max_capacity : t -> float
+
+(** All ordered node pairs [(s, t)] with [s <> t]. *)
+val node_pairs : t -> (node * node) array
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+type path = Graph.edge array
+
+let length g p = Array.fold_left (fun acc e -> acc +. Graph.weight g e) 0. p
+let hops = Array.length
+
+let nodes g p =
+  if Array.length p = 0 then invalid_arg "Paths.nodes: empty path";
+  Graph.edge_src g p.(0)
+  :: Array.to_list (Array.map (fun e -> Graph.edge_dst g e) p)
+
+let mem_edge p e = Array.exists (fun x -> x = e) p
+
+let is_valid g ~src ~dst p =
+  Array.length p > 0
+  && Graph.edge_src g p.(0) = src
+  && Graph.edge_dst g p.(Array.length p - 1) = dst
+  && (let ok = ref true in
+      for i = 0 to Array.length p - 2 do
+        if Graph.edge_dst g p.(i) <> Graph.edge_src g p.(i + 1) then ok := false
+      done;
+      !ok)
+  &&
+  let ns = nodes g p in
+  List.length (List.sort_uniq compare ns) = List.length ns
+
+let compare_paths g a b =
+  let c = Float.compare (length g a) (length g b) in
+  if c <> 0 then c
+  else
+    let c = compare (hops a) (hops b) in
+    if c <> 0 then c else compare (Array.to_list a) (Array.to_list b)
+
+(* Dijkstra with optional edge/node exclusion masks. O(V^2 + E), which is
+   plenty for <= tens of nodes. Tie-breaks: fewer hops, then smaller
+   predecessor edge id, making results deterministic. *)
+let dijkstra g ~src ~dst ~edge_blocked ~node_blocked =
+  let n = Graph.num_nodes g in
+  let dist = Array.make n infinity in
+  let hopc = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.;
+  hopc.(src) <- 0;
+  let better u alt alt_hops e =
+    alt < dist.(u) -. 1e-12
+    || (alt < dist.(u) +. 1e-12
+       && (alt_hops < hopc.(u)
+          || (alt_hops = hopc.(u) && (pred.(u) = -1 || e < pred.(u)))))
+  in
+  (try
+     for _ = 0 to n - 1 do
+       (* pick unvisited node with smallest (dist, hops) *)
+       let u = ref (-1) in
+       for v = 0 to n - 1 do
+         if
+           (not visited.(v))
+           && dist.(v) < infinity
+           && (!u = -1
+              || dist.(v) < dist.(!u) -. 1e-12
+              || (dist.(v) < dist.(!u) +. 1e-12 && hopc.(v) < hopc.(!u)))
+         then u := v
+       done;
+       if !u = -1 then raise Exit;
+       let u = !u in
+       visited.(u) <- true;
+       if u = dst then raise Exit;
+       List.iter
+         (fun e ->
+           let v = Graph.edge_dst g e in
+           if (not (edge_blocked e)) && (not (node_blocked v)) && not visited.(v)
+           then begin
+             let alt = dist.(u) +. Graph.weight g e in
+             let alt_hops = hopc.(u) + 1 in
+             if better v alt alt_hops e then begin
+               dist.(v) <- alt;
+               hopc.(v) <- alt_hops;
+               pred.(v) <- e
+             end
+           end)
+         (Graph.out_edges g u)
+     done
+   with Exit -> ());
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk v acc =
+      if v = src then acc
+      else
+        let e = pred.(v) in
+        walk (Graph.edge_src g e) (e :: acc)
+    in
+    Some (Array.of_list (walk dst []))
+  end
+
+let no_block _ = false
+
+let shortest_path g ~src ~dst =
+  if src = dst then invalid_arg "Paths.shortest_path: src = dst";
+  dijkstra g ~src ~dst ~edge_blocked:no_block ~node_blocked:no_block
+
+(* Yen's loopless k-shortest paths. *)
+let k_shortest g ~k ~src ~dst =
+  if k <= 0 then invalid_arg "Paths.k_shortest: k <= 0";
+  match shortest_path g ~src ~dst with
+  | None -> []
+  | Some first ->
+      let accepted = ref [ first ] in
+      let candidates : path list ref = ref [] in
+      let add_candidate c =
+        if
+          (not (List.exists (fun p -> p = c) !candidates))
+          && not (List.exists (fun p -> p = c) !accepted)
+        then candidates := c :: !candidates
+      in
+      (try
+         for _ = 2 to k do
+           let prev = List.hd !accepted in
+           let prev_nodes = Array.of_list (nodes g prev) in
+           (* spur from every node of the previous path except dst *)
+           for i = 0 to Array.length prev - 1 do
+             let spur_node = prev_nodes.(i) in
+             let root = Array.sub prev 0 i in
+             (* block the i-th edge of accepted/candidate paths sharing the
+                root prefix *)
+             let blocked_edges = Hashtbl.create 8 in
+             List.iter
+               (fun p ->
+                 if Array.length p > i && Array.sub p 0 i = root then
+                   Hashtbl.replace blocked_edges p.(i) ())
+               (!accepted @ !candidates);
+             (* block nodes of the root path except the spur node *)
+             let blocked_nodes = Hashtbl.create 8 in
+             Array.iteri
+               (fun j v -> if j < i then Hashtbl.replace blocked_nodes v ())
+               prev_nodes;
+             match
+               dijkstra g ~src:spur_node ~dst
+                 ~edge_blocked:(Hashtbl.mem blocked_edges)
+                 ~node_blocked:(Hashtbl.mem blocked_nodes)
+             with
+             | None -> ()
+             | Some spur ->
+                 let candidate = Array.append root spur in
+                 if is_valid g ~src ~dst candidate then add_candidate candidate
+           done;
+           match List.sort (compare_paths g) !candidates with
+           | [] -> raise Exit
+           | best :: rest ->
+               accepted := best :: !accepted;
+               candidates := rest
+         done
+       with Exit -> ());
+      List.rev !accepted
+
+let pp g ppf p =
+  match Array.length p with
+  | 0 -> Fmt.string ppf "<empty>"
+  | _ -> Fmt.(list ~sep:(any "->") int) ppf (nodes g p)

@@ -1,0 +1,34 @@
+(** Shortest paths and k-shortest path sets.
+
+    The TE formulations route over pre-chosen path sets (paper §2: "a
+    pre-configured set of paths", 2 per node pair unless stated). Paths are
+    loopless edge sequences; path comparison is by total routing weight,
+    then hop count, then lexicographic edge ids — a total order, so path
+    sets are deterministic for a given topology. *)
+
+type path = Graph.edge array
+
+val length : Graph.t -> path -> float
+(** Total routing weight. *)
+
+val hops : path -> int
+
+val nodes : Graph.t -> path -> Graph.node list
+(** Visited nodes, source first. @raise Invalid_argument on empty paths. *)
+
+val mem_edge : path -> Graph.edge -> bool
+
+val is_valid : Graph.t -> src:Graph.node -> dst:Graph.node -> path -> bool
+(** Contiguous, loopless, starts at [src], ends at [dst]. *)
+
+val compare_paths : Graph.t -> path -> path -> int
+
+val shortest_path : Graph.t -> src:Graph.node -> dst:Graph.node -> path option
+(** Minimum-weight path (deterministic tie-break). *)
+
+val k_shortest : Graph.t -> k:int -> src:Graph.node -> dst:Graph.node -> path list
+(** Yen's algorithm: up to [k] loopless paths in increasing order; fewer if
+    the graph does not contain [k] distinct loopless paths. The first
+    element equals [shortest_path]. *)
+
+val pp : Graph.t -> Format.formatter -> path -> unit

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let child_seed = int64 t in
+  { state = child_seed }
+
+let float t =
+  (* 53 high bits to a double in [0, 1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int_range t n =
+  if n <= 0 then invalid_arg "Rng.int_range";
+  let f = float t in
+  let i = int_of_float (f *. float_of_int n) in
+  if i >= n then n - 1 else i
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () and u2 = float t in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_range t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

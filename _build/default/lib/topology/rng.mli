@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomized components of the reproduction (demand generators, POP
+    partitioning, black-box search) draw from explicit [Rng.t] states so
+    every experiment is replayable from a seed, independent of OCaml's
+    global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent child stream (advances the parent). *)
+
+val int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+val int_range : t -> int -> int
+(** [int_range t n] is uniform in [0, n-1]. @raise Invalid_argument if [n <= 0]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,143 @@
+let fig1 () =
+  let g = Graph.create ~name:"fig1" ~num_nodes:3 () in
+  (* paper nodes 1,2,3 are 0,1,2 here *)
+  let _ = Graph.add_edge g ~src:0 ~dst:1 ~capacity:130. () in
+  let _ = Graph.add_edge g ~src:1 ~dst:2 ~capacity:180. () in
+  (* direct 1->3 link exists but is "long" (weight 10), so the shortest
+     path for 1->3 goes via node 2 and demand pinning burns capacity on
+     both hops of the two-hop path *)
+  let _ = Graph.add_edge g ~src:0 ~dst:2 ~capacity:50. ~weight:10. () in
+  g
+
+let of_links ~name ~num_nodes ~capacity links =
+  let g = Graph.create ~name ~num_nodes () in
+  List.iter (fun (a, b) -> ignore (Graph.add_bidirectional g a b ~capacity ())) links;
+  g
+
+let b4 ?(capacity = 1000.) () =
+  (* 12 sites, 19 bidirectional long-haul links, reconstructed from the
+     published B4 map [16] *)
+  of_links ~name:"b4" ~num_nodes:12 ~capacity
+    [
+      (0, 1); (0, 2); (1, 2); (1, 3); (2, 3); (2, 4); (3, 4); (3, 5);
+      (4, 6); (5, 6); (5, 7); (6, 8); (7, 8); (7, 9); (8, 9); (8, 10);
+      (9, 10); (9, 11); (10, 11);
+    ]
+
+let abilene ?(capacity = 1000.) () =
+  (* Internet2 Abilene core [34]: 11 PoPs, 14 links.
+     0 Seattle, 1 Sunnyvale, 2 Denver, 3 Los Angeles, 4 Houston,
+     5 Kansas City, 6 Indianapolis, 7 Atlanta, 8 Chicago,
+     9 Washington DC, 10 New York *)
+  of_links ~name:"abilene" ~num_nodes:11 ~capacity
+    [
+      (0, 1); (0, 2); (1, 3); (1, 2); (3, 4); (2, 5); (4, 5); (4, 7);
+      (5, 6); (6, 8); (6, 7); (7, 9); (8, 10); (9, 10);
+    ]
+
+let swan ?(capacity = 1000.) () =
+  (* SWAN-scale inter-DC WAN [15]: two regional meshes bridged by a few
+     long-haul links (10 nodes, 16 links; reconstruction, see DESIGN.md) *)
+  of_links ~name:"swan" ~num_nodes:10 ~capacity
+    [
+      (0, 1); (1, 2); (2, 3); (3, 0); (0, 2); (1, 3);
+      (5, 6); (6, 7); (7, 8); (8, 5); (5, 7); (6, 8);
+      (4, 0); (4, 5); (9, 3); (9, 8);
+    ]
+
+let circle ?(capacity = 1000.) ~n ~neighbors () =
+  if n < 3 then invalid_arg "Topologies.circle: n < 3";
+  if neighbors < 1 || 2 * neighbors >= n then
+    invalid_arg "Topologies.circle: bad neighbor count";
+  let g =
+    Graph.create ~name:(Printf.sprintf "circle-%d-%d" n neighbors) ~num_nodes:n ()
+  in
+  for i = 0 to n - 1 do
+    for d = 1 to neighbors do
+      let j = (i + d) mod n in
+      ignore (Graph.add_bidirectional g i j ~capacity ())
+    done
+  done;
+  g
+
+let line ?(capacity = 1000.) ~n () =
+  if n < 2 then invalid_arg "Topologies.line: n < 2";
+  let g = Graph.create ~name:(Printf.sprintf "line-%d" n) ~num_nodes:n () in
+  for i = 0 to n - 2 do
+    ignore (Graph.add_bidirectional g i (i + 1) ~capacity ())
+  done;
+  g
+
+let star ?(capacity = 1000.) ~n () =
+  if n < 3 then invalid_arg "Topologies.star: n < 3";
+  let g = Graph.create ~name:(Printf.sprintf "star-%d" n) ~num_nodes:n () in
+  for i = 1 to n - 1 do
+    ignore (Graph.add_bidirectional g 0 i ~capacity ())
+  done;
+  g
+
+let grid ?(capacity = 1000.) ~rows ~cols () =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Topologies.grid: degenerate";
+  let g =
+    Graph.create ~name:(Printf.sprintf "grid-%dx%d" rows cols)
+      ~num_nodes:(rows * cols) ()
+  in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (Graph.add_bidirectional g (id r c) (id r (c + 1)) ~capacity ());
+      if r + 1 < rows then ignore (Graph.add_bidirectional g (id r c) (id (r + 1) c) ~capacity ())
+    done
+  done;
+  g
+
+let random ?(capacity = 1000.) ~rng ~n ~extra_edge_prob () =
+  if n < 3 then invalid_arg "Topologies.random: n < 3";
+  let g = Graph.create ~name:(Printf.sprintf "random-%d" n) ~num_nodes:n () in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_bidirectional g i ((i + 1) mod n) ~capacity ())
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ring_adjacent = j = i + 1 || (i = 0 && j = n - 1) in
+      if (not ring_adjacent) && Rng.float rng < extra_edge_prob then
+        ignore (Graph.add_bidirectional g i j ~capacity ())
+    done
+  done;
+  g
+
+let by_name name =
+  let int_of s = int_of_string_opt s in
+  match String.split_on_char '-' name with
+  | [ "fig1" ] -> Some (fig1 ())
+  | [ "b4" ] -> Some (b4 ())
+  | [ "abilene" ] -> Some (abilene ())
+  | [ "swan" ] -> Some (swan ())
+  | [ "circle"; n; k ] -> (
+      match (int_of n, int_of k) with
+      | Some n, Some k -> Some (circle ~n ~neighbors:k ())
+      | _ -> None)
+  | [ "line"; n ] -> Option.map (fun n -> line ~n ()) (int_of n)
+  | [ "star"; n ] -> Option.map (fun n -> star ~n ()) (int_of n)
+  | [ "grid"; rc ] -> (
+      match String.split_on_char 'x' rc with
+      | [ r; c ] -> (
+          match (int_of r, int_of c) with
+          | Some rows, Some cols -> Some (grid ~rows ~cols ())
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let average_shortest_path_length g =
+  let pairs = Graph.node_pairs g in
+  let total = ref 0. and count = ref 0 in
+  Array.iter
+    (fun (s, d) ->
+      match Paths.shortest_path g ~src:s ~dst:d with
+      | None -> ()
+      | Some p ->
+          total := !total +. float_of_int (Paths.hops p);
+          incr count)
+    pairs;
+  if !count = 0 then 0. else !total /. float_of_int !count

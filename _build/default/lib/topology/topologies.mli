@@ -1,0 +1,46 @@
+(** Named topologies used in the paper's evaluation (§4) plus synthetic
+    families.
+
+    Production topologies are reconstructed from their published maps:
+    B4 [16] (12 nodes, 19 bidirectional links), Abilene [34] (11 nodes,
+    14 links), and a SWAN-like [15] inter-DC WAN (10 nodes, 16 links; the
+    SWAN paper does not publish an exact link list, so this is a same-scale
+    reconstruction — see DESIGN.md). Capacities are uniform per link, as
+    the paper's normalized metrics assume ([capacity] defaults to 1000
+    flow units per direction).
+
+    [fig1] is the 3-node illustrative example of the paper's Figure 1,
+    with capacities chosen so that the published numbers hold exactly:
+    DP carries 260 units, OPT carries 360, gap 100 (38% of DP). *)
+
+val fig1 : unit -> Graph.t
+(** Unidirectional triangle: 1->2 (cap 130), 2->3 (cap 180), and a direct
+    1->3 link (cap 50) with a large routing weight, so the shortest path
+    for pair 1->3 is via node 2. Nodes are 0-indexed (paper node k is
+    node k-1). *)
+
+val b4 : ?capacity:float -> unit -> Graph.t
+val abilene : ?capacity:float -> unit -> Graph.t
+val swan : ?capacity:float -> unit -> Graph.t
+
+val circle : ?capacity:float -> n:int -> neighbors:int -> unit -> Graph.t
+(** Fig 4b synthetic family: [n] nodes on a ring, each connected to its
+    [neighbors] nearest neighbours on each side (bidirectional). *)
+
+val line : ?capacity:float -> n:int -> unit -> Graph.t
+val star : ?capacity:float -> n:int -> unit -> Graph.t
+(** [star ~n] has a hub (node 0) and [n - 1] leaves. *)
+
+val grid : ?capacity:float -> rows:int -> cols:int -> unit -> Graph.t
+
+val random : ?capacity:float -> rng:Rng.t -> n:int -> extra_edge_prob:float -> unit -> Graph.t
+(** Random connected topology: a ring backbone plus each non-adjacent pair
+    connected with probability [extra_edge_prob]. *)
+
+val by_name : string -> Graph.t option
+(** Lookup for the CLI: ["fig1"], ["b4"], ["abilene"], ["swan"],
+    ["circle-N-K"], ["line-N"], ["star-N"], ["grid-RxC"]. *)
+
+val average_shortest_path_length : Graph.t -> float
+(** Mean over all connected ordered pairs of the weighted shortest-path
+    hop count — the x-axis of Fig 4b. *)

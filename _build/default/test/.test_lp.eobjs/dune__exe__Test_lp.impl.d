@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Branch_bound Buf Float Fmt Heap Linexpr List Lp_file Model Presolve QCheck QCheck_alcotest Random Repro_lp Simplex Solver Standard_form String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Demand Filename Fun Graph List Paths Repro_topology Rng Sys Topologies

@@ -1,0 +1,366 @@
+(* Tests for the network substrate (Repro_topology). *)
+
+open Repro_topology
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xa = List.init 10 (fun _ -> Rng.float a) in
+  let xb = List.init 10 (fun _ -> Rng.float b) in
+  Alcotest.(check bool) "different streams" true (xa <> xb)
+
+let test_rng_ranges () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.);
+    let i = Rng.int_range r 5 in
+    Alcotest.(check bool) "in [0,5)" true (i >= 0 && i < 5);
+    let u = Rng.uniform r ~lo:2. ~hi:3. in
+    Alcotest.(check bool) "in [2,3)" true (u >= 2. && u < 3.)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 11 in
+  let n = 20000 in
+  let sum = ref 0. and sq = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian r ~mu:5. ~sigma:2. in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check (float 0.1)) "mean" 5. mean;
+  Alcotest.(check (float 0.2)) "variance" 4. var
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  let a = Rng.float child and b = Rng.float parent in
+  Alcotest.(check bool) "values differ" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basics () =
+  let g = Graph.create ~num_nodes:3 () in
+  let e01 = Graph.add_edge g ~src:0 ~dst:1 ~capacity:10. () in
+  let e12 = Graph.add_edge g ~src:1 ~dst:2 ~capacity:20. ~weight:2. () in
+  Alcotest.(check int) "num edges" 2 (Graph.num_edges g);
+  Alcotest.(check int) "src" 0 (Graph.edge_src g e01);
+  Alcotest.(check int) "dst" 2 (Graph.edge_dst g e12);
+  check_float "cap" 20. (Graph.capacity g e12);
+  check_float "weight default" 1. (Graph.weight g e01);
+  check_float "weight" 2. (Graph.weight g e12);
+  check_float "total" 30. (Graph.total_capacity g);
+  check_float "max" 20. (Graph.max_capacity g);
+  Alcotest.(check (list int)) "out 0" [ e01 ] (Graph.out_edges g 0);
+  Alcotest.(check (list int)) "out 2" [] (Graph.out_edges g 2);
+  Alcotest.(check bool) "find" true (Graph.find_edge g 0 1 = Some e01);
+  Alcotest.(check bool) "find none" true (Graph.find_edge g 1 0 = None)
+
+let test_graph_bidirectional () =
+  let g = Graph.create ~num_nodes:2 () in
+  let e1, e2 = Graph.add_bidirectional g 0 1 ~capacity:5. () in
+  Alcotest.(check int) "fwd src" 0 (Graph.edge_src g e1);
+  Alcotest.(check int) "bwd src" 1 (Graph.edge_src g e2);
+  check_float "both caps" (Graph.capacity g e1) (Graph.capacity g e2)
+
+let test_graph_invalid () =
+  let g = Graph.create ~num_nodes:2 () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop")
+    (fun () -> ignore (Graph.add_edge g ~src:0 ~dst:0 ~capacity:1. ()));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Graph.add_edge: capacity <= 0") (fun () ->
+      ignore (Graph.add_edge g ~src:0 ~dst:1 ~capacity:0. ()))
+
+let test_graph_node_pairs () =
+  let g = Graph.create ~num_nodes:3 () in
+  let pairs = Graph.node_pairs g in
+  Alcotest.(check int) "count" 6 (Array.length pairs);
+  Alcotest.(check bool) "no self" true
+    (Array.for_all (fun (s, d) -> s <> d) pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* diamond: 0 -> 1 -> 3 and 0 -> 2 -> 3, plus a long direct 0 -> 3 *)
+let diamond () =
+  let g = Graph.create ~num_nodes:4 () in
+  let a = Graph.add_edge g ~src:0 ~dst:1 ~capacity:10. () in
+  let b = Graph.add_edge g ~src:1 ~dst:3 ~capacity:10. () in
+  let c = Graph.add_edge g ~src:0 ~dst:2 ~capacity:10. ~weight:1.5 () in
+  let d = Graph.add_edge g ~src:2 ~dst:3 ~capacity:10. ~weight:1.5 () in
+  let e = Graph.add_edge g ~src:0 ~dst:3 ~capacity:10. ~weight:10. () in
+  (g, (a, b, c, d, e))
+
+let test_shortest_path () =
+  let g, (a, b, _, _, _) = diamond () in
+  match Paths.shortest_path g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "no path"
+  | Some p ->
+      Alcotest.(check (array int)) "via node 1" [| a; b |] p;
+      check_float "length" 2. (Paths.length g p);
+      Alcotest.(check int) "hops" 2 (Paths.hops p);
+      Alcotest.(check (list int)) "nodes" [ 0; 1; 3 ] (Paths.nodes g p)
+
+let test_shortest_path_none () =
+  let g = Graph.create ~num_nodes:3 () in
+  let _ = Graph.add_edge g ~src:0 ~dst:1 ~capacity:1. () in
+  Alcotest.(check bool) "unreachable" true (Paths.shortest_path g ~src:1 ~dst:0 = None)
+
+let test_k_shortest_diamond () =
+  let g, (a, b, c, d, e) = diamond () in
+  let ps = Paths.k_shortest g ~k:3 ~src:0 ~dst:3 in
+  Alcotest.(check int) "three paths" 3 (List.length ps);
+  (match ps with
+  | [ p1; p2; p3 ] ->
+      Alcotest.(check (array int)) "1st" [| a; b |] p1;
+      Alcotest.(check (array int)) "2nd" [| c; d |] p2;
+      Alcotest.(check (array int)) "3rd" [| e |] p3
+  | _ -> Alcotest.fail "expected 3");
+  (* asking for more than exist returns what exists *)
+  let ps5 = Paths.k_shortest g ~k:5 ~src:0 ~dst:3 in
+  Alcotest.(check int) "still three" 3 (List.length ps5)
+
+let test_k_shortest_sorted_and_valid () =
+  let g = Topologies.b4 () in
+  let ps = Paths.k_shortest g ~k:4 ~src:0 ~dst:11 in
+  Alcotest.(check bool) "found some" true (List.length ps >= 2);
+  let lens = List.map (Paths.length g) ps in
+  Alcotest.(check (list (float 1e-9))) "sorted" (List.sort compare lens) lens;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid loopless" true (Paths.is_valid g ~src:0 ~dst:11 p))
+    ps;
+  (* all distinct *)
+  Alcotest.(check int) "distinct" (List.length ps)
+    (List.length (List.sort_uniq compare ps))
+
+let test_path_validity_checks () =
+  let g, (a, b, c, _, _) = diamond () in
+  Alcotest.(check bool) "valid" true (Paths.is_valid g ~src:0 ~dst:3 [| a; b |]);
+  Alcotest.(check bool) "discontiguous" false (Paths.is_valid g ~src:0 ~dst:3 [| a; c |]);
+  Alcotest.(check bool) "wrong src" false (Paths.is_valid g ~src:1 ~dst:3 [| a; b |]);
+  Alcotest.(check bool) "empty" false (Paths.is_valid g ~src:0 ~dst:3 [||])
+
+(* ------------------------------------------------------------------ *)
+(* Topologies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_sizes () =
+  let check name g nodes edges =
+    Alcotest.(check int) (name ^ " nodes") nodes (Graph.num_nodes g);
+    Alcotest.(check int) (name ^ " edges") edges (Graph.num_edges g)
+  in
+  check "fig1" (Topologies.fig1 ()) 3 3;
+  check "b4" (Topologies.b4 ()) 12 38;
+  check "abilene" (Topologies.abilene ()) 11 28;
+  check "swan" (Topologies.swan ()) 10 32;
+  check "circle 8/1" (Topologies.circle ~n:8 ~neighbors:1 ()) 8 16;
+  check "circle 8/2" (Topologies.circle ~n:8 ~neighbors:2 ()) 8 32;
+  check "line 5" (Topologies.line ~n:5 ()) 5 8;
+  check "star 5" (Topologies.star ~n:5 ()) 5 8;
+  check "grid 2x3" (Topologies.grid ~rows:2 ~cols:3 ()) 6 14
+
+let all_pairs_connected g =
+  Array.for_all
+    (fun (s, d) -> Paths.shortest_path g ~src:s ~dst:d <> None)
+    (Graph.node_pairs g)
+
+let test_topologies_connected () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) (name ^ " strongly connected") true (all_pairs_connected g))
+    [
+      ("b4", Topologies.b4 ());
+      ("abilene", Topologies.abilene ());
+      ("swan", Topologies.swan ());
+      ("circle", Topologies.circle ~n:7 ~neighbors:2 ());
+      ("grid", Topologies.grid ~rows:3 ~cols:3 ());
+      ("random", Topologies.random ~rng:(Rng.create 5) ~n:8 ~extra_edge_prob:0.2 ());
+    ]
+
+let test_fig1_shortest_is_two_hop () =
+  (* the crux of Fig 1: pair 0->2's shortest path goes via node 1 *)
+  let g = Topologies.fig1 () in
+  match Paths.shortest_path g ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "no path"
+  | Some p ->
+      Alcotest.(check int) "two hops" 2 (Paths.hops p);
+      Alcotest.(check (list int)) "via node 1" [ 0; 1; 2 ] (Paths.nodes g p)
+
+let test_avg_path_length_grows_with_sparsity () =
+  (* Fig 4b intuition: fewer neighbours on the circle = longer paths *)
+  let l1 =
+    Topologies.average_shortest_path_length (Topologies.circle ~n:10 ~neighbors:1 ())
+  in
+  let l2 =
+    Topologies.average_shortest_path_length (Topologies.circle ~n:10 ~neighbors:2 ())
+  in
+  let l3 =
+    Topologies.average_shortest_path_length (Topologies.circle ~n:10 ~neighbors:3 ())
+  in
+  Alcotest.(check bool) "1 > 2" true (l1 > l2);
+  Alcotest.(check bool) "2 > 3" true (l2 > l3)
+
+let test_by_name () =
+  let ok name = Alcotest.(check bool) name true (Topologies.by_name name <> None) in
+  ok "fig1";
+  ok "b4";
+  ok "abilene";
+  ok "swan";
+  ok "circle-6-2";
+  ok "line-4";
+  ok "star-5";
+  ok "grid-2x3";
+  Alcotest.(check bool) "unknown" true (Topologies.by_name "nope" = None);
+  Alcotest.(check bool) "bad arg" true (Topologies.by_name "circle-x-2" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Demand                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_demand_space () =
+  let g = Topologies.fig1 () in
+  let space = Demand.full_space g in
+  Alcotest.(check int) "pairs" 6 (Demand.size space);
+  (match Demand.index space ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "missing pair"
+  | Some k ->
+      let s, d = Demand.pair space k in
+      Alcotest.(check (pair int int)) "roundtrip" (0, 2) (s, d));
+  Alcotest.(check bool) "no self pair" true (Demand.index space ~src:1 ~dst:1 = None)
+
+let test_demand_space_restricted () =
+  let g = Topologies.fig1 () in
+  let space = Demand.space_of_pairs g [| (0, 1); (0, 2) |] in
+  Alcotest.(check int) "two pairs" 2 (Demand.size space);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Demand.space_of_pairs: duplicate pair") (fun () ->
+      ignore (Demand.space_of_pairs g [| (0, 1); (0, 1) |]))
+
+let test_demand_generators () =
+  let g = Topologies.abilene () in
+  let space = Demand.full_space g in
+  let rng = Rng.create 17 in
+  let u = Demand.uniform space ~rng ~max:100. in
+  Alcotest.(check bool) "uniform in range" true
+    (Array.for_all (fun v -> v >= 0. && v <= 100.) u);
+  let gr = Demand.gravity space ~rng ~total:5000. in
+  Alcotest.(check (float 1e-6)) "gravity total" 5000. (Demand.total gr);
+  Alcotest.(check bool) "gravity nonneg" true (Array.for_all (fun v -> v >= 0.) gr);
+  let bi = Demand.bimodal space ~rng ~fraction_large:0.1 ~small_max:10. ~large_max:1000. in
+  Alcotest.(check bool) "bimodal nonneg" true (Array.for_all (fun v -> v >= 0.) bi);
+  check_float "avg" (Demand.total u /. float_of_int (Demand.size space)) (Demand.average u)
+
+let test_demand_csv_roundtrip () =
+  let g = Topologies.fig1 () in
+  let space = Demand.full_space g in
+  let rng = Rng.create 77 in
+  let d = Demand.uniform space ~rng ~max:42. in
+  d.(0) <- 0.;
+  (* zero entries are omitted and restored as zero *)
+  let csv = Demand.to_csv space d in
+  (match Demand.of_csv space csv with
+  | Ok d' -> Alcotest.(check (array (float 1e-9))) "roundtrip" d d'
+  | Error e -> Alcotest.fail e);
+  (* errors are reported, not raised *)
+  (match Demand.of_csv space "src,dst,volume\n0,0,5\n" with
+  | Ok _ -> Alcotest.fail "self pair accepted"
+  | Error _ -> ());
+  (match Demand.of_csv space "0,1,-3\n" with
+  | Ok _ -> Alcotest.fail "negative accepted"
+  | Error _ -> ());
+  match Demand.of_csv space "nonsense\n" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let test_demand_csv_file_io () =
+  let g = Topologies.abilene () in
+  let space = Demand.full_space g in
+  let d = Demand.gravity space ~rng:(Rng.create 5) ~total:1000. in
+  let path = Filename.temp_file "repro_demand" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Demand.save_csv space d path;
+      match Demand.load_csv space path with
+      | Ok d' ->
+          Alcotest.(check (array (float 1e-9))) "file roundtrip" d d'
+      | Error e -> Alcotest.fail e)
+
+let test_demand_generators_deterministic () =
+  let g = Topologies.b4 () in
+  let space = Demand.full_space g in
+  let d1 = Demand.gravity space ~rng:(Rng.create 123) ~total:100. in
+  let d2 = Demand.gravity space ~rng:(Rng.create 123) ~total:100. in
+  Alcotest.(check bool) "same seed same matrix" true (d1 = d2)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "distinct seeds" `Quick test_rng_distinct_seeds;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "bidirectional" `Quick test_graph_bidirectional;
+          Alcotest.test_case "invalid args" `Quick test_graph_invalid;
+          Alcotest.test_case "node pairs" `Quick test_graph_node_pairs;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "shortest" `Quick test_shortest_path;
+          Alcotest.test_case "unreachable" `Quick test_shortest_path_none;
+          Alcotest.test_case "yen diamond" `Quick test_k_shortest_diamond;
+          Alcotest.test_case "yen sorted+valid" `Quick test_k_shortest_sorted_and_valid;
+          Alcotest.test_case "validity" `Quick test_path_validity_checks;
+        ] );
+      ( "topologies",
+        [
+          Alcotest.test_case "sizes" `Quick test_topology_sizes;
+          Alcotest.test_case "connectivity" `Quick test_topologies_connected;
+          Alcotest.test_case "fig1 shortest path" `Quick test_fig1_shortest_is_two_hop;
+          Alcotest.test_case "circle path lengths" `Quick test_avg_path_length_grows_with_sparsity;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+      ( "demand",
+        [
+          Alcotest.test_case "full space" `Quick test_demand_space;
+          Alcotest.test_case "restricted space" `Quick test_demand_space_restricted;
+          Alcotest.test_case "generators" `Quick test_demand_generators;
+          Alcotest.test_case "determinism" `Quick test_demand_generators_deterministic;
+          Alcotest.test_case "csv roundtrip" `Quick test_demand_csv_roundtrip;
+          Alcotest.test_case "csv file io" `Quick test_demand_csv_file_io;
+        ] );
+    ]

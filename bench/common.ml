@@ -53,3 +53,34 @@ let pp_trace trace =
   List.iter (fun (t, g) -> row "    t=%7.2fs  best gap %10.1f" t g) trace
 
 let norm g gap = gap /. Graph.total_capacity g
+
+(* ------------------------------------------------------------------ *)
+(* machine-readable timing log (BENCH_engine.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* wall-clock per harness target, in run order *)
+let timings : (string * float) list ref = ref []
+let note_timing name seconds = timings := (name, seconds) :: !timings
+
+(* engine scenario records: pre-rendered JSON objects, in run order *)
+let scenarios : string list ref = ref []
+let add_scenario json = scenarios := json :: !scenarios
+
+let write_bench_json path =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"repro-engine\",\n\
+    \  \"mode\": %S,\n\
+    \  \"cpus\": %d,\n"
+    (if full_mode then "full" else "fast")
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"targets\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.rev_map
+          (fun (n, s) -> Printf.sprintf "    {\"name\": %S, \"wall_s\": %.3f}" n s)
+          !timings));
+  Printf.fprintf oc "  \"scenarios\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !scenarios));
+  close_out oc;
+  row "machine-readable timings written to %s" path

@@ -23,10 +23,14 @@ let all : (string * (unit -> unit)) list =
     ("fig6", Fig6.run);
     ("ablations", Ablations.run);
     ("micro", Micro.run);
+    ("engine", Engine_perf.run);
   ]
 
 let default =
-  [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "micro" ]
+  [
+    "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "micro";
+    "engine";
+  ]
 
 let () =
   let requested =
@@ -43,10 +47,14 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name all with
-      | Some run -> run ()
+      | Some run ->
+          let t = Unix.gettimeofday () in
+          run ();
+          Common.note_timing name (Unix.gettimeofday () -. t)
       | None ->
           Printf.eprintf "unknown target %S; available: %s\n%!" name
             (String.concat ", " (List.map fst all));
           exit 1)
     requested;
+  Common.write_bench_json "BENCH_engine.json";
   Printf.printf "\ntotal harness time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

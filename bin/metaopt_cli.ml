@@ -60,6 +60,18 @@ let instances_arg =
   let doc = "POP random partition instances averaged by the adversary." in
   Arg.(value & opt int 5 & info [ "instances" ] ~docv:"R" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel engine (default: \\$(b,REPRO_JOBS) or \
+     1). With N > 1, oracle scoring fans out over a domain pool \
+     (bit-identical results) and the portfolio method races its \
+     strategies concurrently."
+  in
+  Arg.(
+    value
+    & opt int (Repro_engine.Jobs.default ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances ~seed =
   let pathset = Pathset.compute (Demand.full_space g) ~k:paths in
   match heuristic with
@@ -110,8 +122,15 @@ let demands_file_arg =
   let doc = "Read the demand matrix from a src,dst,volume CSV instead of generating one." in
   Arg.(value & opt (some file) None & info [ "demands-file" ] ~docv:"FILE" ~doc)
 
+(* Run [f] with a worker pool when [jobs] > 1, fully serial otherwise. *)
+let with_jobs jobs f =
+  let jobs = Repro_engine.Jobs.clamp jobs in
+  if jobs > 1 then
+    Repro_engine.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+  else f None
+
 let evaluate_cmd =
-  let run g paths heuristic threshold_frac parts instances seed gen file =
+  let run g paths heuristic threshold_frac parts instances seed gen file jobs =
     let ev =
       make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
         ~seed
@@ -137,22 +156,25 @@ let evaluate_cmd =
                 ~small_max:(0.1 *. Graph.max_capacity g)
                 ~large_max:(Graph.max_capacity g))
     in
-    let opt = Evaluate.opt_value ev demand in
-    Fmt.pr "demand total %.1f over %d pairs@." (Demand.total demand)
-      (Demand.size space);
-    Fmt.pr "OPT        : %.1f@." opt;
-    (match Evaluate.heuristic_value ev demand with
-    | Some h ->
-        Fmt.pr "heuristic  : %.1f@." h;
-        Fmt.pr "gap        : %.1f  (gap/capacity %.4f)@." (opt -. h)
-          ((opt -. h) /. Graph.total_capacity g)
-    | None -> Fmt.pr "heuristic  : INFEASIBLE on this input (pinning overload)@.")
+    with_jobs jobs (fun pool ->
+        let ev = Evaluate.with_pool ev pool in
+        let opt = Evaluate.opt_value ev demand in
+        Fmt.pr "demand total %.1f over %d pairs@." (Demand.total demand)
+          (Demand.size space);
+        Fmt.pr "OPT        : %.1f@." opt;
+        match Evaluate.heuristic_value ev demand with
+        | Some h ->
+            Fmt.pr "heuristic  : %.1f@." h;
+            Fmt.pr "gap        : %.1f  (gap/capacity %.4f)@." (opt -. h)
+              ((opt -. h) /. Graph.total_capacity g)
+        | None ->
+            Fmt.pr "heuristic  : INFEASIBLE on this input (pinning overload)@.")
   in
   let term =
     Term.(
       const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
       $ parts_arg $ instances_arg $ seed_arg $ demand_gen_arg
-      $ demands_file_arg)
+      $ demands_file_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate OPT vs a heuristic on one demand matrix")
@@ -163,13 +185,18 @@ let evaluate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let method_arg =
-  let doc = "Search method: whitebox, sweep, hillclimb or annealing." in
+  let doc =
+    "Search method: whitebox, sweep, hillclimb, annealing, or portfolio \
+     (race all of them against a shared incumbent store; combine with \
+     --jobs)."
+  in
   Arg.(
     value
     & opt
         (enum
            [ ("whitebox", `Whitebox); ("sweep", `Sweep);
-             ("hillclimb", `Hillclimb); ("annealing", `Annealing) ])
+             ("hillclimb", `Hillclimb); ("annealing", `Annealing);
+             ("portfolio", `Portfolio) ])
         `Whitebox
     & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
 
@@ -202,7 +229,7 @@ let setup_logs verbose =
 
 let find_gap_cmd =
   let run g paths heuristic threshold_frac parts instances seed method_ time
-      no_milp show_demands out verbose =
+      no_milp show_demands out verbose jobs =
     setup_logs verbose;
     let ev =
       make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
@@ -226,14 +253,21 @@ let find_gap_cmd =
       | None -> ()
     in
     match method_ with
-    | `Whitebox | `Sweep ->
+    | `Whitebox | `Sweep | `Portfolio ->
         let options =
           {
             Adversary.default_options with
             run_milp = not no_milp;
+            jobs;
             search =
               (match method_ with
               | `Sweep -> Adversary.Binary_sweep { probes = 5; probe_time = time /. 6. }
+              | `Portfolio ->
+                  Adversary.Portfolio
+                    {
+                      Adversary.default_portfolio with
+                      blackbox_time = time /. 2.;
+                    }
               | _ -> Adversary.Direct);
             bb =
               {
@@ -261,12 +295,20 @@ let find_gap_cmd =
               r.Adversary.stats.Adversary.oracle_calls)
           r.Adversary.demands
     | `Hillclimb | `Annealing ->
-        let options = { Blackbox.default_options with time_limit = time } in
         let rng = Rng.create seed in
         let r =
-          match method_ with
-          | `Hillclimb -> Blackbox.hill_climb ev ~rng ~options ()
-          | _ -> Blackbox.simulated_annealing ev ~rng ~options ()
+          with_jobs jobs (fun pool ->
+              let options =
+                {
+                  Blackbox.default_options with
+                  time_limit = time;
+                  pool;
+                  batch = (match pool with None -> 1 | Some _ -> jobs);
+                }
+              in
+              match method_ with
+              | `Hillclimb -> Blackbox.hill_climb ev ~rng ~options ()
+              | _ -> Blackbox.simulated_annealing ev ~rng ~options ())
         in
         report ~gap:r.Blackbox.gap ~normalized:r.Blackbox.normalized_gap
           ~trace:r.Blackbox.trace
@@ -279,7 +321,7 @@ let find_gap_cmd =
     Term.(
       const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
       $ parts_arg $ instances_arg $ seed_arg $ method_arg $ time_arg
-      $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg)
+      $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "find-gap"

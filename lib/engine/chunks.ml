@@ -1,0 +1,13 @@
+let ranges ~n ~chunks =
+  if n <= 0 then []
+  else begin
+    let chunks = Int.max 1 (Int.min chunks n) in
+    let base = n / chunks and extra = n mod chunks in
+    let out = ref [] and start = ref 0 in
+    for c = 0 to chunks - 1 do
+      let len = base + if c < extra then 1 else 0 in
+      out := (!start, !start + len) :: !out;
+      start := !start + len
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,12 @@
+(** Deterministic index-range chunking.
+
+    [parallel_map] owes its bit-exact-vs-serial guarantee to the fact
+    that work is split into contiguous index ranges and results are
+    reassembled in range order; this module is the single source of that
+    splitting so every layer chunks identically. *)
+
+val ranges : n:int -> chunks:int -> (int * int) list
+(** [ranges ~n ~chunks] covers [0, n) with at most [chunks] contiguous
+    half-open ranges [(start, stop)], in increasing order. Ranges differ
+    in length by at most one; the longer ranges come first. Empty list
+    when [n <= 0]. *)

@@ -1,0 +1,40 @@
+(** Shared incumbent store for portfolio search.
+
+    One mutex-protected cell holding the best (value, score) pair seen so
+    far, written concurrently by every worker of a portfolio race. The
+    store is strictly monotone: a proposal only replaces the incumbent
+    when its score is strictly greater, so the best score never decreases
+    — under any interleaving — and the improvement trace is strictly
+    increasing.
+
+    This is the coupling device of the portfolio runner: any worker's
+    oracle-verified gap lands here and is immediately visible to every
+    other worker, tightening branch-and-bound pruning bounds and
+    resetting stall detectors (the metaopt layer reads [best_score] from
+    its primal-heuristic callbacks).
+
+    Stored values are kept by reference: callers must pass values they
+    will not mutate afterwards (the metaopt layer copies demand arrays
+    before proposing). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val propose : 'a t -> 'a -> float -> bool
+(** [propose t value score] — true iff the proposal strictly improved the
+    incumbent (and was installed). *)
+
+val best : 'a t -> ('a * float) option
+(** Current incumbent, if any. *)
+
+val best_score : 'a t -> float
+(** Current best score; [neg_infinity] when empty (so it can be compared
+    against unconditionally). *)
+
+val trace : 'a t -> (float * float) list
+(** (seconds since [create], score) at each improvement, oldest first;
+    scores strictly increase. *)
+
+val stats : 'a t -> int * int
+(** (improvements installed, proposals received). *)

@@ -1,0 +1,8 @@
+let max_jobs = 64
+
+let clamp n = Int.max 1 (Int.min max_jobs n)
+
+let default () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> clamp n | _ -> 1)

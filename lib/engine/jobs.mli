@@ -1,0 +1,16 @@
+(** Worker-count policy for the parallel engine.
+
+    A job count of 1 always means "fully serial, no domains spawned" —
+    callers use it to guarantee the bit-exact single-threaded code path.
+    Counts above 1 are clamped to a sane ceiling so a typo in [--jobs]
+    cannot fork hundreds of domains. *)
+
+val max_jobs : int
+(** Hard ceiling on the worker count (64). *)
+
+val clamp : int -> int
+(** Clamp a requested job count into [1, max_jobs]. *)
+
+val default : unit -> int
+(** The ambient default: [REPRO_JOBS] from the environment when set to a
+    positive integer, otherwise 1 (serial). *)

@@ -1,0 +1,31 @@
+(* Chunks per pool: a few chunks per domain so an early-finishing worker
+   can pick up remaining ranges instead of idling on a straggler. *)
+let chunk_count pool n = Int.min n (4 * Pool.size pool)
+
+let mapi ?pool f arr =
+  let n = Array.length arr in
+  match pool with
+  | None -> Array.mapi f arr
+  | Some p when n <= 1 || Pool.size p <= 1 -> Array.mapi f arr
+  | Some p ->
+      let ranges = Chunks.ranges ~n ~chunks:(chunk_count p n) in
+      let futures =
+        List.map
+          (fun (lo, hi) ->
+            Pool.submit p (fun () ->
+                Array.init (hi - lo) (fun i -> f (lo + i) arr.(lo + i))))
+          ranges
+      in
+      (* await in range order: results and exceptions follow index order *)
+      Array.concat (List.map Pool.await futures)
+
+let map ?pool f arr = mapi ?pool (fun _ x -> f x) arr
+
+let map_list ?pool f l = Array.to_list (map ?pool f (Array.of_list l))
+
+let init ?pool n f =
+  if n < 0 then invalid_arg "Parallel.init";
+  mapi ?pool (fun i () -> f i) (Array.make n ())
+
+let reduce ?pool ~map:mf ~fold ~init arr =
+  Array.fold_left fold init (map ?pool mf arr)

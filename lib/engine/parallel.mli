@@ -1,0 +1,37 @@
+(** Deterministic data parallelism over a {!Pool}.
+
+    Every function here is a drop-in replacement for its serial stdlib
+    counterpart with one contract: {e for a pure function [f], the result
+    is bit-identical to the serial run}. Work is split into contiguous
+    index chunks ({!Chunks.ranges}) and reassembled in chunk order, so
+    element order — and therefore floating-point reduction order — never
+    depends on scheduling. The oracle-scoring and POP-averaging paths of
+    the metaopt layer rely on this to keep parallel results equal to
+    serial ones.
+
+    With [?pool] absent (or a 1-domain pool, or fewer than 2 elements)
+    the serial code path runs directly: no domains, no queueing. *)
+
+val map : ?pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. If [f] raises, the exception of the
+    lowest-indexed failing chunk is re-raised. *)
+
+val mapi : ?pool:Pool.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.mapi]. *)
+
+val map_list : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] (order preserved). *)
+
+val init : ?pool:Pool.t -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val reduce :
+  ?pool:Pool.t ->
+  map:('a -> 'b) ->
+  fold:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** Map in parallel, then fold the mapped values {e serially in index
+    order} on the calling domain — deterministic even for non-associative
+    folds (floating-point sums). *)

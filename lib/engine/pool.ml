@@ -1,0 +1,153 @@
+exception Cancelled
+
+type 'a state =
+  | Pending
+  | Running
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+  | Dropped  (* cancelled before the task started *)
+
+type 'a cell = {
+  mutable state : 'a state;
+  mutable cancel_requested : bool;
+}
+
+type job = Job : { cell : 'a cell; fn : poll:(unit -> bool) -> 'a } -> job
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable closing : bool;
+  size : int;
+}
+
+type 'a future = { pool : t; cell : 'a cell }
+
+(* Run one job. Called with [t.mutex] held; returns with it held. The
+   mutex is released around the user function so other domains keep
+   submitting, helping and completing while it runs. *)
+let run_job t (Job { cell; fn }) =
+  match cell.state with
+  | Pending when cell.cancel_requested ->
+      cell.state <- Dropped;
+      Condition.broadcast t.cond
+  | Pending ->
+      cell.state <- Running;
+      Mutex.unlock t.mutex;
+      let outcome =
+        match fn ~poll:(fun () -> cell.cancel_requested) with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      cell.state <- outcome;
+      Condition.broadcast t.cond
+  | Running | Done _ | Failed _ | Dropped -> ()
+
+let worker t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if not (Queue.is_empty t.queue) then begin
+      run_job t (Queue.pop t.queue);
+      loop ()
+    end
+    else if t.closing then Mutex.unlock t.mutex
+    else begin
+      Condition.wait t.cond t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let domains = Jobs.clamp domains in
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      closing = false;
+      size = domains;
+    }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let submit_poll t fn =
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  let cell = { state = Pending; cancel_requested = false } in
+  Queue.push (Job { cell; fn }) t.queue;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  { pool = t; cell }
+
+let submit t f = submit_poll t (fun ~poll:_ -> f ())
+
+let await { pool = t; cell } =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match cell.state with
+    | Done v ->
+        Mutex.unlock t.mutex;
+        v
+    | Failed (e, bt) ->
+        Mutex.unlock t.mutex;
+        Printexc.raise_with_backtrace e bt
+    | Dropped ->
+        Mutex.unlock t.mutex;
+        raise Cancelled
+    | Pending | Running ->
+        if not (Queue.is_empty t.queue) then begin
+          (* help: run someone's queued task instead of going idle *)
+          run_job t (Queue.pop t.queue);
+          loop ()
+        end
+        else begin
+          Condition.wait t.cond t.mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+let cancel { pool = t; cell } =
+  Mutex.lock t.mutex;
+  (match cell.state with
+  | Pending | Running -> cell.cancel_requested <- true
+  | Done _ | Failed _ | Dropped -> ());
+  Mutex.unlock t.mutex
+
+let is_done { pool = t; cell } =
+  Mutex.lock t.mutex;
+  let r =
+    match cell.state with
+    | Done _ | Failed _ | Dropped -> true
+    | Pending | Running -> false
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closing then Mutex.unlock t.mutex
+  else begin
+    t.closing <- true;
+    Condition.broadcast t.cond;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    List.iter Domain.join ws
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,58 @@
+(** Fixed-size domain pool: the substrate of the parallel engine.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only — the container has
+    no domainslib. A pool owns [domains] worker domains draining one FIFO
+    task queue; [submit] returns a future, [await] blocks on it.
+
+    [await] is {e help-first}: while the awaited future is unfinished and
+    the queue is non-empty, the awaiting domain pops and runs queued tasks
+    itself. This makes nested parallelism (a pooled task that itself calls
+    {!Parallel.map} on the same pool) deadlock-free by construction — a
+    blocked caller always makes progress on somebody's work.
+
+    Cancellation is cooperative: [cancel] marks the future; a task not yet
+    started is dropped without running (its [await] raises {!Cancelled}),
+    while a running task submitted via [submit_poll] observes the request
+    through its [poll] argument and decides how to wind down. *)
+
+type t
+(** A pool of worker domains. *)
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+exception Cancelled
+(** Raised by [await] on a future cancelled before its task started, or
+    whose task raised [Cancelled] itself. *)
+
+val create : domains:int -> unit -> t
+(** Spawn [domains] worker domains (>= 1, clamped to {!Jobs.max_jobs}). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. @raise Invalid_argument after [shutdown]. *)
+
+val submit_poll : t -> (poll:(unit -> bool) -> 'a) -> 'a future
+(** Like [submit], for tasks that poll for cooperative cancellation:
+    [poll ()] becomes true once [cancel] has been requested. *)
+
+val await : 'a future -> 'a
+(** Wait for the task (helping with queued work meanwhile) and return its
+    value. Re-raises the task's exception with its original backtrace;
+    raises {!Cancelled} if the task was cancelled before starting. *)
+
+val cancel : 'a future -> unit
+(** Request cancellation. Idempotent; never blocks. *)
+
+val is_done : 'a future -> bool
+(** True once the future holds a value, an exception, or a cancellation —
+    i.e. [await] would return without blocking. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join all workers. Idempotent. Submitting to
+    a shut-down pool raises; already-queued tasks still complete. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] (also on exception). *)

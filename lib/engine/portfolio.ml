@@ -1,0 +1,43 @@
+type 'a strategy = {
+  name : string;
+  run : incumbent:'a Incumbent.t -> should_stop:(unit -> bool) -> unit;
+}
+
+type status = Completed | Failed of string | Skipped
+
+type outcome = { name : string; elapsed : float; status : status }
+
+let run ?pool ?(stop_when = fun _ -> false) ~incumbent strategies =
+  (* once any strategy satisfies [stop_when], latch it so the whole race
+     winds down even if the incumbent never improves again *)
+  let stopped = Atomic.make false in
+  let should_stop () =
+    Atomic.get stopped
+    ||
+    if stop_when (Incumbent.best_score incumbent) then begin
+      Atomic.set stopped true;
+      true
+    end
+    else false
+  in
+  let run_one (s : _ strategy) =
+    let t0 = Unix.gettimeofday () in
+    let status =
+      match s.run ~incumbent ~should_stop with
+      | () -> Completed
+      | exception e -> Failed (Printexc.to_string e)
+    in
+    { name = s.name; elapsed = Unix.gettimeofday () -. t0; status }
+  in
+  match pool with
+  | Some p ->
+      let futures =
+        List.map (fun s -> Pool.submit p (fun () -> run_one s)) strategies
+      in
+      List.map Pool.await futures
+  | None ->
+      List.map
+        (fun (s : _ strategy) ->
+          if should_stop () then { name = s.name; elapsed = 0.; status = Skipped }
+          else run_one s)
+        strategies

@@ -1,0 +1,42 @@
+(** Portfolio runner: race heterogeneous strategies against one shared
+    incumbent store.
+
+    Each strategy is an opaque closure given (a) the shared {!Incumbent}
+    store to publish verified scores into and read rivals' progress from,
+    and (b) a [should_stop] predicate it must poll at its natural
+    granularity (per node, per oracle call, per restart). [should_stop]
+    turns true once [stop_when] accepts the incumbent score or the
+    portfolio is winding down, at which point strategies are expected to
+    return promptly with whatever they have — results are never lost,
+    because anything worth keeping was already proposed to the store.
+
+    With a pool, strategies run concurrently (one pool task each); without
+    one they run sequentially in list order, and [stop_when] then acts as
+    an early exit that skips the remaining strategies — the serial
+    portfolio has identical semantics, only no interleaving.
+
+    A strategy that raises does not abort the race: the exception is
+    recorded in its outcome and the other strategies keep running. *)
+
+type 'a strategy = {
+  name : string;
+  run : incumbent:'a Incumbent.t -> should_stop:(unit -> bool) -> unit;
+}
+
+type status =
+  | Completed  (** ran to its own termination (budget / convergence / stop) *)
+  | Failed of string  (** raised; the exception's text *)
+  | Skipped  (** serial mode only: the race was over before its turn *)
+
+type outcome = { name : string; elapsed : float; status : status }
+
+val run :
+  ?pool:Pool.t ->
+  ?stop_when:(float -> bool) ->
+  incumbent:'a Incumbent.t ->
+  'a strategy list ->
+  outcome list
+(** Race the strategies; returns one outcome per strategy, in input
+    order, once all have returned. [stop_when] is evaluated against
+    {!Incumbent.best_score} inside the [should_stop] polled by the
+    strategies (and once per strategy boundary in serial mode). *)

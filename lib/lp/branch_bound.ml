@@ -7,6 +7,7 @@ type options = {
   int_tol : float;
   sos_tol : float;
   log_progress : bool;
+  interrupt : unit -> bool;
 }
 
 let default_options =
@@ -19,6 +20,7 @@ let default_options =
     int_tol = 1e-6;
     sos_tol = 1e-6;
     log_progress = false;
+    interrupt = (fun () -> false);
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -230,7 +232,7 @@ let solve ?(options = default_options) ?primal_heuristic
   (try
      while not (Heap.is_empty st.heap) do
        let elapsed = now () -. st.start in
-       if elapsed > st.opts.time_limit then begin
+       if elapsed > st.opts.time_limit || st.opts.interrupt () then begin
          stop_outcome := Some (if st.incumbent = None then No_incumbent else Feasible);
          raise Exit
        end;

@@ -23,6 +23,10 @@ type options = {
   int_tol : float;  (** integrality tolerance *)
   sos_tol : float;  (** SOS1 violation tolerance *)
   log_progress : bool;
+  interrupt : unit -> bool;
+      (** polled once per node; returning true stops the search with the
+          current incumbent (the hook portfolio racers use to wind a
+          worker down once the shared incumbent is good enough) *)
 }
 
 val default_options : options

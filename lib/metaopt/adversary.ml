@@ -1,6 +1,16 @@
+module Engine = Repro_engine
+
 type search =
   | Direct
   | Binary_sweep of { probes : int; probe_time : float }
+  | Portfolio of portfolio_options
+
+and portfolio_options = {
+  blackbox_seeds : int list;
+  blackbox_time : float;
+  sweep_probes : int;
+  target_gap : float option;
+}
 
 type options = {
   bb : Branch_bound.options;
@@ -10,7 +20,16 @@ type options = {
   probe_budget : int;
   run_milp : bool;
   quantize : float option;
+  jobs : int;
 }
+
+let default_portfolio =
+  {
+    blackbox_seeds = [ 1; 2 ];
+    blackbox_time = 8.;
+    sweep_probes = 2;
+    target_gap = None;
+  }
 
 let default_options =
   {
@@ -21,6 +40,7 @@ let default_options =
     probe_budget = 200;
     run_milp = true;
     quantize = None;
+    jobs = 1;
   }
 
 type stats = {
@@ -63,11 +83,27 @@ type oracle_state = {
   constraints : Input_constraints.t;
   quantize : float option;
   cache : (string, float option) Hashtbl.t;
+  shared : Demand.t Engine.Incumbent.t option;
+      (** portfolio mode: every verified improvement is also proposed
+          here, and [best_known] folds rivals' scores back in *)
   mutable best : (Demand.t * float) option;
   mutable calls : int;
   mutable trace : (float * float) list;
   started : float;
 }
+
+let make_oracle_state ?shared (ev : Evaluate.t) ~(options : options) =
+  {
+    ev;
+    constraints = options.constraints;
+    quantize = options.quantize;
+    cache = Hashtbl.create 256;
+    shared;
+    best = None;
+    calls = 0;
+    trace = [];
+    started = now ();
+  }
 
 (* With a quantized outer space, only on-grid demands are feasible points
    of the MILP: snap every probe before evaluating. *)
@@ -76,6 +112,20 @@ let snap st demands =
   | None -> demands
   | Some step ->
       Array.map (fun d -> step *. Float.round (d /. step)) demands
+
+(* Record a verified gap (demands already snapped). Publishes into the
+   shared incumbent store, if any, so the improvement immediately tightens
+   every racing worker's pruning bound. *)
+let record_verified st demands g =
+  (match st.best with
+  | Some (_, b) when g <= b -> ()
+  | _ ->
+      let copy = Array.copy demands in
+      st.best <- Some (copy, g);
+      st.trace <- (now () -. st.started, g) :: st.trace;
+      (match st.shared with
+      | Some inc -> ignore (Engine.Incumbent.propose inc copy g)
+      | None -> ()))
 
 let oracle_gap st demands =
   let demands = snap st demands in
@@ -89,31 +139,38 @@ let oracle_gap st demands =
         else Evaluate.gap st.ev demands
       in
       Hashtbl.replace st.cache key g;
-      (match g with
-      | Some g -> (
-          match st.best with
-          | Some (_, b) when g <= b -> ()
-          | _ ->
-              st.best <- Some (Array.copy demands, g);
-              st.trace <- (now () -. st.started, g) :: st.trace)
-      | None -> ());
+      (match g with Some g -> record_verified st demands g | None -> ());
       g
+
+(* Best oracle-verified value this worker may trust as an incumbent: its
+   own plus — in a portfolio race — anything a rival has published. *)
+let best_known st =
+  let local = match st.best with Some (_, g) -> g | None -> neg_infinity in
+  let shared =
+    match st.shared with
+    | Some inc -> Engine.Incumbent.best_score inc
+    | None -> neg_infinity
+  in
+  Float.max local shared
 
 let primal_heuristic st (gp : Gap_problem.t) relax_primal =
   let demands = Gap_problem.demands_of_primal gp relax_primal in
-  let relax_gap = oracle_gap st demands in
-  (* always report the best oracle-verified value so far: probing results
-     become branch-and-bound incumbents *)
-  match (st.best, relax_gap) with
-  | Some (_, g), _ -> Some (g, None)
-  | None, Some g -> Some (g, None)
-  | None, None -> None
+  ignore (oracle_gap st demands);
+  (* always report the best oracle-verified value so far — probing results
+     and rival portfolio workers' finds become branch-and-bound incumbents
+     (improvements also reset the stall detector) *)
+  let g = best_known st in
+  if g > neg_infinity then Some (g, None) else None
 
 (* Structure-aware probing (see Probes): the substitute for a commercial
    solver's built-in primal heuristics. Candidates and greedy refinements
    are scored with the exact oracle, so anything recorded is a genuine
-   adversarial input. *)
-let run_probes st (ev : Evaluate.t) ~demand_ub ~budget =
+   adversarial input. With a pool, candidate scoring fans out through
+   [parallel_map] (pure evaluation in parallel, bookkeeping serial in
+   candidate order — same cache, same best, same oracle-call count as the
+   serial loop). *)
+let run_probes ?pool ?(stop = fun () -> false) st (ev : Evaluate.t) ~demand_ub
+    ~budget =
   if budget <= 0 then ()
   else begin
   let pathset = ev.Evaluate.pathset in
@@ -127,9 +184,38 @@ let run_probes st (ev : Evaluate.t) ~demand_ub ~budget =
   let candidates =
     List.filteri (fun i _ -> i < budget) candidates
   in
-  List.iter (fun d -> ignore (oracle_gap st (Input_constraints.project st.constraints d))) candidates;
+  (match pool with
+  | None ->
+      List.iter
+        (fun d ->
+          if not (stop ()) then
+            ignore (oracle_gap st (Input_constraints.project st.constraints d)))
+        candidates
+  | Some _ ->
+      let prepared =
+        List.map
+          (fun d -> snap st (Input_constraints.project st.constraints d))
+          candidates
+      in
+      let gaps =
+        Engine.Parallel.map_list ?pool
+          (fun d ->
+            if not (Input_constraints.satisfied st.constraints d) then None
+            else Evaluate.gap st.ev d)
+          prepared
+      in
+      List.iter2
+        (fun d g ->
+          let key = cache_key d in
+          if not (Hashtbl.mem st.cache key) then begin
+            st.calls <- st.calls + 1;
+            Hashtbl.replace st.cache key g;
+            match g with Some g -> record_verified st d g | None -> ()
+          end)
+        prepared gaps);
   let refine_budget = Int.max 0 (budget - List.length candidates) in
   match st.best with
+  | _ when stop () -> ()
   | None -> ()
   | Some (d, _) ->
       let levels =
@@ -160,48 +246,33 @@ let solve_one st gp ~bb_options =
   Branch_bound.solve ~options:bb_options
     ~primal_heuristic:(primal_heuristic st gp) gp.Gap_problem.model
 
-let find (ev : Evaluate.t) ?(options = default_options) () =
-  let pathset = ev.Evaluate.pathset in
-  let heuristic = heuristic_of_spec ev in
-  let gp =
-    Gap_problem.build pathset ~heuristic ~constraints:options.constraints
-      ?demand_ub:options.demand_ub ?quantize:options.quantize ()
-  in
-  let st =
-    {
-      ev;
-      constraints = options.constraints;
-      quantize = options.quantize;
-      cache = Hashtbl.create 256;
-      best = None;
-      calls = 0;
-      trace = [];
-      started = now ();
-    }
-  in
-  run_probes st ev ~demand_ub:gp.Gap_problem.demand_ub
-    ~budget:options.probe_budget;
-  let bb_result, upper_bound =
-    if not options.run_milp then
-      (* probe-only mode: used when the KKT model is too large for the
-         MILP substrate to bound usefully within budget (e.g. many POP
-         instances); results stay oracle-verified but carry no bound *)
-      ( {
-          Branch_bound.outcome =
-            (if st.best = None then Branch_bound.No_incumbent
-             else Branch_bound.Feasible);
-          objective = (match st.best with Some (_, g) -> g | None -> Float.nan);
-          best_bound = infinity;
-          mip_gap = Float.nan;
-          primal = None;
-          nodes = 0;
-          simplex_iterations = 0;
-          elapsed = 0.;
-          incumbent_trace = [];
-        },
-        None )
-    else
-    match options.search with
+(* The single-strategy searches (the paper's two §3.3 modes). Probing must
+   already have run on [st]; returns the B&B result and the proven upper
+   bound, if one was obtained. *)
+let run_search st gp ~(options : options) ~search =
+  let pathset = st.ev.Evaluate.pathset in
+  let heuristic = heuristic_of_spec st.ev in
+  if not options.run_milp then
+    (* probe-only mode: used when the KKT model is too large for the
+       MILP substrate to bound usefully within budget (e.g. many POP
+       instances); results stay oracle-verified but carry no bound *)
+    ( {
+        Branch_bound.outcome =
+          (if st.best = None then Branch_bound.No_incumbent
+           else Branch_bound.Feasible);
+        objective = (match st.best with Some (_, g) -> g | None -> Float.nan);
+        best_bound = infinity;
+        mip_gap = Float.nan;
+        primal = None;
+        nodes = 0;
+        simplex_iterations = 0;
+        elapsed = 0.;
+        incumbent_trace = [];
+      },
+      None )
+  else
+    match search with
+    | Portfolio _ -> invalid_arg "Adversary.run_search: portfolio"
     | Direct ->
         let r = solve_one st gp ~bb_options:options.bb in
         let ub =
@@ -231,7 +302,10 @@ let find (ev : Evaluate.t) ?(options = default_options) () =
         in
         let last = ref root in
         for _ = 1 to probes do
-          if !hi -. !lo > 1e-6 *. Float.max 1. !hi then begin
+          if
+            !hi -. !lo > 1e-6 *. Float.max 1. !hi
+            && not (options.bb.Branch_bound.interrupt ())
+          then begin
             let target = (!lo +. !hi) /. 2. in
             let gp' =
               Gap_problem.build pathset ~heuristic
@@ -264,15 +338,16 @@ let find (ev : Evaluate.t) ?(options = default_options) () =
           end
         done;
         (!last, Some !hi)
-  in
+
+let assemble_result st gp ~bb_result ~upper_bound ~trace ~oracle_calls =
   let demands, gap =
     match st.best with
     | Some (d, g) -> (d, g)
-    | None -> (Array.make (Pathset.num_pairs pathset) 0., 0.)
+    | None -> (Array.make (Pathset.num_pairs st.ev.Evaluate.pathset) 0., 0.)
   in
-  let opt_value = Evaluate.opt_value ev demands in
+  let opt_value = Evaluate.opt_value st.ev demands in
   let heuristic_value =
-    match Evaluate.heuristic_value ev demands with
+    match Evaluate.heuristic_value st.ev demands with
     | Some h -> h
     | None -> Float.nan
   in
@@ -280,12 +355,12 @@ let find (ev : Evaluate.t) ?(options = default_options) () =
   {
     demands;
     gap;
-    normalized_gap = Evaluate.normalize ev gap;
+    normalized_gap = Evaluate.normalize st.ev gap;
     opt_value;
     heuristic_value;
     upper_bound;
     outcome = bb_result.Branch_bound.outcome;
-    trace = List.rev st.trace;
+    trace;
     stats =
       {
         nodes = bb_result.Branch_bound.nodes;
@@ -294,9 +369,195 @@ let find (ev : Evaluate.t) ?(options = default_options) () =
         model_vars = vars;
         model_constrs = constrs;
         model_sos1 = sos1;
-        oracle_calls = st.calls;
+        oracle_calls;
       };
   }
+
+(* One-shot search (Direct / Binary_sweep), optionally on a pool: probe
+   scoring and the oracle's POP instances fan out; results are
+   bit-identical to jobs = 1 by the [Parallel] determinism contract. *)
+let find_single (ev : Evaluate.t) ~(options : options) ~pool () =
+  let ev =
+    match pool with Some _ -> Evaluate.with_pool ev pool | None -> ev
+  in
+  let gp =
+    Gap_problem.build ev.Evaluate.pathset
+      ~heuristic:(heuristic_of_spec ev) ~constraints:options.constraints
+      ?demand_ub:options.demand_ub ?quantize:options.quantize ()
+  in
+  let st = make_oracle_state ev ~options in
+  run_probes ?pool st ev ~demand_ub:gp.Gap_problem.demand_ub
+    ~budget:options.probe_budget;
+  let bb_result, upper_bound = run_search st gp ~options ~search:options.search in
+  assemble_result st gp ~bb_result ~upper_bound ~trace:(List.rev st.trace)
+    ~oracle_calls:st.calls
+
+(* Portfolio mode: race heterogeneous strategies — the white-box Direct
+   search, a Binary_sweep, and hill-climbing / simulated-annealing workers
+   with distinct seeds — against one shared incumbent store. Any worker's
+   oracle-verified gap immediately becomes every other worker's pruning
+   bound (via [primal_heuristic] / [best_known]) and resets their stall
+   detectors; [target_gap] stops the whole race as soon as the store
+   reaches it. Each strategy is serial inside (the pool's unit of work is
+   the strategy), so per-strategy behaviour is deterministic given its
+   seed; which strategy wins a tie depends on timing, but the reported
+   gap is monotone in the set of finished work and every value is
+   oracle-verified. *)
+let find_portfolio (ev : Evaluate.t) ~(options : options) ~pool
+    (p : portfolio_options) =
+  let started = now () in
+  let incumbent = Engine.Incumbent.create () in
+  let whitebox_st = ref None and whitebox_bb = ref None in
+  let whitebox_ub = ref None in
+  let sweep_calls = ref 0 in
+  let blackbox_evals = ref 0 in
+  let blackbox_mutex = Mutex.create () in
+  let whitebox name search =
+    {
+      Engine.Portfolio.name;
+      run =
+        (fun ~incumbent ~should_stop ->
+          let st = make_oracle_state ~shared:incumbent ev ~options in
+          let gp =
+            Gap_problem.build ev.Evaluate.pathset
+              ~heuristic:(heuristic_of_spec ev)
+              ~constraints:options.constraints ?demand_ub:options.demand_ub
+              ?quantize:options.quantize ()
+          in
+          if search = Direct then begin
+            whitebox_st := Some (st, gp)
+          end;
+          run_probes ~stop:should_stop st ev
+            ~demand_ub:gp.Gap_problem.demand_ub ~budget:options.probe_budget;
+          let options =
+            {
+              options with
+              bb = { options.bb with Branch_bound.interrupt = should_stop };
+            }
+          in
+          let bb_result, ub = run_search st gp ~options ~search in
+          if search = Direct then begin
+            whitebox_bb := Some bb_result;
+            whitebox_ub := ub
+          end
+          else sweep_calls := st.calls)
+    }
+  in
+  let blackbox name
+      (algo :
+        Evaluate.t ->
+        rng:Rng.t ->
+        ?options:Blackbox.options ->
+        unit ->
+        Blackbox.result) seed =
+    {
+      Engine.Portfolio.name;
+      run =
+        (fun ~incumbent ~should_stop ->
+          let bb_opts =
+            {
+              Blackbox.default_options with
+              time_limit = p.blackbox_time;
+              constraints = options.constraints;
+              demand_ub = options.demand_ub;
+              stop = should_stop;
+              on_best =
+                (fun d g ->
+                  (* only constraint-feasible, oracle-verified gaps reach
+                     this callback: propose them to the race *)
+                  ignore (Engine.Incumbent.propose incumbent d g));
+            }
+          in
+          let r = algo ev ~rng:(Rng.create seed) ~options:bb_opts () in
+          Mutex.lock blackbox_mutex;
+          blackbox_evals := !blackbox_evals + r.Blackbox.evaluations;
+          Mutex.unlock blackbox_mutex)
+    }
+  in
+  let strategies =
+    (whitebox "whitebox-direct" Direct
+    ::
+    (if p.sweep_probes > 0 && options.run_milp then
+       [
+         whitebox "whitebox-sweep"
+           (Binary_sweep
+              {
+                probes = p.sweep_probes;
+                probe_time =
+                  options.bb.Branch_bound.time_limit
+                  /. float_of_int (p.sweep_probes + 1);
+              });
+       ]
+     else []))
+    @ List.concat_map
+        (fun seed ->
+          [
+            blackbox (Printf.sprintf "hillclimb-%d" seed) Blackbox.hill_climb
+              seed;
+            blackbox
+              (Printf.sprintf "annealing-%d" seed)
+              Blackbox.simulated_annealing seed;
+          ])
+        p.blackbox_seeds
+  in
+  let stop_when =
+    match p.target_gap with
+    | None -> None
+    | Some t -> Some (fun score -> score >= t)
+  in
+  ignore
+    (Engine.Portfolio.run ?pool ?stop_when ~incumbent strategies
+      : Engine.Portfolio.outcome list);
+  (* assemble: best from the shared store, bound/model stats from the
+     white-box worker *)
+  let st, gp =
+    match !whitebox_st with
+    | Some (st, gp) -> (st, gp)
+    | None ->
+        (* direct strategy never started (stopped immediately): fall back
+           to an empty state over a freshly built model *)
+        ( make_oracle_state ev ~options,
+          Gap_problem.build ev.Evaluate.pathset
+            ~heuristic:(heuristic_of_spec ev)
+            ~constraints:options.constraints ?demand_ub:options.demand_ub
+            ?quantize:options.quantize () )
+  in
+  (match Engine.Incumbent.best incumbent with
+  | Some (d, g) -> st.best <- Some (Array.copy d, g)
+  | None -> ());
+  let bb_result =
+    match !whitebox_bb with
+    | Some r -> r
+    | None ->
+        {
+          Branch_bound.outcome =
+            (if st.best = None then Branch_bound.No_incumbent
+             else Branch_bound.Feasible);
+          objective =
+            (match st.best with Some (_, g) -> g | None -> Float.nan);
+          best_bound = infinity;
+          mip_gap = Float.nan;
+          primal = None;
+          nodes = 0;
+          simplex_iterations = 0;
+          elapsed = now () -. started;
+          incumbent_trace = [];
+        }
+  in
+  let oracle_calls = st.calls + !sweep_calls + !blackbox_evals in
+  assemble_result st gp ~bb_result ~upper_bound:!whitebox_ub
+    ~trace:(Engine.Incumbent.trace incumbent) ~oracle_calls
+
+let find (ev : Evaluate.t) ?(options = default_options) () =
+  let jobs = Engine.Jobs.clamp options.jobs in
+  let run pool =
+    match options.search with
+    | Portfolio p -> find_portfolio ev ~options ~pool p
+    | Direct | Binary_sweep _ -> find_single ev ~options ~pool ()
+  in
+  if jobs > 1 then
+    Engine.Pool.with_pool ~domains:jobs (fun pool -> run (Some pool))
+  else run None
 
 let find_diverse ev ?(options = default_options) ~count ~radius () =
   let rec loop acc constraints remaining =

@@ -6,13 +6,19 @@
     between the encoding and the verification — and searches it with
     branch-and-bound.
 
-    Mirroring §3.3 ("gap search"), two search modes are offered:
+    Mirroring §3.3 ("gap search"), three search modes are offered:
 
     - [Direct]: one solve with the stall-based timeout — the Gurobi mode
       (stop when incremental progress over a window falls under 0.5%);
     - [Binary_sweep]: repeatedly ask for {e any} input whose gap meets a
       target and bisect the target with a fixed per-probe timeout — the
-      Z3 mode for solvers that do not report incremental progress.
+      Z3 mode for solvers that do not report incremental progress;
+    - [Portfolio]: race both white-box modes against hill-climbing and
+      simulated-annealing workers (distinct seeds) over one shared
+      {!Repro_engine.Incumbent} store. Any worker's oracle-verified gap
+      immediately becomes every other worker's pruning bound and resets
+      their stall detectors; with [jobs] > 1 the strategies run on a
+      domain pool, with [jobs] = 1 they run sequentially with early exit.
 
     Every node relaxation is turned into a candidate demand matrix and
     re-evaluated with the exact oracle; oracle gaps feed back into the
@@ -23,6 +29,19 @@
 type search =
   | Direct
   | Binary_sweep of { probes : int; probe_time : float }
+  | Portfolio of portfolio_options
+
+and portfolio_options = {
+  blackbox_seeds : int list;
+      (** one hill-climbing and one simulated-annealing worker per seed *)
+  blackbox_time : float;  (** per-black-box-worker budget, seconds *)
+  sweep_probes : int;
+      (** bisection probes of the Binary_sweep strategy; 0 drops it from
+          the portfolio *)
+  target_gap : float option;
+      (** stop the whole race as soon as the shared incumbent reaches
+          this gap — the time-to-target mode used for benchmarking *)
+}
 
 type options = {
   bb : Branch_bound.options;
@@ -42,7 +61,16 @@ type options = {
       (** restrict demands to this grid step (§5 "Scaling"): the MILP gets
           integer grid variables and every probe is snapped to the grid,
           so reported gaps are achievable within the quantized space. *)
+  jobs : int;
+      (** worker domains (clamped to [1, Repro_engine.Jobs.max_jobs]).
+          With [jobs] > 1, [Direct]/[Binary_sweep] fan probe scoring and
+          the oracle's POP instances over a pool (results bit-identical to
+          serial), and [Portfolio] runs its strategies concurrently. 1 is
+          the fully serial path — no domains are spawned. *)
 }
+
+val default_portfolio : portfolio_options
+(** Seeds [1; 2], 8 s per black-box worker, 2 sweep probes, no target. *)
 
 val default_options : options
 
@@ -54,6 +82,7 @@ type stats = {
   model_constrs : int;
   model_sos1 : int;
   oracle_calls : int;
+      (** for [Portfolio]: summed across all strategies of the race *)
 }
 
 type result = {
@@ -67,7 +96,9 @@ type result = {
           metaoptimization), when the search produced one *)
   outcome : Branch_bound.outcome;
   trace : (float * float) list;
-      (** (seconds, best oracle gap so far) — the white-box Fig 3 series *)
+      (** (seconds, best oracle gap so far) — the white-box Fig 3 series.
+          For [Portfolio], the shared incumbent store's improvement
+          trace. *)
   stats : stats;
 }
 

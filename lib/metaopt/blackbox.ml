@@ -8,6 +8,10 @@ type options = {
   cooling_period : int;
   demand_ub : float option;
   constraints : Input_constraints.t;
+  stop : unit -> bool;
+  on_best : Demand.t -> float -> unit;
+  batch : int;
+  pool : Repro_engine.Pool.t option;
 }
 
 let default_options =
@@ -21,6 +25,10 @@ let default_options =
     cooling_period = 100;
     demand_ub = None;
     constraints = Input_constraints.none;
+    stop = (fun () -> false);
+    on_best = (fun _ _ -> ());
+    batch = 1;
+    pool = None;
   }
 
 type result = {
@@ -76,23 +84,36 @@ let make_state ev ~rng opts =
 let out_of_budget st =
   now () -. st.start > st.opts.time_limit
   || st.evaluations >= st.opts.max_evaluations
+  || st.opts.stop ()
 
-(* Evaluate a candidate; infeasible heuristic inputs and constraint
-   violations score neg_infinity so search walks away from them. *)
-let score st d =
-  if not (Input_constraints.satisfied st.opts.constraints d) then neg_infinity
-  else begin
-    st.evaluations <- st.evaluations + 1;
+(* Pure scoring: no state mutation, safe to fan out over a pool.
+   Infeasible heuristic inputs and constraint violations score
+   neg_infinity so search walks away from them; [counted] says whether an
+   oracle call actually happened (constraint rejections are free). *)
+let evaluate_raw st d =
+  if not (Input_constraints.satisfied st.opts.constraints d) then
+    (neg_infinity, false)
+  else
     match Evaluate.gap st.ev d with
-    | None -> neg_infinity
-    | Some g ->
-        (match st.best with
-        | Some (_, b) when g <= b -> ()
-        | _ ->
-            st.best <- Some (Array.copy d, g);
-            st.trace <- (now () -. st.start, g) :: st.trace);
-        g
-  end
+    | None -> (neg_infinity, true)
+    | Some g -> (g, true)
+
+(* Serial bookkeeping for a scored candidate, in evaluation order. *)
+let record st d (g, counted) =
+  if counted then st.evaluations <- st.evaluations + 1;
+  if g > neg_infinity then
+    match st.best with
+    | Some (_, b) when g <= b -> ()
+    | _ ->
+        let copy = Array.copy d in
+        st.best <- Some (copy, g);
+        st.trace <- (now () -. st.start, g) :: st.trace;
+        st.opts.on_best copy g
+
+let score st d =
+  let r = evaluate_raw st d in
+  record st d r;
+  fst r
 
 let random_start st =
   let n = Pathset.num_pairs st.ev.Evaluate.pathset in
@@ -125,23 +146,41 @@ let finish st =
     trace = List.rev st.trace;
   }
 
-(* Algorithm 1 (hill climbing), restarted until the budget is spent. *)
+(* Algorithm 1 (hill climbing), restarted until the budget is spent.
+
+   With [batch] > 1 each step draws a batch of neighbours (RNG draws stay
+   serial, so the candidate stream is a deterministic function of the
+   seed), scores them through [parallel_map], and moves to the best
+   improving one; bookkeeping runs in draw order afterwards. [batch] = 1
+   reproduces the classic one-neighbour-at-a-time walk exactly. *)
 let hill_climb ev ~rng ?(options = default_options) () =
   let st = make_state ev ~rng options in
+  let batch = Int.max 1 options.batch in
   while not (out_of_budget st) do
     st.restarts <- st.restarts + 1;
     let current = ref (random_start st) in
     let current_gap = ref (score st !current) in
     let k = ref 0 in
     while !k < st.opts.patience && not (out_of_budget st) do
-      let cand = neighbour st !current in
-      let g = score st cand in
-      if g > !current_gap then begin
-        current := cand;
-        current_gap := g;
-        k := -1
-      end;
-      incr k
+      let cands = Array.init batch (fun _ -> neighbour st !current) in
+      let scored =
+        Repro_engine.Parallel.map ?pool:st.opts.pool (evaluate_raw st) cands
+      in
+      Array.iteri (fun i r -> record st cands.(i) r) scored;
+      let best_i = ref (-1) and best_g = ref !current_gap in
+      Array.iteri
+        (fun i (g, _) ->
+          if g > !best_g then begin
+            best_i := i;
+            best_g := g
+          end)
+        scored;
+      if !best_i >= 0 then begin
+        current := cands.(!best_i);
+        current_gap := !best_g;
+        k := 0
+      end
+      else k := !k + batch
     done
   done;
   finish st

@@ -18,6 +18,20 @@ type options = {
   cooling_period : int;  (** Kp: iterations between coolings (SA) *)
   demand_ub : float option;  (** [None] — max link capacity *)
   constraints : Input_constraints.t;
+  stop : unit -> bool;
+      (** external stop signal, polled with the time/evaluation budget —
+          how a portfolio race winds a black-box worker down early *)
+  on_best : Demand.t -> float -> unit;
+      (** called on every improvement with a private copy of the demands —
+          how a worker publishes into a shared {!Repro_engine.Incumbent}
+          store *)
+  batch : int;
+      (** neighbours drawn (serially, deterministic stream) and scored per
+          hill-climbing step; 1 reproduces Algorithm 1 exactly *)
+  pool : Repro_engine.Pool.t option;
+      (** scores each batch through [parallel_map]; the move choice and
+          all bookkeeping stay in draw order, so a given (seed, batch) is
+          deterministic with or without the pool *)
 }
 
 val default_options : options

@@ -6,9 +6,14 @@ type heuristic_spec =
       reduce : [ `Average | `Kth_smallest of int ];
     }
 
-type t = { pathset : Pathset.t; spec : heuristic_spec }
+type t = {
+  pathset : Pathset.t;
+  spec : heuristic_spec;
+  pool : Repro_engine.Pool.t option;
+}
 
-let make_dp pathset ~threshold = { pathset; spec = Dp_spec { threshold } }
+let make_dp pathset ~threshold =
+  { pathset; spec = Dp_spec { threshold }; pool = None }
 
 let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
   if instances <= 0 then invalid_arg "Evaluate.make_pop: instances <= 0";
@@ -16,7 +21,9 @@ let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
   let partitions =
     List.init instances (fun _ -> Pop.random_partition ~rng ~num_pairs ~parts)
   in
-  { pathset; spec = Pop_spec { parts; partitions; reduce } }
+  { pathset; spec = Pop_spec { parts; partitions; reduce }; pool = None }
+
+let with_pool t pool = { t with pool }
 
 let partitions t =
   match t.spec with
@@ -42,10 +49,14 @@ let heuristic_value t demand =
       | Demand_pinning.Feasible { total; _ } -> Some total
       | Demand_pinning.Infeasible_pinning _ -> None)
   | Pop_spec { parts; partitions; reduce } ->
+      (* the R partition instances are independent solves: fan them out on
+         the pool; list order (hence the reduction) is preserved, so the
+         value is bit-identical to the serial run *)
       let totals =
-        List.map
+        Repro_engine.Parallel.map_list ?pool:t.pool
           (fun partition ->
-            (Pop.solve t.pathset ~parts partition demand).Pop.total)
+            (Pop.solve ?pool:t.pool t.pathset ~parts partition demand)
+              .Pop.total)
           partitions
       in
       Some (reduce_values reduce totals)

@@ -18,7 +18,15 @@ type heuristic_spec =
               percentile of §3.2) *)
     }
 
-type t = { pathset : Pathset.t; spec : heuristic_spec }
+type t = {
+  pathset : Pathset.t;
+  spec : heuristic_spec;
+  pool : Repro_engine.Pool.t option;
+      (** when set, POP's R partition instances (and each instance's
+          per-part LPs) are evaluated concurrently; results stay
+          bit-identical to serial because reductions run in instance
+          order *)
+}
 
 val make_dp : Pathset.t -> threshold:float -> t
 
@@ -32,6 +40,10 @@ val make_pop :
   t
 (** Draws [instances] random partitions once; they stay fixed for the
     oracle's lifetime so repeated evaluations are comparable. *)
+
+val with_pool : t -> Repro_engine.Pool.t option -> t
+(** The same oracle, evaluating on the given pool (or serially for
+    [None]). Values are unchanged either way. *)
 
 val partitions : t -> Pop.partition list
 (** Empty for DP. *)

@@ -63,16 +63,22 @@ let score ev ~constraints d =
     | None -> None
     | Some g -> Some (d, g)
 
-let best_candidate ev ~constraints candidates =
+let best_candidate ?pool ev ~constraints candidates =
+  (* score in parallel, reduce serially in candidate order: same winner
+     (and same tie-breaking towards earlier candidates) as the serial
+     fold, bit for bit *)
+  let scored =
+    Repro_engine.Parallel.map_list ?pool (score ev ~constraints) candidates
+  in
   List.fold_left
-    (fun best cand ->
-      match score ev ~constraints cand with
+    (fun best s ->
+      match s with
       | None -> best
       | Some (d, g) -> (
           match best with
           | Some (_, bg) when bg >= g -> best
           | _ -> Some (d, g)))
-    None candidates
+    None scored
 
 let refine ev ~constraints ~budget ~levels start =
   match score ev ~constraints start with

@@ -50,9 +50,12 @@ val refine :
     (demands, gap) seen, [None] if nothing feasible was found. *)
 
 val best_candidate :
+  ?pool:Repro_engine.Pool.t ->
   Evaluate.t ->
   constraints:Input_constraints.t ->
   Demand.t list ->
   (Demand.t * float) option
 (** Score candidates with the oracle (after projecting into the
-    constraints) and keep the best feasible one. *)
+    constraints) and keep the best feasible one. With a pool the scoring
+    fans out over the workers; the reduction stays in candidate order so
+    the winner is the same as the serial run. *)

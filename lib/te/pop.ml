@@ -15,36 +15,41 @@ type result = {
 }
 
 (* Solve one OptMaxFlow per part over that part's demands, with capacities
-   scaled down by [parts], and union the allocations (eq. 6). *)
-let solve_per_part pathset ~parts ~demand_of_part =
+   scaled down by [parts], and union the allocations (eq. 6). The per-part
+   solves are independent LPs; with a pool they run concurrently, and the
+   per-part totals/allocations are folded in part order afterwards so the
+   result is bit-identical to the serial loop. *)
+let solve_per_part ?pool pathset ~parts ~demand_of_part =
   if parts <= 0 then invalid_arg "Pop.solve: parts <= 0";
   let g = Pathset.graph pathset in
   let scale = 1. /. float_of_int parts in
   let scaled = Array.init (Graph.num_edges g) (fun e -> scale *. Graph.capacity g e) in
-  let per_part = Array.make parts 0. in
-  let allocation = ref (Allocation.zero pathset) in
-  for c = 0 to parts - 1 do
-    let demand = demand_of_part c in
-    let only k = demand.(k) > 0. in
-    let r =
-      Opt_max_flow.residual_capacity_solve pathset demand ~only ~residual:scaled
-    in
-    per_part.(c) <- r.Opt_max_flow.total;
-    allocation := Allocation.merge !allocation r.Opt_max_flow.allocation
-  done;
+  let results =
+    Repro_engine.Parallel.init ?pool parts (fun c ->
+        let demand = demand_of_part c in
+        let only k = demand.(k) > 0. in
+        Opt_max_flow.residual_capacity_solve pathset demand ~only
+          ~residual:scaled)
+  in
+  let per_part = Array.map (fun r -> r.Opt_max_flow.total) results in
+  let allocation =
+    Array.fold_left
+      (fun acc r -> Allocation.merge acc r.Opt_max_flow.allocation)
+      (Allocation.zero pathset) results
+  in
   {
     total = Array.fold_left ( +. ) 0. per_part;
     per_part;
-    allocation = !allocation;
+    allocation;
   }
 
-let solve pathset ~parts partition demand =
+let solve ?pool pathset ~parts partition demand =
   if Array.length partition <> Pathset.num_pairs pathset then
     invalid_arg "Pop.solve: partition size mismatch";
   let demand_of_part c =
     Array.mapi (fun k d -> if partition.(k) = c then d else 0.) demand
   in
-  solve_per_part pathset ~parts ~demand_of_part
+  solve_per_part ?pool pathset ~parts ~demand_of_part
 
 type split_demands = {
   origin : int array;
@@ -73,7 +78,8 @@ let client_split demand ~threshold ~max_splits =
     volumes = Array.of_list (List.rev !volumes);
   }
 
-let solve_with_client_split pathset ~parts ~rng ~threshold ~max_splits demand =
+let solve_with_client_split ?pool pathset ~parts ~rng ~threshold ~max_splits
+    demand =
   let split = client_split demand ~threshold ~max_splits in
   let num_virtual = Array.length split.origin in
   let assignment = random_partition ~rng ~num_pairs:num_virtual ~parts in
@@ -84,7 +90,7 @@ let solve_with_client_split pathset ~parts ~rng ~threshold ~max_splits demand =
       split.origin;
     d
   in
-  solve_per_part pathset ~parts ~demand_of_part
+  solve_per_part ?pool pathset ~parts ~demand_of_part
 
 let split_level ~threshold ~max_splits d =
   if threshold <= 0. then invalid_arg "Pop.split_level: threshold <= 0";
@@ -105,7 +111,8 @@ let slot ~max_splits ~pair ~level ~copy =
 let random_slot_assignment ~rng ~num_pairs ~max_splits ~parts =
   random_partition ~rng ~num_pairs:(num_pairs * num_slots ~max_splits) ~parts
 
-let solve_fixed_split pathset ~parts ~threshold ~max_splits ~assignment demand =
+let solve_fixed_split ?pool pathset ~parts ~threshold ~max_splits ~assignment
+    demand =
   if Array.length assignment
      <> Pathset.num_pairs pathset * num_slots ~max_splits
   then invalid_arg "Pop.solve_fixed_split: assignment size mismatch";
@@ -125,4 +132,4 @@ let solve_fixed_split pathset ~parts ~threshold ~max_splits ~assignment demand =
         end)
       demand
   in
-  solve_per_part pathset ~parts ~demand_of_part
+  solve_per_part ?pool pathset ~parts ~demand_of_part

@@ -8,7 +8,12 @@
     The appendix's {e client splitting} extension is also implemented:
     demands at or above a threshold are repeatedly halved into virtual
     clients (up to a per-client split budget), spreading a large demand
-    across partitions. *)
+    across partitions.
+
+    Every solver entry point takes an optional [?pool]: the per-partition
+    LPs are independent, so with a {!Repro_engine.Pool.t} they run
+    concurrently. Totals and allocations are folded in part order either
+    way, so pooled results are bit-identical to serial ones. *)
 
 type partition = int array
 (** [partition.(k)] — the part id of pair [k], in [0, parts). *)
@@ -22,7 +27,13 @@ type result = {
   allocation : Allocation.t;
 }
 
-val solve : Pathset.t -> parts:int -> partition -> Demand.t -> result
+val solve :
+  ?pool:Repro_engine.Pool.t ->
+  Pathset.t ->
+  parts:int ->
+  partition ->
+  Demand.t ->
+  result
 
 (** {1 Client splitting (Appendix A)} *)
 
@@ -38,6 +49,7 @@ val client_split :
     becomes [2^s] equal virtual clients. *)
 
 val solve_with_client_split :
+  ?pool:Repro_engine.Pool.t ->
   Pathset.t ->
   parts:int ->
   rng:Rng.t ->
@@ -75,6 +87,7 @@ val random_slot_assignment :
 (** Balanced uniform assignment over all slots of all pairs. *)
 
 val solve_fixed_split :
+  ?pool:Repro_engine.Pool.t ->
   Pathset.t ->
   parts:int ->
   threshold:float ->

@@ -62,25 +62,42 @@ let norm g gap = gap /. Graph.total_capacity g
 let timings : (string * float) list ref = ref []
 let note_timing name seconds = timings := (name, seconds) :: !timings
 
+(* effective worker-domain count the scenarios actually ran with (the
+   engine benches request jobs = 4 regardless of the host's core count);
+   recorded next to the hardware's recommendation so a "cpus: 1, jobs: 4"
+   line reads as oversubscription, not as a reporting bug *)
+let effective_jobs = ref 1
+let note_jobs n = if n > !effective_jobs then effective_jobs := n
+
 (* engine scenario records: pre-rendered JSON objects, in run order *)
 let scenarios : string list ref = ref []
 let add_scenario json = scenarios := json :: !scenarios
 
 let write_bench_json path =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"repro-engine\",\n\
-    \  \"mode\": %S,\n\
-    \  \"cpus\": %d,\n"
-    (if full_mode then "full" else "fast")
-    (Domain.recommended_domain_count ());
-  Printf.fprintf oc "  \"targets\": [\n%s\n  ],\n"
-    (String.concat ",\n"
-       (List.rev_map
-          (fun (n, s) -> Printf.sprintf "    {\"name\": %S, \"wall_s\": %.3f}" n s)
-          !timings));
-  Printf.fprintf oc "  \"scenarios\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.rev !scenarios));
-  close_out oc;
-  row "machine-readable timings written to %s" path
+  if !scenarios = [] then
+    (* no engine scenarios ran (e.g. `main.exe serve` only): leave any
+       previously emitted BENCH_engine.json alone instead of clobbering
+       it with an empty scenario list *)
+    row "no engine scenarios ran; %s left untouched" path
+  else begin
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"repro-engine\",\n\
+      \  \"mode\": %S,\n\
+      \  \"cpus\": %d,\n\
+      \  \"jobs\": %d,\n"
+      (if full_mode then "full" else "fast")
+      (Domain.recommended_domain_count ())
+      !effective_jobs;
+    Printf.fprintf oc "  \"targets\": [\n%s\n  ],\n"
+      (String.concat ",\n"
+         (List.rev_map
+            (fun (n, s) ->
+              Printf.sprintf "    {\"name\": %S, \"wall_s\": %.3f}" n s)
+            !timings));
+    Printf.fprintf oc "  \"scenarios\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.rev !scenarios));
+    close_out oc;
+    row "machine-readable timings written to %s" path
+  end

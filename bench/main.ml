@@ -24,12 +24,13 @@ let all : (string * (unit -> unit)) list =
     ("ablations", Ablations.run);
     ("micro", Micro.run);
     ("engine", Engine_perf.run);
+    ("serve", Serve.run);
   ]
 
 let default =
   [
     "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "micro";
-    "engine";
+    "engine"; "serve";
   ]
 
 let () =

@@ -401,6 +401,164 @@ let find_capacity_gap_cmd =
           gap at fixed demands")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Repro_serve
+
+let socket_arg =
+  let doc = "Unix domain socket path of the gap-query daemon." in
+  Arg.(
+    value
+    & opt string "/tmp/repro-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket jobs cache_mb cache_dir persist queue_limit batch_max verbose
+      =
+    setup_logs verbose;
+    let cache_dir =
+      match (cache_dir, persist) with
+      | (Some _ as d), _ -> d
+      | None, true -> Some (Serve.Daemon.default_cache_dir ())
+      | None, false -> None
+    in
+    let config =
+      {
+        (Serve.Daemon.default_config ~socket_path:socket) with
+        Serve.Daemon.jobs;
+        cache_mb;
+        cache_dir;
+        queue_limit;
+        batch_max;
+      }
+    in
+    let ready () =
+      Fmt.pr "repro-serve: listening on %s (jobs %d, cache %d MiB%s)@."
+        socket jobs cache_mb
+        (match cache_dir with
+        | Some d -> ", journal in " ^ d
+        | None -> ", in-memory only")
+    in
+    match Serve.Daemon.run ~ready config with
+    | Ok () -> ()
+    | Error e ->
+        Fmt.epr "repro-serve: %s@." e;
+        exit 1
+  in
+  let cache_mb_arg =
+    let doc = "Result-cache budget in MiB." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MIB" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Persist the solve cache as an append-only journal in this directory \
+       (replayed on startup)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let persist_arg =
+    let doc =
+      "Persist the solve cache in the default directory \
+       (\\$XDG_CACHE_HOME/repro-serve or ~/.cache/repro-serve)."
+    in
+    Arg.(value & flag & info [ "persist" ] ~doc)
+  in
+  let queue_limit_arg =
+    let doc = "Reject requests with 'overloaded' beyond this queue depth." in
+    Arg.(value & opt int 256 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let batch_max_arg =
+    let doc = "Max compatible solves admitted as one parallel batch." in
+    Arg.(value & opt int 16 & info [ "batch-max" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ jobs_arg $ cache_mb_arg $ cache_dir_arg
+      $ persist_arg $ queue_limit_arg $ batch_max_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the gap-query daemon: a Unix-socket service with a \
+          content-addressed solve cache and request batching")
+    term
+
+let client_cmd =
+  let run socket op g paths heuristic threshold_frac parts instances seed gen
+      file method_ time =
+    let heuristic =
+      match heuristic with
+      | Dp -> Serve.Protocol.Dp { threshold_frac }
+      | Pop_h -> Serve.Protocol.Pop { parts; instances; seed }
+    in
+    let instance =
+      { Serve.Protocol.topology = Graph.name g; paths; heuristic }
+    in
+    let demand () =
+      match file with
+      | Some path ->
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let csv = really_input_string ic len in
+          close_in ic;
+          Serve.Protocol.Csv csv
+      | None -> Serve.Protocol.Gen { gen; seed = seed + 1 }
+    in
+    let req =
+      match op with
+      | `Ping -> Serve.Protocol.Ping
+      | `Stats -> Serve.Protocol.Stats
+      | `Shutdown -> Serve.Protocol.Shutdown
+      | `Evaluate -> Serve.Protocol.Evaluate { instance; demand = demand () }
+      | `Find_gap ->
+          let method_ =
+            match method_ with
+            | `Whitebox -> Serve.Protocol.Whitebox
+            | `Sweep -> Serve.Protocol.Sweep
+            | `Hillclimb -> Serve.Protocol.Hillclimb
+            | `Annealing -> Serve.Protocol.Annealing
+            | `Portfolio -> Serve.Protocol.Portfolio
+          in
+          Serve.Protocol.Find_gap { instance; method_; time; seed }
+    in
+    let result =
+      Serve.Client.with_connection socket (fun c -> Serve.Client.call c req)
+    in
+    match result with
+    | Error e | Ok (Error e) ->
+        Fmt.epr "repro-metaopt client: %s@." e;
+        exit 1
+    | Ok (Ok response) ->
+        print_endline (Serve.Json.to_string_pretty response);
+        if Serve.Json.member "ok" response <> Some (Serve.Json.Bool true) then
+          exit 2
+  in
+  let op_arg =
+    let doc = "Operation: ping, stats, evaluate, find-gap or shutdown." in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("ping", `Ping); ("stats", `Stats); ("evaluate", `Evaluate);
+                  ("find-gap", `Find_gap); ("shutdown", `Shutdown) ]))
+          None
+      & info [] ~docv:"OP" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ op_arg $ topology_arg $ paths_arg
+      $ heuristic_arg $ threshold_frac_arg $ parts_arg $ instances_arg
+      $ seed_arg $ demand_gen_arg $ demands_file_arg $ method_arg $ time_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Query a running gap-query daemon over its Unix socket")
+    term
+
 let () =
   let info =
     Cmd.info "repro-metaopt" ~version:"1.0.0"
@@ -410,4 +568,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topology_cmd; evaluate_cmd; find_gap_cmd; find_capacity_gap_cmd ]))
+          [ topology_cmd; evaluate_cmd; find_gap_cmd; find_capacity_gap_cmd;
+            serve_cmd; client_cmd ]))

@@ -119,6 +119,25 @@ let await { pool = t; cell } =
   in
   loop ()
 
+let await_passive { pool = t; cell } =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match cell.state with
+    | Done v ->
+        Mutex.unlock t.mutex;
+        v
+    | Failed (e, bt) ->
+        Mutex.unlock t.mutex;
+        Printexc.raise_with_backtrace e bt
+    | Dropped ->
+        Mutex.unlock t.mutex;
+        raise Cancelled
+    | Pending | Running ->
+        Condition.wait t.cond t.mutex;
+        loop ()
+  in
+  loop ()
+
 let cancel { pool = t; cell } =
   Mutex.lock t.mutex;
   (match cell.state with

@@ -43,6 +43,15 @@ val await : 'a future -> 'a
     value. Re-raises the task's exception with its original backtrace;
     raises {!Cancelled} if the task was cancelled before starting. *)
 
+val await_passive : 'a future -> 'a
+(** Like {!await} but never helps: the caller sleeps on a condition until
+    a worker finishes the task. For callers whose domain must stay
+    responsive while the task runs (e.g. a server's dispatcher thread,
+    whose domain is also running the connection threads) — helping would
+    pin this domain's systhreads behind the computation. Do not use from
+    inside a pool task: unlike {!await} it can idle a worker while work
+    is queued, which with nested parallelism can deadlock. *)
+
 val cancel : 'a future -> unit
 (** Request cancellation. Idempotent; never blocks. *)
 

@@ -6,14 +6,20 @@ type heuristic_spec =
       reduce : [ `Average | `Kth_smallest of int ];
     }
 
+type cache_hook = {
+  lookup : tag:string -> Demand.t -> float option option;
+  insert : tag:string -> Demand.t -> float option -> unit;
+}
+
 type t = {
   pathset : Pathset.t;
   spec : heuristic_spec;
   pool : Repro_engine.Pool.t option;
+  hook : cache_hook option;
 }
 
 let make_dp pathset ~threshold =
-  { pathset; spec = Dp_spec { threshold }; pool = None }
+  { pathset; spec = Dp_spec { threshold }; pool = None; hook = None }
 
 let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
   if instances <= 0 then invalid_arg "Evaluate.make_pop: instances <= 0";
@@ -21,16 +27,43 @@ let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
   let partitions =
     List.init instances (fun _ -> Pop.random_partition ~rng ~num_pairs ~parts)
   in
-  { pathset; spec = Pop_spec { parts; partitions; reduce }; pool = None }
+  {
+    pathset;
+    spec = Pop_spec { parts; partitions; reduce };
+    pool = None;
+    hook = None;
+  }
 
 let with_pool t pool = { t with pool }
+let with_cache t hook = { t with hook }
+
+(* Route a computation through the attached cache hook, if any. The hook
+   is consulted and filled under whatever synchronization it carries
+   itself (the serving layer's cache is sharded and mutex-protected), so
+   this is safe from portfolio workers on different domains. *)
+let cached t ~tag demand compute =
+  match t.hook with
+  | None -> compute ()
+  | Some hook -> (
+      match hook.lookup ~tag demand with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          hook.insert ~tag demand v;
+          v)
 
 let partitions t =
   match t.spec with
   | Dp_spec _ -> []
   | Pop_spec { partitions; _ } -> partitions
 
-let opt_value t demand = (Opt_max_flow.solve t.pathset demand).Opt_max_flow.total
+let opt_value t demand =
+  match
+    cached t ~tag:"opt" demand (fun () ->
+        Some (Opt_max_flow.solve t.pathset demand).Opt_max_flow.total)
+  with
+  | Some v -> v
+  | None -> assert false (* "opt" computations always produce a value *)
 
 let reduce_values reduce values =
   match reduce with
@@ -42,7 +75,7 @@ let reduce_values reduce values =
       if k < 1 || k > n then invalid_arg "Evaluate: bad k for Kth_smallest";
       List.nth sorted (k - 1)
 
-let heuristic_value t demand =
+let heuristic_value_raw t demand =
   match t.spec with
   | Dp_spec { threshold } -> (
       match Demand_pinning.solve t.pathset ~threshold demand with
@@ -60,6 +93,9 @@ let heuristic_value t demand =
           partitions
       in
       Some (reduce_values reduce totals)
+
+let heuristic_value t demand =
+  cached t ~tag:"heur" demand (fun () -> heuristic_value_raw t demand)
 
 let gap t demand =
   match heuristic_value t demand with

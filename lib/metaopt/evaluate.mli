@@ -18,6 +18,21 @@ type heuristic_spec =
               percentile of §3.2) *)
     }
 
+type cache_hook = {
+  lookup : tag:string -> Demand.t -> float option option;
+      (** [Some v] — a cached oracle value for (this oracle, [tag],
+          demand); [None] — not cached. [tag] is ["opt"] or ["heur"]. *)
+  insert : tag:string -> Demand.t -> float option -> unit;
+}
+(** External oracle-value cache, attached by the serving layer
+    ({!Repro_serve.Oracle_cache}): every [opt_value] /
+    [heuristic_value] consults it first, so repeated oracle calls —
+    inside one black-box walk, across portfolio workers on different
+    domains, or across independent daemon queries over the same
+    instance — cost one solve. Implementations must be domain-safe;
+    the cached value for ["heur"] may be [None] (a cached
+    infeasibility). *)
+
 type t = {
   pathset : Pathset.t;
   spec : heuristic_spec;
@@ -26,6 +41,7 @@ type t = {
           per-part LPs) are evaluated concurrently; results stay
           bit-identical to serial because reductions run in instance
           order *)
+  hook : cache_hook option;
 }
 
 val make_dp : Pathset.t -> threshold:float -> t
@@ -44,6 +60,11 @@ val make_pop :
 val with_pool : t -> Repro_engine.Pool.t option -> t
 (** The same oracle, evaluating on the given pool (or serially for
     [None]). Values are unchanged either way. *)
+
+val with_cache : t -> cache_hook option -> t
+(** The same oracle, with (or without) an external oracle-value cache.
+    Values are unchanged either way — the hook only skips recomputation
+    of identical queries. *)
 
 val partitions : t -> Pop.partition list
 (** Empty for DP. *)

@@ -49,6 +49,15 @@ val refine :
     are exhausted or a full pass yields nothing. Returns the best
     (demands, gap) seen, [None] if nothing feasible was found. *)
 
+val score :
+  Evaluate.t ->
+  constraints:Input_constraints.t ->
+  Demand.t ->
+  (Demand.t * float) option
+(** Project one candidate into the constraints and score it with the
+    oracle; [None] if it is rejected by the constraints or infeasible.
+    The unit of work {!best_candidate} fans out over the pool. *)
+
 val best_candidate :
   ?pool:Repro_engine.Pool.t ->
   Evaluate.t ->

@@ -1,0 +1,31 @@
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t json =
+  match Protocol.write_frame t.fd (Json.to_string json) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send failed: " ^ Unix.error_message e)
+  | () -> (
+      match Protocol.read_frame t.fd with
+      | Error e -> Error ("receive failed: " ^ e)
+      | Ok None -> Error "daemon closed the connection"
+      | Ok (Some payload) -> Json.of_string payload
+      | exception Unix.Unix_error (e, _, _) ->
+          Error ("receive failed: " ^ Unix.error_message e))
+
+let call t req = request t (Protocol.request_to_json req)
+
+let with_connection path f =
+  match connect path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> Ok (f t))

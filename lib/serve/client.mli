@@ -1,0 +1,19 @@
+(** Client side of the gap-query daemon's socket protocol. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's Unix socket at this path. *)
+
+val close : t -> unit
+
+val request : t -> Json.t -> (Json.t, string) result
+(** One request/response round trip. [Error] on transport failures
+    (connection refused mid-stream, torn frames, unparsable response);
+    application errors come back as [Ok {"ok":false, ...}]. *)
+
+val call : t -> Protocol.request -> (Json.t, string) result
+(** {!request} composed with {!Protocol.request_to_json}. *)
+
+val with_connection : string -> (t -> 'a) -> ('a, string) result
+(** Connect, run, always close. *)

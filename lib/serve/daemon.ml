@@ -1,0 +1,473 @@
+open Repro_topology
+open Repro_te
+open Repro_metaopt
+module Engine = Repro_engine
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  cache_mb : int;
+  cache_dir : string option;
+  queue_limit : int;
+  batch_max : int;
+  shards : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 1;
+    cache_mb = 64;
+    cache_dir = None;
+    queue_limit = 256;
+    batch_max = 16;
+    shards = 8;
+  }
+
+let default_cache_dir () =
+  let base =
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> d
+    | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" -> Filename.concat h ".cache"
+        | _ -> Filename.get_temp_dir_name ())
+  in
+  Filename.concat base "repro-serve"
+
+let journal_file = "solve-cache.journal"
+
+(* ------------------------------------------------------------------ *)
+(* server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  config : config;
+  pool : Engine.Pool.t option;
+  results : Json.t Solve_cache.t;
+  oracle : float option Solve_cache.t;
+  sched : Json.t Scheduler.t;
+  pathsets : (string * int, Pathset.t) Hashtbl.t;
+  pathsets_mutex : Mutex.t;
+  started : float;
+  stop : bool Atomic.t;
+}
+
+let pathset_of state ~topology ~paths g =
+  Mutex.lock state.pathsets_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock state.pathsets_mutex)
+    (fun () ->
+      match Hashtbl.find_opt state.pathsets (topology, paths) with
+      | Some p -> p
+      | None ->
+          let p = Pathset.compute (Demand.full_space g) ~k:paths in
+          Hashtbl.replace state.pathsets (topology, paths) p;
+          p)
+
+let ( let* ) = Result.bind
+
+(* Build the oracle for a protocol instance, sharing pathsets and the
+   oracle-value cache. Mirrors the CLI's evaluator construction. *)
+let build_evaluator state (inst : Protocol.instance) =
+  match Topologies.by_name inst.Protocol.topology with
+  | None -> Error (Printf.sprintf "unknown topology %S" inst.Protocol.topology)
+  | Some g ->
+      let pathset =
+        pathset_of state ~topology:inst.Protocol.topology
+          ~paths:inst.Protocol.paths g
+      in
+      let ev =
+        match inst.Protocol.heuristic with
+        | Protocol.Dp { threshold_frac } ->
+            Evaluate.make_dp pathset
+              ~threshold:(threshold_frac *. Graph.max_capacity g)
+        | Protocol.Pop { parts; instances; seed } ->
+            Evaluate.make_pop pathset ~parts ~instances
+              ~rng:(Rng.create seed) ()
+      in
+      let ev = Evaluate.with_pool ev state.pool in
+      Ok
+        (Oracle_cache.attach ~cache:state.oracle ~paths:inst.Protocol.paths ev,
+         g)
+
+let build_demand space g (spec : Protocol.demand_spec) =
+  match spec with
+  | Protocol.Gen { gen; seed } ->
+      let rng = Rng.create seed in
+      Ok
+        (match gen with
+        | `Uniform -> Demand.uniform space ~rng ~max:(0.5 *. Graph.max_capacity g)
+        | `Gravity ->
+            Demand.gravity space ~rng ~total:(0.5 *. Graph.total_capacity g)
+        | `Bimodal ->
+            Demand.bimodal space ~rng ~fraction_large:0.2
+              ~small_max:(0.1 *. Graph.max_capacity g)
+              ~large_max:(Graph.max_capacity g))
+  | Protocol.Csv csv -> Demand.of_csv space csv
+  | Protocol.Entries l ->
+      let d = Demand.zero space in
+      let rec fill = function
+        | [] -> Ok d
+        | (src, dst, v) :: rest -> (
+            if v < 0. then
+              Error (Printf.sprintf "negative volume for pair (%d,%d)" src dst)
+            else
+              match Demand.index space ~src ~dst with
+              | Some k ->
+                  d.(k) <- v;
+                  fill rest
+              | None ->
+                  Error (Printf.sprintf "unknown pair (%d,%d)" src dst))
+      in
+      fill l
+
+let demands_to_entries space d =
+  let l = ref [] in
+  Array.iteri
+    (fun k v ->
+      if v <> 0. then begin
+        let s, dst = Demand.pair space k in
+        l :=
+          Json.List
+            [ Json.Num (float_of_int s); Json.Num (float_of_int dst); Json.Num v ]
+          :: !l
+      end)
+    d;
+  Json.List (List.rev !l)
+
+let trace_to_json trace =
+  Json.List (List.map (fun (t, g) -> Json.List [ Json.Num t; Json.Num g ]) trace)
+
+let group (inst : Protocol.instance) op =
+  Printf.sprintf "%s/%s/%d" op inst.Protocol.topology inst.Protocol.paths
+
+(* ---- the solves (run inside the scheduler's batches) --------------- *)
+
+let evaluate_job ev g demand () =
+  let space = Pathset.space ev.Evaluate.pathset in
+  let opt = Evaluate.opt_value ev demand in
+  let heur = Evaluate.heuristic_value ev demand in
+  Json.Obj
+    [
+      ("opt", Json.Num opt);
+      ("heuristic", match heur with Some h -> Json.Num h | None -> Json.Null);
+      ( "gap",
+        match heur with Some h -> Json.Num (opt -. h) | None -> Json.Null );
+      ( "normalized_gap",
+        match heur with
+        | Some h -> Json.Num ((opt -. h) /. Graph.total_capacity g)
+        | None -> Json.Null );
+      ("feasible", Json.Bool (heur <> None));
+      ("demand_total", Json.Num (Demand.total demand));
+      ("pairs", Json.Num (float_of_int (Demand.size space)));
+    ]
+
+let find_gap_job ev ~(method_ : Protocol.search_method) ~time ~seed () =
+  let space = Pathset.space ev.Evaluate.pathset in
+  match method_ with
+  | Protocol.Whitebox | Protocol.Sweep | Protocol.Portfolio ->
+      let options =
+        {
+          Adversary.default_options with
+          search =
+            (match method_ with
+            | Protocol.Sweep ->
+                Adversary.Binary_sweep { probes = 5; probe_time = time /. 6. }
+            | Protocol.Portfolio ->
+                Adversary.Portfolio
+                  {
+                    Adversary.default_portfolio with
+                    blackbox_time = time /. 2.;
+                  }
+            | _ -> Adversary.Direct);
+          bb =
+            {
+              Repro_lp.Branch_bound.default_options with
+              time_limit = time;
+              stall_time = Float.max 2. (time /. 4.);
+            };
+        }
+      in
+      let r = Adversary.find ev ~options () in
+      Json.Obj
+        [
+          ("gap", Json.Num r.Adversary.gap);
+          ("normalized_gap", Json.Num r.Adversary.normalized_gap);
+          ("opt", Json.Num r.Adversary.opt_value);
+          ("heuristic", Json.Num r.Adversary.heuristic_value);
+          ( "upper_bound",
+            match r.Adversary.upper_bound with
+            | Some ub -> Json.Num ub
+            | None -> Json.Null );
+          ( "oracle_calls",
+            Json.Num (float_of_int r.Adversary.stats.Adversary.oracle_calls) );
+          ("demands", demands_to_entries space r.Adversary.demands);
+          ("trace", trace_to_json r.Adversary.trace);
+        ]
+  | Protocol.Hillclimb | Protocol.Annealing ->
+      let options = { Blackbox.default_options with time_limit = time } in
+      let rng = Rng.create seed in
+      let r =
+        match method_ with
+        | Protocol.Hillclimb -> Blackbox.hill_climb ev ~rng ~options ()
+        | _ -> Blackbox.simulated_annealing ev ~rng ~options ()
+      in
+      Json.Obj
+        [
+          ("gap", Json.Num r.Blackbox.gap);
+          ("normalized_gap", Json.Num r.Blackbox.normalized_gap);
+          ("evaluations", Json.Num (float_of_int r.Blackbox.evaluations));
+          ("restarts", Json.Num (float_of_int r.Blackbox.restarts));
+          ("demands", demands_to_entries space r.Blackbox.demands);
+          ("trace", trace_to_json r.Blackbox.trace);
+        ]
+
+(* ---- request handling ---------------------------------------------- *)
+
+let scheduler_error = function
+  | Scheduler.Overloaded { queued; limit } ->
+      Protocol.error ~code:"overloaded"
+        (Printf.sprintf "queue full (%d/%d); retry later" queued limit)
+  | Scheduler.Failed msg -> Protocol.error ~code:"solve-failed" msg
+  | Scheduler.Shutdown ->
+      Protocol.error ~code:"overloaded" "daemon is shutting down"
+
+let submit state ~key ~group job extra_fields =
+  match Scheduler.submit state.sched ~key ~group job with
+  | Error e -> scheduler_error e
+  | Ok (Json.Obj fields, source) ->
+      Protocol.ok
+        (fields
+        @ extra_fields
+        @ [
+            ("cached", Json.Bool (source = `Cached));
+            ("coalesced", Json.Bool (source = `Coalesced));
+            ("fingerprint", Json.Str (Fingerprint.to_hex key));
+          ])
+  | Ok (other, _) -> Protocol.ok [ ("result", other) ]
+
+let cache_stats_json (s : Solve_cache.stats) =
+  let total = s.Solve_cache.hits + s.Solve_cache.misses in
+  Json.Obj
+    [
+      ("hits", Json.Num (float_of_int s.Solve_cache.hits));
+      ("misses", Json.Num (float_of_int s.Solve_cache.misses));
+      ( "hit_rate",
+        if total = 0 then Json.Null
+        else Json.Num (float_of_int s.Solve_cache.hits /. float_of_int total)
+      );
+      ("evictions", Json.Num (float_of_int s.Solve_cache.evictions));
+      ("inserts", Json.Num (float_of_int s.Solve_cache.inserts));
+      ("entries", Json.Num (float_of_int s.Solve_cache.entries));
+      ("bytes", Json.Num (float_of_int s.Solve_cache.bytes));
+      ("max_bytes", Json.Num (float_of_int s.Solve_cache.max_bytes));
+      ("shards", Json.Num (float_of_int s.Solve_cache.shards));
+    ]
+
+let stats_response state =
+  let sc = Scheduler.stats state.sched in
+  Protocol.ok
+    [
+      ("uptime_s", Json.Num (Unix.gettimeofday () -. state.started));
+      ("jobs", Json.Num (float_of_int state.config.jobs));
+      ( "persistent",
+        Json.Bool (Option.is_some state.config.cache_dir) );
+      ("result_cache", cache_stats_json (Solve_cache.stats state.results));
+      ("oracle_cache", cache_stats_json (Solve_cache.stats state.oracle));
+      ( "scheduler",
+        Json.Obj
+          [
+            ("submitted", Json.Num (float_of_int sc.Scheduler.submitted));
+            ("cache_hits", Json.Num (float_of_int sc.Scheduler.cache_hits));
+            ("dedup_hits", Json.Num (float_of_int sc.Scheduler.dedup_hits));
+            ("executed", Json.Num (float_of_int sc.Scheduler.executed));
+            ("batches", Json.Num (float_of_int sc.Scheduler.batches));
+            ("max_batch", Json.Num (float_of_int sc.Scheduler.max_batch));
+            ("rejected", Json.Num (float_of_int sc.Scheduler.rejected));
+            ("queued_now", Json.Num (float_of_int sc.Scheduler.queued_now));
+            ( "in_flight_now",
+              Json.Num (float_of_int sc.Scheduler.in_flight_now) );
+          ] );
+    ]
+
+let handle state (req : Protocol.request) =
+  match req with
+  | Protocol.Ping -> Protocol.ok [ ("pong", Json.Bool true) ]
+  | Protocol.Stats -> stats_response state
+  | Protocol.Shutdown -> Protocol.ok [ ("stopping", Json.Bool true) ]
+  | Protocol.Evaluate { instance; demand } -> (
+      let result =
+        let* ev, g = build_evaluator state instance in
+        let space = Pathset.space ev.Evaluate.pathset in
+        let* d = build_demand space g demand in
+        Ok (ev, g, d)
+      in
+      match result with
+      | Error e -> Protocol.error ~code:"bad-request" e
+      | Ok (ev, g, d) ->
+          let key =
+            Fingerprint.instance ~demand:d ~paths:instance.Protocol.paths ev
+          in
+          submit state ~key
+            ~group:(group instance "evaluate")
+            (evaluate_job ev g d) [])
+  | Protocol.Find_gap { instance; method_; time; seed } -> (
+      match build_evaluator state instance with
+      | Error e -> Protocol.error ~code:"bad-request" e
+      | Ok (ev, _g) ->
+          let key =
+            let acc =
+              Fingerprint.feed_int64 Fingerprint.empty
+                (Fingerprint.instance ~paths:instance.Protocol.paths ev)
+            in
+            let acc = Fingerprint.feed_string acc "find-gap" in
+            let acc =
+              Fingerprint.feed_string acc
+                (match method_ with
+                | Protocol.Whitebox -> "whitebox"
+                | Protocol.Sweep -> "sweep"
+                | Protocol.Hillclimb -> "hillclimb"
+                | Protocol.Annealing -> "annealing"
+                | Protocol.Portfolio -> "portfolio")
+            in
+            let acc = Fingerprint.feed_float acc time in
+            Fingerprint.finish (Fingerprint.feed_int acc seed)
+          in
+          submit state ~key
+            ~group:(group instance "find-gap")
+            (find_gap_job ev ~method_ ~time ~seed)
+            [])
+
+(* ------------------------------------------------------------------ *)
+(* connection + accept loops                                           *)
+(* ------------------------------------------------------------------ *)
+
+let trigger_stop state =
+  if not (Atomic.exchange state.stop true) then
+    (* wake the blocked accept with a throwaway connection — closing the
+       listening fd from another thread would leave accept blocked *)
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        (try Unix.connect fd (Unix.ADDR_UNIX state.config.socket_path)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let handle_connection state fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | Ok None | Error _ -> ()
+    | Ok (Some payload) ->
+        let req =
+          match Json.of_string payload with
+          | Error e -> Error e
+          | Ok j -> Protocol.request_of_json j
+        in
+        let response =
+          match req with
+          | Error e -> Protocol.error ~code:"bad-request" e
+          | Ok r -> (
+              try handle state r
+              with exn ->
+                Protocol.error ~code:"internal" (Printexc.to_string exn))
+        in
+        Protocol.write_frame fd (Json.to_string response);
+        (match req with
+        | Ok Protocol.Shutdown -> trigger_stop state
+        | _ -> loop ())
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run ?(ready = fun () -> ()) config =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup_socket () =
+    try Unix.unlink config.socket_path with Unix.Unix_error _ -> ()
+  in
+  match
+    cleanup_socket ();
+    Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+    Unix.listen listen_fd 64
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" config.socket_path
+           (Unix.error_message e))
+  | () -> (
+      let results =
+        Solve_cache.create ~shards:config.shards
+          ~max_bytes:(config.cache_mb * 1024 * 1024)
+          ()
+      in
+      let journal_result =
+        match config.cache_dir with
+        | None -> Ok 0
+        | Some dir ->
+            if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+            Solve_cache.with_journal results
+              ~path:(Filename.concat dir journal_file)
+              ~encode:Json.to_string
+              ~decode:(fun s -> Result.to_option (Json.of_string s))
+      in
+      match journal_result with
+      | Error e ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          cleanup_socket ();
+          Error ("cache journal: " ^ e)
+      | Ok _replayed ->
+          let pool =
+            if config.jobs > 1 then
+              Some
+                (Engine.Pool.create
+                   ~domains:(Engine.Jobs.clamp config.jobs)
+                   ())
+            else None
+          in
+          let sched =
+            Scheduler.create ~queue_limit:config.queue_limit
+              ~batch_max:config.batch_max ?pool ~cache:results
+              ~cost_bytes:(fun v -> String.length (Json.to_string v))
+              ()
+          in
+          let state =
+            {
+              config;
+              pool;
+              results;
+              oracle = Solve_cache.create ~shards:config.shards ();
+              sched;
+              pathsets = Hashtbl.create 8;
+              pathsets_mutex = Mutex.create ();
+              started = Unix.gettimeofday ();
+              stop = Atomic.make false;
+            }
+          in
+          ready ();
+          let threads = ref [] in
+          let threads_mutex = Mutex.create () in
+          (try
+             while not (Atomic.get state.stop) do
+               let conn, _ = Unix.accept listen_fd in
+               let t = Thread.create (handle_connection state) conn in
+               Mutex.lock threads_mutex;
+               threads := t :: !threads;
+               Mutex.unlock threads_mutex
+             done
+           with Unix.Unix_error _ -> ());
+          (* stop: no new connections; drain the in-flight ones *)
+          Atomic.set state.stop true;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Mutex.lock threads_mutex;
+          let to_join = !threads in
+          Mutex.unlock threads_mutex;
+          List.iter Thread.join to_join;
+          Scheduler.shutdown sched;
+          Solve_cache.close results;
+          (match pool with Some p -> Engine.Pool.shutdown p | None -> ());
+          cleanup_socket ();
+          Ok ())

@@ -1,0 +1,48 @@
+(** The gap-query daemon: a Unix-socket service over the solve cache,
+    the request scheduler, and the engine pool.
+
+    One process serves any number of connections; each connection is
+    handled by its own thread and carries length-prefixed JSON
+    requests ({!Protocol}). Queries pass through the {!Scheduler}
+    (cache → in-flight dedup → bounded queue), so identical queries
+    from different clients cost one solve and an overloaded daemon
+    degrades into structured ["overloaded"] errors instead of latency
+    collapse.
+
+    Two caches are maintained:
+    - the {b result cache} keys full evaluate / find-gap responses by
+      canonical instance fingerprint; it is the one that turns repeated
+      queries into microseconds, and the one the optional journal
+      persists across restarts;
+    - the {b oracle cache} keys individual oracle values and is
+      attached to every evaluator ({!Oracle_cache.attach}), so even a
+      {e fresh} find-gap search reuses oracle work done by earlier
+      queries on the same instance. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** engine pool domains; 1 = no pool *)
+  cache_mb : int;  (** result-cache budget, MiB *)
+  cache_dir : string option;
+      (** journal directory ([None] — in-memory only); created if
+          missing, journal file {!journal_file} inside it *)
+  queue_limit : int;
+  batch_max : int;
+  shards : int;
+}
+
+val default_config : socket_path:string -> config
+(** jobs 1, 64 MiB, no persistence, queue 256, batch 16, 8 shards. *)
+
+val default_cache_dir : unit -> string
+(** [$XDG_CACHE_HOME/repro-serve] or [$HOME/.cache/repro-serve]. *)
+
+val journal_file : string
+(** File name of the journal inside [cache_dir]
+    ("solve-cache.journal"). *)
+
+val run : ?ready:(unit -> unit) -> config -> (unit, string) result
+(** Bind, listen, serve until a ["shutdown"] request arrives, then
+    drain and clean up (journal closed, socket unlinked). [ready] fires
+    once the socket is accepting — tests and the bench use it to know
+    when to connect. Replaces a stale socket file at [socket_path]. *)

@@ -1,0 +1,111 @@
+open Repro_topology
+
+type t = int64
+type acc = int64
+
+let equal = Int64.equal
+let compare = Int64.compare
+let to_hex t = Printf.sprintf "%016Lx" t
+
+let of_hex s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v -> Some v
+    | None -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_hex t)
+
+(* FNV-1a, 64-bit *)
+let empty = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+let finish acc = acc
+
+let feed_byte acc b =
+  Int64.mul (Int64.logxor acc (Int64.of_int (b land 0xff))) prime
+
+let feed_char acc c = feed_byte acc (Char.code c)
+
+let feed_int64 acc v =
+  let acc = ref acc in
+  for i = 0 to 7 do
+    acc := feed_byte !acc (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !acc
+
+let feed_int acc n = feed_int64 acc (Int64.of_int n)
+
+let feed_string acc s =
+  let acc = ref (feed_int acc (String.length s)) in
+  String.iter (fun c -> acc := feed_char !acc c) s;
+  !acc
+
+let feed_float acc f = feed_int64 acc (Int64.bits_of_float f)
+
+let feed_int_array acc a =
+  Array.fold_left feed_int (feed_int acc (Array.length a)) a
+
+let feed_float_array acc a =
+  Array.fold_left feed_float (feed_int acc (Array.length a)) a
+
+(* ---- canonical domain feeds --------------------------------------- *)
+
+let feed_graph acc g =
+  let edges =
+    Graph.fold_edges
+      (fun e l ->
+        (Graph.edge_src g e, Graph.edge_dst g e, Graph.capacity g e,
+         Graph.weight g e)
+        :: l)
+      g []
+  in
+  let edges = List.sort Stdlib.compare edges in
+  let acc = feed_int acc (Graph.num_nodes g) in
+  let acc = feed_int acc (List.length edges) in
+  List.fold_left
+    (fun acc (s, d, c, w) ->
+      feed_float (feed_float (feed_int (feed_int acc s) d) c) w)
+    acc edges
+
+let feed_demand acc space demand =
+  let triples = ref [] in
+  Array.iteri
+    (fun k v ->
+      if v <> 0. then
+        let s, d = Demand.pair space k in
+        triples := (s, d, v) :: !triples)
+    demand;
+  let triples = List.sort Stdlib.compare !triples in
+  let acc = feed_int acc (List.length triples) in
+  List.fold_left
+    (fun acc (s, d, v) -> feed_float (feed_int (feed_int acc s) d) v)
+    acc triples
+
+let feed_heuristic acc (spec : Repro_metaopt.Evaluate.heuristic_spec) =
+  match spec with
+  | Repro_metaopt.Evaluate.Dp_spec { threshold } ->
+      feed_float (feed_char acc 'D') threshold
+  | Repro_metaopt.Evaluate.Pop_spec { parts; partitions; reduce } ->
+      let acc = feed_char acc 'P' in
+      let acc = feed_int acc parts in
+      let acc =
+        match reduce with
+        | `Average -> feed_char acc 'a'
+        | `Kth_smallest k -> feed_int (feed_char acc 'k') k
+      in
+      let acc = feed_int acc (List.length partitions) in
+      List.fold_left feed_int_array acc partitions
+
+let instance ?demand ~paths (ev : Repro_metaopt.Evaluate.t) =
+  let pathset = ev.Repro_metaopt.Evaluate.pathset in
+  let space = Repro_te.Pathset.space pathset in
+  let acc = feed_string empty "repro-serve-instance-v1" in
+  let acc = feed_graph acc (Repro_te.Pathset.graph pathset) in
+  let acc = feed_int acc paths in
+  let acc = feed_heuristic acc ev.Repro_metaopt.Evaluate.spec in
+  let acc =
+    match demand with
+    | None -> feed_char acc '_'
+    | Some d -> feed_demand (feed_char acc 'd') space d
+  in
+  finish acc

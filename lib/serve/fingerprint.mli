@@ -1,0 +1,74 @@
+(** Canonical instance fingerprints — the solve cache's key space.
+
+    A fingerprint is a 64-bit FNV-1a hash over a {e canonical} byte
+    encoding of a gap-query instance: topology + demand matrix +
+    heuristic configuration + search options. Canonicalization means
+    permuted-but-equal instances collide on purpose:
+
+    - graph edges are hashed sorted by (src, dst, capacity, weight), so
+      edge {e insertion order} does not matter;
+    - demand matrices are hashed as (src, dst, volume) triples sorted by
+      pair, with zero-volume entries dropped, so the order of a
+      restricted {!Demand.space}'s pairs — and whether zeros are listed
+      explicitly — does not matter;
+    - floats are hashed by their IEEE-754 bit patterns (no formatting).
+
+    Collisions are possible in principle (64 bits) but irrelevant at
+    cache scale; the cache treats equal fingerprints as equal instances.
+
+    The [feed_*] functions fold structures into an accumulator so
+    higher layers can compose keys (e.g. instance + search options +
+    a tag for which oracle value is cached). *)
+
+type t = int64
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_hex : t -> string
+(** 16 lowercase hex digits. *)
+
+val of_hex : string -> t option
+val pp : Format.formatter -> t -> unit
+
+(** {1 Accumulator} *)
+
+type acc = int64
+
+val empty : acc
+(** The FNV-1a offset basis. *)
+
+val finish : acc -> t
+
+val feed_char : acc -> char -> acc
+val feed_string : acc -> string -> acc
+(** Length-prefixed, so concatenation ambiguities can't alias. *)
+
+val feed_int : acc -> int -> acc
+val feed_int64 : acc -> int64 -> acc
+val feed_float : acc -> float -> acc
+(** IEEE bit pattern; [-0.] and [0.] hash differently, NaNs by payload. *)
+
+val feed_int_array : acc -> int array -> acc
+val feed_float_array : acc -> float array -> acc
+
+(** {1 Canonical domain feeds} *)
+
+val feed_graph : acc -> Repro_topology.Graph.t -> acc
+(** Node count plus the sorted edge multiset; the graph's display name
+    is {e not} hashed. *)
+
+val feed_demand : acc -> Repro_topology.Demand.space -> Repro_topology.Demand.t -> acc
+(** Sorted non-zero (src, dst, volume) triples. *)
+
+val feed_heuristic : acc -> Repro_metaopt.Evaluate.heuristic_spec -> acc
+(** DP: threshold. POP: parts, reduce mode, and the {e contents} of every
+    partition instance — two oracles drawn from the same seed hash
+    equal, however they were constructed. *)
+
+val instance :
+  ?demand:Repro_topology.Demand.t ->
+  paths:int ->
+  Repro_metaopt.Evaluate.t ->
+  t
+(** The canonical fingerprint of an evaluate-query: graph, path budget,
+    heuristic spec, and (when given) the demand matrix. *)

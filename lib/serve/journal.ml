@@ -1,0 +1,128 @@
+let header = "REPRO-SERVE-JOURNAL v1\n"
+
+type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.to_string b
+
+let be64 (v : int64) =
+  String.init 8 (fun i ->
+      Char.chr
+        (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xff))
+
+let read_be64 s off =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replay path ~f =
+  if not (Sys.file_exists path) then Ok 0
+  else
+    match read_file path with
+    | exception Sys_error e -> Error e
+    | contents ->
+        let hl = String.length header in
+        if String.length contents < hl then
+          if contents = String.sub header 0 (String.length contents) then
+            Ok 0 (* header itself truncated: an empty journal *)
+          else Error (path ^ ": not a serve journal")
+        else if String.sub contents 0 hl <> header then
+          Error (path ^ ": unknown journal header/version")
+        else begin
+          let n = String.length contents in
+          let pos = ref hl in
+          let count = ref 0 in
+          let truncated = ref false in
+          while (not !truncated) && !pos + 12 <= n do
+            let key = read_be64 contents !pos in
+            let len = read_be32 contents (!pos + 8) in
+            if len < 0 || !pos + 12 + len > n then truncated := true
+            else begin
+              f ~key ~value:(String.sub contents (!pos + 12) len);
+              pos := !pos + 12 + len;
+              incr count
+            end
+          done;
+          Ok !count
+        end
+
+let open_append path =
+  let fresh () =
+    match open_out_bin path with
+    | oc ->
+        output_string oc header;
+        flush oc;
+        Ok { oc; mutex = Mutex.create (); closed = false }
+    | exception Sys_error e -> Error e
+  in
+  if not (Sys.file_exists path) then fresh ()
+  else
+    match read_file path with
+    | exception Sys_error e -> Error e
+    | contents ->
+        let hl = String.length header in
+        if
+          String.length contents >= hl && String.sub contents 0 hl = header
+        then begin
+          (* drop a torn tail record before appending, or everything
+             written after it would be unreachable on the next replay *)
+          let n = String.length contents in
+          let valid = ref hl in
+          let stop = ref false in
+          while (not !stop) && !valid + 12 <= n do
+            let len = read_be32 contents (!valid + 8) in
+            if len < 0 || !valid + 12 + len > n then stop := true
+            else valid := !valid + 12 + len
+          done;
+          if !valid < n then Unix.truncate path !valid;
+          match
+            open_out_gen [ Open_append; Open_binary ] 0o644 path
+          with
+          | oc -> Ok { oc; mutex = Mutex.create (); closed = false }
+          | exception Sys_error e -> Error e
+        end
+        else
+          (* empty file, truncated header, or a foreign version: start a
+             fresh version-1 journal *)
+          fresh ()
+
+let append t ~key ~value =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        output_string t.oc (be64 key);
+        output_string t.oc (be32 (String.length value));
+        output_string t.oc value;
+        flush t.oc
+      end)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out_noerr t.oc
+      end)

@@ -1,0 +1,39 @@
+(** Append-only on-disk journal for the solve cache.
+
+    Format (version 1): a fixed ASCII header line, then records of
+
+    {v 8-byte big-endian key | 4-byte big-endian length | value bytes v}
+
+    Appends are the only mutation, so a crash can at worst leave one
+    truncated record at the tail; {!replay} tolerates exactly that (the
+    partial record is dropped, everything before it is recovered). A
+    header with a different version string invalidates the whole file —
+    {!open_append} then truncates and rewrites it, so format changes
+    never mix versions in one file.
+
+    An open journal is mutex-protected: cache shards on different
+    domains may append concurrently. *)
+
+type t
+
+val header : string
+(** The exact version-1 header line ("REPRO-SERVE-JOURNAL v1\n"). *)
+
+val replay :
+  string -> f:(key:int64 -> value:string -> unit) -> (int, string) result
+(** [replay path ~f] — call [f] on every complete record in file order
+    and return how many were replayed. A missing file replays 0 records;
+    a truncated tail is silently tolerated; a bad or foreign header is
+    an [Error]. *)
+
+val open_append : string -> (t, string) result
+(** Open for appending, creating the file (and writing the header) if
+    missing or empty. A file with a foreign header is truncated to a
+    fresh version-1 journal; a torn tail record is truncated away so
+    records appended now stay reachable by the next {!replay}. *)
+
+val append : t -> key:int64 -> value:string -> unit
+(** Durable enough for a cache: buffered write flushed per record. *)
+
+val close : t -> unit
+(** Idempotent. *)

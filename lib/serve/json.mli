@@ -1,0 +1,45 @@
+(** Minimal JSON, stdlib only — the wire format of the serving layer.
+
+    The container has no yojson; this covers exactly what the protocol
+    and the journal need: a value type, a strict parser, a printer whose
+    floats round-trip bit-exactly, and total accessors that return
+    [option] instead of raising. Object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Floats print with
+    the shortest decimal form that parses back to the same IEEE value;
+    integral floats print without a fractional part. *)
+
+val to_string_pretty : t -> string
+(** Multi-line, two-space-indented rendering for human eyes (the
+    [client] subcommand); same float conventions as {!to_string}. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value (trailing garbage is an error).
+    Errors carry a byte offset. *)
+
+(** {1 Accessors} — total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] for absent keys and non-objects. *)
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+(** [Num] accepted only when integral. *)
+
+val bool : t -> bool option
+val list : t -> t list option
+
+val obj_int : string -> t -> int option
+val obj_str : string -> t -> string option
+val obj_num : string -> t -> float option
+(** [obj_* k j] — [member k j] composed with the scalar accessor. *)

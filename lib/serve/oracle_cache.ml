@@ -1,0 +1,28 @@
+open Repro_metaopt
+
+(* accounted bytes per cached oracle value: key + float option + overhead
+   headroom; the real footprint is dominated by Solve_cache's own
+   per-entry overhead either way *)
+let value_bytes = 16
+
+let attach ~cache ~paths (ev : Evaluate.t) =
+  let space = Repro_te.Pathset.space ev.Evaluate.pathset in
+  (* the demand-independent prefix of every key, computed once *)
+  let base = Fingerprint.instance ~paths ev in
+  let key ~tag demand =
+    let acc = Fingerprint.feed_int64 Fingerprint.empty base in
+    let acc = Fingerprint.feed_string acc tag in
+    Fingerprint.finish (Fingerprint.feed_demand acc space demand)
+  in
+  Evaluate.with_cache ev
+    (Some
+       {
+         Evaluate.lookup =
+           (fun ~tag demand -> Solve_cache.find cache (key ~tag demand));
+         insert =
+           (fun ~tag demand v ->
+             Solve_cache.insert cache (key ~tag demand)
+               ~cost_bytes:value_bytes v);
+       })
+
+let detach (ev : Evaluate.t) = Evaluate.with_cache ev None

@@ -1,0 +1,196 @@
+type 'v node = {
+  key : int64;
+  mutable value : 'v;
+  mutable bytes : int;
+  mutable prev : 'v node option;
+  mutable next : 'v node option;
+}
+
+type 'v shard = {
+  mutex : Mutex.t;
+  tbl : (int64, 'v node) Hashtbl.t;
+  mutable head : 'v node option;  (** most recently used *)
+  mutable tail : 'v node option;  (** eviction end *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable inserts : int;
+}
+
+type 'v journal_state = { j : Journal.t; encode : 'v -> string }
+
+type 'v t = {
+  shards : 'v shard array;
+  shard_budget : int;
+  max_bytes : int;
+  mutable journal : 'v journal_state option;
+}
+
+(* fixed accounting overhead per resident entry: node + table slot *)
+let entry_overhead = 64
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(shards = 8) ?(max_bytes = 64 * 1024 * 1024) () =
+  if shards <= 0 then invalid_arg "Solve_cache.create: shards <= 0";
+  if max_bytes <= 0 then invalid_arg "Solve_cache.create: max_bytes <= 0";
+  let n = next_pow2 shards 1 in
+  {
+    shards =
+      Array.init n (fun _ ->
+          {
+            mutex = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            head = None;
+            tail = None;
+            bytes = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+            inserts = 0;
+          });
+    shard_budget = Int.max 1 (max_bytes / n);
+    max_bytes;
+    journal = None;
+  }
+
+let shard_of t (key : int64) =
+  let h =
+    Int64.to_int (Int64.logxor key (Int64.shift_right_logical key 32))
+    land max_int
+  in
+  t.shards.(h land (Array.length t.shards - 1))
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+(* ---- intrusive LRU list (shard mutex held) ------------------------- *)
+
+let unlink s n =
+  (match n.prev with Some p -> p.next <- n.next | None -> s.head <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> s.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front s n =
+  n.prev <- None;
+  n.next <- s.head;
+  (match s.head with Some h -> h.prev <- Some n | None -> s.tail <- Some n);
+  s.head <- Some n
+
+let drop s n =
+  unlink s n;
+  Hashtbl.remove s.tbl n.key;
+  s.bytes <- s.bytes - n.bytes
+
+let rec evict_to_budget t s =
+  if s.bytes > t.shard_budget then
+    match s.tail with
+    | None -> ()
+    | Some n ->
+        drop s n;
+        s.evictions <- s.evictions + 1;
+        evict_to_budget t s
+
+(* ---- operations ---------------------------------------------------- *)
+
+let find t key =
+  let s = shard_of t key in
+  locked s (fun () ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some n ->
+          s.hits <- s.hits + 1;
+          unlink s n;
+          push_front s n;
+          Some n.value
+      | None ->
+          s.misses <- s.misses + 1;
+          None)
+
+let mem t key =
+  let s = shard_of t key in
+  locked s (fun () -> Hashtbl.mem s.tbl key)
+
+let insert_no_journal t key ~cost_bytes v =
+  let s = shard_of t key in
+  locked s (fun () ->
+      (match Hashtbl.find_opt s.tbl key with
+      | Some n -> drop s n
+      | None -> ());
+      let eb = Int.max 0 cost_bytes + entry_overhead in
+      if eb <= t.shard_budget then begin
+        let n = { key; value = v; bytes = eb; prev = None; next = None } in
+        Hashtbl.replace s.tbl key n;
+        push_front s n;
+        s.bytes <- s.bytes + eb;
+        s.inserts <- s.inserts + 1;
+        evict_to_budget t s
+      end)
+
+let insert t key ~cost_bytes v =
+  insert_no_journal t key ~cost_bytes v;
+  match t.journal with
+  | Some { j; encode } -> Journal.append j ~key ~value:(encode v)
+  | None -> ()
+
+let with_journal t ~path ~encode ~decode =
+  match
+    Journal.replay path ~f:(fun ~key ~value ->
+        match decode value with
+        | Some v -> insert_no_journal t key ~cost_bytes:(String.length value) v
+        | None -> ())
+  with
+  | Error _ as e -> e
+  | Ok replayed -> (
+      match Journal.open_append path with
+      | Error _ as e -> e
+      | Ok j ->
+          t.journal <- Some { j; encode };
+          Ok replayed)
+
+let close t =
+  match t.journal with
+  | Some { j; _ } ->
+      t.journal <- None;
+      Journal.close j
+  | None -> ()
+
+(* ---- stats ---------------------------------------------------------- *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  inserts : int;
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+  shards : int;
+}
+
+let stats (t : _ t) =
+  Array.fold_left
+    (fun acc s ->
+      locked s (fun () ->
+          {
+            acc with
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            inserts = acc.inserts + s.inserts;
+            entries = acc.entries + Hashtbl.length s.tbl;
+            bytes = acc.bytes + s.bytes;
+          }))
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      inserts = 0;
+      entries = 0;
+      bytes = 0;
+      max_bytes = t.max_bytes;
+      shards = Array.length t.shards;
+    }
+    t.shards

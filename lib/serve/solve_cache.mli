@@ -1,0 +1,70 @@
+(** Sharded, domain-safe solve cache with LRU eviction and byte
+    accounting.
+
+    Keys are {!Fingerprint.t}s; values are whatever the caller solves
+    for (evaluate results, oracle values). The key space is split over
+    [shards] independent shards, each behind its own mutex, so
+    concurrent lookups from pool domains contend only when they hash to
+    the same shard. Each shard keeps an intrusive LRU list and evicts
+    from the cold end whenever its byte budget ([max_bytes / shards])
+    is exceeded; an entry larger than a whole shard budget is simply
+    not admitted.
+
+    Byte accounting is estimative: the caller supplies [cost_bytes] per
+    insert (e.g. the serialized size) and the cache adds a fixed
+    per-entry overhead. Counters (hits / misses / evictions / inserts)
+    are aggregated across shards by {!stats}.
+
+    Optional persistence: {!with_journal} replays an append-only
+    {!Journal} into the cache and then appends every subsequent insert,
+    so a restarted daemon starts warm. Values are carried through the
+    caller's [encode]/[decode]; a record whose [decode] returns [None]
+    is skipped (stale format), and the journal's versioned header
+    invalidates cleanly on format changes. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  inserts : int;
+  entries : int;
+  bytes : int;  (** accounted bytes currently resident *)
+  max_bytes : int;
+  shards : int;
+}
+
+val entry_overhead : int
+(** Fixed accounted bytes added to every entry's [cost_bytes] (node +
+    table slot); exposed so byte-budget arithmetic is testable. *)
+
+val create : ?shards:int -> ?max_bytes:int -> unit -> 'v t
+(** [shards] defaults to 8 (rounded up to a power of two, min 1);
+    [max_bytes] defaults to 64 MiB.
+    @raise Invalid_argument on non-positive arguments. *)
+
+val find : 'v t -> Fingerprint.t -> 'v option
+(** Marks the entry most-recently-used on hit. *)
+
+val insert : 'v t -> Fingerprint.t -> cost_bytes:int -> 'v -> unit
+(** Insert or replace, then evict LRU entries until the shard fits its
+    budget again. *)
+
+val mem : 'v t -> Fingerprint.t -> bool
+(** Like {!find} but without touching LRU order or hit/miss counters. *)
+
+val stats : 'v t -> stats
+
+val with_journal :
+  'v t ->
+  path:string ->
+  encode:('v -> string) ->
+  decode:(string -> 'v option) ->
+  (int, string) result
+(** Replay [path] into the cache (later records win over earlier ones),
+    then append every future insert to it. Returns the number of
+    records replayed. Call at most once per cache. *)
+
+val close : 'v t -> unit
+(** Close the journal, if any. The in-memory cache stays usable. *)

@@ -60,6 +60,21 @@ let test_pool_submit_await () =
         (fun i f -> Alcotest.(check int) "result" (i * i) (E.Pool.await f))
         futures)
 
+let test_pool_await_passive () =
+  E.Pool.with_pool ~domains:test_jobs (fun pool ->
+      let futures =
+        List.init 20 (fun i -> E.Pool.submit pool (fun () -> i + 1))
+      in
+      List.iteri
+        (fun i f ->
+          Alcotest.(check int) "result" (i + 1) (E.Pool.await_passive f))
+        futures;
+      (* exceptions propagate exactly like await *)
+      let f = E.Pool.submit pool (fun () -> failwith "boom") in
+      match E.Pool.await_passive f with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
 let test_pool_exception_propagates () =
   E.Pool.with_pool ~domains:2 (fun pool ->
       let f = E.Pool.submit pool (fun () -> failwith "boom") in
@@ -115,9 +130,11 @@ let test_pool_nested_map () =
      must keep this deadlock-free even with every worker busy *)
   E.Pool.with_pool ~domains:2 (fun pool ->
       let outer =
-        E.Parallel.init ~pool 6 (fun i ->
+        (* min_work:0 forces pool dispatch even for these small fan-outs:
+           the point here is deadlock-freedom, not speed *)
+        E.Parallel.init ~pool ~min_work:0 6 (fun i ->
             let inner =
-              E.Parallel.map ~pool (fun x -> x * x)
+              E.Parallel.map ~pool ~min_work:0 (fun x -> x * x)
                 (Array.init 40 (fun j -> i + j))
             in
             Array.fold_left ( + ) 0 inner)
@@ -168,6 +185,27 @@ let test_parallel_reduce_matches_serial () =
         E.Parallel.reduce ~pool ~map:noisy_float ~fold:( +. ) ~init:0. input
       in
       Alcotest.(check bool) "bit-identical sum" true (serial = parallel))
+
+let test_parallel_min_work_serial () =
+  (* a small fan-out of cheap items falls under the min-work threshold:
+     every element must be evaluated on the calling domain *)
+  E.Pool.with_pool ~domains:4 (fun pool ->
+      let self = Domain.self () in
+      let doms =
+        E.Parallel.map ~pool (fun _ -> Domain.self ()) (Array.init 10 Fun.id)
+      in
+      Alcotest.(check bool) "small fan-out stays on caller" true
+        (Array.for_all (fun d -> d = self) doms);
+      (* a declared per-item cost pushes the same fan-out over the
+         threshold: results are still the serial ones *)
+      let sq =
+        E.Parallel.map ~pool ~cost:E.Parallel.default_min_work
+          (fun x -> x * x)
+          (Array.init 10 Fun.id)
+      in
+      Alcotest.(check (array int)) "cost override still correct"
+        (Array.init 10 (fun x -> x * x))
+        sq)
 
 let test_parallel_map_exception () =
   E.Pool.with_pool ~domains:4 (fun pool ->
@@ -450,6 +488,7 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+          Alcotest.test_case "passive await" `Quick test_pool_await_passive;
           Alcotest.test_case "exception propagates" `Quick
             test_pool_exception_propagates;
           Alcotest.test_case "cancel pending" `Quick test_pool_cancel_pending;
@@ -465,6 +504,8 @@ let () =
             test_parallel_map_matches_serial;
           Alcotest.test_case "reduce matches serial" `Quick
             test_parallel_reduce_matches_serial;
+          Alcotest.test_case "min-work serial fallback" `Quick
+            test_parallel_min_work_serial;
           Alcotest.test_case "exception" `Quick test_parallel_map_exception;
         ] );
       ( "incumbent",

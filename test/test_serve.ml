@@ -1,0 +1,768 @@
+(* Tests for the serving layer (Repro_serve): JSON wire format,
+   canonical fingerprints (permutation stability), the sharded LRU
+   solve cache (eviction order, byte accounting, domain safety), the
+   request scheduler (in-flight dedup, backpressure), the on-disk
+   journal (crash tolerance), and an end-to-end daemon round trip over
+   a real Unix socket. *)
+
+open Repro_topology
+open Repro_te
+open Repro_metaopt
+module S = Repro_serve
+module Json = S.Json
+module Fp = S.Fingerprint
+module Cache = S.Solve_cache
+module Sched = S.Scheduler
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("int", Json.Num 42.);
+      ("float", Json.Num 0.1);
+      ("tiny", Json.Num 1e-300);
+      ("neg", Json.Num (-17.25));
+      ("text", Json.Str "line\n\"quoted\"\tand \\ control \001");
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ( "nested",
+        Json.List [ Json.Num 1.; Json.Obj [ ("k", Json.Str "v") ]; Json.Null ]
+      );
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun v ->
+      (match Json.of_string (Json.to_string v) with
+      | Ok v' -> Alcotest.(check bool) "compact roundtrip" true (v = v')
+      | Error e -> Alcotest.failf "compact: %s" e);
+      match Json.of_string (Json.to_string_pretty v) with
+      | Ok v' -> Alcotest.(check bool) "pretty roundtrip" true (v = v')
+      | Error e -> Alcotest.failf "pretty: %s" e)
+    [ sample_json; Json.Null; Json.Num 1.5e18; Json.List [ Json.Num 0.2 ] ]
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "\"unterminated"; "nul"; "1.2.3" ]
+
+let test_json_float_exact () =
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') ->
+          Alcotest.(check bool)
+            (Printf.sprintf "float %h bit-exact" f)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | _ -> Alcotest.fail "not a number")
+    [ 0.1; 1. /. 3.; 1e-300; 12658.124079768324; -0.0; 4. ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle rng a =
+  let a = Array.copy a in
+  Rng.shuffle rng a;
+  a
+
+(* The same non-zero (src, dst, volume) set laid out over a permuted
+   pair space must hash identically. *)
+let test_fingerprint_demand_permutation () =
+  let g = Topologies.b4 () in
+  let space = Demand.full_space g in
+  let rng = Rng.create 7 in
+  let d = Demand.uniform space ~rng ~max:100. in
+  (* zero out some entries so "zeros dropped" is exercised *)
+  Array.iteri (fun k _ -> if k mod 3 = 0 then d.(k) <- 0.) d;
+  let base = Fp.finish (Fp.feed_demand Fp.empty space d) in
+  for seed = 1 to 5 do
+    let perm_pairs = shuffle (Rng.create seed) space.Demand.pairs in
+    let space' = Demand.space_of_pairs g perm_pairs in
+    let d' = Demand.zero space' in
+    Array.iteri
+      (fun k v ->
+        let src, dst = Demand.pair space k in
+        match Demand.index space' ~src ~dst with
+        | Some k' -> d'.(k') <- v
+        | None -> Alcotest.fail "pair lost in permutation")
+      d;
+    Alcotest.(check bool)
+      "permuted space hashes equal" true
+      (Fp.equal base (Fp.finish (Fp.feed_demand Fp.empty space' d')))
+  done
+
+let qcheck_fingerprint_permutation =
+  QCheck.Test.make ~count:50 ~name:"fingerprint invariant under permutation"
+    QCheck.(pair small_int (small_list (pair small_int pos_float)))
+    (fun (seed, _) ->
+      let g = Topologies.abilene () in
+      let space = Demand.full_space g in
+      let rng = Rng.create (seed + 1) in
+      let d = Demand.uniform space ~rng ~max:50. in
+      let space' =
+        Demand.space_of_pairs g (shuffle (Rng.create (seed + 2)) space.Demand.pairs)
+      in
+      let d' = Demand.zero space' in
+      Array.iteri
+        (fun k v ->
+          let src, dst = Demand.pair space k in
+          match Demand.index space' ~src ~dst with
+          | Some k' -> d'.(k') <- v
+          | None -> ())
+        d;
+      Fp.equal
+        (Fp.finish (Fp.feed_demand Fp.empty space d))
+        (Fp.finish (Fp.feed_demand Fp.empty space' d')))
+
+(* Graphs built with different edge insertion orders hash equal. *)
+let test_fingerprint_edge_order () =
+  let edges =
+    [ (0, 1, 10., 1.); (1, 2, 20., 1.); (2, 0, 5., 2.); (0, 2, 7., 1.) ]
+  in
+  let build order =
+    let g = Graph.create ~name:"perm" ~num_nodes:3 () in
+    List.iter
+      (fun (src, dst, capacity, weight) ->
+        ignore (Graph.add_edge g ~src ~dst ~capacity ~weight ()))
+      order;
+    g
+  in
+  let h order = Fp.finish (Fp.feed_graph Fp.empty (build order)) in
+  let base = h edges in
+  Alcotest.(check bool)
+    "reversed insertion equal" true
+    (Fp.equal base (h (List.rev edges)));
+  Alcotest.(check bool)
+    "capacity change detected" false
+    (Fp.equal base (h [ (0, 1, 11., 1.); (1, 2, 20., 1.); (2, 0, 5., 2.); (0, 2, 7., 1.) ]))
+
+let test_fingerprint_instance_sensitivity () =
+  let g = Topologies.fig1 () in
+  let pathset = Pathset.compute (Demand.full_space g) ~k:2 in
+  let ev t = Evaluate.make_dp pathset ~threshold:t in
+  let fp ?demand e = Fp.instance ?demand ~paths:2 e in
+  Alcotest.(check bool)
+    "same config equal" true
+    (Fp.equal (fp (ev 0.5)) (fp (ev 0.5)));
+  Alcotest.(check bool)
+    "threshold matters" false
+    (Fp.equal (fp (ev 0.5)) (fp (ev 0.6)));
+  let space = Pathset.space pathset in
+  let d = Demand.constant space 1. in
+  Alcotest.(check bool)
+    "demand matters" false
+    (Fp.equal (fp (ev 0.5)) (fp ~demand:d (ev 0.5)));
+  (* POP oracles drawn from the same seed hash equal, different seeds
+     (almost surely) differ *)
+  let pop seed =
+    Evaluate.make_pop pathset ~parts:2 ~instances:3 ~rng:(Rng.create seed) ()
+  in
+  Alcotest.(check bool)
+    "pop same seed equal" true
+    (Fp.equal (fp (pop 5)) (fp (pop 5)));
+  Alcotest.(check bool)
+    "pop seed matters" false
+    (Fp.equal (fp (pop 5)) (fp (pop 6)))
+
+let test_fingerprint_hex () =
+  let t = Fp.finish (Fp.feed_string Fp.empty "hello") in
+  match Fp.of_hex (Fp.to_hex t) with
+  | Some t' -> Alcotest.(check bool) "hex roundtrip" true (Fp.equal t t')
+  | None -> Alcotest.fail "of_hex failed"
+
+(* ------------------------------------------------------------------ *)
+(* Solve cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let key_of_int i = Fp.finish (Fp.feed_int Fp.empty i)
+
+(* One shard, tight budget: eviction happens strictly from the LRU end
+   and the byte ledger stays exact. *)
+let test_cache_lru_eviction () =
+  let per_entry = 36 + Cache.entry_overhead in
+  (* room for exactly 3 resident entries *)
+  let c = Cache.create ~shards:1 ~max_bytes:(3 * per_entry) () in
+  List.iter (fun i -> Cache.insert c (key_of_int i) ~cost_bytes:36 i) [ 1; 2; 3 ];
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries" 3 s.Cache.entries;
+  Alcotest.(check int) "bytes" (3 * per_entry) s.Cache.bytes;
+  (* touch 1 so it is MRU; inserting 4 must now evict 2 (the LRU) *)
+  Alcotest.(check (option int)) "find 1" (Some 1) (Cache.find c (key_of_int 1));
+  Cache.insert c (key_of_int 4) ~cost_bytes:36 4;
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries after eviction" 3 s.Cache.entries;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check bool) "2 evicted" false (Cache.mem c (key_of_int 2));
+  Alcotest.(check bool) "1 kept (was touched)" true (Cache.mem c (key_of_int 1));
+  Alcotest.(check bool) "3 kept" true (Cache.mem c (key_of_int 3));
+  Alcotest.(check bool) "4 resident" true (Cache.mem c (key_of_int 4));
+  Alcotest.(check int) "bytes steady" (3 * per_entry) (Cache.stats c).Cache.bytes
+
+let test_cache_replace_and_oversize () =
+  let c = Cache.create ~shards:1 ~max_bytes:1024 () in
+  let k = key_of_int 9 in
+  Cache.insert c k ~cost_bytes:100 1;
+  Cache.insert c k ~cost_bytes:200 2;
+  let s = Cache.stats c in
+  Alcotest.(check int) "replacement keeps one entry" 1 s.Cache.entries;
+  Alcotest.(check int) "bytes reflect new size" (200 + Cache.entry_overhead)
+    s.Cache.bytes;
+  Alcotest.(check (option int)) "new value" (Some 2) (Cache.find c k);
+  (* an entry larger than the whole budget is refused, not thrashed *)
+  Cache.insert c (key_of_int 10) ~cost_bytes:100_000 3;
+  Alcotest.(check bool) "oversize refused" false (Cache.mem c (key_of_int 10));
+  Alcotest.(check (option int)) "resident survives" (Some 2) (Cache.find c k)
+
+(* qcheck: the sharded cache agrees with a naive association-list LRU
+   model on membership, for single-shard random op sequences. *)
+let qcheck_cache_model =
+  QCheck.Test.make ~count:100 ~name:"cache agrees with reference LRU model"
+    QCheck.(small_list (pair (int_bound 15) bool))
+    (fun ops ->
+      let per_entry = 10 + Cache.entry_overhead in
+      let budget_entries = 4 in
+      let c = Cache.create ~shards:1 ~max_bytes:(budget_entries * per_entry) () in
+      (* model: MRU-first list of keys, capped at budget_entries *)
+      let model = ref [] in
+      List.iter
+        (fun (i, is_insert) ->
+          let k = key_of_int i in
+          if is_insert then begin
+            Cache.insert c k ~cost_bytes:10 i;
+            let rest = List.filter (fun j -> j <> i) !model in
+            let m = i :: rest in
+            model :=
+              if List.length m > budget_entries then
+                List.filteri (fun idx _ -> idx < budget_entries) m
+              else m
+          end
+          else begin
+            let got = Cache.find c k in
+            let expect = List.mem i !model in
+            if got <> None <> expect then
+              QCheck.Test.fail_reportf "find %d: cache %b, model %b" i
+                (got <> None) expect;
+            if expect then
+              model := i :: List.filter (fun j -> j <> i) !model
+          end)
+        ops;
+      List.for_all (fun i -> Cache.mem c (key_of_int i)) !model)
+
+let test_cache_concurrent () =
+  let domains = 4 in
+  let per_domain = 2_000 in
+  let c = Cache.create ~shards:8 ~max_bytes:(1024 * 1024) () in
+  let bad = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create (100 + d) in
+            for _ = 1 to per_domain do
+              let i = Rng.int_range rng 64 in
+              let k = key_of_int i in
+              match Cache.find c k with
+              | Some v -> if v <> i * i then Atomic.incr bad
+              | None -> Cache.insert c k ~cost_bytes:16 (i * i)
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no torn values" 0 (Atomic.get bad);
+  let s = Cache.stats c in
+  Alcotest.(check int)
+    "every find accounted" (domains * per_domain)
+    (s.Cache.hits + s.Cache.misses);
+  Alcotest.(check bool) "cache populated" true (s.Cache.entries > 0);
+  Alcotest.(check bool)
+    "ledger within budget" true
+    (s.Cache.bytes <= s.Cache.max_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type gate = { m : Mutex.t; c : Condition.t; mutable opened : bool }
+
+let gate () = { m = Mutex.create (); c = Condition.create (); opened = false }
+
+let gate_wait g =
+  Mutex.lock g.m;
+  while not g.opened do
+    Condition.wait g.c g.m
+  done;
+  Mutex.unlock g.m
+
+let gate_open g =
+  Mutex.lock g.m;
+  g.opened <- true;
+  Condition.broadcast g.c;
+  Mutex.unlock g.m
+
+let rec await_stats sched ~tries pred =
+  if pred (Sched.stats sched) then ()
+  else if tries <= 0 then Alcotest.fail "scheduler never reached expected state"
+  else begin
+    Thread.yield ();
+    Unix.sleepf 0.002;
+    await_stats sched ~tries:(tries - 1) pred
+  end
+
+let test_scheduler_dedup_once () =
+  let sched = Sched.create ~cost_bytes:(fun _ -> 8) () in
+  let g = gate () in
+  let runs = Atomic.make 0 in
+  let job () =
+    gate_wait g;
+    Atomic.incr runs;
+    42
+  in
+  let key = key_of_int 1 in
+  let results = Array.make 3 (Error Sched.Shutdown) in
+  let t0 = Thread.create (fun () -> results.(0) <- Sched.submit sched ~key job) () in
+  (* wait until the dispatcher picked the job up (queue drained) ... *)
+  await_stats sched ~tries:1000 (fun s ->
+      s.Sched.submitted >= 1 && s.Sched.queued_now = 0);
+  (* ... then pile on identical queries; they must coalesce *)
+  let t1 = Thread.create (fun () -> results.(1) <- Sched.submit sched ~key job) () in
+  let t2 = Thread.create (fun () -> results.(2) <- Sched.submit sched ~key job) () in
+  await_stats sched ~tries:1000 (fun s -> s.Sched.dedup_hits = 2);
+  gate_open g;
+  List.iter Thread.join [ t0; t1; t2 ];
+  Alcotest.(check int) "job ran exactly once" 1 (Atomic.get runs);
+  Array.iter
+    (function
+      | Ok (v, _) -> Alcotest.(check int) "coalesced value" 42 v
+      | Error _ -> Alcotest.fail "a coalesced submit failed")
+    results;
+  let sources =
+    Array.to_list results
+    |> List.filter_map (function Ok (_, src) -> Some src | Error _ -> None)
+  in
+  Alcotest.(check int)
+    "two waiters coalesced" 2
+    (List.length (List.filter (fun s -> s = `Coalesced) sources));
+  let s = Sched.stats sched in
+  Alcotest.(check int) "executed once" 1 s.Sched.executed;
+  Sched.shutdown sched
+
+let test_scheduler_cache_and_backpressure () =
+  let cache = Cache.create ~shards:1 ~max_bytes:4096 () in
+  let sched = Sched.create ~queue_limit:1 ~cache ~cost_bytes:(fun _ -> 8) () in
+  (* a cached key is served without running anything *)
+  (match Sched.submit sched ~key:(key_of_int 1) (fun () -> 7) with
+  | Ok (7, `Computed) -> ()
+  | _ -> Alcotest.fail "first submit should compute");
+  (match Sched.submit sched ~key:(key_of_int 1) (fun () -> 999) with
+  | Ok (7, `Cached) -> ()
+  | _ -> Alcotest.fail "second submit should hit the cache");
+  (* block the dispatcher, fill the 1-slot queue, overflow *)
+  let g = gate () in
+  let t0 =
+    Thread.create
+      (fun () ->
+        ignore
+          (Sched.submit sched ~key:(key_of_int 2) (fun () ->
+               gate_wait g;
+               0)))
+      ()
+  in
+  await_stats sched ~tries:1000 (fun s -> s.Sched.in_flight_now >= 1 && s.Sched.queued_now = 0);
+  let t1 =
+    Thread.create
+      (fun () -> ignore (Sched.submit sched ~key:(key_of_int 3) (fun () -> 0)))
+      ()
+  in
+  await_stats sched ~tries:1000 (fun s -> s.Sched.queued_now = 1);
+  (match Sched.submit sched ~key:(key_of_int 4) (fun () -> 0) with
+  | Error (Sched.Overloaded { queued = 1; limit = 1 }) -> ()
+  | Ok _ -> Alcotest.fail "overflow submit was admitted"
+  | Error _ -> Alcotest.fail "wrong rejection");
+  gate_open g;
+  Thread.join t0;
+  Thread.join t1;
+  let s = Sched.stats sched in
+  Alcotest.(check int) "one rejection" 1 s.Sched.rejected;
+  Sched.shutdown sched
+
+let test_scheduler_failure_isolated () =
+  let sched = Sched.create ~cost_bytes:(fun _ -> 8) () in
+  (match Sched.submit sched ~key:(key_of_int 1) (fun () -> failwith "boom") with
+  | Error (Sched.Failed msg) ->
+      Alcotest.(check bool) "message carried" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "raising job must fail its waiters");
+  (match Sched.submit sched ~key:(key_of_int 2) (fun () -> 5) with
+  | Ok (5, `Computed) -> ()
+  | _ -> Alcotest.fail "scheduler must survive a failed job");
+  Sched.shutdown sched
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let temp_path suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "repro-serve-test-%d-%s" (Unix.getpid ()) suffix)
+
+let with_temp suffix f =
+  let path = temp_path suffix in
+  if Sys.file_exists path then Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let journal_records path =
+  let acc = ref [] in
+  match S.Journal.replay path ~f:(fun ~key ~value -> acc := (key, value) :: !acc) with
+  | Ok n -> (n, List.rev !acc)
+  | Error e -> Alcotest.failf "replay: %s" e
+
+let test_journal_roundtrip () =
+  with_temp "journal" (fun path ->
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "open: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:1L ~value:"one";
+          S.Journal.append j ~key:2L ~value:"";
+          S.Journal.append j ~key:(-3L) ~value:"three";
+          S.Journal.close j;
+          S.Journal.close j (* idempotent *));
+      let n, records = journal_records path in
+      Alcotest.(check int) "replayed" 3 n;
+      Alcotest.(check bool)
+        "records in order" true
+        (records = [ (1L, "one"); (2L, ""); (-3L, "three") ]))
+
+let test_journal_truncated_tail () =
+  with_temp "torn" (fun path ->
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "open: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:1L ~value:"alpha";
+          S.Journal.append j ~key:2L ~value:"beta";
+          S.Journal.close j);
+      (* simulate a crash mid-append: half a record at the tail *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\000\000\000\000\000\000";
+      close_out oc;
+      let n, records = journal_records path in
+      Alcotest.(check int) "complete records survive" 2 n;
+      Alcotest.(check bool)
+        "values intact" true
+        (records = [ (1L, "alpha"); (2L, "beta") ]);
+      (* re-opening for append truncates the torn bytes so new records
+         stay reachable *)
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "reopen: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:3L ~value:"gamma";
+          S.Journal.close j);
+      let n, records = journal_records path in
+      Alcotest.(check int) "post-crash append reachable" 3 n;
+      Alcotest.(check bool)
+        "tail is the new record" true
+        (List.nth records 2 = (3L, "gamma")))
+
+let test_journal_bad_header () =
+  with_temp "foreign" (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "SOME-OTHER-FORMAT v9\nxxxxxxxxxxxxxxxx";
+      close_out oc;
+      (match S.Journal.replay path ~f:(fun ~key:_ ~value:_ -> ()) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "foreign header must not replay");
+      (* open_append starts a fresh v1 journal over it *)
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "open over foreign: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:7L ~value:"fresh";
+          S.Journal.close j);
+      let n, records = journal_records path in
+      Alcotest.(check int) "fresh journal replays" 1 n;
+      Alcotest.(check bool) "record" true (records = [ (7L, "fresh") ]))
+
+let test_cache_journal_restart () =
+  with_temp "cachej" (fun path ->
+      let encode = string_of_int and decode = int_of_string_opt in
+      let c1 = Cache.create ~shards:4 () in
+      (match Cache.with_journal c1 ~path ~encode ~decode with
+      | Ok 0 -> ()
+      | Ok n -> Alcotest.failf "fresh journal replayed %d" n
+      | Error e -> Alcotest.failf "with_journal: %s" e);
+      List.iter
+        (fun i -> Cache.insert c1 (key_of_int i) ~cost_bytes:8 (i * 10))
+        [ 1; 2; 3; 4; 5 ];
+      Cache.close c1;
+      (* restart: a fresh cache replays every committed insert *)
+      let c2 = Cache.create ~shards:4 () in
+      (match Cache.with_journal c2 ~path ~encode ~decode with
+      | Ok 5 -> ()
+      | Ok n -> Alcotest.failf "replayed %d records, wanted 5" n
+      | Error e -> Alcotest.failf "with_journal: %s" e);
+      List.iter
+        (fun i ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "key %d restored" i)
+            (Some (i * 10))
+            (Cache.find c2 (key_of_int i)))
+        [ 1; 2; 3; 4; 5 ];
+      Cache.close c2)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end to end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let b4_dp_instance =
+  {
+    S.Protocol.topology = "b4";
+    paths = 2;
+    heuristic = S.Protocol.Dp { threshold_frac = 0.05 };
+  }
+
+let expect_ok name = function
+  | Error e -> Alcotest.failf "%s: transport: %s" name e
+  | Ok response ->
+      (match Json.member "ok" response with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.failf "%s: %s" name (Json.to_string response));
+      response
+
+let with_daemon config f =
+  let ready_gate = gate () in
+  let outcome = ref (Error "daemon never ran") in
+  let t =
+    Thread.create
+      (fun () ->
+        outcome := S.Daemon.run ~ready:(fun () -> gate_open ready_gate) config;
+        (* unblock the test if run () failed before ready *)
+        gate_open ready_gate)
+      ()
+  in
+  gate_wait ready_gate;
+  Fun.protect
+    ~finally:(fun () ->
+      (* make sure the daemon is really gone even if [f] failed early *)
+      (match S.Client.with_connection config.S.Daemon.socket_path (fun c ->
+           S.Client.call c S.Protocol.Shutdown)
+       with
+      | _ -> ());
+      Thread.join t;
+      match !outcome with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "daemon exited with: %s" e)
+    (fun () -> f config.S.Daemon.socket_path)
+
+let test_daemon_roundtrip () =
+  let socket_path = temp_path "d1.sock" in
+  with_daemon (S.Daemon.default_config ~socket_path) (fun sock ->
+      let result =
+        S.Client.with_connection sock (fun c ->
+            let ping = expect_ok "ping" (S.Client.call c S.Protocol.Ping) in
+            Alcotest.(check (option bool))
+              "pong" (Some true)
+              (Option.bind (Json.member "pong" ping) Json.bool);
+            let evaluate () =
+              S.Client.call c
+                (S.Protocol.Evaluate
+                   {
+                     instance = b4_dp_instance;
+                     demand = S.Protocol.Gen { gen = `Gravity; seed = 2 };
+                   })
+            in
+            let first = expect_ok "evaluate#1" (evaluate ()) in
+            Alcotest.(check (option bool))
+              "first is computed" (Some false)
+              (Option.bind (Json.member "cached" first) Json.bool);
+            let second = expect_ok "evaluate#2" (evaluate ()) in
+            Alcotest.(check (option bool))
+              "second is cached" (Some true)
+              (Option.bind (Json.member "cached" second) Json.bool);
+            (* identical result payloads, modulo the serving annotations *)
+            let strip j =
+              match j with
+              | Json.Obj l ->
+                  Json.Obj
+                    (List.filter
+                       (fun (k, _) -> k <> "cached" && k <> "coalesced")
+                       l)
+              | j -> j
+            in
+            Alcotest.(check bool)
+              "bit-identical payload" true
+              (strip first = strip second);
+            let stats = expect_ok "stats" (S.Client.call c S.Protocol.Stats) in
+            let hits =
+              Option.bind (Json.member "result_cache" stats) (Json.obj_int "hits")
+            in
+            Alcotest.(check (option int)) "one result-cache hit" (Some 1) hits;
+            (* malformed request -> structured error, connection lives on *)
+            (match S.Client.request c (Json.Obj [ ("op", Json.Str "nope") ]) with
+            | Ok response ->
+                Alcotest.(check (option bool))
+                  "bad op rejected" (Some false)
+                  (Option.bind (Json.member "ok" response) Json.bool)
+            | Error e -> Alcotest.failf "bad op: transport: %s" e);
+            ignore (expect_ok "ping after error" (S.Client.call c S.Protocol.Ping)))
+      in
+      match result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "connect: %s" e)
+
+let test_daemon_find_gap_and_unknown_topology () =
+  let socket_path = temp_path "d2.sock" in
+  with_daemon (S.Daemon.default_config ~socket_path) (fun sock ->
+      let result =
+        S.Client.with_connection sock (fun c ->
+            let fg =
+              expect_ok "find-gap"
+                (S.Client.call c
+                   (S.Protocol.Find_gap
+                      {
+                        instance =
+                          {
+                            S.Protocol.topology = "fig1";
+                            paths = 2;
+                            heuristic = S.Protocol.Dp { threshold_frac = 0.26 };
+                          };
+                        method_ = S.Protocol.Hillclimb;
+                        time = 0.3;
+                        seed = 3;
+                      }))
+            in
+            Alcotest.(check bool)
+              "gap reported" true
+              (Option.is_some (Json.obj_num "gap" fg));
+            match
+              S.Client.call c
+                (S.Protocol.Evaluate
+                   {
+                     instance =
+                       {
+                         S.Protocol.topology = "no-such-net";
+                         paths = 2;
+                         heuristic = S.Protocol.Dp { threshold_frac = 0.05 };
+                       };
+                     demand = S.Protocol.Gen { gen = `Uniform; seed = 1 };
+                   })
+            with
+            | Ok response ->
+                Alcotest.(check (option string))
+                  "bad-request code" (Some "bad-request")
+                  (Option.bind
+                     (Json.member "error" response)
+                     (Json.obj_str "code"))
+            | Error e -> Alcotest.failf "transport: %s" e)
+      in
+      match result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "connect: %s" e)
+
+let test_daemon_persistent_cache () =
+  let socket_path = temp_path "d3.sock" in
+  let cache_dir = temp_path "d3-cache" in
+  let config =
+    { (S.Daemon.default_config ~socket_path) with S.Daemon.cache_dir = Some cache_dir }
+  in
+  let evaluate sock =
+    match
+      S.Client.with_connection sock (fun c ->
+          expect_ok "evaluate"
+            (S.Client.call c
+               (S.Protocol.Evaluate
+                  {
+                    instance = b4_dp_instance;
+                    demand = S.Protocol.Gen { gen = `Uniform; seed = 5 };
+                  })))
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "connect: %s" e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let j = Filename.concat cache_dir S.Daemon.journal_file in
+      if Sys.file_exists j then Sys.remove j;
+      if Sys.file_exists cache_dir then Unix.rmdir cache_dir)
+    (fun () ->
+      with_daemon config (fun sock ->
+          let r = evaluate sock in
+          Alcotest.(check (option bool))
+            "cold run computes" (Some false)
+            (Option.bind (Json.member "cached" r) Json.bool));
+      (* restart the daemon on the same cache dir: the journal replays
+         and the very first query is already warm *)
+      with_daemon config (fun sock ->
+          let r = evaluate sock in
+          Alcotest.(check (option bool))
+            "replayed journal serves the first query" (Some true)
+            (Option.bind (Json.member "cached" r) Json.bool)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "repro_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_json_errors;
+          Alcotest.test_case "floats bit-exact" `Quick test_json_float_exact;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "demand permutation stable" `Quick
+            test_fingerprint_demand_permutation;
+          Alcotest.test_case "edge insertion order stable" `Quick
+            test_fingerprint_edge_order;
+          Alcotest.test_case "instance sensitivity" `Quick
+            test_fingerprint_instance_sensitivity;
+          Alcotest.test_case "hex roundtrip" `Quick test_fingerprint_hex;
+          QCheck_alcotest.to_alcotest qcheck_fingerprint_permutation;
+        ] );
+      ( "solve-cache",
+        [
+          Alcotest.test_case "LRU eviction + byte ledger" `Quick
+            test_cache_lru_eviction;
+          Alcotest.test_case "replacement and oversize" `Quick
+            test_cache_replace_and_oversize;
+          Alcotest.test_case "concurrent hit/miss (4 domains)" `Quick
+            test_cache_concurrent;
+          QCheck_alcotest.to_alcotest qcheck_cache_model;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "in-flight dedup runs once" `Quick
+            test_scheduler_dedup_once;
+          Alcotest.test_case "cache hits and backpressure" `Quick
+            test_scheduler_cache_and_backpressure;
+          Alcotest.test_case "failed job isolated" `Quick
+            test_scheduler_failure_isolated;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "truncated tail tolerated" `Quick
+            test_journal_truncated_tail;
+          Alcotest.test_case "foreign header rejected" `Quick
+            test_journal_bad_header;
+          Alcotest.test_case "cache journal restart" `Quick
+            test_cache_journal_restart;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "evaluate round trip + cache" `Quick
+            test_daemon_roundtrip;
+          Alcotest.test_case "find-gap + bad request" `Quick
+            test_daemon_find_gap_and_unknown_topology;
+          Alcotest.test_case "journal survives restart" `Quick
+            test_daemon_persistent_cache;
+        ] );
+    ]

@@ -43,8 +43,15 @@ let dp_whitebox_options ?(run_milp = true) () =
       };
   }
 
-let probe_only_options () =
-  { (dp_whitebox_options ()) with run_milp = false }
+(* Options for the oversized POP-style metaopt models. Historically these
+   were probe-only at default bench scale (no MILP phase, no bound): the
+   dense tableau could not usefully bound the multi-instance KKT models
+   within the fast budgets. The sparse revised-simplex backend can, so the
+   gate now keys on the active LP backend rather than on REPRO_BENCH_FULL:
+   probe-only survives only as the dense reference backend's escape hatch. *)
+let large_model_options () =
+  { (dp_whitebox_options ()) with
+    run_milp = (Backend.default () = Backend.Sparse) }
 
 let blackbox_options () =
   { Blackbox.default_options with time_limit = blackbox_time }

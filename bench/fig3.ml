@@ -46,7 +46,7 @@ let run () =
      within this budget: probe-only white-box mode (see DESIGN.md) *)
   let wb_opts =
     if Common.full_mode then Common.dp_whitebox_options ()
-    else Common.probe_only_options ()
+    else Common.large_model_options ()
   in
   let wbp = Adversary.find pop_ev ~options:wb_opts () in
   print_series "white-box (ours)" wbp.Adversary.gap

@@ -8,7 +8,7 @@
 
 let search pathset ~threshold =
   let ev = Evaluate.make_dp pathset ~threshold in
-  let r = Adversary.find ev ~options:(Common.probe_only_options ()) () in
+  let r = Adversary.find ev ~options:(Common.large_model_options ()) () in
   r.Adversary.normalized_gap
 
 let run_a () =

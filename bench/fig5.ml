@@ -30,7 +30,7 @@ let run_a () =
     let ev =
       Evaluate.make_pop pathset ~parts ~instances ~rng:(Rng.create 4242) ()
     in
-    Adversary.find ev ~options:(Common.probe_only_options ()) ()
+    Adversary.find ev ~options:(Common.large_model_options ()) ()
   in
   let report name (r : Adversary.result) =
     let fresh =
@@ -60,7 +60,7 @@ let run_b () =
       let ev =
         Evaluate.make_pop pathset ~parts ~instances:5 ~rng:(Rng.create 555) ()
       in
-      let r = Adversary.find ev ~options:(Common.probe_only_options ()) () in
+      let r = Adversary.find ev ~options:(Common.large_model_options ()) () in
       Common.row "%2d partitions, 2 paths   %10.3f" parts
         r.Adversary.normalized_gap)
     [ 2; 3; 4 ];
@@ -70,7 +70,7 @@ let run_b () =
       let ev =
         Evaluate.make_pop pathset ~parts:2 ~instances:5 ~rng:(Rng.create 555) ()
       in
-      let r = Adversary.find ev ~options:(Common.probe_only_options ()) () in
+      let r = Adversary.find ev ~options:(Common.large_model_options ()) () in
       Common.row " 2 partitions, %d paths   %10.3f" paths
         r.Adversary.normalized_gap)
     [ 3; 4 ];

@@ -70,17 +70,23 @@ let run () =
               (Printf.sprintf "%s: %s" name bname)
               v c s latency)
         (Gap_problem.baseline_sizes pathset ~heuristic);
-      (* the metaopt problem: size + root LP latency + short search *)
+      (* the metaopt problem: size + root LP latency (per backend) + short
+         search *)
       let gp, build_t =
         time (fun () -> Gap_problem.build pathset ~heuristic ())
       in
       let v, c, s = Gap_problem.size gp in
-      let _, root_t =
-        time (fun () -> Solver.solve_lp gp.Gap_problem.model)
-      in
-      Common.row "%-28s %8d %8d %8d %12.3f"
-        (Printf.sprintf "%s: metaopt (root LP)" name)
-        v c s (build_t +. root_t);
+      List.iter
+        (fun backend ->
+          let r, root_t =
+            time (fun () -> Solver.solve_lp ~backend gp.Gap_problem.model)
+          in
+          Common.row "%-28s %8d %8d %8d %12.3f  (%s: %s)"
+            (Printf.sprintf "%s: metaopt (root LP)" name)
+            v c s (build_t +. root_t)
+            (Backend.kind_to_string backend)
+            (Fmt.str "%a" Simplex.pp_stats r.Solver.stats))
+        [ Backend.Dense; Backend.Sparse ];
       (* naive ablation size *)
       let naive =
         List.assoc "naive-metaopt" (Gap_problem.baseline_sizes pathset ~heuristic)
@@ -112,4 +118,7 @@ let run () =
   Common.row
     "DP metaopt branch-and-bound: %d nodes, %d pivots in %.1fs (outcome: %s)"
     r.Branch_bound.nodes r.Branch_bound.simplex_iterations t
-    (Fmt.str "%a" Branch_bound.pp_result r)
+    (Fmt.str "%a" Branch_bound.pp_result r);
+  Common.row "  lp engine (%s backend): %s"
+    (Backend.kind_to_string (Backend.default ()))
+    (Fmt.str "%a" Simplex.pp_stats r.Branch_bound.lp_stats)

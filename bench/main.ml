@@ -21,6 +21,7 @@ let all : (string * (unit -> unit)) list =
     ("fig5b", Fig5.run_b);
     ("fig5", Fig5.run);
     ("fig6", Fig6.run);
+    ("lp", Lp.run);
     ("ablations", Ablations.run);
     ("micro", Micro.run);
     ("engine", Engine_perf.run);
@@ -29,7 +30,7 @@ let all : (string * (unit -> unit)) list =
 
 let default =
   [
-    "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "micro";
+    "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "lp"; "ablations"; "micro";
     "engine"; "serve";
   ]
 

@@ -60,6 +60,26 @@ let instances_arg =
   let doc = "POP random partition instances averaged by the adversary." in
   Arg.(value & opt int 5 & info [ "instances" ] ~docv:"R" ~doc)
 
+let lp_backend_arg =
+  let doc =
+    "LP engine backend: 'sparse' (revised simplex with a factorized basis \
+     inverse; default) or 'dense' (reference tableau). Also settable via \
+     \\$(b,REPRO_LP_BACKEND)."
+  in
+  let backend_conv =
+    let parse s =
+      match Backend.kind_of_string s with
+      | Some k -> Ok k
+      | None -> Error (`Msg (Printf.sprintf "unknown LP backend %S" s))
+    in
+    let print ppf k = Fmt.string ppf (Backend.kind_to_string k) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt backend_conv (Backend.default ())
+    & info [ "lp-backend" ] ~docv:"BACKEND" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel engine (default: \\$(b,REPRO_JOBS) or \
@@ -130,7 +150,9 @@ let with_jobs jobs f =
   else f None
 
 let evaluate_cmd =
-  let run g paths heuristic threshold_frac parts instances seed gen file jobs =
+  let run g paths heuristic threshold_frac parts instances seed gen file jobs
+      lp_backend =
+    Backend.set_default lp_backend;
     let ev =
       make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
         ~seed
@@ -174,7 +196,7 @@ let evaluate_cmd =
     Term.(
       const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
       $ parts_arg $ instances_arg $ seed_arg $ demand_gen_arg
-      $ demands_file_arg $ jobs_arg)
+      $ demands_file_arg $ jobs_arg $ lp_backend_arg)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate OPT vs a heuristic on one demand matrix")
@@ -229,8 +251,9 @@ let setup_logs verbose =
 
 let find_gap_cmd =
   let run g paths heuristic threshold_frac parts instances seed method_ time
-      no_milp show_demands out verbose jobs =
+      no_milp show_demands out verbose jobs lp_backend =
     setup_logs verbose;
+    Backend.set_default lp_backend;
     let ev =
       make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
         ~seed
@@ -292,7 +315,11 @@ let find_gap_cmd =
               r.Adversary.stats.Adversary.model_constrs
               r.Adversary.stats.Adversary.model_sos1
               r.Adversary.stats.Adversary.nodes
-              r.Adversary.stats.Adversary.oracle_calls)
+              r.Adversary.stats.Adversary.oracle_calls;
+            if verbose then
+              Fmt.pr "lp engine     : %s backend, %a@."
+                (Backend.kind_to_string lp_backend)
+                Simplex.pp_stats r.Adversary.stats.Adversary.lp_stats)
           r.Adversary.demands
     | `Hillclimb | `Annealing ->
         let rng = Rng.create seed in
@@ -321,7 +348,8 @@ let find_gap_cmd =
     Term.(
       const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
       $ parts_arg $ instances_arg $ seed_arg $ method_arg $ time_arg
-      $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg $ jobs_arg)
+      $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg $ jobs_arg
+      $ lp_backend_arg)
   in
   Cmd.v
     (Cmd.info "find-gap"
@@ -399,6 +427,86 @@ let find_capacity_gap_cmd =
        ~doc:
          "Search for topology (capacity) changes maximizing DP's optimality \
           gap at fixed demands")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* solve-lp                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let solve_lp_cmd =
+  let run file lp_backend verbose roundtrip =
+    setup_logs verbose;
+    Backend.set_default lp_backend;
+    match Lp_file.of_file file with
+    | Error e ->
+        Fmt.epr "%s: parse error: %s@." file e;
+        exit 1
+    | Ok model ->
+        Fmt.pr "%s: %a@." file Model.pp_stats model;
+        if roundtrip then begin
+          (* re-emit the parsed model and parse that: the writer and
+             parser must agree on their shared dialect *)
+          match Lp_file.of_string (Lp_file.to_string model) with
+          | Error e ->
+              Fmt.epr "round-trip re-parse failed: %s@." e;
+              exit 1
+          | Ok again ->
+              if
+                Model.num_vars again <> Model.num_vars model
+                || Model.num_constrs again <> Model.num_constrs model
+                || Model.num_sos1 again <> Model.num_sos1 model
+              then begin
+                Fmt.epr "round-trip changed the model shape@.";
+                exit 1
+              end;
+              Fmt.pr "round-trip    : ok@."
+        end;
+        if Model.is_mip model then begin
+          let r = Solver.solve model in
+          Fmt.pr "outcome       : %a@." Branch_bound.pp_outcome
+            r.Branch_bound.outcome;
+          Fmt.pr "objective     : %.9g@." r.Branch_bound.objective;
+          Fmt.pr "best bound    : %.9g@." r.Branch_bound.best_bound;
+          Fmt.pr "nodes         : %d@." r.Branch_bound.nodes;
+          Fmt.pr "lp engine     : %s backend, %a@."
+            (Backend.kind_to_string lp_backend)
+            Simplex.pp_stats r.Branch_bound.lp_stats;
+          match r.Branch_bound.outcome with
+          | Branch_bound.Optimal | Branch_bound.Feasible -> ()
+          | _ -> exit 2
+        end
+        else begin
+          let r = Solver.solve_lp model in
+          Fmt.pr "status        : %a@." Simplex.pp_status r.Solver.status;
+          Fmt.pr "objective     : %.9g@." r.Solver.objective;
+          Fmt.pr "lp engine     : %s backend, %a@."
+            (Backend.kind_to_string lp_backend)
+            Simplex.pp_stats r.Solver.stats;
+          if verbose then
+            Array.iteri
+              (fun v x ->
+                if Float.abs x > 1e-9 then
+                  Fmt.pr "  %s = %.9g@." (Model.var_name model v) x)
+              r.Solver.primal;
+          match r.Solver.status with
+          | Simplex.Optimal -> ()
+          | _ -> exit 2
+        end
+  in
+  let file_arg =
+    let doc = "LP-format file to solve (the dialect Lp_file writes)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let roundtrip_arg =
+    let doc = "Also re-emit and re-parse the model as a self-check." in
+    Arg.(value & flag & info [ "roundtrip" ] ~doc)
+  in
+  let term =
+    Term.(const run $ file_arg $ lp_backend_arg $ verbose_arg $ roundtrip_arg)
+  in
+  Cmd.v
+    (Cmd.info "solve-lp"
+       ~doc:"Parse an LP-format file and solve it with the built-in engine")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -569,4 +677,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topology_cmd; evaluate_cmd; find_gap_cmd; find_capacity_gap_cmd;
-            serve_cmd; client_cmd ]))
+            solve_lp_cmd; serve_cmd; client_cmd ]))

@@ -1,0 +1,100 @@
+(* Pluggable LP backend dispatch. Both backends implement the same
+   first-class module signature over a Standard_form; a Backend.t packs
+   the module together with its mutable state so Solver / Branch_bound
+   never know which engine they are driving. *)
+
+type kind = Dense | Sparse
+
+let kind_to_string = function
+  | Dense -> "dense"
+  | Sparse -> "sparse"
+
+let kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dense" | "tableau" -> Some Dense
+  | "sparse" | "revised" -> Some Sparse
+  | _ -> None
+
+(* Global default: the sparse revised simplex, overridable with
+   REPRO_LP_BACKEND=dense|sparse (and per-process via set_default, which
+   the CLI --lp-backend flag uses). *)
+let default_kind =
+  ref
+    (match Sys.getenv_opt "REPRO_LP_BACKEND" with
+    | Some s -> (
+        match kind_of_string s with
+        | Some k -> k
+        | None ->
+            invalid_arg
+              (Printf.sprintf "REPRO_LP_BACKEND=%s (expected dense|sparse)" s))
+    | None -> Sparse)
+
+let default () = !default_kind
+let set_default k = default_kind := k
+
+module type S = sig
+  type state
+
+  val create : Standard_form.t -> state
+  val set_bounds : state -> int -> lb:float -> ub:float -> unit
+  val get_lb : state -> int -> float
+  val get_ub : state -> int -> float
+  val solve_fresh : ?iter_limit:int -> state -> Simplex.solution
+  val resolve : ?iter_limit:int -> state -> Simplex.solution
+  val total_iterations : state -> int
+  val stats : state -> Simplex.stats
+  val pp_state : Format.formatter -> state -> unit
+end
+
+module Dense_backend : S with type state = Simplex.t = struct
+  type state = Simplex.t
+
+  let create = Simplex.create
+  let set_bounds = Simplex.set_bounds
+  let get_lb = Simplex.get_lb
+  let get_ub = Simplex.get_ub
+  let solve_fresh = Simplex.solve_fresh
+  let resolve = Simplex.resolve
+  let total_iterations = Simplex.total_iterations
+  let stats = Simplex.stats
+  let pp_state = Simplex.pp_state
+end
+
+module Sparse_backend : S with type state = Sparse_simplex.t = struct
+  type state = Sparse_simplex.t
+
+  let create = Sparse_simplex.create
+  let set_bounds = Sparse_simplex.set_bounds
+  let get_lb = Sparse_simplex.get_lb
+  let get_ub = Sparse_simplex.get_ub
+  let solve_fresh = Sparse_simplex.solve_fresh
+  let resolve = Sparse_simplex.resolve
+  let total_iterations = Sparse_simplex.total_iterations
+  let stats = Sparse_simplex.stats
+  let pp_state = Sparse_simplex.pp_state
+end
+
+type t = Packed : (module S with type state = 's) * 's * kind -> t
+
+let create ?kind sf =
+  let kind =
+    match kind with
+    | Some k -> k
+    | None -> default ()
+  in
+  match kind with
+  | Dense -> Packed ((module Dense_backend), Dense_backend.create sf, Dense)
+  | Sparse -> Packed ((module Sparse_backend), Sparse_backend.create sf, Sparse)
+
+let kind (Packed (_, _, k)) = k
+let set_bounds (Packed ((module B), s, _)) j ~lb ~ub = B.set_bounds s j ~lb ~ub
+let get_lb (Packed ((module B), s, _)) j = B.get_lb s j
+let get_ub (Packed ((module B), s, _)) j = B.get_ub s j
+
+let solve_fresh ?iter_limit (Packed ((module B), s, _)) =
+  B.solve_fresh ?iter_limit s
+
+let resolve ?iter_limit (Packed ((module B), s, _)) = B.resolve ?iter_limit s
+let total_iterations (Packed ((module B), s, _)) = B.total_iterations s
+let stats (Packed ((module B), s, _)) = B.stats s
+let pp_state ppf (Packed ((module B), s, _)) = B.pp_state ppf s

@@ -1,0 +1,63 @@
+(** Pluggable LP engine selection.
+
+    Two backends implement the same lifecycle over a {!Standard_form.t}:
+
+    - [Dense] — the original dense-tableau two-phase simplex
+      ({!Simplex}); kept as the reference oracle.
+    - [Sparse] — the sparse revised simplex ({!Sparse_simplex}) with a
+      factorized basis inverse; the default.
+
+    Both return identical {!Simplex.solution} records (primal, duals,
+    reduced costs), so callers pick purely on performance. The
+    process-wide default is [Sparse], overridable with the
+    [REPRO_LP_BACKEND] environment variable ([dense] or [sparse]) or
+    {!set_default} (wired to the CLI's [--lp-backend] flag). *)
+
+type kind = Dense | Sparse
+
+val kind_to_string : kind -> string
+
+(** Accepts ["dense"]/["tableau"] and ["sparse"]/["revised"],
+    case-insensitively. *)
+val kind_of_string : string -> kind option
+
+(** Current process-wide default backend. *)
+val default : unit -> kind
+
+val set_default : kind -> unit
+
+(** Common backend signature; [state] is the engine's mutable solver
+    state. See {!Simplex} for the semantics of each operation. *)
+module type S = sig
+  type state
+
+  val create : Standard_form.t -> state
+  val set_bounds : state -> int -> lb:float -> ub:float -> unit
+  val get_lb : state -> int -> float
+  val get_ub : state -> int -> float
+  val solve_fresh : ?iter_limit:int -> state -> Simplex.solution
+  val resolve : ?iter_limit:int -> state -> Simplex.solution
+  val total_iterations : state -> int
+  val stats : state -> Simplex.stats
+  val pp_state : Format.formatter -> state -> unit
+end
+
+module Dense_backend : S with type state = Simplex.t
+module Sparse_backend : S with type state = Sparse_simplex.t
+
+(** A backend instance: an engine module packed with its state. *)
+type t
+
+(** [create ?kind sf] instantiates a backend on [sf]; [kind] defaults to
+    {!default}[ ()]. *)
+val create : ?kind:kind -> Standard_form.t -> t
+
+val kind : t -> kind
+val set_bounds : t -> int -> lb:float -> ub:float -> unit
+val get_lb : t -> int -> float
+val get_ub : t -> int -> float
+val solve_fresh : ?iter_limit:int -> t -> Simplex.solution
+val resolve : ?iter_limit:int -> t -> Simplex.solution
+val total_iterations : t -> int
+val stats : t -> Simplex.stats
+val pp_state : Format.formatter -> t -> unit

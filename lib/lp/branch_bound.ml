@@ -8,6 +8,8 @@ type options = {
   sos_tol : float;
   log_progress : bool;
   interrupt : unit -> bool;
+  backend : Backend.kind option;
+  warm_start : bool;
 }
 
 let default_options =
@@ -21,6 +23,8 @@ let default_options =
     sos_tol = 1e-6;
     log_progress = false;
     interrupt = (fun () -> false);
+    backend = None;
+    warm_start = true;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -33,6 +37,7 @@ type result = {
   primal : float array option;
   nodes : int;
   simplex_iterations : int;
+  lp_stats : Simplex.stats;
   elapsed : float;
   incumbent_trace : (float * float) list;
 }
@@ -52,7 +57,7 @@ type state = {
   model : Model.t;
   maximize : bool;
   opts : options;
-  simplex : Simplex.t;
+  simplex : Backend.t;
   root_lb : float array;
   root_ub : float array;
   int_vars : int array;
@@ -88,12 +93,12 @@ let apply_node st node =
     st.applied;
   List.iter
     (fun v ->
-      Simplex.set_bounds st.simplex v ~lb:st.root_lb.(v) ~ub:st.root_ub.(v);
+      Backend.set_bounds st.simplex v ~lb:st.root_lb.(v) ~ub:st.root_ub.(v);
       Hashtbl.remove st.applied v)
     !stale;
   Hashtbl.iter
     (fun v (lo, hi) ->
-      Simplex.set_bounds st.simplex v ~lb:lo ~ub:hi;
+      Backend.set_bounds st.simplex v ~lb:lo ~ub:hi;
       Hashtbl.replace st.applied v ())
     targets
 
@@ -171,7 +176,7 @@ let solve ?(options = default_options) ?primal_heuristic
   let dir, _ = Model.objective model in
   let maximize = dir = Model.Maximize in
   let sf = Standard_form.of_model model in
-  let simplex = Simplex.create sf in
+  let simplex = Backend.create ?kind:options.backend sf in
   let n = Model.num_vars model in
   let st =
     {
@@ -207,7 +212,8 @@ let solve ?(options = default_options) ?primal_heuristic
         | _ -> mip_gap_of ~objective ~bound:best_bound);
       primal = st.incumbent_x;
       nodes = st.nodes;
-      simplex_iterations = Simplex.total_iterations simplex;
+      simplex_iterations = Backend.total_iterations simplex;
+      lp_stats = Backend.stats simplex;
       elapsed = now () -. st.start;
       incumbent_trace = List.rev st.trace;
     }
@@ -253,7 +259,12 @@ let solve ?(options = default_options) ?primal_heuristic
        else begin
          st.nodes <- st.nodes + 1;
          apply_node st node;
-         let sol = Simplex.resolve simplex in
+         let sol =
+           (* [warm_start:false] forces a cold from-scratch solve per node;
+              only useful for measuring what the basis reuse buys *)
+           if st.opts.warm_start then Backend.resolve simplex
+           else Backend.solve_fresh simplex
+         in
          (match sol.status with
          | Simplex.Infeasible -> ()
          | Simplex.Unbounded ->
@@ -286,8 +297,8 @@ let solve ?(options = default_options) ?primal_heuristic
                    (match viol with
                    | No_violation -> assert false
                    | Fractional (v, value) ->
-                       let lo = Simplex.get_lb simplex v
-                       and hi = Simplex.get_ub simplex v in
+                       let lo = Backend.get_lb simplex v
+                       and hi = Backend.get_ub simplex v in
                        let down = Float.floor value and up = Float.ceil value in
                        if down >= lo -. 1e-9 then
                          Heap.push st.heap (prio bound) (mk [ (v, lo, down) ]);

@@ -27,6 +27,14 @@ type options = {
       (** polled once per node; returning true stops the search with the
           current incumbent (the hook portfolio racers use to wind a
           worker down once the shared incumbent is good enough) *)
+  backend : Backend.kind option;
+      (** LP engine for node relaxations; [None] (the default) resolves
+          {!Backend.default} at solve time *)
+  warm_start : bool;
+      (** when true (the default) every child node re-solves with the
+          dual simplex from the parent's basis; false forces a cold
+          from-scratch solve per node — only useful for measuring what
+          basis reuse buys *)
 }
 
 val default_options : options
@@ -46,6 +54,9 @@ type result = {
   primal : float array option;  (** incumbent assignment when available *)
   nodes : int;
   simplex_iterations : int;
+  lp_stats : Simplex.stats;
+      (** LP-engine internals over the whole search: pivots,
+          refactorizations, eta count, warm-start hits/misses *)
   elapsed : float;
   incumbent_trace : (float * float) list;
       (** (seconds since start, incumbent objective) at each improvement,
@@ -70,4 +81,5 @@ val solve :
   Model.t ->
   result
 
+val pp_outcome : Format.formatter -> outcome -> unit
 val pp_result : Format.formatter -> result -> unit

@@ -113,3 +113,394 @@ let to_channel oc model = output_string oc (to_string model)
 let write path model =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc model)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reads the subset of the LP format this module's writer emits (plus a
+   few common spellings): sections Minimize/Maximize, Subject To, Bounds,
+   Generals, Binaries, SOS, End; explicit coefficients or bare variable
+   names in expressions; bound lines [lo <= x <= hi], [x = v], [x <= hi],
+   [x >= lo], [x free]; and the writer's [\ objective constant: c]
+   comment so objective values round-trip exactly. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type section =
+  | Sec_objective of Model.direction
+  | Sec_constraints
+  | Sec_bounds
+  | Sec_generals
+  | Sec_binaries
+  | Sec_sos
+  | Sec_end
+
+let is_number_token tok =
+  match tok.[0] with
+  | '0' .. '9' | '.' | '-' | '+' -> (
+      match float_of_string_opt tok with
+      | Some _ -> true
+      | None -> String.length tok > 1 && (match tok.[1] with '0' .. '9' | '.' -> true | _ -> false))
+  | 'i' | 'I' -> String.lowercase_ascii tok = "inf" || String.lowercase_ascii tok = "infinity"
+  | _ -> false
+
+let number_of_token tok =
+  match String.lowercase_ascii tok with
+  | "inf" | "+inf" | "infinity" | "+infinity" -> infinity
+  | "-inf" | "-infinity" -> neg_infinity
+  | _ -> (
+      match float_of_string_opt tok with
+      | Some v -> v
+      | None -> fail "expected a number, got %S" tok)
+
+(* Split an expression token stream into (terms, constant). Accepts
+   [+|-] [coef] name triples with the sign and coefficient optional, and
+   bare numbers as constant terms (the writer emits "0 " for an empty
+   expression). *)
+let parse_linear ~var tokens =
+  let terms = ref [] in
+  let const = ref 0. in
+  let rec go sign = function
+    | [] -> ()
+    | "+" :: rest -> go sign rest
+    | "-" :: rest -> go (-.sign) rest
+    | tok :: rest when is_number_token tok -> (
+        let v = number_of_token tok in
+        match rest with
+        | name :: rest' when (not (is_number_token name)) && name <> "+" && name <> "-" ->
+            terms := (var name, sign *. v) :: !terms;
+            go 1. rest'
+        | _ ->
+            const := !const +. (sign *. v);
+            go 1. rest)
+    | name :: rest ->
+        terms := (var name, sign) :: !terms;
+        go 1. rest
+  in
+  go 1. tokens;
+  (List.rev !terms, !const)
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* A found section header, or None for an ordinary content line. *)
+let section_of_line line tokens =
+  let low = String.lowercase_ascii (String.trim line) in
+  match tokens with
+  | [] -> None
+  | w :: _ -> (
+      match String.lowercase_ascii w with
+      | "minimize" | "min" -> Some (Sec_objective Model.Minimize)
+      | "maximize" | "max" -> Some (Sec_objective Model.Maximize)
+      | "subject" when low = "subject to" -> Some Sec_constraints
+      | "st" | "s.t." when List.length tokens = 1 -> Some Sec_constraints
+      | "bounds" when List.length tokens = 1 -> Some Sec_bounds
+      | "general" | "generals" when List.length tokens = 1 -> Some Sec_generals
+      | "binary" | "binaries" when List.length tokens = 1 -> Some Sec_binaries
+      | "sos" when List.length tokens = 1 -> Some Sec_sos
+      | "end" when List.length tokens = 1 -> Some Sec_end
+      | _ -> None)
+
+type pre_model = {
+  mutable direction : Model.direction;
+  mutable objective : string * float;
+      (* raw objective token stream (joined) + constant from the comment *)
+  mutable constrs : (string * string) list; (* name, raw body — reversed *)
+  mutable bound_lines : string list; (* reversed *)
+  mutable general_names : string list;
+  mutable binary_names : string list;
+  mutable sos_lines : (string * string) list; (* name, body — reversed *)
+}
+
+let split_label line =
+  match String.index_opt line ':' with
+  | Some i
+    when (i + 1 >= String.length line || line.[i + 1] <> ':')
+         && (i = 0 || line.[i - 1] <> ':') ->
+      let label = String.trim (String.sub line 0 i) in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      (Some label, rest)
+  | _ -> (None, line)
+
+(* Undo the writer's "#idx" disambiguation suffix so names survive a
+   write -> parse -> write cycle unchanged (idx is reassigned anyway). *)
+let strip_index_suffix name =
+  match String.rindex_opt name '#' with
+  | Some i when i > 0 && i < String.length name - 1 ->
+      let all_digits = ref true in
+      for j = i + 1 to String.length name - 1 do
+        match name.[j] with '0' .. '9' -> () | _ -> all_digits := false
+      done;
+      if !all_digits then String.sub name 0 i else name
+  | _ -> name
+
+let objective_constant_re line =
+  (* matches the writer's "\ objective constant: <c>" comment *)
+  let low = String.lowercase_ascii line in
+  let key = "objective constant:" in
+  match
+    let rec find i =
+      if i + String.length key > String.length low then None
+      else if String.sub low i (String.length key) = key then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some i ->
+      let rest = String.sub line (i + String.length key)
+          (String.length line - i - String.length key) in
+      float_of_string_opt (String.trim rest)
+
+let of_string text =
+  try
+    let pre =
+      {
+        direction = Model.Minimize;
+        objective = ("", 0.);
+        constrs = [];
+        bound_lines = [];
+        general_names = [];
+        binary_names = [];
+        sos_lines = [];
+      }
+    in
+    let section = ref Sec_end in
+    let seen_objective = ref false in
+    let lines = String.split_on_char '\n' text in
+    List.iter
+      (fun raw ->
+        let line = String.trim raw in
+        if line = "" then ()
+        else if line.[0] = '\\' then begin
+          (* comment; the writer hides the objective constant here *)
+          match objective_constant_re line with
+          | Some c ->
+              let body, _ = pre.objective in
+              pre.objective <- (body, c)
+          | None -> ()
+        end
+        else
+          match section_of_line line (tokenize line) with
+          | Some (Sec_objective dir) ->
+              pre.direction <- dir;
+              seen_objective := true;
+              section := Sec_objective dir
+          | Some s -> section := s
+          | None -> (
+              match !section with
+              | Sec_objective _ ->
+                  let _, rest = split_label line in
+                  let body, c = pre.objective in
+                  pre.objective <- (body ^ " " ^ rest, c)
+              | Sec_constraints ->
+                  let label, rest = split_label line in
+                  let name =
+                    match label with
+                    | Some l -> l
+                    | None -> Printf.sprintf "c%d" (List.length pre.constrs)
+                  in
+                  pre.constrs <- (name, rest) :: pre.constrs
+              | Sec_bounds -> pre.bound_lines <- line :: pre.bound_lines
+              | Sec_generals ->
+                  pre.general_names <-
+                    List.rev_append (tokenize line) pre.general_names
+              | Sec_binaries ->
+                  pre.binary_names <-
+                    List.rev_append (tokenize line) pre.binary_names
+              | Sec_sos ->
+                  let label, rest = split_label line in
+                  let name =
+                    match label with
+                    | Some l -> l
+                    | None -> Printf.sprintf "sos%d" (List.length pre.sos_lines)
+                  in
+                  pre.sos_lines <- (name, rest) :: pre.sos_lines
+              | Sec_end -> fail "content line outside any section: %S" line))
+      lines;
+    if not !seen_objective then fail "missing Minimize/Maximize section";
+    (* ---- pass 2: discover variables in first-appearance order ---- *)
+    let var_ids = Hashtbl.create 64 in
+    let var_names = ref [] in
+    let n_vars = ref 0 in
+    let intern name =
+      match Hashtbl.find_opt var_ids name with
+      | Some id -> id
+      | None ->
+          let id = !n_vars in
+          Hashtbl.add var_ids name id;
+          var_names := name :: !var_names;
+          incr n_vars;
+          id
+    in
+    let rels = [ "<="; ">="; "="; "<"; ">" ] in
+    let note_expr_vars tokens =
+      ignore (parse_linear ~var:intern tokens)
+    in
+    note_expr_vars (tokenize (fst pre.objective));
+    List.iter
+      (fun (_, body) ->
+        let tokens = tokenize body in
+        (* strip "rel rhs" tail before interning *)
+        let rec strip acc = function
+          | rel :: _ :: _ when List.mem rel rels -> List.rev acc
+          | tok :: rest -> strip (tok :: acc) rest
+          | [] -> List.rev acc
+        in
+        note_expr_vars (strip [] tokens))
+      (List.rev pre.constrs);
+    List.iter
+      (fun line ->
+        List.iter
+          (fun tok ->
+            if
+              (not (is_number_token tok))
+              && (not (List.mem tok rels))
+              && String.lowercase_ascii tok <> "free"
+            then ignore (intern tok))
+          (tokenize line))
+      (List.rev pre.bound_lines);
+    List.iter (fun n -> ignore (intern n)) (List.rev pre.general_names);
+    List.iter (fun n -> ignore (intern n)) (List.rev pre.binary_names);
+    List.iter
+      (fun (_, body) ->
+        List.iter
+          (fun tok ->
+            if tok <> "S1" && tok <> "S2" && tok <> "::" && tok <> ":"
+               && not (is_number_token tok)
+            then ignore (intern tok))
+          (tokenize body))
+      (List.rev pre.sos_lines);
+    (* ---- kinds and bounds ---- *)
+    let generals =
+      List.fold_left
+        (fun acc n -> (intern n, ()) :: acc)
+        [] pre.general_names
+    in
+    let binaries =
+      List.fold_left
+        (fun acc n -> (intern n, ()) :: acc)
+        [] pre.binary_names
+    in
+    let kind_of id =
+      if List.mem_assoc id binaries then Model.Binary
+      else if List.mem_assoc id generals then Model.Integer
+      else Model.Continuous
+    in
+    let bounds = Hashtbl.create 64 in
+    let update_bound id f =
+      let cur =
+        match Hashtbl.find_opt bounds id with
+        | Some b -> b
+        | None -> (0., infinity)
+      in
+      Hashtbl.replace bounds id (f cur)
+    in
+    List.iter
+      (fun line ->
+        let tokens = tokenize line in
+        match tokens with
+        | [ name; "free" ] | [ name; "Free" ] | [ name; "FREE" ] ->
+            update_bound (intern name) (fun _ -> (neg_infinity, infinity))
+        | [ name; "="; v ] ->
+            let v = number_of_token v in
+            update_bound (intern name) (fun _ -> (v, v))
+        | [ lo; "<="; name; "<="; hi ]
+          when is_number_token lo && is_number_token hi ->
+            update_bound (intern name) (fun _ ->
+                (number_of_token lo, number_of_token hi))
+        | [ name; "<="; hi ] when not (is_number_token name) ->
+            update_bound (intern name) (fun (lo, _) -> (lo, number_of_token hi))
+        | [ name; ">="; lo ] when not (is_number_token name) ->
+            update_bound (intern name) (fun (_, hi) -> (number_of_token lo, hi))
+        | [ lo; "<="; name ] when is_number_token lo ->
+            update_bound (intern name) (fun (_, hi) -> (number_of_token lo, hi))
+        | _ -> fail "unrecognized bound line: %S" line)
+      (List.rev pre.bound_lines);
+    (* ---- build the model ---- *)
+    let model = Model.create ~name:"lp_file" () in
+    List.iter
+      (fun name ->
+        let id = Hashtbl.find var_ids name in
+        let v =
+          Model.add_var ~name:(strip_index_suffix name) ~kind:(kind_of id)
+            model
+        in
+        assert (v = id))
+      (List.rev !var_names);
+    Hashtbl.iter
+      (fun id (lo, hi) ->
+        if lo > hi then fail "variable %d: lb %g > ub %g" id lo hi;
+        Model.set_var_bounds model id ~lb:lo ~ub:hi)
+      bounds;
+    let obj_body, obj_const = pre.objective in
+    let terms, inline_const =
+      parse_linear ~var:intern (tokenize obj_body)
+    in
+    Model.set_objective model pre.direction
+      (Linexpr.of_terms ~constant:(obj_const +. inline_const) terms);
+    List.iter
+      (fun (name, body) ->
+        let tokens = tokenize body in
+        let rec split_rel acc = function
+          | rel :: rest when List.mem rel rels -> (List.rev acc, rel, rest)
+          | tok :: rest -> split_rel (tok :: acc) rest
+          | [] -> fail "constraint %S: missing relation" name
+        in
+        let lhs, rel, rhs_tokens = split_rel [] tokens in
+        let sense =
+          match rel with
+          | "<=" | "<" -> Model.Le
+          | ">=" | ">" -> Model.Ge
+          | "=" -> Model.Eq
+          | _ -> assert false
+        in
+        let rhs =
+          match rhs_tokens with
+          | [ v ] -> number_of_token v
+          | _ -> fail "constraint %S: malformed right-hand side" name
+        in
+        let terms, c = parse_linear ~var:intern lhs in
+        ignore
+          (Model.add_constr ~name:(strip_index_suffix name) model
+             (Linexpr.of_terms ~constant:c terms)
+             sense rhs))
+      (List.rev pre.constrs);
+    List.iter
+      (fun (name, body) ->
+        (* "S1 :: x : 1 y : 2" — keep members, drop weights *)
+        let tokens = tokenize body in
+        let tokens =
+          match tokens with
+          | kind :: "::" :: rest ->
+              if String.uppercase_ascii kind <> "S1" then
+                fail "SOS group %S: only S1 is supported" name;
+              rest
+          | _ -> fail "SOS group %S: expected 'S1 ::'" name
+        in
+        let rec members acc = function
+          | [] -> List.rev acc
+          | name :: ":" :: _weight :: rest -> members (intern name :: acc) rest
+          | name :: rest when not (is_number_token name) ->
+              members (intern name :: acc) rest
+          | tok :: _ -> fail "SOS group %S: unexpected token %S" name tok
+        in
+        Model.add_sos1 ~name:(strip_index_suffix name) model
+          (members [] tokens))
+      (List.rev pre.sos_lines);
+    Ok model
+  with Parse_error msg -> Error msg
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      of_string text)

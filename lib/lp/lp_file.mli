@@ -10,3 +10,13 @@ val to_channel : out_channel -> Model.t -> unit
 
 val write : string -> Model.t -> unit
 (** [write path model] writes the model to a file. *)
+
+val of_string : string -> (Model.t, string) result
+(** Parse LP-format text back into a model. Accepts the subset of the
+    format this module's writer emits (sections, explicit or implicit
+    coefficients, bound lines, Generals/Binaries, S1 SOS groups), plus
+    the writer's [\ objective constant: c] comment so objectives
+    round-trip exactly. Returns [Error msg] on malformed input. *)
+
+val of_file : string -> (Model.t, string) result
+(** [of_file path] reads and parses an LP-format file. *)

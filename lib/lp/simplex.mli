@@ -18,6 +18,25 @@ type t
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+val pp_status : Format.formatter -> status -> unit
+
+(** Cumulative solver-internals counters, shared by every backend.
+    The dense tableau reports [refactorizations = 0] and [etas = 0]
+    (it has no factorization); warm-start counters track {!resolve}
+    outcomes — a hit is a successful dual-simplex warm restart, a miss
+    is a fallback to {!solve_fresh}. *)
+type stats = {
+  iterations : int;
+  refactorizations : int;
+  etas : int;
+  warm_hits : int;
+  warm_misses : int;
+}
+
+val empty_stats : stats
+val add_stats : stats -> stats -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
 type solution = {
   status : status;
   objective : float;
@@ -49,6 +68,9 @@ val resolve : ?iter_limit:int -> t -> solution
 
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int
+
+(** Lifetime counters for this state. *)
+val stats : t -> stats
 
 (** Diagnostic dump of the internal state (basis, statuses, basic values,
     reduced costs) for debugging numerical issues. *)

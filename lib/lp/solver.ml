@@ -5,12 +5,13 @@ type lp_result = {
   duals : float array;
   reduced_costs : float array;
   iterations : int;
+  stats : Simplex.stats;
 }
 
-let solve_lp ?iter_limit model =
+let solve_lp ?iter_limit ?backend model =
   let sf = Standard_form.of_model model in
-  let state = Simplex.create sf in
-  let sol = Simplex.solve_fresh ?iter_limit state in
+  let state = Backend.create ?kind:backend sf in
+  let sol = Backend.solve_fresh ?iter_limit state in
   {
     status = sol.Simplex.status;
     objective = sol.Simplex.objective;
@@ -18,6 +19,7 @@ let solve_lp ?iter_limit model =
     duals = sol.Simplex.duals;
     reduced_costs = sol.Simplex.reduced_costs;
     iterations = sol.Simplex.iterations;
+    stats = Backend.stats state;
   }
 
 let value result var = result.primal.(var)
@@ -35,6 +37,7 @@ let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
           primal = None;
           nodes = 0;
           simplex_iterations = 0;
+          lp_stats = Simplex.empty_stats;
           elapsed = 0.;
           incumbent_trace = [];
         }
@@ -73,6 +76,7 @@ let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
       primal = (if outcome = Branch_bound.Optimal then Some r.primal else None);
       nodes = 1;
       simplex_iterations = r.iterations;
+      lp_stats = r.stats;
       elapsed = 0.;
       incumbent_trace = [];
     }

@@ -11,10 +11,12 @@ type lp_result = {
   duals : float array;
   reduced_costs : float array;
   iterations : int;
+  stats : Simplex.stats;  (** engine internals for this solve *)
 }
 
-(** Solve the continuous relaxation (integrality and SOS1 ignored). *)
-val solve_lp : ?iter_limit:int -> Model.t -> lp_result
+(** Solve the continuous relaxation (integrality and SOS1 ignored).
+    [backend] defaults to {!Backend.default}[ ()]. *)
+val solve_lp : ?iter_limit:int -> ?backend:Backend.kind -> Model.t -> lp_result
 
 (** [value result var] reads a variable out of an LP result. *)
 val value : lp_result -> Model.var -> float

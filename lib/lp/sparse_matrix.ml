@@ -1,0 +1,73 @@
+(* Compressed-sparse-column store of the structural constraint matrix.
+   Built once per standard form; every backend pivot touches only the
+   nonzeros of the columns it prices or ftrans, never a dense row. *)
+
+type t = {
+  m : int;
+  n : int;
+  col_ptr : int array; (* length n + 1 *)
+  row_idx : int array; (* length nnz *)
+  values : float array; (* length nnz *)
+}
+
+let of_rows ~m ~n (rows : (int * float) array array) =
+  (* count entries per column; duplicate (row, var) terms are summed, so
+     first coalesce each row's terms per variable *)
+  let counts = Array.make n 0 in
+  let coalesced =
+    Array.map
+      (fun row ->
+        let tbl = Hashtbl.create (Array.length row) in
+        Array.iter
+          (fun (j, a) ->
+            match Hashtbl.find_opt tbl j with
+            | Some prev -> Hashtbl.replace tbl j (prev +. a)
+            | None -> Hashtbl.add tbl j a)
+          row;
+        let out = Hashtbl.fold (fun j a acc -> (j, a) :: acc) tbl [] in
+        List.sort (fun (j1, _) (j2, _) -> compare j1 j2) out)
+      rows
+  in
+  Array.iter
+    (List.iter (fun (j, a) -> if a <> 0. then counts.(j) <- counts.(j) + 1))
+    coalesced;
+  let col_ptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    col_ptr.(j + 1) <- col_ptr.(j) + counts.(j)
+  done;
+  let nnz = col_ptr.(n) in
+  let row_idx = Array.make (Int.max 1 nnz) 0 in
+  let values = Array.make (Int.max 1 nnz) 0. in
+  let cursor = Array.copy col_ptr in
+  Array.iteri
+    (fun i terms ->
+      List.iter
+        (fun (j, a) ->
+          if a <> 0. then begin
+            let k = cursor.(j) in
+            row_idx.(k) <- i;
+            values.(k) <- a;
+            cursor.(j) <- k + 1
+          end)
+        terms)
+    coalesced;
+  { m; n; col_ptr; row_idx; values }
+
+let nnz t = t.col_ptr.(t.n)
+
+let col_nnz t j = t.col_ptr.(j + 1) - t.col_ptr.(j)
+
+let iter_col t j f =
+  for k = t.col_ptr.(j) to t.col_ptr.(j + 1) - 1 do
+    f (Array.unsafe_get t.row_idx k) (Array.unsafe_get t.values k)
+  done
+
+let dot_col t j y =
+  let acc = ref 0. in
+  for k = t.col_ptr.(j) to t.col_ptr.(j + 1) - 1 do
+    acc :=
+      !acc
+      +. (Array.unsafe_get t.values k
+         *. Array.unsafe_get y (Array.unsafe_get t.row_idx k))
+  done;
+  !acc

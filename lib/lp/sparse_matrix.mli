@@ -1,0 +1,29 @@
+(** Compressed-sparse-column (CSC) view of the structural constraint
+    matrix. {!Standard_form.of_model} builds it once; the sparse revised
+    simplex backend prices and ftrans against it without ever
+    materializing a dense tableau. *)
+
+type t = {
+  m : int;  (** rows *)
+  n : int;  (** structural columns *)
+  col_ptr : int array;  (** length [n + 1] *)
+  row_idx : int array;
+  values : float array;
+}
+
+(** [of_rows ~m ~n rows] builds the CSC from sparse rows of
+    [(column, coefficient)] terms. Duplicate terms for the same
+    (row, column) are summed; exact zeros are dropped. *)
+val of_rows : m:int -> n:int -> (int * float) array array -> t
+
+val nnz : t -> int
+
+val col_nnz : t -> int -> int
+
+(** [iter_col t j f] applies [f row value] to each stored entry of
+    column [j]. *)
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+
+(** [dot_col t j y] is the inner product of column [j] with the dense
+    vector [y] (length [m]). *)
+val dot_col : t -> int -> float array -> float

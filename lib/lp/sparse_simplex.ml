@@ -1,50 +1,13 @@
-(* Bounded-variable two-phase primal simplex + dual simplex warm restarts.
-   Internally we always minimize; Standard_form already negated maximization
-   objectives. Column layout: [0, n) structural, [n, n+m) slacks (one per
-   row, identity coefficients), [n+m, n+2m) artificials (identity; only used
-   by phase 1 and, as a side benefit, their tableau columns are B^-1, which
-   gives us dual values for free). *)
-
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
-
-let pp_status ppf = function
-  | Optimal -> Fmt.string ppf "optimal"
-  | Infeasible -> Fmt.string ppf "infeasible"
-  | Unbounded -> Fmt.string ppf "unbounded"
-  | Iteration_limit -> Fmt.string ppf "iteration limit"
-
-type stats = {
-  iterations : int;
-  refactorizations : int;
-  etas : int;
-  warm_hits : int;
-  warm_misses : int;
-}
-
-let empty_stats =
-  { iterations = 0; refactorizations = 0; etas = 0; warm_hits = 0; warm_misses = 0 }
-
-let add_stats a b =
-  {
-    iterations = a.iterations + b.iterations;
-    refactorizations = a.refactorizations + b.refactorizations;
-    etas = a.etas + b.etas;
-    warm_hits = a.warm_hits + b.warm_hits;
-    warm_misses = a.warm_misses + b.warm_misses;
-  }
-
-let pp_stats ppf s =
-  Fmt.pf ppf "iters=%d refactors=%d etas=%d warm=%d/%d" s.iterations
-    s.refactorizations s.etas s.warm_hits (s.warm_hits + s.warm_misses)
-
-type solution = {
-  status : status;
-  objective : float;
-  primal : float array;
-  duals : float array;
-  reduced_costs : float array;
-  iterations : int;
-}
+(* Sparse revised simplex over the CSC column store built by
+   Standard_form. Mirrors the dense tableau backend (Simplex) exactly:
+   same column layout ([0,n) structural, [n,n+m) slacks, [n+m,n+2m)
+   artificials), same two-phase primal with Dantzig pricing + Bland
+   fallback, same dual-simplex warm restart with solve_fresh fallback —
+   but instead of carrying B^-1 [A I I] as a dense m x nt tableau it keeps
+   a factorized basis inverse (Basis eta file) and reconstructs whatever
+   the current pivot needs: the pricing row via one btran + sparse column
+   dots, the entering column via one ftran. A pivot therefore costs
+   O(nnz) instead of O(m * nt). *)
 
 type vstat = Basic | At_lower | At_upper | Free_nb
 
@@ -53,14 +16,17 @@ type t = {
   n : int;
   m : int;
   nt : int;
-  tab : float array array; (* m rows x nt columns: B^-1 [A I I] *)
-  d : float array; (* reduced costs, length nt *)
+  cols : Sparse_matrix.t;
+  bas : Basis.t;
+  d : float array; (* reduced costs, repriced every iteration *)
   cost : float array; (* current phase cost vector, length nt *)
   basis : int array; (* length m: column basic in each row *)
   stat : vstat array; (* length nt *)
   xb : float array; (* length m: values of basic variables *)
   lb : float array; (* length nt *)
   ub : float array; (* length nt *)
+  y : float array; (* btran workspace (duals / dual-step rho) *)
+  w : float array; (* ftran workspace (entering column) *)
   mutable solved_once : bool;
   mutable iters_total : int;
   mutable warm_hits : int;
@@ -70,6 +36,7 @@ type t = {
 let feas_tol = 1e-7
 let dual_tol = 1e-7
 let pivot_tol = 1e-9
+let refactor_interval = 100
 
 let art t i = t.n + t.m + i
 let slack t i = t.n + i
@@ -99,7 +66,8 @@ let create (sf : Standard_form.t) =
     n;
     m;
     nt;
-    tab = Array.init m (fun _ -> Array.make nt 0.);
+    cols = sf.cols;
+    bas = Basis.create ~m;
     d = Array.make nt 0.;
     cost = Array.make nt 0.;
     basis = Array.make m (-1);
@@ -107,6 +75,8 @@ let create (sf : Standard_form.t) =
     xb = Array.make m 0.;
     lb;
     ub;
+    y = Array.make m 0.;
+    w = Array.make m 0.;
     solved_once = false;
     iters_total = 0;
     warm_hits = 0;
@@ -116,7 +86,6 @@ let create (sf : Standard_form.t) =
 let get_lb t j = t.lb.(j)
 let get_ub t j = t.ub.(j)
 
-(* Current value of a nonbasic variable given its status. *)
 let nb_value t j =
   match t.stat.(j) with
   | At_lower -> t.lb.(j)
@@ -124,129 +93,82 @@ let nb_value t j =
   | Free_nb -> 0.
   | Basic -> invalid_arg "nb_value: basic"
 
+(* Iterate the nonzeros of column [j] of the full [A I I] matrix. *)
+let iter_col t j f =
+  if j < t.n then Sparse_matrix.iter_col t.cols j f
+  else if j < t.n + t.m then f (j - t.n) 1.
+  else f (j - t.n - t.m) 1.
+
 let set_bounds t j ~lb ~ub =
-  if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds";
-  if lb > ub then invalid_arg "Simplex.set_bounds: lb > ub";
-  if t.stat.(j) = Basic || not t.solved_once then begin
-    t.lb.(j) <- lb;
-    t.ub.(j) <- ub
-  end
-  else begin
-    let v0 = nb_value t j in
-    t.lb.(j) <- lb;
-    t.ub.(j) <- ub;
-    (* Re-anchor the nonbasic variable on a bound that still exists. *)
-    (match t.stat.(j) with
+  if j < 0 || j >= t.n then invalid_arg "Sparse_simplex.set_bounds";
+  if lb > ub then invalid_arg "Sparse_simplex.set_bounds: lb > ub";
+  t.lb.(j) <- lb;
+  t.ub.(j) <- ub;
+  (* Re-anchor a nonbasic variable on a bound that still exists. Unlike
+     the dense backend there is no incremental xb patch: every solve
+     entry point recomputes basic values from scratch (refresh_xb), so
+     only the status needs to stay coherent here. *)
+  if t.stat.(j) <> Basic && t.solved_once then
+    match t.stat.(j) with
     | At_lower when lb = neg_infinity ->
         t.stat.(j) <- (if ub < infinity then At_upper else Free_nb)
     | At_upper when ub = infinity ->
         t.stat.(j) <- (if lb > neg_infinity then At_lower else Free_nb)
-    | _ -> ());
-    let v1 = if t.stat.(j) = Basic then v0 else nb_value t j in
-    let delta = v1 -. v0 in
-    if delta <> 0. then
-      (* keep A x = b: basic values absorb the shift via column j *)
-      for i = 0 to t.m - 1 do
-        let a = Array.unsafe_get (Array.unsafe_get t.tab i) j in
-        if a <> 0. then t.xb.(i) <- t.xb.(i) -. (a *. delta)
-      done
-  end
+    | _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Tableau (re)construction and invariant refresh                      *)
+(* Invariant refresh: pricing and basic values                         *)
 (* ------------------------------------------------------------------ *)
 
-let rebuild_tableau t =
+(* Recompute all reduced costs: y = B^-T cost_B (one btran), then
+   d_j = cost_j - y . A_j per column (sparse dots; unit columns for
+   slacks and artificials). *)
+let price t =
+  let y = t.y in
   for i = 0 to t.m - 1 do
-    let row = t.tab.(i) in
-    Array.fill row 0 t.nt 0.;
-    Array.iter (fun (j, a) -> row.(j) <- row.(j) +. a) t.sf.rows.(i);
-    row.(slack t i) <- 1.;
-    row.(art t i) <- 1.
+    y.(i) <- t.cost.(t.basis.(i))
+  done;
+  Basis.btran t.bas y;
+  for j = 0 to t.n - 1 do
+    if t.stat.(j) = Basic then t.d.(j) <- 0.
+    else t.d.(j) <- t.cost.(j) -. Sparse_matrix.dot_col t.cols j y
+  done;
+  for i = 0 to t.m - 1 do
+    let s = slack t i and a = art t i in
+    t.d.(s) <- (if t.stat.(s) = Basic then 0. else t.cost.(s) -. y.(i));
+    t.d.(a) <- (if t.stat.(a) = Basic then 0. else t.cost.(a) -. y.(i))
   done
 
-(* Residual b - (A x_N) over nonbasic structural + slack columns. *)
-let residuals t =
-  let r = Array.copy t.sf.b in
-  (* walk rows once using sparse storage (cheaper than column walk) *)
-  for i = 0 to t.m - 1 do
-    Array.iter
-      (fun (j, a) ->
-        if t.stat.(j) <> Basic then r.(i) <- r.(i) -. (a *. nb_value t j))
-      t.sf.rows.(i);
-    let s = slack t i in
-    if t.stat.(s) <> Basic then r.(i) <- r.(i) -. nb_value t s;
-    let a = art t i in
-    if t.stat.(a) <> Basic then r.(i) <- r.(i) -. nb_value t a
-  done;
-  r
+(* w := B^-1 A_j (one ftran of the entering column). *)
+let ftran_col t j =
+  Array.fill t.w 0 t.m 0.;
+  iter_col t j (fun i v -> t.w.(i) <- t.w.(i) +. v);
+  Basis.ftran t.bas t.w
 
-(* Recompute basic values: xb = B^-1 r, using the artificial columns of the
-   tableau which hold B^-1. *)
+(* Recompute basic values: xb = B^-1 (b - A_N x_N). *)
 let refresh_xb t =
-  let r = residuals t in
-  for i = 0 to t.m - 1 do
-    let row = t.tab.(i) in
-    let acc = ref 0. in
-    for k = 0 to t.m - 1 do
-      let binv = Array.unsafe_get row (t.n + t.m + k) in
-      if binv <> 0. then acc := !acc +. (binv *. Array.unsafe_get r k)
-    done;
-    t.xb.(i) <- !acc
-  done
-
-(* Recompute reduced costs d = cost - cost_B * tab. *)
-let refresh_d t =
-  Array.blit t.cost 0 t.d 0 t.nt;
-  for i = 0 to t.m - 1 do
-    let cb = t.cost.(t.basis.(i)) in
-    if cb <> 0. then begin
-      let row = t.tab.(i) in
-      for j = 0 to t.nt - 1 do
-        Array.unsafe_set t.d j
-          (Array.unsafe_get t.d j -. (cb *. Array.unsafe_get row j))
-      done
-    end
-  done;
-  (* exact zeros for basic columns *)
-  for i = 0 to t.m - 1 do
-    t.d.(t.basis.(i)) <- 0.
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Pivoting                                                            *)
-(* ------------------------------------------------------------------ *)
-
-(* Pivot on (row r, column q): row ops on the tableau and reduced costs. *)
-let pivot t r q =
-  let rowr = t.tab.(r) in
-  let piv = rowr.(q) in
-  let inv = 1. /. piv in
+  let r = Array.copy t.sf.b in
   for j = 0 to t.nt - 1 do
-    Array.unsafe_set rowr j (Array.unsafe_get rowr j *. inv)
-  done;
-  rowr.(q) <- 1.;
-  for i = 0 to t.m - 1 do
-    if i <> r then begin
-      let rowi = t.tab.(i) in
-      let f = Array.unsafe_get rowi q in
-      if f <> 0. then begin
-        for j = 0 to t.nt - 1 do
-          Array.unsafe_set rowi j
-            (Array.unsafe_get rowi j -. (f *. Array.unsafe_get rowr j))
-        done;
-        rowi.(q) <- 0.
-      end
+    if t.stat.(j) <> Basic then begin
+      let v = nb_value t j in
+      if v <> 0. then iter_col t j (fun i a -> r.(i) <- r.(i) -. (a *. v))
     end
   done;
-  let f = t.d.(q) in
-  if f <> 0. then begin
-    for j = 0 to t.nt - 1 do
-      Array.unsafe_set t.d j
-        (Array.unsafe_get t.d j -. (f *. Array.unsafe_get rowr j))
-    done;
-    t.d.(q) <- 0.
-  end
+  Basis.ftran t.bas r;
+  Array.blit r 0 t.xb 0 t.m
+
+(* Rebuild a short eta file from the current basis columns; false means
+   the basis went numerically singular. Always refreshes xb on success
+   because refactorization permutes the basis-to-row assignment. *)
+let refactorize t =
+  let ok = Basis.refactorize t.bas ~col:(iter_col t) t.basis in
+  if ok then refresh_xb t;
+  ok
+
+let refactor_due t =
+  (* the base file from reinversion is O(m) etas; only the *updates*
+     appended since then measure staleness *)
+  Basis.update_count t.bas >= refactor_interval
 
 (* ------------------------------------------------------------------ *)
 (* Primal simplex                                                      *)
@@ -254,9 +176,11 @@ let pivot t r q =
 
 type step_result = Step_ok | Step_optimal | Step_unbounded
 
-(* One primal iteration. [bland] selects Bland's anti-cycling rule.
-   Returns whether progress was degenerate via [degen] ref. *)
+exception Done of Simplex.status
+exception Fallback
+
 let primal_step t ~bland ~degen =
+  price t;
   (* entering variable *)
   let q = ref (-1) in
   let best = ref dual_tol in
@@ -270,13 +194,11 @@ let primal_step t ~bland ~degen =
     end
   in
   for j = 0 to t.nt - 1 do
-    (match t.stat.(j) with
+    match t.stat.(j) with
     | Basic -> ()
-    | At_lower ->
-        if t.lb.(j) < t.ub.(j) then consider j (-.t.d.(j))
-    | At_upper ->
-        if t.lb.(j) < t.ub.(j) then consider j t.d.(j)
-    | Free_nb -> consider j (Float.abs t.d.(j)))
+    | At_lower -> if t.lb.(j) < t.ub.(j) then consider j (-.t.d.(j))
+    | At_upper -> if t.lb.(j) < t.ub.(j) then consider j t.d.(j)
+    | Free_nb -> consider j (Float.abs t.d.(j))
   done;
   if !q = -1 then Step_optimal
   else begin
@@ -288,7 +210,9 @@ let primal_step t ~bland ~degen =
       | Free_nb -> if t.d.(q) < 0. then 1. else -1.
       | Basic -> assert false
     in
-    (* ratio test *)
+    ftran_col t q;
+    let w = t.w in
+    (* ratio test over the ftran'd entering column *)
     let t_self =
       match t.stat.(q) with
       | Free_nb -> infinity
@@ -298,9 +222,8 @@ let primal_step t ~bland ~degen =
     let best_r = ref (-1) in
     let best_piv = ref 0. in
     for i = 0 to t.m - 1 do
-      let a = Array.unsafe_get (Array.unsafe_get t.tab i) q in
+      let a = Array.unsafe_get w i in
       let rate = -.delta *. a in
-      (* basic value changes at [rate] per unit of t *)
       if rate < -.pivot_tol then begin
         let lo = t.lb.(t.basis.(i)) in
         if lo > neg_infinity then begin
@@ -340,10 +263,9 @@ let primal_step t ~bland ~degen =
     else begin
       let step = Float.max 0. !best_t in
       degen := step <= feas_tol;
-      (* move basics *)
       if step > 0. then
         for i = 0 to t.m - 1 do
-          let a = Array.unsafe_get (Array.unsafe_get t.tab i) q in
+          let a = Array.unsafe_get w i in
           if a <> 0. then t.xb.(i) <- t.xb.(i) -. (delta *. step *. a)
         done;
       if !best_r = -1 then begin
@@ -354,14 +276,13 @@ let primal_step t ~bland ~degen =
       else begin
         let r = !best_r in
         let leaving = t.basis.(r) in
-        let a_rq = t.tab.(r).(q) in
-        let rate = -.delta *. a_rq in
-        (* leaving var hit which bound? *)
+        let rate = -.delta *. w.(r) in
         t.stat.(leaving) <- (if rate < 0. then At_lower else At_upper);
-        (* guard: equality-slack style fixed vars land At_lower *)
         if t.lb.(leaving) = t.ub.(leaving) then t.stat.(leaving) <- At_lower;
-        let xq_new = (if t.stat.(q) = Free_nb then 0. else nb_value t q) +. (delta *. step) in
-        pivot t r q;
+        let xq_new =
+          (if t.stat.(q) = Free_nb then 0. else nb_value t q) +. (delta *. step)
+        in
+        Basis.push t.bas ~r w;
         t.stat.(q) <- Basic;
         t.basis.(r) <- q;
         t.xb.(r) <- xq_new;
@@ -370,68 +291,64 @@ let primal_step t ~bland ~degen =
     end
   end
 
-exception Done of status
-
 let run_primal t ~iter_limit =
   let iters = ref 0 in
   let degen_run = ref 0 in
   let bland_threshold = 200 + t.m in
-  (try
-     while true do
-       if !iters >= iter_limit then raise (Done Iteration_limit);
-       let bland = !degen_run > bland_threshold in
-       let degen = ref false in
-       (match primal_step t ~bland ~degen with
-       | Step_optimal -> raise (Done Optimal)
-       | Step_unbounded -> raise (Done Unbounded)
-       | Step_ok -> ());
-       if !degen then incr degen_run else degen_run := 0;
-       incr iters;
-       t.iters_total <- t.iters_total + 1;
-       if !iters mod 2000 = 0 then begin
-         refresh_xb t;
-         refresh_d t
-       end
-     done;
-     assert false
-   with Done s -> (s, !iters))
+  try
+    while true do
+      if !iters >= iter_limit then raise (Done Simplex.Iteration_limit);
+      let bland = !degen_run > bland_threshold in
+      let degen = ref false in
+      (match primal_step t ~bland ~degen with
+      | Step_optimal -> raise (Done Simplex.Optimal)
+      | Step_unbounded -> raise (Done Simplex.Unbounded)
+      | Step_ok -> ());
+      if !degen then incr degen_run else degen_run := 0;
+      incr iters;
+      t.iters_total <- t.iters_total + 1;
+      if refactor_due t then begin
+        if not (refactorize t) then raise (Done Simplex.Iteration_limit)
+      end
+      else if !iters mod 2000 = 0 then refresh_xb t
+    done;
+    assert false
+  with Done s -> (s, !iters)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1 / phase 2 orchestration                                     *)
 (* ------------------------------------------------------------------ *)
 
 let start_basis t =
-  (* nonbasic structural at a finite bound nearest zero *)
   for j = 0 to t.n - 1 do
     t.stat.(j) <-
       (if t.lb.(j) > neg_infinity then At_lower
        else if t.ub.(j) < infinity then At_upper
        else Free_nb)
   done;
-  rebuild_tableau t;
-  (* residual with all slacks+artificials nonbasic at 0 *)
+  (* residual with all slacks + artificials nonbasic at 0 *)
   let r = Array.copy t.sf.b in
-  for i = 0 to t.m - 1 do
-    Array.iter (fun (j, a) -> r.(i) <- r.(i) -. (a *. nb_value t j)) t.sf.rows.(i)
+  for j = 0 to t.n - 1 do
+    let v = nb_value t j in
+    if v <> 0. then
+      Sparse_matrix.iter_col t.cols j (fun i a -> r.(i) <- r.(i) -. (a *. v))
   done;
   Array.fill t.cost 0 t.nt 0.;
+  (* the starting basis is all slacks / artificials, i.e. exactly the
+     identity, so the factorization is the empty eta file *)
+  Basis.reset t.bas;
   for i = 0 to t.m - 1 do
     let s = slack t i and a = art t i in
-    (* default: artificial fixed out of the problem *)
     t.lb.(a) <- 0.;
     t.ub.(a) <- 0.;
     if r.(i) >= t.lb.(s) -. feas_tol && r.(i) <= t.ub.(s) +. feas_tol then begin
-      (* slack can absorb the residual: basic *)
       t.basis.(i) <- s;
       t.stat.(s) <- Basic;
       t.stat.(a) <- At_lower;
       t.xb.(i) <- r.(i)
     end
     else begin
-      (* slack pinned at the violated bound (0 for all senses), artificial
-         carries the residual with a sign-matched one-sided bound *)
       t.stat.(s) <- At_lower;
-      (* for Ge rows lb is -inf; anchor on ub = 0 instead *)
       if t.lb.(s) = neg_infinity then t.stat.(s) <- At_upper;
       t.basis.(i) <- a;
       t.stat.(a) <- Basic;
@@ -448,7 +365,7 @@ let start_basis t =
       end
     end
   done;
-  refresh_d t
+  price t
 
 let phase1_objective t =
   let acc = ref 0. in
@@ -459,7 +376,6 @@ let phase1_objective t =
   !acc
 
 let enter_phase2 t =
-  (* fix artificials to zero so they can never re-enter *)
   for i = 0 to t.m - 1 do
     let a = art t i in
     t.lb.(a) <- 0.;
@@ -468,7 +384,7 @@ let enter_phase2 t =
   done;
   Array.fill t.cost 0 t.nt 0.;
   Array.blit t.sf.c 0 t.cost 0 t.n;
-  refresh_d t
+  price t
 
 (* ------------------------------------------------------------------ *)
 (* Solution extraction                                                 *)
@@ -485,21 +401,16 @@ let primal_values t =
   x
 
 let dual_values t =
-  (* y = cost_B * B^-1; artificial tableau columns hold B^-1 *)
   let y = Array.make t.m 0. in
-  for k = 0 to t.m - 1 do
-    let acc = ref 0. in
-    for i = 0 to t.m - 1 do
-      let cb = t.cost.(t.basis.(i)) in
-      if cb <> 0. then acc := !acc +. (cb *. t.tab.(i).(t.n + t.m + k))
-    done;
-    y.(k) <- !acc
+  for i = 0 to t.m - 1 do
+    y.(i) <- t.cost.(t.basis.(i))
   done;
+  Basis.btran t.bas y;
   y
 
-let extract t status iterations =
+let extract t status iterations : Simplex.solution =
   let sgn = if t.sf.flip_sign then -1. else 1. in
-  match status with
+  match (status : Simplex.status) with
   | Optimal | Iteration_limit ->
       let primal = primal_values t in
       let obj = ref t.sf.obj_const in
@@ -551,13 +462,13 @@ let solve_fresh ?iter_limit t =
   let s1, it1 = run_primal t ~iter_limit in
   t.solved_once <- true;
   match s1 with
-  | Iteration_limit -> extract t Iteration_limit it1
-  | Unbounded ->
+  | Simplex.Iteration_limit -> extract t Simplex.Iteration_limit it1
+  | Simplex.Unbounded ->
       (* phase 1 objective is bounded below by 0; treat as numerical noise *)
-      extract t Iteration_limit it1
-  | Infeasible -> assert false
-  | Optimal ->
-      if phase1_objective t > 1e-6 then extract t Infeasible it1
+      extract t Simplex.Iteration_limit it1
+  | Simplex.Infeasible -> assert false
+  | Simplex.Optimal ->
+      if phase1_objective t > 1e-6 then extract t Simplex.Infeasible it1
       else begin
         enter_phase2 t;
         refresh_xb t;
@@ -569,10 +480,6 @@ let solve_fresh ?iter_limit t =
 (* Dual simplex                                                        *)
 (* ------------------------------------------------------------------ *)
 
-exception Fallback
-
-(* Make nonbasic statuses consistent with reduced-cost signs (required for
-   dual feasibility after arbitrary bound changes). *)
 let normalize_nonbasic t =
   for j = 0 to t.nt - 1 do
     match t.stat.(j) with
@@ -585,7 +492,6 @@ let normalize_nonbasic t =
         else if t.d.(j) < -.dual_tol then
           if hi < infinity then t.stat.(j) <- At_upper else raise Fallback
         else if
-          (* d ~ 0: keep current anchor when still finite *)
           (t.stat.(j) = At_lower && lo = neg_infinity)
           || (t.stat.(j) = At_upper && hi = infinity)
           || t.stat.(j) = Free_nb
@@ -597,6 +503,7 @@ let normalize_nonbasic t =
   done
 
 let dual_step t =
+  price t;
   (* leaving row: largest primal infeasibility *)
   let r = ref (-1) in
   let worst = ref feas_tol in
@@ -618,17 +525,26 @@ let dual_step t =
   if !r = -1 then Step_optimal
   else begin
     let r = !r in
-    let row = t.tab.(r) in
-    (* entering: min |d_j| / |row_j| among sign-eligible columns *)
+    (* rho = B^-T e_r; alpha_j = rho . A_j is row r of B^-1 [A I I] *)
+    let rho = t.y in
+    Array.fill rho 0 t.m 0.;
+    rho.(r) <- 1.;
+    Basis.btran t.bas rho;
+    let alpha j =
+      if j < t.n then Sparse_matrix.dot_col t.cols j rho
+      else if j < t.n + t.m then rho.(j - t.n)
+      else rho.(j - t.n - t.m)
+    in
+    (* entering: min |d_j| / |alpha_j| among sign-eligible columns *)
     let q = ref (-1) in
     let best_ratio = ref infinity in
     let best_a = ref 0. in
     for j = 0 to t.nt - 1 do
-      (match t.stat.(j) with
+      match t.stat.(j) with
       | Basic -> ()
       | _ when t.lb.(j) = t.ub.(j) -> ()
       | st ->
-          let a = Array.unsafe_get row j in
+          let a = alpha j in
           if Float.abs a > pivot_tol then begin
             let dirs =
               match st with
@@ -639,14 +555,14 @@ let dual_step t =
             in
             List.iter
               (fun delta ->
-                (* xb_r changes at rate -delta*a; we need the right sign *)
                 let rate = -.delta *. a in
                 let eligible = if !need_increase then rate > 0. else rate < 0. in
                 if eligible then begin
                   let ratio = Float.abs t.d.(j) /. Float.abs a in
                   if
                     ratio < !best_ratio -. 1e-12
-                    || (ratio < !best_ratio +. 1e-12 && Float.abs a > Float.abs !best_a)
+                    || (ratio < !best_ratio +. 1e-12
+                       && Float.abs a > Float.abs !best_a)
                   then begin
                     best_ratio := ratio;
                     best_a := a;
@@ -654,28 +570,29 @@ let dual_step t =
                   end
                 end)
               dirs
-          end)
+          end
     done;
     if !q = -1 then Step_unbounded (* dual unbounded = primal infeasible *)
     else begin
       let q = !q in
-      let a_rq = row.(q) in
       let target =
         if !need_increase then t.lb.(t.basis.(r)) else t.ub.(t.basis.(r))
       in
-      (* xb_r + (-delta_step * a_rq) = target, with x_q moving by delta_step *)
+      ftran_col t q;
+      let w = t.w in
+      let a_rq = w.(r) in
       let delta_step = (t.xb.(r) -. target) /. a_rq in
       let xq0 = if t.stat.(q) = Free_nb then 0. else nb_value t q in
       for i = 0 to t.m - 1 do
         if i <> r then begin
-          let a = Array.unsafe_get (Array.unsafe_get t.tab i) q in
+          let a = Array.unsafe_get w i in
           if a <> 0. then t.xb.(i) <- t.xb.(i) -. (a *. delta_step)
         end
       done;
       let leaving = t.basis.(r) in
       t.stat.(leaving) <- (if !need_increase then At_lower else At_upper);
       if t.lb.(leaving) = t.ub.(leaving) then t.stat.(leaving) <- At_lower;
-      pivot t r q;
+      Basis.push t.bas ~r w;
       t.stat.(q) <- Basic;
       t.basis.(r) <- q;
       t.xb.(r) <- xq0 +. delta_step;
@@ -685,22 +602,22 @@ let dual_step t =
 
 let run_dual t ~iter_limit =
   let iters = ref 0 in
-  (try
-     while true do
-       if !iters >= iter_limit then raise Fallback;
-       (match dual_step t with
-       | Step_optimal -> raise (Done Optimal)
-       | Step_unbounded -> raise (Done Infeasible)
-       | Step_ok -> ());
-       incr iters;
-       t.iters_total <- t.iters_total + 1;
-       if !iters mod 2000 = 0 then begin
-         refresh_xb t;
-         refresh_d t
-       end
-     done;
-     assert false
-   with Done s -> (s, !iters))
+  try
+    while true do
+      if !iters >= iter_limit then raise Fallback;
+      (match dual_step t with
+      | Step_optimal -> raise (Done Simplex.Optimal)
+      | Step_unbounded -> raise (Done Simplex.Infeasible)
+      | Step_ok -> ());
+      incr iters;
+      t.iters_total <- t.iters_total + 1;
+      if refactor_due t then begin
+        if not (refactorize t) then raise Fallback
+      end
+      else if !iters mod 2000 = 0 then refresh_xb t
+    done;
+    assert false
+  with Done s -> (s, !iters)
 
 let resolve ?iter_limit t =
   if not t.solved_once then solve_fresh ?iter_limit t
@@ -712,10 +629,9 @@ let resolve ?iter_limit t =
     in
     match
       (try
-         (* The previous solve may have stopped inside phase 1 (e.g. an
-            infeasible sibling node): reload the real phase-2 costs and
-            re-fix the artificials before warm-starting, or the dual
-            simplex would chase a stale phase-1 objective. *)
+         (* Same caveat as the dense backend: the previous solve may have
+            stopped inside phase 1, so reload phase-2 costs and re-fix the
+            artificials before warm-starting. *)
          enter_phase2 t;
          normalize_nonbasic t;
          refresh_xb t;
@@ -723,19 +639,20 @@ let resolve ?iter_limit t =
          Some (s, it)
        with Fallback -> None)
     with
-    | Some (Optimal, it) ->
-        (* dual simplex reached primal feasibility; reduced costs may have
-           drifted below tolerance on large moves - polish with primal. *)
+    | Some (Simplex.Optimal, it) ->
         t.warm_hits <- t.warm_hits + 1;
-        refresh_d t;
+        (* repriced at the top of the next primal step, so a plain polish
+           run suffices to clean up any drifted reduced costs *)
         let s2, it2 = run_primal t ~iter_limit in
-        extract t (if s2 = Optimal then Optimal else s2) (it + it2)
-    | Some (Infeasible, it) ->
+        extract t
+          (if s2 = Simplex.Optimal then Simplex.Optimal else s2)
+          (it + it2)
+    | Some (Simplex.Infeasible, it) ->
         t.warm_hits <- t.warm_hits + 1;
-        extract t Infeasible it
-    | Some ((Unbounded | Iteration_limit), it) ->
+        extract t Simplex.Infeasible it
+    | Some ((Simplex.Unbounded | Simplex.Iteration_limit), it) ->
         t.warm_hits <- t.warm_hits + 1;
-        extract t Iteration_limit it
+        extract t Simplex.Iteration_limit it
     | None ->
         t.warm_misses <- t.warm_misses + 1;
         solve_fresh ~iter_limit t
@@ -743,11 +660,11 @@ let resolve ?iter_limit t =
 
 let total_iterations t = t.iters_total
 
-let stats t =
+let stats t : Simplex.stats =
   {
     iterations = t.iters_total;
-    refactorizations = 0;
-    etas = 0;
+    refactorizations = Basis.refactorizations t.bas;
+    etas = Basis.eta_count t.bas;
     warm_hits = t.warm_hits;
     warm_misses = t.warm_misses;
   }
@@ -762,12 +679,5 @@ let pp_state ppf t =
   for i = 0 to t.m - 1 do
     Fmt.pf ppf " %s=%.6g" (col_name t.basis.(i)) t.xb.(i)
   done;
-  Fmt.pf ppf "@ nonbasic:";
-  for j = 0 to t.nt - 1 do
-    match t.stat.(j) with
-    | Basic -> ()
-    | At_lower -> Fmt.pf ppf " %s@@lo(%.4g,d=%.4g)" (col_name j) t.lb.(j) t.d.(j)
-    | At_upper -> Fmt.pf ppf " %s@@hi(%.4g,d=%.4g)" (col_name j) t.ub.(j) t.d.(j)
-    | Free_nb -> Fmt.pf ppf " %s@@free(d=%.4g)" (col_name j) t.d.(j)
-  done;
-  Fmt.pf ppf "@]"
+  Fmt.pf ppf "@ etas=%d refactors=%d@]" (Basis.eta_count t.bas)
+    (Basis.refactorizations t.bas)

@@ -1,0 +1,36 @@
+(** Sparse revised simplex over the CSC store of a {!Standard_form.t}.
+
+    Drop-in alternative to the dense {!Simplex} backend with the exact
+    same semantics and lifecycle ([create], [solve_fresh], then
+    [set_bounds] + [resolve] cycles) and the same {!Simplex.solution}
+    result type, but pivots in time proportional to the column nonzeros
+    via a factorized basis inverse ({!Basis}) instead of sweeping a dense
+    tableau. Use through {!Backend} rather than directly. *)
+
+type t
+
+val create : Standard_form.t -> t
+
+(** Change a structural variable's bounds in place; the basis and
+    nonbasic statuses are kept coherent, basic values are recomputed
+    lazily at the next solve. *)
+val set_bounds : t -> int -> lb:float -> ub:float -> unit
+
+val get_lb : t -> int -> float
+val get_ub : t -> int -> float
+
+(** Fresh two-phase primal solve, ignoring any previous basis. *)
+val solve_fresh : ?iter_limit:int -> t -> Simplex.solution
+
+(** Warm-started solve: dual simplex from the current factorized basis
+    when possible, falling back to {!solve_fresh}. *)
+val resolve : ?iter_limit:int -> t -> Simplex.solution
+
+(** Total pivots performed over the lifetime of this state. *)
+val total_iterations : t -> int
+
+(** Lifetime counters (iterations, refactorizations, current eta count,
+    warm hits/misses). *)
+val stats : t -> Simplex.stats
+
+val pp_state : Format.formatter -> t -> unit

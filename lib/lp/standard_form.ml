@@ -2,6 +2,7 @@ type t = {
   n : int;
   m : int;
   rows : (int * float) array array;
+  cols : Sparse_matrix.t;
   b : float array;
   senses : Model.sense array;
   lb : float array;
@@ -31,4 +32,5 @@ let of_model model =
   let c = Array.make n 0. in
   List.iter (fun (v, coef) -> c.(v) <- sgn *. coef) (Linexpr.terms obj);
   let obj_const = sgn *. Linexpr.const_part obj in
-  { n; m; rows; b; senses; lb; ub; c; obj_const; flip_sign }
+  let cols = Sparse_matrix.of_rows ~m ~n rows in
+  { n; m; rows; cols; b; senses; lb; ub; c; obj_const; flip_sign }

@@ -13,6 +13,9 @@ type t = {
   m : int;  (** number of rows *)
   rows : (int * float) array array;
       (** sparse constraint rows: (structural var, coefficient) *)
+  cols : Sparse_matrix.t;
+      (** the same matrix in column-major (CSC) form, built once here so
+          no backend ever copies the matrix per pivot *)
   b : float array;  (** right-hand sides *)
   senses : Model.sense array;
   lb : float array;  (** structural lower bounds, may be [neg_infinity] *)

@@ -46,6 +46,7 @@ let default_options =
 type stats = {
   nodes : int;
   simplex_iterations : int;
+  lp_stats : Simplex.stats;
   elapsed : float;
   model_vars : int;
   model_constrs : int;
@@ -266,6 +267,7 @@ let run_search st gp ~(options : options) ~search =
         primal = None;
         nodes = 0;
         simplex_iterations = 0;
+        lp_stats = Simplex.empty_stats;
         elapsed = 0.;
         incumbent_trace = [];
       },
@@ -365,6 +367,7 @@ let assemble_result st gp ~bb_result ~upper_bound ~trace ~oracle_calls =
       {
         nodes = bb_result.Branch_bound.nodes;
         simplex_iterations = bb_result.Branch_bound.simplex_iterations;
+        lp_stats = bb_result.Branch_bound.lp_stats;
         elapsed = now () -. st.started;
         model_vars = vars;
         model_constrs = constrs;
@@ -540,6 +543,7 @@ let find_portfolio (ev : Evaluate.t) ~(options : options) ~pool
           primal = None;
           nodes = 0;
           simplex_iterations = 0;
+          lp_stats = Simplex.empty_stats;
           elapsed = now () -. started;
           incumbent_trace = [];
         }

@@ -77,6 +77,9 @@ val default_options : options
 type stats = {
   nodes : int;
   simplex_iterations : int;
+  lp_stats : Simplex.stats;
+      (** LP-engine internals summed over the search's B\&B runs:
+          iterations, refactorizations, eta count, warm-start hits *)
   elapsed : float;
   model_vars : int;
   model_constrs : int;

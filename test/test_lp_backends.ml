@@ -1,0 +1,295 @@
+(* Differential tests for the pluggable LP backends: the dense tableau
+   (reference oracle) and the sparse revised simplex must agree on
+   status, objective, duals and reduced costs, and warm-started
+   branch-and-bound must find the same answers as cold restarts. *)
+
+open Repro_lp
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* unit tests: the sparse backend on known-answer problems             *)
+(* ------------------------------------------------------------------ *)
+
+let solve_with kind model = Solver.solve_lp ~backend:kind model
+
+let small_lp () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj 12 *)
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" m in
+  let y = Model.add_var ~name:"y" m in
+  ignore (Model.add_constr m (Linexpr.of_terms [ (x, 1.); (y, 1.) ]) Model.Le 4.);
+  ignore (Model.add_constr m (Linexpr.of_terms [ (x, 1.); (y, 3.) ]) Model.Le 6.);
+  Model.set_objective m Model.Maximize (Linexpr.of_terms [ (x, 3.); (y, 2.) ]);
+  m
+
+let test_sparse_small_lp () =
+  let r = solve_with Backend.Sparse (small_lp ()) in
+  Alcotest.(check bool) "optimal" true (r.Solver.status = Simplex.Optimal);
+  check_float "objective" 12. r.Solver.objective;
+  check_float "x" 4. r.Solver.primal.(0);
+  check_float "y" 0. r.Solver.primal.(1);
+  (* binding first row: dual 3 (all of x's profit); slack second row *)
+  check_float "dual row 0" 3. r.Solver.duals.(0);
+  check_float "dual row 1" 0. r.Solver.duals.(1)
+
+let test_sparse_infeasible_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constr m (Linexpr.var x) Model.Ge 3.);
+  ignore (Model.add_constr m (Linexpr.var x) Model.Le 1.);
+  Model.set_objective m Model.Maximize (Linexpr.var x);
+  let r = solve_with Backend.Sparse m in
+  Alcotest.(check bool) "infeasible" true (r.Solver.status = Simplex.Infeasible);
+  let m = Model.create () in
+  let x = Model.add_var m in
+  let y = Model.add_var m in
+  ignore (Model.add_constr m (Linexpr.of_terms [ (x, 1.); (y, -1.) ]) Model.Le 1.);
+  Model.set_objective m Model.Maximize (Linexpr.var x);
+  let r = solve_with Backend.Sparse m in
+  Alcotest.(check bool) "unbounded" true (r.Solver.status = Simplex.Unbounded)
+
+let test_sparse_resolve_bound_change () =
+  (* warm restart through the Backend interface: tighten x's bound and
+     the dual simplex must recover the new optimum from the old basis *)
+  let sf = Standard_form.of_model (small_lp ()) in
+  let be = Backend.create ~kind:Backend.Sparse sf in
+  let r = Backend.solve_fresh be in
+  check_float "fresh objective" 12. r.Simplex.objective;
+  Backend.set_bounds be 0 ~lb:0. ~ub:1.;
+  let r = Backend.resolve be in
+  Alcotest.(check bool) "reoptimal" true (r.Simplex.status = Simplex.Optimal);
+  (* x=1; remaining capacity goes to y: y = min(3, 5/3) -> obj 3 + 10/3 *)
+  check_float "warm objective" (3. +. (2. *. 5. /. 3.)) r.Simplex.objective;
+  let st = Backend.stats be in
+  Alcotest.(check bool) "counted a warm hit or miss" true
+    (st.Simplex.warm_hits + st.Simplex.warm_misses = 1)
+
+let test_sparse_stats_populated () =
+  let r = solve_with Backend.Sparse (small_lp ()) in
+  let s = r.Solver.stats in
+  Alcotest.(check bool) "iterations counted" true (s.Simplex.iterations > 0);
+  Alcotest.(check bool) "eta file non-empty" true (s.Simplex.etas > 0);
+  let r = solve_with Backend.Dense (small_lp ()) in
+  Alcotest.(check bool) "dense reports no etas" true
+    (r.Solver.stats.Simplex.etas = 0)
+
+let test_backend_kind_of_string () =
+  let is s k = Alcotest.(check bool) s true (Backend.kind_of_string s = Some k) in
+  is "sparse" Backend.Sparse;
+  is "revised" Backend.Sparse;
+  is "dense" Backend.Dense;
+  is "tableau" Backend.Dense;
+  is "SPARSE" Backend.Sparse;
+  Alcotest.(check bool) "garbage rejected" true
+    (Backend.kind_of_string "gurobi" = None)
+
+let test_sparse_milp_knapsack () =
+  (* max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary -> b+c = 20 *)
+  let m = Model.create () in
+  let xs = Model.add_vars ~kind:Model.Binary m 3 in
+  ignore
+    (Model.add_constr m
+       (Linexpr.of_terms [ (xs.(0), 3.); (xs.(1), 4.); (xs.(2), 2.) ])
+       Model.Le 6.);
+  Model.set_objective m Model.Maximize
+    (Linexpr.of_terms [ (xs.(0), 10.); (xs.(1), 13.); (xs.(2), 7.) ]);
+  let r =
+    Solver.solve
+      ~options:
+        { Branch_bound.default_options with backend = Some Backend.Sparse }
+      m
+  in
+  Alcotest.(check bool) "optimal" true (r.Branch_bound.outcome = Branch_bound.Optimal);
+  check_float "objective" 20. r.Branch_bound.objective
+
+(* ------------------------------------------------------------------ *)
+(* differential properties                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Random bounded LPs with mixed row senses and general variable bounds
+   (negative lower bounds, a chance of free variables) so both phase-1
+   and bounded-variable handling get exercised. Continuous random data
+   makes degenerate/multiple optima a measure-zero event, so when both
+   backends report Optimal their duals and reduced costs are comparable
+   point-wise. *)
+let random_bounded_lp_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 7 in
+    let* m = int_range 1 7 in
+    let* a = array_size (return (m * n)) (float_range (-5.) 5.) in
+    let* senses = array_size (return m) (int_range 0 2) in
+    let* b = array_size (return m) (float_range (-3.) 8.) in
+    let* c = array_size (return n) (float_range (-5.) 5.) in
+    let* lb = array_size (return n) (float_range (-4.) 0.) in
+    let* ub = array_size (return n) (float_range 0.5 10.) in
+    let* free_mask = array_size (return n) (int_range 0 9) in
+    return (n, m, a, senses, b, c, lb, ub, free_mask))
+
+let build_bounded_lp (n, m, a, senses, b, c, lb, ub, free_mask) =
+  let model = Model.create () in
+  let xs =
+    Array.init n (fun j ->
+        if free_mask.(j) = 0 then
+          Model.add_var ~lb:neg_infinity ~ub:infinity model
+        else Model.add_var ~lb:lb.(j) ~ub:ub.(j) model)
+  in
+  for i = 0 to m - 1 do
+    let expr =
+      Linexpr.of_terms (List.init n (fun j -> (xs.(j), a.((i * n) + j))))
+    in
+    let sense =
+      match senses.(i) with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq
+    in
+    ignore (Model.add_constr model expr sense b.(i))
+  done;
+  (* a generous box row keeps free-variable instances bounded *)
+  ignore
+    (Model.add_constr model
+       (Linexpr.of_terms (List.init n (fun j -> (xs.(j), 1.))))
+       Model.Le 200.);
+  ignore
+    (Model.add_constr model
+       (Linexpr.of_terms (List.init n (fun j -> (xs.(j), -1.))))
+       Model.Le 200.);
+  Model.set_objective model Model.Maximize
+    (Linexpr.of_terms (List.init n (fun j -> (xs.(j), c.(j)))));
+  model
+
+let backends_agree =
+  QCheck.Test.make ~count:300 ~name:"dense and sparse backends agree on LPs"
+    (QCheck.make random_bounded_lp_gen) (fun inst ->
+      let model = build_bounded_lp inst in
+      let d = solve_with Backend.Dense model in
+      let s = solve_with Backend.Sparse model in
+      if d.Solver.status <> s.Solver.status then
+        QCheck.Test.fail_reportf "status mismatch: dense %s sparse %s"
+          (Fmt.str "%a" Simplex.pp_status d.Solver.status)
+          (Fmt.str "%a" Simplex.pp_status s.Solver.status);
+      (match d.Solver.status with
+      | Simplex.Optimal ->
+          let tol = 1e-6 in
+          let close what k a b =
+            if Float.abs (a -. b) > tol *. (1. +. Float.abs a) then
+              QCheck.Test.fail_reportf "%s %d: dense %.12g sparse %.12g" what
+                k a b
+          in
+          close "objective" 0 d.Solver.objective s.Solver.objective;
+          Array.iteri (fun i v -> close "dual" i v s.Solver.duals.(i))
+            d.Solver.duals;
+          Array.iteri
+            (fun j v -> close "reduced cost" j v s.Solver.reduced_costs.(j))
+            d.Solver.reduced_costs
+      | _ -> ());
+      true)
+
+(* Warm-started B&B (dual-simplex reuse of the parent basis) must reach
+   the same incumbent and bound as cold per-node restarts. *)
+let random_binary_milp_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* m = int_range 1 4 in
+    let* a = array_size (return (m * n)) (float_range (-4.) 6.) in
+    let* b = array_size (return m) (float_range 0.5 12.) in
+    let* c = array_size (return n) (float_range (-3.) 8.) in
+    return (n, m, a, b, c))
+
+let build_binary_milp (n, m, a, b, c) =
+  let model = Model.create () in
+  let xs = Model.add_vars ~kind:Model.Binary model n in
+  for i = 0 to m - 1 do
+    let expr =
+      Linexpr.of_terms (List.init n (fun j -> (xs.(j), a.((i * n) + j))))
+    in
+    ignore (Model.add_constr model expr Model.Le b.(i))
+  done;
+  Model.set_objective model Model.Maximize
+    (Linexpr.of_terms (List.init n (fun j -> (xs.(j), c.(j)))));
+  model
+
+let warm_equals_cold =
+  QCheck.Test.make ~count:100
+    ~name:"warm-started B&B matches cold restarts on binary MILPs"
+    (QCheck.make random_binary_milp_gen) (fun inst ->
+      let solve warm_start =
+        Branch_bound.solve
+          ~options:
+            {
+              Branch_bound.default_options with
+              backend = Some Backend.Sparse;
+              warm_start;
+            }
+          (build_binary_milp inst)
+      in
+      let w = solve true in
+      let c = solve false in
+      if w.Branch_bound.outcome <> c.Branch_bound.outcome then
+        QCheck.Test.fail_reportf "outcome mismatch";
+      (match w.Branch_bound.outcome with
+      | Branch_bound.Optimal ->
+          if
+            Float.abs (w.Branch_bound.objective -. c.Branch_bound.objective)
+            > 1e-6 *. (1. +. Float.abs w.Branch_bound.objective)
+          then
+            QCheck.Test.fail_reportf "objective mismatch: warm %.12g cold %.12g"
+              w.Branch_bound.objective c.Branch_bound.objective;
+          if
+            Float.abs (w.Branch_bound.best_bound -. c.Branch_bound.best_bound)
+            > 1e-6 *. (1. +. Float.abs w.Branch_bound.best_bound)
+          then
+            QCheck.Test.fail_reportf "bound mismatch: warm %.12g cold %.12g"
+              w.Branch_bound.best_bound c.Branch_bound.best_bound
+      | _ -> ());
+      (* a cold run must never register dual-simplex warm starts *)
+      if c.Branch_bound.lp_stats.Simplex.warm_hits <> 0 then
+        QCheck.Test.fail_reportf "cold run reported warm hits";
+      true)
+
+(* The MILP search must agree across backends too (same branching rules,
+   same incumbents up to ties broken by identical LP optima). *)
+let milp_backends_agree =
+  QCheck.Test.make ~count:100
+    ~name:"dense and sparse backends agree on binary MILPs"
+    (QCheck.make random_binary_milp_gen) (fun inst ->
+      let solve kind =
+        Branch_bound.solve
+          ~options:
+            { Branch_bound.default_options with backend = Some kind }
+          (build_binary_milp inst)
+      in
+      let d = solve Backend.Dense in
+      let s = solve Backend.Sparse in
+      if d.Branch_bound.outcome <> s.Branch_bound.outcome then
+        QCheck.Test.fail_reportf "outcome mismatch";
+      (match d.Branch_bound.outcome with
+      | Branch_bound.Optimal ->
+          if
+            Float.abs (d.Branch_bound.objective -. s.Branch_bound.objective)
+            > 1e-6 *. (1. +. Float.abs d.Branch_bound.objective)
+          then
+            QCheck.Test.fail_reportf "objective mismatch: dense %.12g sparse %.12g"
+              d.Branch_bound.objective s.Branch_bound.objective
+      | _ -> ());
+      true)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let () =
+  Alcotest.run "repro_lp_backends"
+    [
+      ( "sparse_unit",
+        [
+          Alcotest.test_case "small lp" `Quick test_sparse_small_lp;
+          Alcotest.test_case "infeasible/unbounded" `Quick
+            test_sparse_infeasible_unbounded;
+          Alcotest.test_case "resolve after bound change" `Quick
+            test_sparse_resolve_bound_change;
+          Alcotest.test_case "stats populated" `Quick
+            test_sparse_stats_populated;
+          Alcotest.test_case "kind parsing" `Quick test_backend_kind_of_string;
+          Alcotest.test_case "milp knapsack" `Quick test_sparse_milp_knapsack;
+        ] );
+      qsuite "differential"
+        [ backends_agree; warm_equals_cold; milp_backends_agree ];
+    ]

@@ -84,8 +84,10 @@ let jobs_arg =
   let doc =
     "Worker domains for the parallel engine (default: \\$(b,REPRO_JOBS) or \
      1). With N > 1, oracle scoring fans out over a domain pool \
-     (bit-identical results) and the portfolio method races its \
-     strategies concurrently."
+     (bit-identical results), the MILP branch-and-bound searches its tree \
+     with N work-stealing workers (same outcome and objective within the \
+     gap tolerance; node order may differ), and the portfolio method \
+     races its strategies concurrently."
   in
   Arg.(
     value
@@ -316,10 +318,13 @@ let find_gap_cmd =
               r.Adversary.stats.Adversary.model_sos1
               r.Adversary.stats.Adversary.nodes
               r.Adversary.stats.Adversary.oracle_calls;
-            if verbose then
+            if verbose then begin
               Fmt.pr "lp engine     : %s backend, %a@."
                 (Backend.kind_to_string lp_backend)
-                Simplex.pp_stats r.Adversary.stats.Adversary.lp_stats)
+                Simplex.pp_stats r.Adversary.stats.Adversary.lp_stats;
+              Fmt.pr "tree search   : %a@." Branch_bound.pp_tree_stats
+                r.Adversary.stats.Adversary.tree
+            end)
           r.Adversary.demands
     | `Hillclimb | `Annealing ->
         let rng = Rng.create seed in
@@ -434,7 +439,7 @@ let find_capacity_gap_cmd =
 (* ------------------------------------------------------------------ *)
 
 let solve_lp_cmd =
-  let run file lp_backend verbose roundtrip =
+  let run file lp_backend verbose roundtrip jobs =
     setup_logs verbose;
     Backend.set_default lp_backend;
     match Lp_file.of_file file with
@@ -462,7 +467,10 @@ let solve_lp_cmd =
               Fmt.pr "round-trip    : ok@."
         end;
         if Model.is_mip model then begin
-          let r = Solver.solve model in
+          let options =
+            { Branch_bound.default_options with jobs = Repro_engine.Jobs.clamp jobs }
+          in
+          let r = Solver.solve ~options model in
           Fmt.pr "outcome       : %a@." Branch_bound.pp_outcome
             r.Branch_bound.outcome;
           Fmt.pr "objective     : %.9g@." r.Branch_bound.objective;
@@ -471,6 +479,9 @@ let solve_lp_cmd =
           Fmt.pr "lp engine     : %s backend, %a@."
             (Backend.kind_to_string lp_backend)
             Simplex.pp_stats r.Branch_bound.lp_stats;
+          if verbose then
+            Fmt.pr "tree search   : %a@." Branch_bound.pp_tree_stats
+              r.Branch_bound.tree;
           match r.Branch_bound.outcome with
           | Branch_bound.Optimal | Branch_bound.Feasible -> ()
           | _ -> exit 2
@@ -502,7 +513,9 @@ let solve_lp_cmd =
     Arg.(value & flag & info [ "roundtrip" ] ~doc)
   in
   let term =
-    Term.(const run $ file_arg $ lp_backend_arg $ verbose_arg $ roundtrip_arg)
+    Term.(
+      const run $ file_arg $ lp_backend_arg $ verbose_arg $ roundtrip_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "solve-lp"

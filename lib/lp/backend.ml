@@ -42,6 +42,8 @@ module type S = sig
   val solve_fresh : ?iter_limit:int -> state -> Simplex.solution
   val resolve : ?iter_limit:int -> state -> Simplex.solution
   val total_iterations : state -> int
+  val snapshot_basis : state -> Simplex.basis_snapshot
+  val install_basis : state -> Simplex.basis_snapshot -> bool
   val stats : state -> Simplex.stats
   val pp_state : Format.formatter -> state -> unit
 end
@@ -56,6 +58,8 @@ module Dense_backend : S with type state = Simplex.t = struct
   let solve_fresh = Simplex.solve_fresh
   let resolve = Simplex.resolve
   let total_iterations = Simplex.total_iterations
+  let snapshot_basis = Simplex.snapshot_basis
+  let install_basis = Simplex.install_basis
   let stats = Simplex.stats
   let pp_state = Simplex.pp_state
 end
@@ -70,6 +74,8 @@ module Sparse_backend : S with type state = Sparse_simplex.t = struct
   let solve_fresh = Sparse_simplex.solve_fresh
   let resolve = Sparse_simplex.resolve
   let total_iterations = Sparse_simplex.total_iterations
+  let snapshot_basis = Sparse_simplex.snapshot_basis
+  let install_basis = Sparse_simplex.install_basis
   let stats = Sparse_simplex.stats
   let pp_state = Sparse_simplex.pp_state
 end
@@ -96,5 +102,7 @@ let solve_fresh ?iter_limit (Packed ((module B), s, _)) =
 
 let resolve ?iter_limit (Packed ((module B), s, _)) = B.resolve ?iter_limit s
 let total_iterations (Packed ((module B), s, _)) = B.total_iterations s
+let snapshot_basis (Packed ((module B), s, _)) = B.snapshot_basis s
+let install_basis (Packed ((module B), s, _)) snap = B.install_basis s snap
 let stats (Packed ((module B), s, _)) = B.stats s
 let pp_state ppf (Packed ((module B), s, _)) = B.pp_state ppf s

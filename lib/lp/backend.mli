@@ -38,6 +38,8 @@ module type S = sig
   val solve_fresh : ?iter_limit:int -> state -> Simplex.solution
   val resolve : ?iter_limit:int -> state -> Simplex.solution
   val total_iterations : state -> int
+  val snapshot_basis : state -> Simplex.basis_snapshot
+  val install_basis : state -> Simplex.basis_snapshot -> bool
   val stats : state -> Simplex.stats
   val pp_state : Format.formatter -> state -> unit
 end
@@ -59,5 +61,13 @@ val get_ub : t -> int -> float
 val solve_fresh : ?iter_limit:int -> t -> Simplex.solution
 val resolve : ?iter_limit:int -> t -> Simplex.solution
 val total_iterations : t -> int
+
+(** Capture / install a warm-start basis; see {!Simplex.snapshot_basis}
+    and {!Simplex.install_basis}. A snapshot from one backend instance
+    can be installed into any other instance built on the same standard
+    form (including one living on a different domain). *)
+val snapshot_basis : t -> Simplex.basis_snapshot
+
+val install_basis : t -> Simplex.basis_snapshot -> bool
 val stats : t -> Simplex.stats
 val pp_state : Format.formatter -> t -> unit

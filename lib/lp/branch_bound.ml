@@ -1,3 +1,5 @@
+module Engine = Repro_engine
+
 type options = {
   time_limit : float;
   node_limit : int;
@@ -10,6 +12,7 @@ type options = {
   interrupt : unit -> bool;
   backend : Backend.kind option;
   warm_start : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -25,9 +28,14 @@ let default_options =
     interrupt = (fun () -> false);
     backend = None;
     warm_start = true;
+    jobs = Engine.Jobs.default ();
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
+
+type tree_stats = { workers : int; steals : int; idle_s : float }
+
+let serial_tree_stats = { workers = 1; steals = 0; idle_s = 0. }
 
 type result = {
   outcome : outcome;
@@ -40,6 +48,7 @@ type result = {
   lp_stats : Simplex.stats;
   elapsed : float;
   incumbent_trace : (float * float) list;
+  tree : tree_stats;
 }
 
 type node = {
@@ -52,6 +61,76 @@ type node = {
 let src = Logs.Src.create "repro.branch_bound" ~doc:"MILP branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let now () = Unix.gettimeofday ()
+
+(* Apply a node's override list to a backend, given the set of overrides
+   already in effect from the previously solved node. Shared verbatim by
+   the serial loop and every parallel worker so both walk the tree with
+   identical bound sequences. *)
+let apply_overrides simplex applied ~root_lb ~root_ub overrides =
+  let targets = Hashtbl.create 16 in
+  List.iter (fun (v, lo, hi) -> Hashtbl.replace targets v (lo, hi)) overrides;
+  (* reset previously-applied vars that this node does not override *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun v () -> if not (Hashtbl.mem targets v) then stale := v :: !stale)
+    applied;
+  List.iter
+    (fun v ->
+      Backend.set_bounds simplex v ~lb:root_lb.(v) ~ub:root_ub.(v);
+      Hashtbl.remove applied v)
+    !stale;
+  Hashtbl.iter
+    (fun v (lo, hi) ->
+      Backend.set_bounds simplex v ~lb:lo ~ub:hi;
+      Hashtbl.replace applied v ())
+    targets
+
+(* Most-violated branching entity in a relaxation solution. *)
+type violation =
+  | No_violation
+  | Fractional of int * float (* var, value *)
+  | Sos_violated of int array * int (* group, index of largest member *)
+
+let find_violation ~int_tol ~sos_tol ~int_vars ~sos x =
+  let best = ref No_violation and best_score = ref 0. in
+  Array.iter
+    (fun v ->
+      let frac = Float.abs (x.(v) -. Float.round x.(v)) in
+      if frac > int_tol && frac > !best_score then begin
+        best := Fractional (v, x.(v));
+        best_score := frac
+      end)
+    int_vars;
+  Array.iter
+    (fun group ->
+      (* second-largest magnitude must be ~0 for SOS1 feasibility *)
+      let arg_max = ref 0 and vmax = ref (-1.) and second = ref 0. in
+      Array.iteri
+        (fun i v ->
+          let m = Float.abs x.(v) in
+          if m > !vmax then begin
+            second := !vmax;
+            vmax := m;
+            arg_max := i
+          end
+          else if m > !second then second := m)
+        group;
+      if !second > sos_tol && !second > !best_score then begin
+        best := Sos_violated (group, !arg_max);
+        best_score := !second
+      end)
+    sos;
+  !best
+
+let mip_gap_of ~objective ~bound =
+  if Float.is_nan objective || Float.is_nan bound then Float.nan
+  else Float.abs (bound -. objective) /. Float.max 1e-9 (Float.abs objective)
+
+(* ------------------------------------------------------------------ *)
+(* Serial tree search (the jobs = 1 path, bit-exact)                   *)
+(* ------------------------------------------------------------------ *)
 
 type state = {
   model : Model.t;
@@ -73,8 +152,6 @@ type state = {
   start : float;
 }
 
-let now () = Unix.gettimeofday ()
-
 (* All comparisons happen in the model's direction: [better a b] means "a is
    a strictly better objective than b". *)
 let better st a b = if st.maximize then a > b else a < b
@@ -82,62 +159,8 @@ let better st a b = if st.maximize then a > b else a < b
 let worst st = if st.maximize then neg_infinity else infinity
 
 let apply_node st node =
-  let targets = Hashtbl.create 16 in
-  List.iter
-    (fun (v, lo, hi) -> Hashtbl.replace targets v (lo, hi))
-    node.overrides;
-  (* reset previously-applied vars that this node does not override *)
-  let stale = ref [] in
-  Hashtbl.iter
-    (fun v () -> if not (Hashtbl.mem targets v) then stale := v :: !stale)
-    st.applied;
-  List.iter
-    (fun v ->
-      Backend.set_bounds st.simplex v ~lb:st.root_lb.(v) ~ub:st.root_ub.(v);
-      Hashtbl.remove st.applied v)
-    !stale;
-  Hashtbl.iter
-    (fun v (lo, hi) ->
-      Backend.set_bounds st.simplex v ~lb:lo ~ub:hi;
-      Hashtbl.replace st.applied v ())
-    targets
-
-(* Most-violated branching entity in a relaxation solution. *)
-type violation =
-  | No_violation
-  | Fractional of int * float (* var, value *)
-  | Sos_violated of int array * int (* group, index of largest member *)
-
-let find_violation st x =
-  let best = ref No_violation and best_score = ref 0. in
-  Array.iter
-    (fun v ->
-      let frac = Float.abs (x.(v) -. Float.round x.(v)) in
-      if frac > st.opts.int_tol && frac > !best_score then begin
-        best := Fractional (v, x.(v));
-        best_score := frac
-      end)
-    st.int_vars;
-  Array.iter
-    (fun group ->
-      (* second-largest magnitude must be ~0 for SOS1 feasibility *)
-      let arg_max = ref 0 and vmax = ref (-1.) and second = ref 0. in
-      Array.iteri
-        (fun i v ->
-          let m = Float.abs x.(v) in
-          if m > !vmax then begin
-            second := !vmax;
-            vmax := m;
-            arg_max := i
-          end
-          else if m > !second then second := m)
-        group;
-      if !second > st.opts.sos_tol && !second > !best_score then begin
-        best := Sos_violated (group, !arg_max);
-        best_score := !second
-      end)
-    st.sos;
-  !best
+  apply_overrides st.simplex st.applied ~root_lb:st.root_lb
+    ~root_ub:st.root_ub node.overrides
 
 let record_incumbent st ?x value on_incumbent =
   let improved =
@@ -167,12 +190,7 @@ let record_incumbent st ?x value on_incumbent =
 
 let fix_to_zero _st v = (v, 0., 0.)
 
-let mip_gap_of ~objective ~bound =
-  if Float.is_nan objective || Float.is_nan bound then Float.nan
-  else Float.abs (bound -. objective) /. Float.max 1e-9 (Float.abs objective)
-
-let solve ?(options = default_options) ?primal_heuristic
-    ?(on_incumbent = fun _ -> ()) model =
+let solve_serial ~options ?primal_heuristic ~on_incumbent model =
   let dir, _ = Model.objective model in
   let maximize = dir = Model.Maximize in
   let sf = Standard_form.of_model model in
@@ -216,6 +234,7 @@ let solve ?(options = default_options) ?primal_heuristic
       lp_stats = Backend.stats simplex;
       elapsed = now () -. st.start;
       incumbent_trace = List.rev st.trace;
+      tree = serial_tree_stats;
     }
   in
   (* prune test: can this bound still beat the incumbent by more than tol? *)
@@ -278,7 +297,11 @@ let solve ?(options = default_options) ?primal_heuristic
              let bound = sol.objective in
              if node.depth = 0 then best_root_bound := bound;
              if not (prunable bound) then begin
-               match find_violation st sol.primal with
+               match
+                 find_violation ~int_tol:st.opts.int_tol
+                   ~sos_tol:st.opts.sos_tol ~int_vars:st.int_vars ~sos:st.sos
+                   sol.primal
+               with
                | No_violation ->
                    record_incumbent st ~x:sol.primal bound on_incumbent
                | viol ->
@@ -338,6 +361,337 @@ let solve ?(options = default_options) ?primal_heuristic
       else
         finish Optimal ~best_bound:(Option.get st.incumbent)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel tree search (jobs > 1)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A parallel node additionally carries its parent's optimal basis so a
+   worker that steals it can warm-start without having explored the
+   parent itself. Snapshots are immutable and shared by reference
+   between both children of a node (workers only read them). *)
+type pnode = {
+  p_overrides : (int * float * float) list;
+  p_depth : int;
+  p_basis : Simplex.basis_snapshot option;
+}
+
+let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
+    =
+  let dir, _ = Model.objective model in
+  let maximize = dir = Model.Maximize in
+  let sf = Standard_form.of_model model in
+  let n = Model.num_vars model in
+  let root_lb = Array.init n (Model.var_lb model) in
+  let root_ub = Array.init n (Model.var_ub model) in
+  let int_vars = Model.integer_vars model in
+  let sos = Model.sos1_groups model in
+  let start = now () in
+  let prio bound = if maximize then bound else -.bound in
+  let unprio p = if maximize then p else -.p in
+  let npool : pnode Node_pool.t = Node_pool.create ~workers:jobs in
+  (* shared incumbent: the score is the objective in prio direction, so
+     the store's strict monotonicity is exactly "strictly better in the
+     model direction"; the payload is the (optional) primal assignment *)
+  let inc : float array option Engine.Incumbent.t = Engine.Incumbent.create () in
+  let mu = Mutex.create () in
+  let trace = ref [] in
+  let last_progress = ref (now ()) in
+  let stop_reason = ref None in
+  let best_root_bound = ref (if maximize then infinity else neg_infinity) in
+  let nodes = Atomic.make 0 in
+  let truncated = Atomic.make false in
+  let failure : (exn * Printexc.raw_backtrace) option Atomic.t =
+    Atomic.make None
+  in
+  let incumbent_value () =
+    let s = Engine.Incumbent.best_score inc in
+    if s = neg_infinity then None else Some (unprio s)
+  in
+  let prunable bound =
+    match incumbent_value () with
+    | None -> false
+    | Some inc_v ->
+        let margin = options.gap_tol *. Float.max 1. (Float.abs inc_v) in
+        if maximize then bound <= inc_v +. margin else bound >= inc_v -. margin
+  in
+  let record ?x value =
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () ->
+        let prev = incumbent_value () in
+        let improved =
+          match prev with
+          | None -> true
+          | Some v -> if maximize then value > v else value < v
+        in
+        if improved then begin
+          let accepted =
+            Engine.Incumbent.propose inc (Option.map Array.copy x) (prio value)
+          in
+          if accepted then begin
+            let t = now () -. start in
+            let meaningful =
+              match prev with
+              | None -> true
+              | Some v ->
+                  Float.abs (value -. v) /. Float.max 1. (Float.abs v)
+                  >= options.stall_improvement
+            in
+            trace := (t, value) :: !trace;
+            if meaningful then last_progress := now ();
+            if options.log_progress then
+              Log.info (fun m ->
+                  m "incumbent %.6g at %.2fs (%d nodes)" value t
+                    (Atomic.get nodes));
+            on_incumbent value
+          end
+        end)
+  in
+  let set_stop outcome =
+    Mutex.lock mu;
+    (match !stop_reason with
+    | None -> stop_reason := Some outcome
+    | Some _ -> ());
+    Mutex.unlock mu;
+    Node_pool.stop npool
+  in
+  (* limits are evaluated against the shared counters by every worker on
+     every loop iteration, mirroring the serial per-node checks; the node
+     limit can therefore overshoot by at most [jobs - 1] in-flight nodes *)
+  let check_limits () =
+    let elapsed = now () -. start in
+    if elapsed > options.time_limit || options.interrupt () then begin
+      set_stop (if incumbent_value () = None then No_incumbent else Feasible);
+      true
+    end
+    else if Atomic.get nodes >= options.node_limit then begin
+      set_stop (if incumbent_value () = None then No_incumbent else Feasible);
+      true
+    end
+    else if
+      incumbent_value () <> None
+      && now () -. !last_progress > options.stall_time
+    then begin
+      set_stop Feasible;
+      true
+    end
+    else false
+  in
+  let worker wid =
+    let be = Backend.create ?kind:options.backend sf in
+    let applied = Hashtbl.create 64 in
+    (* [process] expands one in-flight node and then {e plunges}: it
+       keeps one child in hand (depth-first) and heaps the sibling for
+       later or for thieves. Pure best-bound order never reaches a leaf
+       on deep trees — every backtrack jumps to the shallowest open
+       sibling — so diving is what produces incumbents, and the in-hand
+       child continues from the basis already loaded in [be], the
+       cheapest possible dual restart. The in-flight slot is re-tagged
+       via [Node_pool.continue_with] so termination stays exact and
+       [best_open] sees the dive; exactly one [finish] ends the chain. *)
+    let rec process nd stolen =
+      if Atomic.get failure <> None then Node_pool.finish npool ~worker:wid
+      else if check_limits () then Node_pool.finish npool ~worker:wid
+      else begin
+        Atomic.incr nodes;
+        (* a stolen node's overrides are a diff against somebody else's
+           subtree: install the parent basis that was shipped with it
+           instead of warm-starting from whatever this worker solved
+           last *)
+        if stolen && options.warm_start then (
+          match nd.p_basis with
+          | Some snap -> ignore (Backend.install_basis be snap : bool)
+          | None -> ());
+        apply_overrides be applied ~root_lb ~root_ub nd.p_overrides;
+        let sol =
+          if options.warm_start then Backend.resolve be
+          else Backend.solve_fresh be
+        in
+        match sol.Simplex.status with
+        | Simplex.Infeasible -> Node_pool.finish npool ~worker:wid
+        | Simplex.Unbounded ->
+            if nd.p_depth = 0 then set_stop Unbounded
+            else Atomic.set truncated true;
+            Node_pool.finish npool ~worker:wid
+        | Simplex.Iteration_limit ->
+            Atomic.set truncated true;
+            Node_pool.finish npool ~worker:wid
+        | Simplex.Optimal ->
+            let bound = sol.Simplex.objective in
+            if nd.p_depth = 0 then begin
+              Mutex.lock mu;
+              best_root_bound := bound;
+              Mutex.unlock mu
+            end;
+            if prunable bound then Node_pool.finish npool ~worker:wid
+            else begin
+              match
+                find_violation ~int_tol:options.int_tol
+                  ~sos_tol:options.sos_tol ~int_vars ~sos sol.Simplex.primal
+              with
+              | No_violation ->
+                  record ~x:sol.Simplex.primal bound;
+                  Node_pool.finish npool ~worker:wid
+              | viol -> (
+                  (match primal_heuristic with
+                  | None -> ()
+                  | Some h -> (
+                      match h sol.Simplex.primal with
+                      | None -> ()
+                      | Some (value, Some x) -> record ~x value
+                      | Some (value, None) -> record value));
+                  let snap =
+                    if options.warm_start then Some (Backend.snapshot_basis be)
+                    else None
+                  in
+                  let mk extra =
+                    {
+                      p_overrides = nd.p_overrides @ extra;
+                      p_depth = nd.p_depth + 1;
+                      p_basis = snap;
+                    }
+                  in
+                  let plunge child =
+                    Node_pool.continue_with npool ~worker:wid
+                      ~prio:(prio bound);
+                    process child false
+                  in
+                  match viol with
+                  | No_violation -> assert false
+                  | Fractional (v, value) ->
+                      let lo = Backend.get_lb be v
+                      and hi = Backend.get_ub be v in
+                      let down = Float.floor value
+                      and up = Float.ceil value in
+                      let dn_ok = down >= lo -. 1e-9
+                      and up_ok = up <= hi +. 1e-9 in
+                      let dn_nd = mk [ (v, lo, down) ]
+                      and up_nd = mk [ (v, up, hi) ] in
+                      if dn_ok && up_ok then begin
+                        (* dive toward the nearer integer — the LP is
+                           least perturbed there — and heap the other *)
+                        let keep, other =
+                          if value -. down <= up -. value then (dn_nd, up_nd)
+                          else (up_nd, dn_nd)
+                        in
+                        Node_pool.push npool ~worker:wid ~prio:(prio bound)
+                          other;
+                        plunge keep
+                      end
+                      else if dn_ok then plunge dn_nd
+                      else if up_ok then plunge up_nd
+                      else Node_pool.finish npool ~worker:wid
+                  | Sos_violated (group, arg_max) ->
+                      let biggest = group.(arg_max) in
+                      Node_pool.push npool ~worker:wid ~prio:(prio bound)
+                        (mk [ (biggest, 0., 0.) ]);
+                      let others =
+                        group |> Array.to_list
+                        |> List.filteri (fun i _ -> i <> arg_max)
+                        |> List.map (fun v -> (v, 0., 0.))
+                      in
+                      (* dive on the branch that keeps the dominant
+                         variable of the violated group *)
+                      plunge (mk others))
+            end
+      end
+    in
+    let rec loop () =
+      if Atomic.get failure <> None then ()
+      else if check_limits () then ()
+      else
+        match Node_pool.take npool ~worker:wid with
+        | None -> ()
+        | Some (nprio, nd, stolen) ->
+            if prunable (unprio nprio) then
+              Node_pool.finish npool ~worker:wid
+            else process nd stolen;
+            loop ()
+    in
+    (try loop ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set failure None (Some (e, bt)) : bool);
+       Node_pool.stop npool);
+    (Backend.stats be, Backend.total_iterations be)
+  in
+  Node_pool.push npool ~worker:0
+    ~prio:(prio (if maximize then infinity else neg_infinity))
+    { p_overrides = []; p_depth = 0; p_basis = None };
+  let run_workers pool =
+    let futs =
+      List.init jobs (fun wid -> Engine.Pool.submit pool (fun () -> worker wid))
+    in
+    List.map Engine.Pool.await futs
+  in
+  let results =
+    match pool with
+    | Some pool -> run_workers pool
+    | None -> Engine.Pool.with_pool ~domains:jobs run_workers
+  in
+  (match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  let steals, idle_s = Node_pool.stats npool in
+  let lp_stats =
+    List.fold_left
+      (fun acc (s, _) -> Simplex.add_stats acc s)
+      Simplex.empty_stats results
+  in
+  let simplex_iterations =
+    List.fold_left (fun acc (_, it) -> acc + it) 0 results
+  in
+  let objective = Option.value (incumbent_value ()) ~default:Float.nan in
+  let primal = Option.join (Option.map fst (Engine.Incumbent.best inc)) in
+  let finish outcome ~best_bound =
+    {
+      outcome;
+      objective;
+      best_bound;
+      mip_gap =
+        (match outcome with
+        | Optimal -> 0.
+        | _ -> mip_gap_of ~objective ~bound:best_bound);
+      primal;
+      nodes = Atomic.get nodes;
+      simplex_iterations;
+      lp_stats;
+      elapsed = now () -. start;
+      incumbent_trace = List.rev !trace;
+      tree = { workers = jobs; steals; idle_s };
+    }
+  in
+  match !stop_reason with
+  | Some outcome ->
+      let best_bound =
+        match Node_pool.best_open npool with
+        | Some p -> unprio p
+        | None -> Option.value (incumbent_value ()) ~default:!best_root_bound
+      in
+      finish outcome ~best_bound
+  | None ->
+      (* node pool exhausted: the whole tree was proven *)
+      if incumbent_value () = None then
+        if Atomic.get truncated then
+          finish No_incumbent ~best_bound:!best_root_bound
+        else
+          finish Infeasible
+            ~best_bound:(if maximize then neg_infinity else infinity)
+      else if Atomic.get truncated then
+        finish Feasible ~best_bound:!best_root_bound
+      else finish Optimal ~best_bound:objective
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?pool ?(options = default_options) ?primal_heuristic
+    ?(on_incumbent = fun _ -> ()) model =
+  let jobs = Engine.Jobs.clamp options.jobs in
+  if jobs <= 1 then solve_serial ~options ?primal_heuristic ~on_incumbent model
+  else solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
+
 let pp_outcome ppf = function
   | Optimal -> Fmt.string ppf "optimal"
   | Feasible -> Fmt.string ppf "feasible (limit)"
@@ -349,3 +703,6 @@ let pp_result ppf r =
   Fmt.pf ppf "%a: obj %.6g, bound %.6g, gap %.2f%%, %d nodes, %d pivots, %.2fs"
     pp_outcome r.outcome r.objective r.best_bound (100. *. r.mip_gap) r.nodes
     r.simplex_iterations r.elapsed
+
+let pp_tree_stats ppf t =
+  Fmt.pf ppf "workers=%d steals=%d idle=%.2fs" t.workers t.steals t.idle_s

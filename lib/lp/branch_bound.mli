@@ -10,11 +10,22 @@
     it reports incumbents as they are found (via [on_incumbent] and the
     incumbent trace), exposes the primal–dual gap, and stops early when
     incremental progress stalls below a configurable threshold within a
-    time window — the paper's 0.5%-per-window timeout policy. *)
+    time window — the paper's 0.5%-per-window timeout policy.
+
+    With [jobs > 1] the tree is searched by a team of domains over a
+    shared-memory work-stealing node pool ({!Node_pool}): each worker
+    dives its own subtree best-bound-first (cheap dual-simplex warm
+    restarts from its previous node), steals the globally best open node
+    when it runs dry, and shares one atomic incumbent so a bound found by
+    any worker prunes everyone's subtrees. [jobs = 1] takes the original
+    serial code path and is bit-identical to it. *)
 
 type options = {
   time_limit : float;  (** wall-clock seconds; [infinity] disables *)
   node_limit : int;
+      (** with [jobs > 1] the limit is checked against a shared counter
+          before each node is expanded, so the search can overshoot it by
+          at most [jobs - 1] in-flight nodes *)
   gap_tol : float;  (** stop when relative MIP gap falls below this *)
   stall_time : float;
       (** stop when no relative improvement >= [stall_improvement] has been
@@ -26,7 +37,9 @@ type options = {
   interrupt : unit -> bool;
       (** polled once per node; returning true stops the search with the
           current incumbent (the hook portfolio racers use to wind a
-          worker down once the shared incumbent is good enough) *)
+          worker down once the shared incumbent is good enough). With
+          [jobs > 1] it is polled concurrently from every worker domain
+          and must be thread-safe *)
   backend : Backend.kind option;
       (** LP engine for node relaxations; [None] (the default) resolves
           {!Backend.default} at solve time *)
@@ -35,6 +48,15 @@ type options = {
           dual simplex from the parent's basis; false forces a cold
           from-scratch solve per node — only useful for measuring what
           basis reuse buys *)
+  jobs : int;
+      (** worker domains for the tree search, clamped to
+          [1 .. ]{!Repro_engine.Jobs.max_jobs}. Defaults to
+          {!Repro_engine.Jobs.default}[ ()] (the [REPRO_JOBS] environment
+          variable, else 1). [1] = the serial search, bit-identical to
+          the pre-parallel implementation; [> 1] = the same tree policy
+          run by that many workers — same outcome and, within [gap_tol],
+          same objective, but node ordering (and thus node counts) may
+          differ *)
 }
 
 val default_options : options
@@ -46,6 +68,18 @@ type outcome =
   | Infeasible
   | Unbounded
 
+(** Parallel-tree instrumentation for one solve. For the serial path this
+    is {!serial_tree_stats}. *)
+type tree_stats = {
+  workers : int;  (** worker domains used (1 = serial path) *)
+  steals : int;  (** nodes taken from another worker's heap *)
+  idle_s : float;
+      (** total seconds workers spent blocked waiting for work, summed
+          over workers *)
+}
+
+val serial_tree_stats : tree_stats
+
 type result = {
   outcome : outcome;
   objective : float;  (** incumbent objective, in model direction *)
@@ -56,14 +90,23 @@ type result = {
   simplex_iterations : int;
   lp_stats : Simplex.stats;
       (** LP-engine internals over the whole search: pivots,
-          refactorizations, eta count, warm-start hits/misses *)
+          refactorizations, eta count, warm-start hits/misses (summed
+          across workers when [jobs > 1]) *)
   elapsed : float;
   incumbent_trace : (float * float) list;
       (** (seconds since start, incumbent objective) at each improvement,
           oldest first — the raw series behind Fig. 3 style plots *)
+  tree : tree_stats;
 }
 
 (** [solve model] runs branch-and-bound.
+
+    [pool] supplies the worker domains when [options.jobs > 1]; when
+    omitted a private {!Repro_engine.Pool} of [jobs] domains is spun up
+    for the solve and shut down afterwards. The pool's await is
+    help-first, so a pool smaller than [jobs] still completes — surplus
+    workers just find the tree already exhausted. [pool] is ignored when
+    [jobs = 1].
 
     [primal_heuristic] is called on each node's relaxation values and may
     return a trusted feasible objective value (model direction) with an
@@ -71,10 +114,14 @@ type result = {
     relaxation demands into true-gap incumbents (§3.3 "solvers usually find
     a reasonable solution quickly"). Returned values are trusted: callers
     must only report objective values realized by some feasible point of
-    the model.
+    the model. With [jobs > 1] it runs concurrently on worker domains and
+    must be thread-safe.
 
-    [on_incumbent] observes every incumbent improvement. *)
+    [on_incumbent] observes every incumbent improvement; with [jobs > 1]
+    it is invoked under the search's incumbent lock (improvements are
+    serialized and strictly monotone). *)
 val solve :
+  ?pool:Repro_engine.Pool.t ->
   ?options:options ->
   ?primal_heuristic:(float array -> (float * float array option) option) ->
   ?on_incumbent:(float -> unit) ->
@@ -83,3 +130,6 @@ val solve :
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_result : Format.formatter -> result -> unit
+
+(** ["workers=%d steals=%d idle=%.2fs"]. *)
+val pp_tree_stats : Format.formatter -> tree_stats -> unit

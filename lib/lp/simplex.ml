@@ -19,10 +19,20 @@ type stats = {
   etas : int;
   warm_hits : int;
   warm_misses : int;
+  presolve_rows : int;
+  presolve_cols : int;
 }
 
 let empty_stats =
-  { iterations = 0; refactorizations = 0; etas = 0; warm_hits = 0; warm_misses = 0 }
+  {
+    iterations = 0;
+    refactorizations = 0;
+    etas = 0;
+    warm_hits = 0;
+    warm_misses = 0;
+    presolve_rows = 0;
+    presolve_cols = 0;
+  }
 
 let add_stats a b =
   {
@@ -31,11 +41,21 @@ let add_stats a b =
     etas = a.etas + b.etas;
     warm_hits = a.warm_hits + b.warm_hits;
     warm_misses = a.warm_misses + b.warm_misses;
+    presolve_rows = a.presolve_rows + b.presolve_rows;
+    presolve_cols = a.presolve_cols + b.presolve_cols;
   }
 
 let pp_stats ppf s =
   Fmt.pf ppf "iters=%d refactors=%d etas=%d warm=%d/%d" s.iterations
-    s.refactorizations s.etas s.warm_hits (s.warm_hits + s.warm_misses)
+    s.refactorizations s.etas s.warm_hits (s.warm_hits + s.warm_misses);
+  if s.presolve_rows > 0 || s.presolve_cols > 0 then
+    Fmt.pf ppf " presolve=-%dr/-%dc" s.presolve_rows s.presolve_cols
+
+(* A basis usable to warm-start any backend on the same standard form:
+   which column is basic in each row plus every column's nonbasic anchor,
+   encoded as plain int arrays so snapshots can be shipped by value
+   across domains. Statuses: 0 basic, 1 at lower, 2 at upper, 3 free. *)
+type basis_snapshot = { snap_basis : int array; snap_stat : int array }
 
 type solution = {
   status : status;
@@ -65,11 +85,15 @@ type t = {
   mutable iters_total : int;
   mutable warm_hits : int;
   mutable warm_misses : int;
+  mutable refactors : int;
 }
 
 let feas_tol = 1e-7
 let dual_tol = 1e-7
 let pivot_tol = 1e-9
+
+(* max relative row residual tolerated before the tableau is rebuilt *)
+let residual_tol = 1e-6
 
 let art t i = t.n + t.m + i
 let slack t i = t.n + i
@@ -111,6 +135,7 @@ let create (sf : Standard_form.t) =
     iters_total = 0;
     warm_hits = 0;
     warm_misses = 0;
+    refactors = 0;
   }
 
 let get_lb t j = t.lb.(j)
@@ -247,6 +272,69 @@ let pivot t r q =
     done;
     t.d.(q) <- 0.
   end
+
+(* ------------------------------------------------------------------ *)
+(* Drift detection and refactorization                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Max relative row residual |a_i . x - b_i| of the current solution over
+   the original (unpivoted) constraint data. The tableau accumulates
+   round-off because every pivot rewrites all rows in place; this is the
+   detector that decides when it has drifted too far to trust. *)
+let residual_error t =
+  let x = Array.make t.nt 0. in
+  for j = 0 to t.nt - 1 do
+    if t.stat.(j) <> Basic then x.(j) <- nb_value t j
+  done;
+  for i = 0 to t.m - 1 do
+    x.(t.basis.(i)) <- t.xb.(i)
+  done;
+  let worst = ref 0. in
+  for i = 0 to t.m - 1 do
+    let acc = ref 0. in
+    Array.iter (fun (j, a) -> acc := !acc +. (a *. x.(j))) t.sf.rows.(i);
+    acc := !acc +. x.(slack t i) +. x.(art t i);
+    let err =
+      Float.abs (!acc -. t.sf.b.(i)) /. (1. +. Float.abs t.sf.b.(i))
+    in
+    if err > !worst then worst := err
+  done;
+  !worst
+
+(* Rebuild B^-1 [A I I] from the original matrix by Gauss-Jordan over the
+   current basis (greedy largest-pivot order). false means the basis went
+   numerically singular. Refreshes basic values and reduced costs on
+   success because both are derived from the tableau. *)
+let refactor t =
+  rebuild_tableau t;
+  let processed = Array.make t.m false in
+  let ok = ref true in
+  (try
+     for _ = 1 to t.m do
+       let best_r = ref (-1) and best = ref 0. in
+       for r = 0 to t.m - 1 do
+         if not processed.(r) then begin
+           let a = Float.abs t.tab.(r).(t.basis.(r)) in
+           if a > !best then begin
+             best := a;
+             best_r := r
+           end
+         end
+       done;
+       if !best <= pivot_tol then begin
+         ok := false;
+         raise Exit
+       end;
+       pivot t !best_r t.basis.(!best_r);
+       processed.(!best_r) <- true
+     done
+   with Exit -> ());
+  if !ok then begin
+    t.refactors <- t.refactors + 1;
+    refresh_xb t;
+    refresh_d t
+  end;
+  !ok
 
 (* ------------------------------------------------------------------ *)
 (* Primal simplex                                                      *)
@@ -390,7 +478,10 @@ let run_primal t ~iter_limit =
        t.iters_total <- t.iters_total + 1;
        if !iters mod 2000 = 0 then begin
          refresh_xb t;
-         refresh_d t
+         if residual_error t > residual_tol then begin
+           if not (refactor t) then raise (Done Iteration_limit)
+         end
+         else refresh_d t
        end
      done;
      assert false
@@ -541,7 +632,9 @@ let extract t status iterations =
 
 let default_iter_limit t = 20_000 + (40 * (t.m + t.n))
 
-let solve_fresh ?iter_limit t =
+(* Fresh two-phase solve, without the post-solve drift repair (which
+   needs the dual simplex, defined below; see [solve_fresh]). *)
+let solve_fresh_raw ?iter_limit t =
   let iter_limit =
     match iter_limit with
     | Some l -> l
@@ -696,11 +789,57 @@ let run_dual t ~iter_limit =
        t.iters_total <- t.iters_total + 1;
        if !iters mod 2000 = 0 then begin
          refresh_xb t;
-         refresh_d t
+         if residual_error t > residual_tol then begin
+           if not (refactor t) then raise Fallback
+         end
+         else refresh_d t
        end
      done;
      assert false
    with Done s -> (s, !iters))
+
+(* An "optimal" claim is only trusted once the solution actually satisfies
+   the original rows: the in-place pivoting drifts on long solves (the
+   circle-family models showed row violations up to 1.9e4). On drift,
+   rebuild the tableau from the original matrix and re-optimize — dual
+   simplex to restore primal feasibility of the now-exact basic values,
+   then a primal polish. *)
+let repair_drift t ~iter_limit (sol : solution) =
+  if sol.status <> Optimal || residual_error t <= residual_tol then sol
+  else begin
+    let extra = ref 0 in
+    let status = ref Optimal in
+    (try
+       let tries = ref 0 in
+       while
+         !status = Optimal && !tries < 2 && residual_error t > residual_tol
+       do
+         incr tries;
+         if not (refactor t) then raise Exit;
+         normalize_nonbasic t;
+         let sd, itd = run_dual t ~iter_limit in
+         extra := !extra + itd;
+         (match sd with
+         | Optimal ->
+             refresh_d t;
+             let sp, itp = run_primal t ~iter_limit in
+             extra := !extra + itp;
+             status := sp
+         | s -> status := s);
+         refresh_xb t
+       done
+     with Exit | Fallback -> ());
+    extract t !status (sol.iterations + !extra)
+  end
+
+let solve_fresh ?iter_limit t =
+  let iter_limit =
+    match iter_limit with
+    | Some l -> l
+    | None -> default_iter_limit t
+  in
+  let sol = solve_fresh_raw ~iter_limit t in
+  repair_drift t ~iter_limit sol
 
 let resolve ?iter_limit t =
   if not t.solved_once then solve_fresh ?iter_limit t
@@ -729,7 +868,8 @@ let resolve ?iter_limit t =
         t.warm_hits <- t.warm_hits + 1;
         refresh_d t;
         let s2, it2 = run_primal t ~iter_limit in
-        extract t (if s2 = Optimal then Optimal else s2) (it + it2)
+        let sol = extract t (if s2 = Optimal then Optimal else s2) (it + it2) in
+        repair_drift t ~iter_limit sol
     | Some (Infeasible, it) ->
         t.warm_hits <- t.warm_hits + 1;
         extract t Infeasible it
@@ -743,13 +883,53 @@ let resolve ?iter_limit t =
 
 let total_iterations t = t.iters_total
 
+let encode_stat = function
+  | Basic -> 0
+  | At_lower -> 1
+  | At_upper -> 2
+  | Free_nb -> 3
+
+let decode_stat = function
+  | 0 -> Basic
+  | 1 -> At_lower
+  | 2 -> At_upper
+  | _ -> Free_nb
+
+let snapshot_basis t =
+  {
+    snap_basis = Array.copy t.basis;
+    snap_stat = Array.map encode_stat t.stat;
+  }
+
+let install_basis t snap =
+  if
+    Array.length snap.snap_basis <> t.m || Array.length snap.snap_stat <> t.nt
+  then false
+  else begin
+    Array.blit snap.snap_basis 0 t.basis 0 t.m;
+    for j = 0 to t.nt - 1 do
+      t.stat.(j) <- decode_stat snap.snap_stat.(j)
+    done;
+    if refactor t then begin
+      t.solved_once <- true;
+      true
+    end
+    else begin
+      (* singular under current bounds: force the next solve from scratch *)
+      t.solved_once <- false;
+      false
+    end
+  end
+
 let stats t =
   {
     iterations = t.iters_total;
-    refactorizations = 0;
+    refactorizations = t.refactors;
     etas = 0;
     warm_hits = t.warm_hits;
     warm_misses = t.warm_misses;
+    presolve_rows = 0;
+    presolve_cols = 0;
   }
 
 let pp_state ppf t =

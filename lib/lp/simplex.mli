@@ -21,21 +21,34 @@ type status = Optimal | Infeasible | Unbounded | Iteration_limit
 val pp_status : Format.formatter -> status -> unit
 
 (** Cumulative solver-internals counters, shared by every backend.
-    The dense tableau reports [refactorizations = 0] and [etas = 0]
-    (it has no factorization); warm-start counters track {!resolve}
+    For the dense tableau [refactorizations] counts full Gauss-Jordan
+    tableau rebuilds (triggered by the drift detector or a basis
+    install) and [etas = 0]; warm-start counters track {!resolve}
     outcomes — a hit is a successful dual-simplex warm restart, a miss
-    is a fallback to {!solve_fresh}. *)
+    is a fallback to {!solve_fresh}. [presolve_rows]/[presolve_cols]
+    are filled in by {!Solver.solve} when presolve ran: rows dropped
+    and variables fixed before the model reached the engine. *)
 type stats = {
   iterations : int;
   refactorizations : int;
   etas : int;
   warm_hits : int;
   warm_misses : int;
+  presolve_rows : int;
+  presolve_cols : int;
 }
 
 val empty_stats : stats
 val add_stats : stats -> stats -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** A basis usable to warm-start any backend built on the same standard
+    form: the basic column of each row plus every column's status,
+    encoded as plain int arrays (0 basic, 1 at-lower, 2 at-upper,
+    3 free) so a snapshot can be shipped by value across domains —
+    the mechanism parallel branch-and-bound uses to hand a stolen node
+    its parent's basis. *)
+type basis_snapshot = { snap_basis : int array; snap_stat : int array }
 
 type solution = {
   status : status;
@@ -68,6 +81,16 @@ val resolve : ?iter_limit:int -> t -> solution
 
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int
+
+(** Capture the current basis + statuses for later {!install_basis} on
+    this or another state over the same standard form. *)
+val snapshot_basis : t -> basis_snapshot
+
+(** Install a snapshot taken by {!snapshot_basis} and refactorize the
+    tableau for it. Returns false (and forces the next solve to start
+    from scratch) if the snapshot does not fit this state or its basis
+    is singular. *)
+val install_basis : t -> basis_snapshot -> bool
 
 (** Lifetime counters for this state. *)
 val stats : t -> stats

@@ -24,8 +24,8 @@ let solve_lp ?iter_limit ?backend model =
 
 let value result var = result.primal.(var)
 
-let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
-    model =
+let rec solve ?pool ?options ?(presolve = false) ?primal_heuristic
+    ?on_incumbent model =
   if presolve then begin
     match Presolve.reduce model with
     | Presolve.Infeasible_model ->
@@ -40,6 +40,7 @@ let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
           lp_stats = Simplex.empty_stats;
           elapsed = 0.;
           incumbent_trace = [];
+          tree = Branch_bound.serial_tree_stats;
         }
     | Presolve.Reduced red ->
         let primal_heuristic =
@@ -48,17 +49,27 @@ let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
             primal_heuristic
         in
         let r =
-          solve ?options ~presolve:false ?primal_heuristic ?on_incumbent
+          solve ?pool ?options ~presolve:false ?primal_heuristic ?on_incumbent
             red.Presolve.model
         in
         {
           r with
           Branch_bound.primal =
             Option.map (Presolve.restore red) r.Branch_bound.primal;
+          lp_stats =
+            {
+              r.Branch_bound.lp_stats with
+              Simplex.presolve_rows =
+                r.Branch_bound.lp_stats.Simplex.presolve_rows
+                + red.Presolve.rows_dropped;
+              presolve_cols =
+                r.Branch_bound.lp_stats.Simplex.presolve_cols
+                + red.Presolve.vars_fixed;
+            };
         }
   end
   else if Model.is_mip model then
-    Branch_bound.solve ?options ?primal_heuristic ?on_incumbent model
+    Branch_bound.solve ?pool ?options ?primal_heuristic ?on_incumbent model
   else begin
     let r = solve_lp model in
     let outcome =
@@ -79,5 +90,6 @@ let rec solve ?options ?(presolve = false) ?primal_heuristic ?on_incumbent
       lp_stats = r.stats;
       elapsed = 0.;
       incumbent_trace = [];
+      tree = Branch_bound.serial_tree_stats;
     }
   end

@@ -28,8 +28,13 @@ val value : lp_result -> Model.var -> float
     [presolve] (default false) runs {!Presolve.reduce} first and maps the
     primal solution back to the original variable space; the
     [primal_heuristic] callback then receives {e original-space} relaxation
-    values. *)
+    values. The reduction is recorded in the result's
+    [lp_stats.presolve_rows]/[presolve_cols].
+
+    [pool] supplies worker domains for the parallel tree search when
+    [options.jobs > 1]; see {!Branch_bound.solve}. *)
 val solve :
+  ?pool:Repro_engine.Pool.t ->
   ?options:Branch_bound.options ->
   ?presolve:bool ->
   ?primal_heuristic:(float array -> (float * float array option) option) ->

@@ -660,6 +660,46 @@ let resolve ?iter_limit t =
 
 let total_iterations t = t.iters_total
 
+let encode_stat = function
+  | Basic -> 0
+  | At_lower -> 1
+  | At_upper -> 2
+  | Free_nb -> 3
+
+let decode_stat = function
+  | 0 -> Basic
+  | 1 -> At_lower
+  | 2 -> At_upper
+  | _ -> Free_nb
+
+let snapshot_basis t : Simplex.basis_snapshot =
+  {
+    Simplex.snap_basis = Array.copy t.basis;
+    snap_stat = Array.map encode_stat t.stat;
+  }
+
+let install_basis t (snap : Simplex.basis_snapshot) =
+  if
+    Array.length snap.Simplex.snap_basis <> t.m
+    || Array.length snap.Simplex.snap_stat <> t.nt
+  then false
+  else begin
+    Array.blit snap.Simplex.snap_basis 0 t.basis 0 t.m;
+    for j = 0 to t.nt - 1 do
+      t.stat.(j) <- decode_stat snap.Simplex.snap_stat.(j)
+    done;
+    if Basis.refactorize t.bas ~col:(iter_col t) t.basis then begin
+      (* xb and d are refreshed by the next resolve entry; only the
+         factorization has to be coherent here *)
+      t.solved_once <- true;
+      true
+    end
+    else begin
+      t.solved_once <- false;
+      false
+    end
+  end
+
 let stats t : Simplex.stats =
   {
     iterations = t.iters_total;
@@ -667,6 +707,8 @@ let stats t : Simplex.stats =
     etas = Basis.eta_count t.bas;
     warm_hits = t.warm_hits;
     warm_misses = t.warm_misses;
+    presolve_rows = 0;
+    presolve_cols = 0;
   }
 
 let pp_state ppf t =

@@ -29,6 +29,15 @@ val resolve : ?iter_limit:int -> t -> Simplex.solution
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int
 
+(** Capture the current basis + statuses (see
+    {!Simplex.basis_snapshot}). *)
+val snapshot_basis : t -> Simplex.basis_snapshot
+
+(** Install a snapshot and refactorize the basis inverse for it; false
+    means the snapshot does not fit or its basis is singular, in which
+    case the next solve starts from scratch. *)
+val install_basis : t -> Simplex.basis_snapshot -> bool
+
 (** Lifetime counters (iterations, refactorizations, current eta count,
     warm hits/misses). *)
 val stats : t -> Simplex.stats

@@ -47,6 +47,7 @@ type stats = {
   nodes : int;
   simplex_iterations : int;
   lp_stats : Simplex.stats;
+  tree : Branch_bound.tree_stats;
   elapsed : float;
   model_vars : int;
   model_constrs : int;
@@ -84,6 +85,10 @@ type oracle_state = {
   constraints : Input_constraints.t;
   quantize : float option;
   cache : (string, float option) Hashtbl.t;
+  lock : Mutex.t;
+      (** guards [cache]/[best]/[calls]/[trace]: with a parallel tree
+          search the primal heuristic runs concurrently on B\&B worker
+          domains *)
   shared : Demand.t Engine.Incumbent.t option;
       (** portfolio mode: every verified improvement is also proposed
           here, and [best_known] folds rivals' scores back in *)
@@ -99,12 +104,17 @@ let make_oracle_state ?shared (ev : Evaluate.t) ~(options : options) =
     constraints = options.constraints;
     quantize = options.quantize;
     cache = Hashtbl.create 256;
+    lock = Mutex.create ();
     shared;
     best = None;
     calls = 0;
     trace = [];
     started = now ();
   }
+
+let with_lock st f =
+  Mutex.lock st.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.lock) f
 
 (* With a quantized outer space, only on-grid demands are feasible points
    of the MILP: snap every probe before evaluating. *)
@@ -116,9 +126,9 @@ let snap st demands =
 
 (* Record a verified gap (demands already snapped). Publishes into the
    shared incumbent store, if any, so the improvement immediately tightens
-   every racing worker's pruning bound. *)
-let record_verified st demands g =
-  (match st.best with
+   every racing worker's pruning bound. Caller holds [st.lock]. *)
+let record_verified_locked st demands g =
+  match st.best with
   | Some (_, b) when g <= b -> ()
   | _ ->
       let copy = Array.copy demands in
@@ -126,27 +136,36 @@ let record_verified st demands g =
       st.trace <- (now () -. st.started, g) :: st.trace;
       (match st.shared with
       | Some inc -> ignore (Engine.Incumbent.propose inc copy g)
-      | None -> ()))
+      | None -> ())
 
 let oracle_gap st demands =
   let demands = snap st demands in
   let key = cache_key demands in
-  match Hashtbl.find_opt st.cache key with
+  match with_lock st (fun () -> Hashtbl.find_opt st.cache key) with
   | Some cached -> cached
   | None ->
-      st.calls <- st.calls + 1;
+      (* the oracle evaluation itself runs outside the lock — concurrent
+         workers may rarely evaluate the same key twice (both calls are
+         real and counted); the insert re-checks before recording *)
+      with_lock st (fun () -> st.calls <- st.calls + 1);
       let g =
         if not (Input_constraints.satisfied st.constraints demands) then None
         else Evaluate.gap st.ev demands
       in
-      Hashtbl.replace st.cache key g;
-      (match g with Some g -> record_verified st demands g | None -> ());
+      with_lock st (fun () ->
+          if not (Hashtbl.mem st.cache key) then Hashtbl.replace st.cache key g;
+          match g with
+          | Some g -> record_verified_locked st demands g
+          | None -> ());
       g
 
 (* Best oracle-verified value this worker may trust as an incumbent: its
    own plus — in a portfolio race — anything a rival has published. *)
 let best_known st =
-  let local = match st.best with Some (_, g) -> g | None -> neg_infinity in
+  let local =
+    with_lock st (fun () ->
+        match st.best with Some (_, g) -> g | None -> neg_infinity)
+  in
   let shared =
     match st.shared with
     | Some inc -> Engine.Incumbent.best_score inc
@@ -207,12 +226,15 @@ let run_probes ?pool ?(stop = fun () -> false) st (ev : Evaluate.t) ~demand_ub
       in
       List.iter2
         (fun d g ->
-          let key = cache_key d in
-          if not (Hashtbl.mem st.cache key) then begin
-            st.calls <- st.calls + 1;
-            Hashtbl.replace st.cache key g;
-            match g with Some g -> record_verified st d g | None -> ()
-          end)
+          with_lock st (fun () ->
+              let key = cache_key d in
+              if not (Hashtbl.mem st.cache key) then begin
+                st.calls <- st.calls + 1;
+                Hashtbl.replace st.cache key g;
+                match g with
+                | Some g -> record_verified_locked st d g
+                | None -> ()
+              end))
         prepared gaps);
   let refine_budget = Int.max 0 (budget - List.length candidates) in
   match st.best with
@@ -243,14 +265,18 @@ let run_probes ?pool ?(stop = fun () -> false) st (ev : Evaluate.t) ~demand_ub
           ignore (oracle_gap st d))
   end
 
-let solve_one st gp ~bb_options =
-  Branch_bound.solve ~options:bb_options
+(* The MILP phase goes through {!Solver.solve} with presolve ON: the KKT
+   models carry removable rows (singleton/forcing constraints from the
+   rewrite) and the reduction is free relative to a tree search. [pool]
+   supplies the worker domains when [bb_options.jobs] > 1. *)
+let solve_one ?pool st gp ~bb_options =
+  Solver.solve ?pool ~options:bb_options ~presolve:true
     ~primal_heuristic:(primal_heuristic st gp) gp.Gap_problem.model
 
 (* The single-strategy searches (the paper's two §3.3 modes). Probing must
    already have run on [st]; returns the B&B result and the proven upper
    bound, if one was obtained. *)
-let run_search st gp ~(options : options) ~search =
+let run_search ?pool st gp ~(options : options) ~search =
   let pathset = st.ev.Evaluate.pathset in
   let heuristic = heuristic_of_spec st.ev in
   if not options.run_milp then
@@ -270,13 +296,14 @@ let run_search st gp ~(options : options) ~search =
         lp_stats = Simplex.empty_stats;
         elapsed = 0.;
         incumbent_trace = [];
+        tree = Branch_bound.serial_tree_stats;
       },
       None )
   else
     match search with
     | Portfolio _ -> invalid_arg "Adversary.run_search: portfolio"
     | Direct ->
-        let r = solve_one st gp ~bb_options:options.bb in
+        let r = solve_one ?pool st gp ~bb_options:options.bb in
         let ub =
           match r.Branch_bound.outcome with
           | Branch_bound.Optimal | Branch_bound.Feasible
@@ -291,7 +318,7 @@ let run_search st gp ~(options : options) ~search =
            with an extra lower-bound row on the gap objective. *)
         let _, obj = Model.objective gp.Gap_problem.model in
         let root =
-          solve_one st gp
+          solve_one ?pool st gp
             ~bb_options:
               { options.bb with time_limit = probe_time; node_limit = 1 }
         in
@@ -318,8 +345,9 @@ let run_search st gp ~(options : options) ~search =
               (Model.add_constr ~name:"gap_target" gp'.Gap_problem.model obj
                  Model.Ge target);
             let r =
-              Branch_bound.solve
+              Solver.solve ?pool
                 ~options:{ options.bb with time_limit = probe_time }
+                ~presolve:true
                 ~primal_heuristic:(primal_heuristic st gp')
                 gp'.Gap_problem.model
             in
@@ -368,6 +396,7 @@ let assemble_result st gp ~bb_result ~upper_bound ~trace ~oracle_calls =
         nodes = bb_result.Branch_bound.nodes;
         simplex_iterations = bb_result.Branch_bound.simplex_iterations;
         lp_stats = bb_result.Branch_bound.lp_stats;
+        tree = bb_result.Branch_bound.tree;
         elapsed = now () -. st.started;
         model_vars = vars;
         model_constrs = constrs;
@@ -391,7 +420,13 @@ let find_single (ev : Evaluate.t) ~(options : options) ~pool () =
   let st = make_oracle_state ev ~options in
   run_probes ?pool st ev ~demand_ub:gp.Gap_problem.demand_ub
     ~budget:options.probe_budget;
-  let bb_result, upper_bound = run_search st gp ~options ~search:options.search in
+  (* the MILP tree search itself runs on [options.jobs] workers *)
+  let options =
+    { options with bb = { options.bb with Branch_bound.jobs = options.jobs } }
+  in
+  let bb_result, upper_bound =
+    run_search ?pool st gp ~options ~search:options.search
+  in
   assemble_result st gp ~bb_result ~upper_bound ~trace:(List.rev st.trace)
     ~oracle_calls:st.calls
 
@@ -432,10 +467,17 @@ let find_portfolio (ev : Evaluate.t) ~(options : options) ~pool
           end;
           run_probes ~stop:should_stop st ev
             ~demand_ub:gp.Gap_problem.demand_ub ~budget:options.probe_budget;
+          (* each racing strategy is serial inside — the pool's unit of
+             work is the strategy, so the tree search stays on one job *)
           let options =
             {
               options with
-              bb = { options.bb with Branch_bound.interrupt = should_stop };
+              bb =
+                {
+                  options.bb with
+                  Branch_bound.interrupt = should_stop;
+                  jobs = 1;
+                };
             }
           in
           let bb_result, ub = run_search st gp ~options ~search in
@@ -546,22 +588,26 @@ let find_portfolio (ev : Evaluate.t) ~(options : options) ~pool
           lp_stats = Simplex.empty_stats;
           elapsed = now () -. started;
           incumbent_trace = [];
+          tree = Branch_bound.serial_tree_stats;
         }
   in
   let oracle_calls = st.calls + !sweep_calls + !blackbox_evals in
   assemble_result st gp ~bb_result ~upper_bound:!whitebox_ub
     ~trace:(Engine.Incumbent.trace incumbent) ~oracle_calls
 
-let find (ev : Evaluate.t) ?(options = default_options) () =
+let find (ev : Evaluate.t) ?(options = default_options) ?pool () =
   let jobs = Engine.Jobs.clamp options.jobs in
   let run pool =
     match options.search with
     | Portfolio p -> find_portfolio ev ~options ~pool p
     | Direct | Binary_sweep _ -> find_single ev ~options ~pool ()
   in
-  if jobs > 1 then
-    Engine.Pool.with_pool ~domains:jobs (fun pool -> run (Some pool))
-  else run None
+  match pool with
+  | Some _ -> run pool
+  | None ->
+      if jobs > 1 then
+        Engine.Pool.with_pool ~domains:jobs (fun pool -> run (Some pool))
+      else run None
 
 let find_diverse ev ?(options = default_options) ~count ~radius () =
   let rec loop acc constraints remaining =

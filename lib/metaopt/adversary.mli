@@ -65,8 +65,12 @@ type options = {
       (** worker domains (clamped to [1, Repro_engine.Jobs.max_jobs]).
           With [jobs] > 1, [Direct]/[Binary_sweep] fan probe scoring and
           the oracle's POP instances over a pool (results bit-identical to
-          serial), and [Portfolio] runs its strategies concurrently. 1 is
-          the fully serial path — no domains are spawned. *)
+          serial) {e and} run the branch-and-bound tree search itself on
+          [jobs] workers (same outcome/objective within [bb.gap_tol];
+          node order may differ — see {!Branch_bound}). [Portfolio] runs
+          its strategies concurrently instead, each strategy's tree
+          search staying serial. 1 is the fully serial path — no domains
+          are spawned. *)
 }
 
 val default_portfolio : portfolio_options
@@ -79,7 +83,12 @@ type stats = {
   simplex_iterations : int;
   lp_stats : Simplex.stats;
       (** LP-engine internals summed over the search's B\&B runs:
-          iterations, refactorizations, eta count, warm-start hits *)
+          iterations, refactorizations, eta count, warm-start hits, and
+          presolve row/column reductions *)
+  tree : Branch_bound.tree_stats;
+      (** parallel-tree counters of the main B\&B run (workers, steals,
+          idle time); {!Branch_bound.serial_tree_stats} when the MILP
+          phase ran serially or was skipped *)
   elapsed : float;
   model_vars : int;
   model_constrs : int;
@@ -107,7 +116,12 @@ type result = {
 
 val heuristic_of_spec : Evaluate.t -> Gap_problem.heuristic
 
-val find : Evaluate.t -> ?options:options -> unit -> result
+(** [find ev ()] runs the configured search. [pool] supplies the worker
+    domains (probe fan-out, portfolio strategies, parallel tree search);
+    when omitted and [options.jobs] > 1 a private pool of [jobs] domains
+    is created for the call. *)
+val find :
+  Evaluate.t -> ?options:options -> ?pool:Repro_engine.Pool.t -> unit -> result
 
 (** [find_diverse ev ~count ~radius ()] — §5 "diverse kinds of bad
     inputs": run [find] up to [count] times, after each run excluding an

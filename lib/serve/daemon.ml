@@ -163,13 +163,15 @@ let evaluate_job ev g demand () =
       ("pairs", Json.Num (float_of_int (Demand.size space)));
     ]
 
-let find_gap_job ev ~(method_ : Protocol.search_method) ~time ~seed () =
+let find_gap_job ?pool ~jobs ev ~(method_ : Protocol.search_method) ~time ~seed
+    () =
   let space = Pathset.space ev.Evaluate.pathset in
   match method_ with
   | Protocol.Whitebox | Protocol.Sweep | Protocol.Portfolio ->
       let options =
         {
           Adversary.default_options with
+          jobs;
           search =
             (match method_ with
             | Protocol.Sweep ->
@@ -189,7 +191,7 @@ let find_gap_job ev ~(method_ : Protocol.search_method) ~time ~seed () =
             };
         }
       in
-      let r = Adversary.find ev ~options () in
+      let r = Adversary.find ev ~options ?pool () in
       Json.Obj
         [
           ("gap", Json.Num r.Adversary.gap);
@@ -336,7 +338,8 @@ let handle state (req : Protocol.request) =
           in
           submit state ~key
             ~group:(group instance "find-gap")
-            (find_gap_job ev ~method_ ~time ~seed)
+            (find_gap_job ?pool:state.pool ~jobs:state.config.jobs ev ~method_
+               ~time ~seed)
             [])
 
 (* ------------------------------------------------------------------ *)

@@ -6,10 +6,25 @@ open Repro_metaopt
 let value_bytes = 16
 
 let attach ~cache ~paths (ev : Evaluate.t) =
-  let space = Repro_te.Pathset.space ev.Evaluate.pathset in
-  (* the demand-independent prefix of every key, computed once *)
-  let base = Fingerprint.instance ~paths ev in
+  let pathset = ev.Evaluate.pathset in
+  let space = Repro_te.Pathset.space pathset in
+  (* Demand-independent key prefixes, computed once per tag.
+
+     The "opt" tag caches the optimal multi-commodity-flow value, which
+     depends only on topology + path set — NOT on the heuristic spec. Its
+     prefix must therefore exclude the heuristic: keying it on the full
+     instance fingerprint would give every heuristic configuration (each
+     DP threshold, each POP seed) a private copy of the same OPT solves
+     and the cache would never hit across them. *)
+  let opt_base =
+    let acc = Fingerprint.feed_string Fingerprint.empty "repro-serve-opt-v1" in
+    let acc = Fingerprint.feed_graph acc (Repro_te.Pathset.graph pathset) in
+    Fingerprint.finish (Fingerprint.feed_int acc paths)
+  in
+  (* heuristic values do depend on the full spec *)
+  let heur_base = Fingerprint.instance ~paths ev in
   let key ~tag demand =
+    let base = if String.equal tag "opt" then opt_base else heur_base in
     let acc = Fingerprint.feed_int64 Fingerprint.empty base in
     let acc = Fingerprint.feed_string acc tag in
     Fingerprint.finish (Fingerprint.feed_demand acc space demand)

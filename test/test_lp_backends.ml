@@ -179,7 +179,16 @@ let backends_agree =
             d.Solver.duals;
           Array.iteri
             (fun j v -> close "reduced cost" j v s.Solver.reduced_costs.(j))
-            d.Solver.reduced_costs
+            d.Solver.reduced_costs;
+          (* both primal solutions must actually satisfy the model: this
+             is what catches tableau drift (an "Optimal" vertex whose
+             row residuals have silently decayed) *)
+          let dv = Model.max_violation model d.Solver.primal in
+          if dv > 1e-5 then
+            QCheck.Test.fail_reportf "dense primal infeasible: viol %.3g" dv;
+          let sv = Model.max_violation model s.Solver.primal in
+          if sv > 1e-5 then
+            QCheck.Test.fail_reportf "sparse primal infeasible: viol %.3g" sv
       | _ -> ());
       true)
 
@@ -212,12 +221,15 @@ let warm_equals_cold =
     ~name:"warm-started B&B matches cold restarts on binary MILPs"
     (QCheck.make random_binary_milp_gen) (fun inst ->
       let solve warm_start =
+        (* jobs pinned to 1: this is a strict per-node determinism test
+           and must not pick up an ambient REPRO_JOBS *)
         Branch_bound.solve
           ~options:
             {
               Branch_bound.default_options with
               backend = Some Backend.Sparse;
               warm_start;
+              jobs = 1;
             }
           (build_binary_milp inst)
       in
@@ -254,7 +266,11 @@ let milp_backends_agree =
       let solve kind =
         Branch_bound.solve
           ~options:
-            { Branch_bound.default_options with backend = Some kind }
+            {
+              Branch_bound.default_options with
+              backend = Some kind;
+              jobs = 1;
+            }
           (build_binary_milp inst)
       in
       let d = solve Backend.Dense in
@@ -270,6 +286,153 @@ let milp_backends_agree =
             QCheck.Test.fail_reportf "objective mismatch: dense %.12g sparse %.12g"
               d.Branch_bound.objective s.Branch_bound.objective
       | _ -> ());
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* parallel tree search: jobs > 1 vs the serial path                   *)
+(* ------------------------------------------------------------------ *)
+
+let solve_with_jobs ?(node_limit = Branch_bound.default_options.node_limit)
+    ?(interrupt = fun () -> false) ~jobs model =
+  Branch_bound.solve
+    ~options:
+      {
+        Branch_bound.default_options with
+        backend = Some Backend.Sparse;
+        jobs;
+        node_limit;
+        interrupt;
+      }
+    model
+
+(* Random MILPs with SOS1 groups: continuous vars, disjoint groups of
+   2-3, knapsack-style rows. All-zero is always feasible, bounds keep
+   the model bounded, so every instance solves to Optimal. *)
+let random_sos_milp_gen =
+  QCheck.Gen.(
+    let* n = int_range 4 9 in
+    let* m = int_range 1 3 in
+    let* a = array_size (return (m * n)) (float_range 0.5 4.) in
+    let* b = array_size (return m) (float_range 2. 10.) in
+    let* c = array_size (return n) (float_range 0.5 6.) in
+    let* ub = array_size (return n) (float_range 1. 4.) in
+    let* group_size = int_range 2 3 in
+    return (n, m, a, b, c, ub, group_size))
+
+let build_sos_milp (n, m, a, b, c, ub, group_size) =
+  let model = Model.create () in
+  let xs = Array.init n (fun j -> Model.add_var ~lb:0. ~ub:ub.(j) model) in
+  for i = 0 to m - 1 do
+    let expr =
+      Linexpr.of_terms (List.init n (fun j -> (xs.(j), a.((i * n) + j))))
+    in
+    ignore (Model.add_constr model expr Model.Le b.(i))
+  done;
+  let j = ref 0 in
+  while !j + group_size <= n do
+    Model.add_sos1 model
+      (List.init group_size (fun k -> xs.(!j + k)));
+    j := !j + group_size
+  done;
+  Model.set_objective model Model.Maximize
+    (Linexpr.of_terms (List.init n (fun j -> (xs.(j), c.(j)))));
+  model
+
+let agree_serial_parallel ~name gen build count =
+  QCheck.Test.make ~count ~name (QCheck.make gen) (fun inst ->
+      let serial = solve_with_jobs ~jobs:1 (build inst) in
+      let par = solve_with_jobs ~jobs:4 (build inst) in
+      if serial.Branch_bound.outcome <> par.Branch_bound.outcome then
+        QCheck.Test.fail_reportf "outcome mismatch: serial %s parallel %s"
+          (Fmt.str "%a" Branch_bound.pp_outcome serial.Branch_bound.outcome)
+          (Fmt.str "%a" Branch_bound.pp_outcome par.Branch_bound.outcome);
+      (match serial.Branch_bound.outcome with
+      | Branch_bound.Optimal ->
+          if
+            Float.abs
+              (serial.Branch_bound.objective -. par.Branch_bound.objective)
+            > 1e-6 *. (1. +. Float.abs serial.Branch_bound.objective)
+          then
+            QCheck.Test.fail_reportf
+              "objective mismatch: serial %.12g parallel %.12g"
+              serial.Branch_bound.objective par.Branch_bound.objective;
+          (match par.Branch_bound.primal with
+          | None -> QCheck.Test.fail_reportf "parallel optimal without primal"
+          | Some x ->
+              let v = Model.max_violation (build inst) x in
+              if v > 1e-5 then
+                QCheck.Test.fail_reportf "parallel primal infeasible: %.3g" v)
+      | _ -> ());
+      if par.Branch_bound.tree.Branch_bound.workers <> 4 then
+        QCheck.Test.fail_reportf "parallel run reported %d workers"
+          par.Branch_bound.tree.Branch_bound.workers;
+      if serial.Branch_bound.tree <> Branch_bound.serial_tree_stats then
+        QCheck.Test.fail_reportf "serial run reported parallel tree stats";
+      true)
+
+let parallel_agrees_milp =
+  agree_serial_parallel
+    ~name:"parallel (jobs=4) B&B matches serial on binary MILPs"
+    random_binary_milp_gen build_binary_milp 60
+
+let parallel_agrees_sos =
+  agree_serial_parallel
+    ~name:"parallel (jobs=4) B&B matches serial on SOS1 models"
+    random_sos_milp_gen build_sos_milp 40
+
+(* jobs = 1 must remain deterministic run to run — the regression guard
+   for "the serial path is bit-identical to the pre-parallel code". *)
+let serial_bit_identical =
+  QCheck.Test.make ~count:40
+    ~name:"jobs=1 B&B is bit-identical across runs"
+    (QCheck.make random_binary_milp_gen) (fun inst ->
+      let a = solve_with_jobs ~jobs:1 (build_binary_milp inst) in
+      let b = solve_with_jobs ~jobs:1 (build_binary_milp inst) in
+      if a.Branch_bound.outcome <> b.Branch_bound.outcome then
+        QCheck.Test.fail_reportf "outcome differs between identical runs";
+      if not (Float.equal a.Branch_bound.objective b.Branch_bound.objective)
+      then
+        QCheck.Test.fail_reportf "objective differs: %.17g vs %.17g"
+          a.Branch_bound.objective b.Branch_bound.objective;
+      if not (Float.equal a.Branch_bound.best_bound b.Branch_bound.best_bound)
+      then QCheck.Test.fail_reportf "best bound differs";
+      if a.Branch_bound.nodes <> b.Branch_bound.nodes then
+        QCheck.Test.fail_reportf "node count differs: %d vs %d"
+          a.Branch_bound.nodes b.Branch_bound.nodes;
+      if a.Branch_bound.simplex_iterations <> b.Branch_bound.simplex_iterations
+      then QCheck.Test.fail_reportf "simplex iteration count differs";
+      true)
+
+(* Shared-counter limits under parallelism: the node limit may overshoot
+   by at most jobs - 1 in-flight nodes; an interrupt wired to "true"
+   stops the search before any meaningful work. *)
+let parallel_node_limit =
+  QCheck.Test.make ~count:25 ~name:"jobs=4 node limit overshoots by < jobs"
+    (QCheck.make random_binary_milp_gen) (fun inst ->
+      let r =
+        solve_with_jobs ~jobs:4 ~node_limit:3 (build_binary_milp inst)
+      in
+      if r.Branch_bound.nodes > 3 + 4 then
+        QCheck.Test.fail_reportf "node limit 3 overshot to %d nodes"
+          r.Branch_bound.nodes;
+      true)
+
+let parallel_interrupt =
+  QCheck.Test.make ~count:25 ~name:"jobs=4 interrupt stops the search"
+    (QCheck.make random_binary_milp_gen) (fun inst ->
+      let r =
+        solve_with_jobs ~jobs:4
+          ~interrupt:(fun () -> true)
+          (build_binary_milp inst)
+      in
+      (match r.Branch_bound.outcome with
+      | Branch_bound.No_incumbent | Branch_bound.Feasible -> ()
+      | o ->
+          QCheck.Test.fail_reportf "interrupted run reported %s"
+            (Fmt.str "%a" Branch_bound.pp_outcome o));
+      if r.Branch_bound.nodes > 4 then
+        QCheck.Test.fail_reportf "interrupted run expanded %d nodes"
+          r.Branch_bound.nodes;
       true)
 
 let qsuite name tests =
@@ -292,4 +455,12 @@ let () =
         ] );
       qsuite "differential"
         [ backends_agree; warm_equals_cold; milp_backends_agree ];
+      qsuite "parallel_tree"
+        [
+          parallel_agrees_milp;
+          parallel_agrees_sos;
+          serial_bit_identical;
+          parallel_node_limit;
+          parallel_interrupt;
+        ];
     ]

@@ -286,6 +286,38 @@ let test_cache_concurrent () =
     "ledger within budget" true
     (s.Cache.bytes <= s.Cache.max_bytes)
 
+(* The oracle cache must share OPT solves across heuristic
+   configurations: the optimal MCF value depends only on topology +
+   paths + demands, so a second evaluator with a different DP threshold
+   probing the same demands must warm-hit the cached OPT entry
+   (regression: the opt key used to include the heuristic spec, keying
+   every threshold into a private copy — 0 hits across a sweep). *)
+let test_oracle_cache_opt_shared () =
+  let g = Topologies.fig1 () in
+  let pathset = Pathset.compute (Demand.full_space g) ~k:2 in
+  let cache = Cache.create ~max_bytes:(1024 * 1024) () in
+  let attach t =
+    S.Oracle_cache.attach ~cache ~paths:2
+      (Evaluate.make_dp pathset ~threshold:t)
+  in
+  let d = Demand.constant (Pathset.space pathset) 2. in
+  ignore (Evaluate.gap (attach 0.5) d);
+  let s0 = Cache.stats cache in
+  Alcotest.(check int) "cold evaluation has no hits" 0 s0.Cache.hits;
+  (* same demands, different threshold: OPT must hit, heuristic must not *)
+  ignore (Evaluate.gap (attach 5.0) d);
+  let s1 = Cache.stats cache in
+  Alcotest.(check bool)
+    "opt solve shared across thresholds" true
+    (s1.Cache.hits > s0.Cache.hits);
+  (* identical evaluation end to end: everything hits *)
+  let hits_before = (Cache.stats cache).Cache.hits in
+  let misses_before = (Cache.stats cache).Cache.misses in
+  ignore (Evaluate.gap (attach 5.0) d);
+  let s2 = Cache.stats cache in
+  Alcotest.(check bool) "warm repeat all hits" true (s2.Cache.hits > hits_before);
+  Alcotest.(check int) "warm repeat no misses" misses_before s2.Cache.misses
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -735,6 +767,8 @@ let () =
             test_cache_replace_and_oversize;
           Alcotest.test_case "concurrent hit/miss (4 domains)" `Quick
             test_cache_concurrent;
+          Alcotest.test_case "oracle cache shares OPT across heuristics"
+            `Quick test_oracle_cache_opt_shared;
           QCheck_alcotest.to_alcotest qcheck_cache_model;
         ] );
       ( "scheduler",

@@ -26,12 +26,13 @@ let all : (string * (unit -> unit)) list =
     ("micro", Micro.run);
     ("engine", Engine_perf.run);
     ("serve", Serve.run);
+    ("resilience", Resilience.run);
   ]
 
 let default =
   [
     "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "lp"; "ablations"; "micro";
-    "engine"; "serve";
+    "engine"; "serve"; "resilience";
   ]
 
 let () =

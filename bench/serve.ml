@@ -73,6 +73,7 @@ let evaluate_query ~topology ~threshold_frac ~seed =
           heuristic = S.Protocol.Dp { threshold_frac };
         };
       demand = S.Protocol.Gen { gen = `Gravity; seed };
+      deadline = None;
     }
 
 let run () =

@@ -247,15 +247,62 @@ let verbose_arg =
   let doc = "Log solver progress (incumbents, nodes) to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let deadline_arg =
+  let doc =
+    "Hard wall-clock budget in seconds, enforced cooperatively inside the \
+     solver (simplex pivots, branch-and-bound nodes). Unlike --time, which \
+     shapes how the search spends its run, the deadline stops it: past it \
+     the command fails with exit code 4 unless --degrade is given."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let degrade_arg =
+  let doc =
+    "With --deadline: accept a best-so-far answer (reported as degraded, \
+     with its proven bound) instead of failing when the deadline trips."
+  in
+  Arg.(value & flag & info [ "degrade" ] ~doc)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let find_gap_cmd =
   let run g paths heuristic threshold_frac parts instances seed method_ time
-      no_milp show_demands out verbose jobs lp_backend =
+      no_milp show_demands out verbose jobs lp_backend deadline_s degrade =
     setup_logs verbose;
     Backend.set_default lp_backend;
+    if degrade && deadline_s = None then begin
+      Fmt.epr "find-gap: --degrade requires --deadline@.";
+      exit 1
+    end;
+    let deadline =
+      Option.map
+        (fun wall -> Repro_resilience.Deadline.create ~wall ())
+        deadline_s
+    in
+    (* with a deadline the search budget shrinks to it, so --time beyond
+       the deadline doesn't just burn budget the solver will lose anyway *)
+    let time =
+      match deadline_s with Some d -> Float.min time d | None -> time
+    in
+    (* the deadline verdict: with --degrade a tripped budget is reported
+       and accepted; without, it is a typed failure (exit 4) *)
+    let finish_deadline () =
+      match Option.bind deadline Repro_resilience.Deadline.tripped with
+      | None -> ()
+      | Some trip ->
+          if degrade then
+            Fmt.pr "degraded      : yes (deadline tripped: %s)@."
+              (Repro_resilience.Deadline.trip_to_string trip)
+          else begin
+            Fmt.epr "find-gap: deadline exceeded (%s); best-so-far shown \
+                     above — pass --degrade to accept it@."
+              (Repro_resilience.Deadline.trip_to_string trip);
+            exit 4
+          end
+    in
     let ev =
       make_evaluator g ~paths ~heuristic ~threshold_frac ~parts ~instances
         ~seed
@@ -300,6 +347,7 @@ let find_gap_cmd =
                 time_limit = time;
                 stall_time = Float.max 2. (time /. 4.);
                 log_progress = verbose;
+                deadline;
               };
           }
         in
@@ -325,7 +373,8 @@ let find_gap_cmd =
               Fmt.pr "tree search   : %a@." Branch_bound.pp_tree_stats
                 r.Adversary.stats.Adversary.tree
             end)
-          r.Adversary.demands
+          r.Adversary.demands;
+        finish_deadline ()
     | `Hillclimb | `Annealing ->
         let rng = Rng.create seed in
         let r =
@@ -347,14 +396,15 @@ let find_gap_cmd =
           ~extra:(fun () ->
             Fmt.pr "evaluations   : %d (%d restarts)@." r.Blackbox.evaluations
               r.Blackbox.restarts)
-          r.Blackbox.demands
+          r.Blackbox.demands;
+        finish_deadline ()
   in
   let term =
     Term.(
       const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
       $ parts_arg $ instances_arg $ seed_arg $ method_arg $ time_arg
       $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg $ jobs_arg
-      $ lp_backend_arg)
+      $ lp_backend_arg $ deadline_arg $ degrade_arg)
   in
   Cmd.v
     (Cmd.info "find-gap"
@@ -439,9 +489,18 @@ let find_capacity_gap_cmd =
 (* ------------------------------------------------------------------ *)
 
 let solve_lp_cmd =
-  let run file lp_backend verbose roundtrip jobs =
+  let run file lp_backend verbose roundtrip jobs deadline_s degrade =
     setup_logs verbose;
     Backend.set_default lp_backend;
+    if degrade && deadline_s = None then begin
+      Fmt.epr "solve-lp: --degrade requires --deadline@.";
+      exit 1
+    end;
+    let deadline =
+      Option.map
+        (fun wall -> Repro_resilience.Deadline.create ~wall ())
+        deadline_s
+    in
     match Lp_file.of_file file with
     | Error e ->
         Fmt.epr "%s: parse error: %s@." file e;
@@ -470,24 +529,59 @@ let solve_lp_cmd =
           let options =
             { Branch_bound.default_options with jobs = Repro_engine.Jobs.clamp jobs }
           in
-          let r = Solver.solve ~options model in
-          Fmt.pr "outcome       : %a@." Branch_bound.pp_outcome
-            r.Branch_bound.outcome;
-          Fmt.pr "objective     : %.9g@." r.Branch_bound.objective;
-          Fmt.pr "best bound    : %.9g@." r.Branch_bound.best_bound;
-          Fmt.pr "nodes         : %d@." r.Branch_bound.nodes;
-          Fmt.pr "lp engine     : %s backend, %a@."
-            (Backend.kind_to_string lp_backend)
-            Simplex.pp_stats r.Branch_bound.lp_stats;
-          if verbose then
-            Fmt.pr "tree search   : %a@." Branch_bound.pp_tree_stats
-              r.Branch_bound.tree;
-          match r.Branch_bound.outcome with
-          | Branch_bound.Optimal | Branch_bound.Feasible -> ()
-          | _ -> exit 2
+          let print_result r =
+            Fmt.pr "outcome       : %a@." Branch_bound.pp_outcome
+              r.Branch_bound.outcome;
+            Fmt.pr "objective     : %.9g@." r.Branch_bound.objective;
+            Fmt.pr "best bound    : %.9g@." r.Branch_bound.best_bound;
+            Fmt.pr "nodes         : %d@." r.Branch_bound.nodes;
+            Fmt.pr "lp engine     : %s backend, %a@."
+              (Backend.kind_to_string lp_backend)
+              Simplex.pp_stats r.Branch_bound.lp_stats;
+            if verbose then
+              Fmt.pr "tree search   : %a@." Branch_bound.pp_tree_stats
+                r.Branch_bound.tree
+          in
+          match deadline with
+          | None -> (
+              (* the pre-resilience path, bit-identical without --deadline *)
+              let r = Solver.solve ~options model in
+              print_result r;
+              match r.Branch_bound.outcome with
+              | Branch_bound.Optimal | Branch_bound.Feasible -> ()
+              | _ -> exit 2)
+          | Some _ -> (
+              let module O = Repro_resilience.Outcome in
+              match Solver.solve_bounded ~options ?deadline model with
+              | O.Complete r ->
+                  print_result r;
+                  Fmt.pr "resilience    : complete@.";
+                  (match r.Branch_bound.outcome with
+                  | Branch_bound.Optimal | Branch_bound.Feasible -> ()
+                  | _ -> exit 2)
+              | O.Feasible_bound { result; incumbent; proven_bound; reason } ->
+                  print_result result;
+                  Fmt.pr
+                    "resilience    : feasible-bound (%s): incumbent %.9g, \
+                     proven bound %.9g@."
+                    (O.reason_to_string reason) incumbent proven_bound;
+                  if not degrade then begin
+                    Fmt.epr
+                      "solve-lp: deadline exceeded; pass --degrade to accept \
+                       the bound above@.";
+                    exit 4
+                  end
+              | O.Degraded { result; reason } ->
+                  Option.iter print_result result;
+                  Fmt.pr "resilience    : degraded (%s): no incumbent@."
+                    (O.reason_to_string reason);
+                  exit (if degrade then 2 else 4)
+              | O.Failed err ->
+                  Fmt.epr "solve-lp: %s@." (O.error_to_string err);
+                  exit 1)
         end
         else begin
-          let r = Solver.solve_lp model in
+          let r = Solver.solve_lp ?deadline model in
           Fmt.pr "status        : %a@." Simplex.pp_status r.Solver.status;
           Fmt.pr "objective     : %.9g@." r.Solver.objective;
           Fmt.pr "lp engine     : %s backend, %a@."
@@ -499,8 +593,20 @@ let solve_lp_cmd =
                 if Float.abs x > 1e-9 then
                   Fmt.pr "  %s = %.9g@." (Model.var_name model v) x)
               r.Solver.primal;
-          match r.Solver.status with
-          | Simplex.Optimal -> ()
+          match
+            (r.Solver.status,
+             Option.bind deadline Repro_resilience.Deadline.tripped)
+          with
+          | Simplex.Optimal, _ -> ()
+          | Simplex.Iteration_limit, Some trip ->
+              Fmt.pr "resilience    : degraded (deadline: %s): objective is \
+                      a bound in progress@."
+                (Repro_resilience.Deadline.trip_to_string trip);
+              if not degrade then begin
+                Fmt.epr
+                  "solve-lp: deadline exceeded; pass --degrade to accept@.";
+                exit 4
+              end
           | _ -> exit 2
         end
   in
@@ -515,7 +621,7 @@ let solve_lp_cmd =
   let term =
     Term.(
       const run $ file_arg $ lp_backend_arg $ verbose_arg $ roundtrip_arg
-      $ jobs_arg)
+      $ jobs_arg $ deadline_arg $ degrade_arg)
   in
   Cmd.v
     (Cmd.info "solve-lp"
@@ -536,8 +642,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run socket jobs cache_mb cache_dir persist queue_limit batch_max verbose
-      =
+  let run socket jobs cache_mb cache_dir persist queue_limit batch_max
+      heartbeat_timeout verbose =
     setup_logs verbose;
     let cache_dir =
       match (cache_dir, persist) with
@@ -553,6 +659,7 @@ let serve_cmd =
         cache_dir;
         queue_limit;
         batch_max;
+        heartbeat_timeout;
       }
     in
     let ready () =
@@ -595,10 +702,20 @@ let serve_cmd =
     let doc = "Max compatible solves admitted as one parallel batch." in
     Arg.(value & opt int 16 & info [ "batch-max" ] ~docv:"N" ~doc)
   in
+  let watchdog_arg =
+    let doc =
+      "Supervise engine-pool workers: a solve silent for this many seconds \
+       is failed with a typed error and its domain replaced. Pick a value \
+       comfortably above the longest legitimate solve."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "watchdog" ] ~docv:"SECONDS" ~doc)
+  in
   let term =
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_mb_arg $ cache_dir_arg
-      $ persist_arg $ queue_limit_arg $ batch_max_arg $ verbose_arg)
+      $ persist_arg $ queue_limit_arg $ batch_max_arg $ watchdog_arg
+      $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -609,7 +726,7 @@ let serve_cmd =
 
 let client_cmd =
   let run socket op g paths heuristic threshold_frac parts instances seed gen
-      file method_ time =
+      file method_ time deadline degrade retries =
     let heuristic =
       match heuristic with
       | Dp -> Serve.Protocol.Dp { threshold_frac }
@@ -633,7 +750,8 @@ let client_cmd =
       | `Ping -> Serve.Protocol.Ping
       | `Stats -> Serve.Protocol.Stats
       | `Shutdown -> Serve.Protocol.Shutdown
-      | `Evaluate -> Serve.Protocol.Evaluate { instance; demand = demand () }
+      | `Evaluate ->
+          Serve.Protocol.Evaluate { instance; demand = demand (); deadline }
       | `Find_gap ->
           let method_ =
             match method_ with
@@ -643,19 +761,44 @@ let client_cmd =
             | `Annealing -> Serve.Protocol.Annealing
             | `Portfolio -> Serve.Protocol.Portfolio
           in
-          Serve.Protocol.Find_gap { instance; method_; time; seed }
+          Serve.Protocol.Find_gap
+            { instance; method_; time; seed; deadline; degrade }
     in
-    let result =
-      Serve.Client.with_connection socket (fun c -> Serve.Client.call c req)
+    let fail e =
+      Fmt.epr "repro-metaopt client: %s@." (Serve.Client.error_to_string e);
+      exit (Serve.Client.exit_code e)
     in
-    match result with
-    | Error e | Ok (Error e) ->
-        Fmt.epr "repro-metaopt client: %s@." e;
-        exit 1
-    | Ok (Ok response) ->
-        print_endline (Serve.Json.to_string_pretty response);
-        if Serve.Json.member "ok" response <> Some (Serve.Json.Bool true) then
-          exit 2
+    let policy = { Repro_resilience.Retry.default_policy with retries } in
+    match Serve.Client.connect_retry ~policy ~seed socket with
+    | Error e -> fail e
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match
+              Serve.Client.request_typed c (Serve.Protocol.request_to_json req)
+            with
+            | Error e -> fail e
+            | Ok response -> (
+                print_endline (Serve.Json.to_string_pretty response);
+                (* the full reply is already printed; the exit code only
+                   classifies it for scripts *)
+                match Serve.Json.obj_bool "ok" response with
+                | Some true -> ()
+                | Some false ->
+                    let code =
+                      Option.value ~default:"internal"
+                        (Option.bind
+                           (Serve.Json.member "error" response)
+                           (Serve.Json.obj_str "code"))
+                    in
+                    exit
+                      (Serve.Client.exit_code
+                         (Serve.Client.App_error { code; message = "" }))
+                | None ->
+                    exit
+                      (Serve.Client.exit_code
+                         (Serve.Client.Malformed_reply "no \"ok\" member"))))
   in
   let op_arg =
     let doc = "Operation: ping, stats, evaluate, find-gap or shutdown." in
@@ -669,18 +812,47 @@ let client_cmd =
           None
       & info [] ~docv:"OP" ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Give the daemon at most this many seconds to answer; past it the \
+       reply is the typed error 'deadline-exceeded' (exit code 4)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let degrade_arg =
+    let doc =
+      "With --deadline on find-gap: ask for a budget-bounded best-so-far \
+       answer (marked \"degraded\":true) instead of a deadline-exceeded \
+       error."
+    in
+    Arg.(value & flag & info [ "degrade" ] ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry a refused connection this many times with jittered exponential \
+       backoff (daemon still starting or restarting)."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   let term =
     Term.(
       const run $ socket_arg $ op_arg $ topology_arg $ paths_arg
       $ heuristic_arg $ threshold_frac_arg $ parts_arg $ instances_arg
-      $ seed_arg $ demand_gen_arg $ demands_file_arg $ method_arg $ time_arg)
+      $ seed_arg $ demand_gen_arg $ demands_file_arg $ method_arg $ time_arg
+      $ deadline_arg $ degrade_arg $ retries_arg)
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Query a running gap-query daemon over its Unix socket")
+       ~doc:
+         "Query a running gap-query daemon over its Unix socket. Exit codes: \
+          0 success, 1 transport error, 2 application error, 3 connection \
+          refused, 4 deadline exceeded, 5 malformed reply.")
     term
 
 let () =
+  (* chaos runs arm fault points for any subcommand via REPRO_FAULTS *)
+  Repro_resilience.Faults.arm_from_env ();
   let info =
     Cmd.info "repro-metaopt" ~version:"1.0.0"
       ~doc:

@@ -1,4 +1,5 @@
 exception Cancelled
+exception Stalled of float
 
 type 'a state =
   | Pending
@@ -14,12 +15,30 @@ type 'a cell = {
 
 type job = Job : { cell : 'a cell; fn : poll:(unit -> bool) -> 'a } -> job
 
+(* One logical worker seat. A seat survives the domain occupying it: when
+   the watchdog declares a domain stuck it bumps [epoch] (zombifying the
+   old domain, which exits on its next trip through the loop) and spawns
+   a replacement into the same seat. *)
+type slot = {
+  mutable hb : float; (* last heartbeat (job start or poll) *)
+  mutable running : job option; (* in-flight job, for the watchdog *)
+  mutable epoch : int;
+  mutable dom : unit Domain.t option;
+}
+
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
   queue : job Queue.t;
-  mutable workers : unit Domain.t list;
+  slots : slot array;
+  mutable zombies : unit Domain.t list;
+      (* stuck domains are never joined: a shutdown must not hang on a
+         domain that is, by diagnosis, not making progress *)
   mutable closing : bool;
+  mutable dead : bool; (* closing done: workers joined, nothing will run *)
+  mutable lost : int;
+  mutable watchdog : unit Domain.t option;
+  hb_timeout : float option;
   size : int;
 }
 
@@ -27,30 +46,65 @@ type 'a future = { pool : t; cell : 'a cell }
 
 (* Run one job. Called with [t.mutex] held; returns with it held. The
    mutex is released around the user function so other domains keep
-   submitting, helping and completing while it runs. *)
-let run_job t (Job { cell; fn }) =
+   submitting, helping and completing while it runs. [ident] is the
+   (seat, epoch) of a pool worker; helpers running somebody's job from
+   [await] pass none and are invisible to the watchdog (they cannot be
+   restarted — the caller owns that domain). *)
+let run_job t ?ident (Job { cell; fn } as job) =
   match cell.state with
   | Pending when cell.cancel_requested ->
       cell.state <- Dropped;
       Condition.broadcast t.cond
   | Pending ->
       cell.state <- Running;
+      (* heartbeat bookkeeping only exists for the watchdog; unsupervised
+         pools skip the clock reads on the job hot path *)
+      let supervised = t.hb_timeout <> None in
+      (match ident with
+      | Some (i, _) when supervised ->
+          let slot = t.slots.(i) in
+          slot.hb <- Unix.gettimeofday ();
+          slot.running <- Some job
+      | _ -> ());
       Mutex.unlock t.mutex;
+      let poll () =
+        (match ident with
+        | Some (i, _) when supervised ->
+            t.slots.(i).hb <- Unix.gettimeofday ()
+        | _ -> ());
+        cell.cancel_requested
+      in
       let outcome =
-        match fn ~poll:(fun () -> cell.cancel_requested) with
+        match fn ~poll with
         | v -> Done v
         | exception e -> Failed (e, Printexc.get_raw_backtrace ())
       in
       Mutex.lock t.mutex;
-      cell.state <- outcome;
-      Condition.broadcast t.cond
+      (match ident with
+      | Some (i, epoch) ->
+          (* if the epoch moved on, [running] now belongs to a
+             replacement domain — leave it alone *)
+          if t.slots.(i).epoch = epoch then t.slots.(i).running <- None
+      | None -> ());
+      (match cell.state with
+      | Running ->
+          cell.state <- outcome;
+          Condition.broadcast t.cond
+      | _ ->
+          (* the watchdog already failed this cell as stalled; the late
+             result of the zombified domain is discarded *)
+          ())
   | Running | Done _ | Failed _ | Dropped -> ()
 
-let worker t =
+let worker t i =
   Mutex.lock t.mutex;
+  let epoch = t.slots.(i).epoch in
   let rec loop () =
-    if not (Queue.is_empty t.queue) then begin
-      run_job t (Queue.pop t.queue);
+    if t.slots.(i).epoch <> epoch then
+      (* zombified: a replacement owns this seat now *)
+      Mutex.unlock t.mutex
+    else if not (Queue.is_empty t.queue) then begin
+      run_job t ~ident:(i, epoch) (Queue.pop t.queue);
       loop ()
     end
     else if t.closing then Mutex.unlock t.mutex
@@ -61,23 +115,85 @@ let worker t =
   in
   loop ()
 
-let create ~domains () =
+(* The watchdog wakes a few times per timeout and fails any in-flight
+   job whose heartbeat is older than the timeout: the cell is marked
+   [Failed (Stalled dt)] so awaiters get a typed error instead of a
+   hang, the seat's epoch is bumped so the stuck domain retires itself,
+   and a fresh domain is spawned into the seat so the pool keeps its
+   capacity. *)
+let watchdog_loop t timeout =
+  let interval = Float.max 0.001 (timeout /. 4.) in
+  let rec go () =
+    Unix.sleepf interval;
+    Mutex.lock t.mutex;
+    if t.closing then Mutex.unlock t.mutex
+    else begin
+      let now = Unix.gettimeofday () in
+      Array.iteri
+        (fun i slot ->
+          match slot.running with
+          | Some (Job { cell; _ }) when now -. slot.hb > timeout ->
+              (match cell.state with
+              | Running ->
+                  cell.state <-
+                    Failed (Stalled (now -. slot.hb), Printexc.get_callstack 0)
+              | _ -> ());
+              slot.running <- None;
+              slot.epoch <- slot.epoch + 1;
+              slot.hb <- now;
+              t.lost <- t.lost + 1;
+              (match slot.dom with
+              | Some d -> t.zombies <- d :: t.zombies
+              | None -> ());
+              slot.dom <- Some (Domain.spawn (fun () -> worker t i));
+              Condition.broadcast t.cond
+          | _ -> ())
+        t.slots;
+      Mutex.unlock t.mutex;
+      go ()
+    end
+  in
+  go ()
+
+let create ?heartbeat_timeout ~domains () =
   if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  (match heartbeat_timeout with
+  | Some s when s <= 0. -> invalid_arg "Pool.create: heartbeat_timeout <= 0"
+  | _ -> ());
   let domains = Jobs.clamp domains in
   let t =
     {
       mutex = Mutex.create ();
       cond = Condition.create ();
       queue = Queue.create ();
-      workers = [];
+      slots =
+        Array.init domains (fun _ ->
+            { hb = Unix.gettimeofday (); running = None; epoch = 0; dom = None });
+      zombies = [];
       closing = false;
+      dead = false;
+      lost = 0;
+      watchdog = None;
+      hb_timeout = heartbeat_timeout;
       size = domains;
     }
   in
-  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  Array.iteri
+    (fun i slot -> slot.dom <- Some (Domain.spawn (fun () -> worker t i)))
+    t.slots;
+  (match heartbeat_timeout with
+  | Some timeout ->
+      t.watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t timeout))
+  | None -> ());
   t
 
 let size t = t.size
+
+let lost_workers t =
+  Mutex.lock t.mutex;
+  let l = t.lost in
+  Mutex.unlock t.mutex;
+  l
 
 let submit_poll t fn =
   Mutex.lock t.mutex;
@@ -112,6 +228,12 @@ let await { pool = t; cell } =
           run_job t (Queue.pop t.queue);
           loop ()
         end
+        else if t.dead then begin
+          (* the pool wound down while this cell was still in flight:
+             nothing will ever complete it *)
+          Mutex.unlock t.mutex;
+          raise Cancelled
+        end
         else begin
           Condition.wait t.cond t.mutex;
           loop ()
@@ -133,8 +255,14 @@ let await_passive { pool = t; cell } =
         Mutex.unlock t.mutex;
         raise Cancelled
     | Pending | Running ->
-        Condition.wait t.cond t.mutex;
-        loop ()
+        if t.dead then begin
+          Mutex.unlock t.mutex;
+          raise Cancelled
+        end
+        else begin
+          Condition.wait t.cond t.mutex;
+          loop ()
+        end
   in
   loop ()
 
@@ -155,18 +283,44 @@ let is_done { pool = t; cell } =
   Mutex.unlock t.mutex;
   r
 
-let shutdown t =
+let shutdown ?(drain = true) t =
   Mutex.lock t.mutex;
   if t.closing then Mutex.unlock t.mutex
   else begin
     t.closing <- true;
+    if not drain then begin
+      (* drop everything still queued so awaiters see [Cancelled] now
+         instead of waiting for work that will never be picked up *)
+      Queue.iter
+        (fun (Job { cell; _ }) ->
+          match cell.state with
+          | Pending -> cell.state <- Dropped
+          | _ -> ())
+        t.queue;
+      Queue.clear t.queue
+    end;
     Condition.broadcast t.cond;
-    let ws = t.workers in
-    t.workers <- [];
+    let wd = t.watchdog in
+    t.watchdog <- None;
+    let ws =
+      Array.to_list t.slots
+      |> List.filter_map (fun slot ->
+             let d = slot.dom in
+             slot.dom <- None;
+             d)
+    in
     Mutex.unlock t.mutex;
-    List.iter Domain.join ws
+    Option.iter Domain.join wd;
+    List.iter Domain.join ws;
+    (* zombies are deliberately not joined: a domain the watchdog
+       declared stuck may never return, and shutdown must not inherit
+       its hang *)
+    Mutex.lock t.mutex;
+    t.dead <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
   end
 
-let with_pool ~domains f =
-  let t = create ~domains () in
+let with_pool ?heartbeat_timeout ~domains f =
+  let t = create ?heartbeat_timeout ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -13,7 +13,16 @@
     Cancellation is cooperative: [cancel] marks the future; a task not yet
     started is dropped without running (its [await] raises {!Cancelled}),
     while a running task submitted via [submit_poll] observes the request
-    through its [poll] argument and decides how to wind down. *)
+    through its [poll] argument and decides how to wind down.
+
+    Supervision is opt-in ([heartbeat_timeout] at {!create}): a watchdog
+    domain fails any in-flight task whose heartbeat goes quiet for longer
+    than the timeout — awaiters get {!Stalled} instead of a hang — and
+    spawns a replacement domain into the seat so the pool keeps its
+    capacity. A task's heartbeat is refreshed when it starts and on every
+    [poll] call, so only tasks submitted with {!submit_poll} that poll
+    regularly are supervisable; plain {!submit} tasks heartbeat once at
+    start and need a timeout generous enough to cover their whole run. *)
 
 type t
 (** A pool of worker domains. *)
@@ -22,11 +31,20 @@ type 'a future
 (** The pending result of a submitted task. *)
 
 exception Cancelled
-(** Raised by [await] on a future cancelled before its task started, or
-    whose task raised [Cancelled] itself. *)
+(** Raised by [await] on a future cancelled before its task started,
+    whose task raised [Cancelled] itself, or left in flight when the
+    pool shut down without draining. *)
 
-val create : domains:int -> unit -> t
-(** Spawn [domains] worker domains (>= 1, clamped to {!Jobs.max_jobs}). *)
+exception Stalled of float
+(** Raised by [await] on a future whose task the watchdog declared stuck
+    (no heartbeat for the carried number of seconds). The domain that
+    ran it has been replaced; the task itself may still be burning CPU
+    until it finishes or the process exits. *)
+
+val create : ?heartbeat_timeout:float -> domains:int -> unit -> t
+(** Spawn [domains] worker domains (>= 1, clamped to {!Jobs.max_jobs}).
+    [heartbeat_timeout] (seconds, > 0) enables the supervision watchdog;
+    omitted means no watchdog — exactly the pre-supervision pool. *)
 
 val size : t -> int
 (** Number of worker domains. *)
@@ -59,9 +77,17 @@ val is_done : 'a future -> bool
 (** True once the future holds a value, an exception, or a cancellation —
     i.e. [await] would return without blocking. *)
 
-val shutdown : t -> unit
-(** Drain the queue, stop and join all workers. Idempotent. Submitting to
-    a shut-down pool raises; already-queued tasks still complete. *)
+val lost_workers : t -> int
+(** Worker domains the watchdog has declared stuck and replaced. *)
 
-val with_pool : domains:int -> (t -> 'a) -> 'a
+val shutdown : ?drain:bool -> t -> unit
+(** Stop and join all workers. Idempotent. Submitting to a shut-down
+    pool raises. With [drain] (the default) already-queued tasks still
+    complete first; [~drain:false] drops them — their futures move to
+    [Dropped] and blocked awaiters wake with {!Cancelled} immediately.
+    Once shutdown completes, any future still unfinished (e.g. held by a
+    never-joined zombie domain) makes {!await}/{!await_passive} raise
+    {!Cancelled} rather than sleep forever. *)
+
+val with_pool : ?heartbeat_timeout:float -> domains:int -> (t -> 'a) -> 'a
 (** [create], run the function, [shutdown] (also on exception). *)

@@ -39,8 +39,18 @@ module type S = sig
   val set_bounds : state -> int -> lb:float -> ub:float -> unit
   val get_lb : state -> int -> float
   val get_ub : state -> int -> float
-  val solve_fresh : ?iter_limit:int -> state -> Simplex.solution
-  val resolve : ?iter_limit:int -> state -> Simplex.solution
+  val solve_fresh :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    Simplex.solution
+
+  val resolve :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    Simplex.solution
+
   val total_iterations : state -> int
   val snapshot_basis : state -> Simplex.basis_snapshot
   val install_basis : state -> Simplex.basis_snapshot -> bool
@@ -97,10 +107,11 @@ let set_bounds (Packed ((module B), s, _)) j ~lb ~ub = B.set_bounds s j ~lb ~ub
 let get_lb (Packed ((module B), s, _)) j = B.get_lb s j
 let get_ub (Packed ((module B), s, _)) j = B.get_ub s j
 
-let solve_fresh ?iter_limit (Packed ((module B), s, _)) =
-  B.solve_fresh ?iter_limit s
+let solve_fresh ?iter_limit ?deadline (Packed ((module B), s, _)) =
+  B.solve_fresh ?iter_limit ?deadline s
 
-let resolve ?iter_limit (Packed ((module B), s, _)) = B.resolve ?iter_limit s
+let resolve ?iter_limit ?deadline (Packed ((module B), s, _)) =
+  B.resolve ?iter_limit ?deadline s
 let total_iterations (Packed ((module B), s, _)) = B.total_iterations s
 let snapshot_basis (Packed ((module B), s, _)) = B.snapshot_basis s
 let install_basis (Packed ((module B), s, _)) snap = B.install_basis s snap

@@ -35,8 +35,18 @@ module type S = sig
   val set_bounds : state -> int -> lb:float -> ub:float -> unit
   val get_lb : state -> int -> float
   val get_ub : state -> int -> float
-  val solve_fresh : ?iter_limit:int -> state -> Simplex.solution
-  val resolve : ?iter_limit:int -> state -> Simplex.solution
+  val solve_fresh :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    Simplex.solution
+
+  val resolve :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    Simplex.solution
+
   val total_iterations : state -> int
   val snapshot_basis : state -> Simplex.basis_snapshot
   val install_basis : state -> Simplex.basis_snapshot -> bool
@@ -58,8 +68,12 @@ val kind : t -> kind
 val set_bounds : t -> int -> lb:float -> ub:float -> unit
 val get_lb : t -> int -> float
 val get_ub : t -> int -> float
-val solve_fresh : ?iter_limit:int -> t -> Simplex.solution
-val resolve : ?iter_limit:int -> t -> Simplex.solution
+val solve_fresh :
+  ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> Simplex.solution
+
+val resolve :
+  ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> Simplex.solution
+
 val total_iterations : t -> int
 
 (** Capture / install a warm-start basis; see {!Simplex.snapshot_basis}

@@ -13,6 +13,10 @@ type options = {
   backend : Backend.kind option;
   warm_start : bool;
   jobs : int;
+  (* unified wall/pivot/node budget, shared by every worker and charged
+     down inside the simplex; [None] keeps the search bit-identical to
+     a build without the resilience layer *)
+  deadline : Repro_resilience.Deadline.t option;
 }
 
 let default_options =
@@ -29,13 +33,14 @@ let default_options =
     backend = None;
     warm_start = true;
     jobs = Engine.Jobs.default ();
+    deadline = None;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
 
-type tree_stats = { workers : int; steals : int; idle_s : float }
+type tree_stats = { workers : int; steals : int; idle_s : float; lost : int }
 
-let serial_tree_stats = { workers = 1; steals = 0; idle_s = 0. }
+let serial_tree_stats = { workers = 1; steals = 0; idle_s = 0.; lost = 0 }
 
 type result = {
   outcome : outcome;
@@ -257,7 +262,13 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
   (try
      while not (Heap.is_empty st.heap) do
        let elapsed = now () -. st.start in
-       if elapsed > st.opts.time_limit || st.opts.interrupt () then begin
+       let deadline_hit =
+         match st.opts.deadline with
+         | Some d -> Repro_resilience.Deadline.expired d
+         | None -> false
+       in
+       if elapsed > st.opts.time_limit || st.opts.interrupt () || deadline_hit
+       then begin
          stop_outcome := Some (if st.incumbent = None then No_incumbent else Feasible);
          raise Exit
        end;
@@ -277,12 +288,16 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
        if prunable parent_bound then ()
        else begin
          st.nodes <- st.nodes + 1;
+         (match st.opts.deadline with
+         | Some d -> Repro_resilience.Deadline.charge_node d
+         | None -> ());
          apply_node st node;
          let sol =
            (* [warm_start:false] forces a cold from-scratch solve per node;
               only useful for measuring what the basis reuse buys *)
-           if st.opts.warm_start then Backend.resolve simplex
-           else Backend.solve_fresh simplex
+           if st.opts.warm_start then
+             Backend.resolve ?deadline:st.opts.deadline simplex
+           else Backend.solve_fresh ?deadline:st.opts.deadline simplex
          in
          (match sol.status with
          | Simplex.Infeasible -> ()
@@ -292,7 +307,16 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
                raise Exit
              end
              else st.truncated <- true
-         | Simplex.Iteration_limit -> st.truncated <- true
+         | Simplex.Iteration_limit ->
+             (match st.opts.deadline with
+             | Some d when Repro_resilience.Deadline.expired d ->
+                 (* the LP was cut off by the budget, not by hardness:
+                    re-queue the node so the final bound still covers its
+                    subtree — the expired deadline stops the loop before
+                    it can be popped again *)
+                 Heap.push st.heap node_prio node
+             | _ -> ());
+             st.truncated <- true
          | Simplex.Optimal ->
              let bound = sol.objective in
              if node.depth = 0 then best_root_bound := bound;
@@ -345,9 +369,17 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
    with Exit -> ());
   match !stop_outcome with
   | Some outcome ->
+      (* the optimum is bounded by max(incumbent, best open subtree): open
+         nodes already worse than the incumbent may still be queued, so
+         the open bound alone can sit below the incumbent *)
+      let cover b =
+        match st.incumbent with
+        | Some inc -> if maximize then Float.max b inc else Float.min b inc
+        | None -> b
+      in
       let best_bound =
         match open_bound () with
-        | Some b -> b
+        | Some b -> cover b
         | None -> Option.value st.incumbent ~default:!best_root_bound
       in
       finish outcome ~best_bound
@@ -461,7 +493,13 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
      limit can therefore overshoot by at most [jobs - 1] in-flight nodes *)
   let check_limits () =
     let elapsed = now () -. start in
-    if elapsed > options.time_limit || options.interrupt () then begin
+    let deadline_hit =
+      match options.deadline with
+      | Some d -> Repro_resilience.Deadline.expired d
+      | None -> false
+    in
+    if elapsed > options.time_limit || options.interrupt () || deadline_hit
+    then begin
       set_stop (if incumbent_value () = None then No_incumbent else Feasible);
       true
     end
@@ -491,10 +529,14 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
        via [Node_pool.continue_with] so termination stays exact and
        [best_open] sees the dive; exactly one [finish] ends the chain. *)
     let rec process nd stolen =
+      Repro_resilience.Faults.inject "worker_death";
       if Atomic.get failure <> None then Node_pool.finish npool ~worker:wid
       else if check_limits () then Node_pool.finish npool ~worker:wid
       else begin
         Atomic.incr nodes;
+        (match options.deadline with
+        | Some d -> Repro_resilience.Deadline.charge_node d
+        | None -> ());
         (* a stolen node's overrides are a diff against somebody else's
            subtree: install the parent basis that was shipped with it
            instead of warm-starting from whatever this worker solved
@@ -505,8 +547,9 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
           | None -> ());
         apply_overrides be applied ~root_lb ~root_ub nd.p_overrides;
         let sol =
-          if options.warm_start then Backend.resolve be
-          else Backend.solve_fresh be
+          if options.warm_start then
+            Backend.resolve ?deadline:options.deadline be
+          else Backend.solve_fresh ?deadline:options.deadline be
         in
         match sol.Simplex.status with
         | Simplex.Infeasible -> Node_pool.finish npool ~worker:wid
@@ -516,7 +559,12 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
             Node_pool.finish npool ~worker:wid
         | Simplex.Iteration_limit ->
             Atomic.set truncated true;
-            Node_pool.finish npool ~worker:wid
+            (match options.deadline with
+            | Some d when Repro_resilience.Deadline.expired d ->
+                (* budget cutoff, not LP hardness: keep this subtree's
+                   bound visible in [best_open] so the result is sound *)
+                Node_pool.abandon npool ~worker:wid
+            | _ -> Node_pool.finish npool ~worker:wid)
         | Simplex.Optimal ->
             let bound = sol.Simplex.objective in
             if nd.p_depth = 0 then begin
@@ -609,11 +657,17 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
             else process nd stolen;
             loop ()
     in
-    (try loop ()
-     with e ->
-       let bt = Printexc.get_raw_backtrace () in
-       ignore (Atomic.compare_and_set failure None (Some (e, bt)) : bool);
-       Node_pool.stop npool);
+    (try loop () with
+    | Repro_resilience.Faults.Injected _ ->
+        (* simulated worker death: release the in-flight slot so the
+           survivors can terminate, keep its subtree's bound in
+           [best_open], and degrade instead of failing the solve *)
+        Node_pool.reclaim npool ~worker:wid;
+        Atomic.set truncated true
+    | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)) : bool);
+        Node_pool.stop npool);
     (Backend.stats be, Backend.total_iterations be)
   in
   Node_pool.push npool ~worker:0
@@ -659,27 +713,42 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
       lp_stats;
       elapsed = now () -. start;
       incumbent_trace = List.rev !trace;
-      tree = { workers = jobs; steals; idle_s };
+      tree = { workers = jobs; steals; idle_s; lost = Node_pool.lost npool };
     }
+  in
+  (* the optimum is bounded by max(incumbent, best open subtree): open
+     nodes already worse than the incumbent may still be queued, so the
+     open bound alone can sit below the incumbent *)
+  let cover_incumbent b =
+    match incumbent_value () with
+    | Some inc -> if maximize then Float.max b inc else Float.min b inc
+    | None -> b
   in
   match !stop_reason with
   | Some outcome ->
       let best_bound =
         match Node_pool.best_open npool with
-        | Some p -> unprio p
+        | Some p -> cover_incumbent (unprio p)
         | None -> Option.value (incumbent_value ()) ~default:!best_root_bound
       in
       finish outcome ~best_bound
   | None ->
-      (* node pool exhausted: the whole tree was proven *)
+      (* node pool exhausted: the whole tree was proven — unless nodes
+         were truncated or lost, in which case [best_open] may still
+         carry an abandoned subtree's bound (tighter than the root's) *)
+      let truncated_bound () =
+        match Node_pool.best_open npool with
+        | Some p -> cover_incumbent (unprio p)
+        | None -> !best_root_bound
+      in
       if incumbent_value () = None then
         if Atomic.get truncated then
-          finish No_incumbent ~best_bound:!best_root_bound
+          finish No_incumbent ~best_bound:(truncated_bound ())
         else
           finish Infeasible
             ~best_bound:(if maximize then neg_infinity else infinity)
       else if Atomic.get truncated then
-        finish Feasible ~best_bound:!best_root_bound
+        finish Feasible ~best_bound:(truncated_bound ())
       else finish Optimal ~best_bound:objective
 
 (* ------------------------------------------------------------------ *)
@@ -705,4 +774,5 @@ let pp_result ppf r =
     r.simplex_iterations r.elapsed
 
 let pp_tree_stats ppf t =
-  Fmt.pf ppf "workers=%d steals=%d idle=%.2fs" t.workers t.steals t.idle_s
+  Fmt.pf ppf "workers=%d steals=%d idle=%.2fs" t.workers t.steals t.idle_s;
+  if t.lost > 0 then Fmt.pf ppf " lost=%d" t.lost

@@ -57,6 +57,17 @@ type options = {
           run by that many workers — same outcome and, within [gap_tol],
           same objective, but node ordering (and thus node counts) may
           differ *)
+  deadline : Repro_resilience.Deadline.t option;
+      (** unified wall/pivot/node budget shared by every worker and
+          threaded into each node's simplex solve, so a stuck LP is cut
+          off mid-pivot-loop rather than only between nodes. On expiry
+          the search stops with [Feasible]/[No_incumbent] and a sound
+          [best_bound] (budget-truncated subtrees stay folded into the
+          open bound). [None] — the default — skips every check and
+          keeps the search bit-identical to earlier builds. The caller
+          can inspect {!Repro_resilience.Deadline.tripped} afterwards to
+          learn which budget fired; {!Solver.solve_bounded} does exactly
+          that *)
 }
 
 val default_options : options
@@ -76,6 +87,11 @@ type tree_stats = {
   idle_s : float;
       (** total seconds workers spent blocked waiting for work, summed
           over workers *)
+  lost : int;
+      (** workers that died mid-search (injected faults / supervision).
+          Their in-flight subtrees are unproven: the result degrades to
+          [Feasible]/[No_incumbent] with the lost bounds still counted
+          in [best_bound] *)
 }
 
 val serial_tree_stats : tree_stats

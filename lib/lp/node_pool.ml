@@ -24,6 +24,10 @@ type 'a t = {
   mutable stopped : bool;
   mutable steals : int;
   mutable idle_s : float;
+  (* a worker died mid-expansion: its in-flight subtree is unproven
+     forever, so its bound is folded into [best_open] permanently *)
+  mutable lost : int;
+  mutable lost_prio : float; (* nan = nothing lost *)
 }
 
 let create ~workers =
@@ -37,6 +41,8 @@ let create ~workers =
     stopped = false;
     steals = 0;
     idle_s = 0.;
+    lost = 0;
+    lost_prio = Float.nan;
   }
 
 let workers t = Array.length t.heaps
@@ -113,6 +119,33 @@ let stop t =
   Condition.broadcast t.wake;
   Mutex.unlock t.mu
 
+(* mutex held *)
+let release_in_flight t ~worker =
+  let p = t.current.(worker) in
+  if not (Float.is_nan p) then begin
+    if Float.is_nan t.lost_prio || p > t.lost_prio then t.lost_prio <- p;
+    t.current.(worker) <- Float.nan;
+    t.active <- t.active - 1;
+    if t.active = 0 then Condition.broadcast t.wake
+  end
+
+let abandon t ~worker =
+  Mutex.lock t.mu;
+  release_in_flight t ~worker;
+  Mutex.unlock t.mu
+
+let reclaim t ~worker =
+  Mutex.lock t.mu;
+  t.lost <- t.lost + 1;
+  release_in_flight t ~worker;
+  Mutex.unlock t.mu
+
+let lost t =
+  Mutex.lock t.mu;
+  let l = t.lost in
+  Mutex.unlock t.mu;
+  l
+
 let best_open t =
   Mutex.lock t.mu;
   let best = ref neg_infinity and found = ref false in
@@ -131,6 +164,10 @@ let best_open t =
         found := true
       end)
     t.current;
+  if not (Float.is_nan t.lost_prio) then begin
+    if (not !found) || t.lost_prio > !best then best := t.lost_prio;
+    found := true
+  end;
   Mutex.unlock t.mu;
   if !found then Some !best else None
 

@@ -45,6 +45,22 @@ val finish : 'a t -> worker:int -> unit
 (** Make every current and future {!take} return [None] immediately. *)
 val stop : 'a t -> unit
 
+(** [reclaim t ~worker] declares [worker] dead mid-expansion (a fault or
+    a watchdog decision). Its in-flight slot — if any — is released so
+    the surviving workers can terminate, but the node it was expanding
+    is gone: its priority is folded into {!best_open} {e permanently},
+    keeping the reported bound sound for the subtree that was never
+    proven. The dead worker's queued nodes stay stealable. *)
+val reclaim : 'a t -> worker:int -> unit
+
+(** Number of {!reclaim}ed workers. *)
+val lost : 'a t -> int
+
+(** Like {!finish}, but the node was {e not} fully expanded (its LP was
+    cut off by a budget): the in-flight priority is folded into
+    {!best_open} permanently so the bound stays sound. *)
+val abandon : 'a t -> worker:int -> unit
+
 (** Best priority among all open nodes — queued tops and in-flight nodes
     (a node being expanded is still unproven). [None] when none. *)
 val best_open : 'a t -> float option

@@ -86,6 +86,10 @@ type t = {
   mutable warm_hits : int;
   mutable warm_misses : int;
   mutable refactors : int;
+  mutable deadline : Repro_resilience.Deadline.t option;
+      (* cooperative budget checked inside the pivot loops; installed by
+         each solve_fresh/resolve call, cleared when the caller passes
+         none so a stale budget never outlives its request *)
 }
 
 let feas_tol = 1e-7
@@ -136,6 +140,7 @@ let create (sf : Standard_form.t) =
     warm_hits = 0;
     warm_misses = 0;
     refactors = 0;
+    deadline = None;
   }
 
 let get_lb t j = t.lb.(j)
@@ -460,6 +465,22 @@ let primal_step t ~bland ~degen =
 
 exception Done of status
 
+(* One per-pivot budget tick: charge the shared deadline and stop the
+   loop when any budget is exhausted. A pivot is O(m*n) work, so the
+   atomic charge + expiry poll is noise; with no deadline installed
+   (and no faults armed) this is two loads and the solve is
+   bit-identical to the pre-resilience engine. [pivot_stall] is the
+   chaos-test injection point simulating a wedged pivot: it burns wall
+   time right here, where only the deadline can rescue the solve. *)
+let budget_tick t ~stop =
+  if Repro_resilience.Faults.armed () then
+    Repro_resilience.Faults.stall "pivot_stall" ~seconds:0.05;
+  match t.deadline with
+  | None -> ()
+  | Some d ->
+      Repro_resilience.Deadline.charge_pivots d 1;
+      if Repro_resilience.Deadline.expired d then stop ()
+
 let run_primal t ~iter_limit =
   let iters = ref 0 in
   let degen_run = ref 0 in
@@ -476,6 +497,7 @@ let run_primal t ~iter_limit =
        if !degen then incr degen_run else degen_run := 0;
        incr iters;
        t.iters_total <- t.iters_total + 1;
+       budget_tick t ~stop:(fun () -> raise (Done Iteration_limit));
        if !iters mod 2000 = 0 then begin
          refresh_xb t;
          if residual_error t > residual_tol then begin
@@ -787,6 +809,9 @@ let run_dual t ~iter_limit =
        | Step_ok -> ());
        incr iters;
        t.iters_total <- t.iters_total + 1;
+       (* deadline expiry ends the solve (not [Fallback]: a from-scratch
+          re-solve would keep burning an already-exhausted budget) *)
+       budget_tick t ~stop:(fun () -> raise (Done Iteration_limit));
        if !iters mod 2000 = 0 then begin
          refresh_xb t;
          if residual_error t > residual_tol then begin
@@ -832,7 +857,8 @@ let repair_drift t ~iter_limit (sol : solution) =
     extract t !status (sol.iterations + !extra)
   end
 
-let solve_fresh ?iter_limit t =
+let solve_fresh ?iter_limit ?deadline t =
+  t.deadline <- deadline;
   let iter_limit =
     match iter_limit with
     | Some l -> l
@@ -841,8 +867,9 @@ let solve_fresh ?iter_limit t =
   let sol = solve_fresh_raw ~iter_limit t in
   repair_drift t ~iter_limit sol
 
-let resolve ?iter_limit t =
-  if not t.solved_once then solve_fresh ?iter_limit t
+let resolve ?iter_limit ?deadline t =
+  t.deadline <- deadline;
+  if not t.solved_once then solve_fresh ?iter_limit ?deadline t
   else begin
     let iter_limit =
       match iter_limit with
@@ -878,7 +905,7 @@ let resolve ?iter_limit t =
         extract t Iteration_limit it
     | None ->
         t.warm_misses <- t.warm_misses + 1;
-        solve_fresh ~iter_limit t
+        solve_fresh ~iter_limit ?deadline t
   end
 
 let total_iterations t = t.iters_total

@@ -71,13 +71,18 @@ val set_bounds : t -> int -> lb:float -> ub:float -> unit
 val get_lb : t -> int -> float
 val get_ub : t -> int -> float
 
-(** Fresh two-phase primal solve, ignoring any previous basis. *)
-val solve_fresh : ?iter_limit:int -> t -> solution
+(** Fresh two-phase primal solve, ignoring any previous basis. When a
+    [deadline] is given, every pivot charges its budget and an expired
+    deadline stops the solve with status {!Iteration_limit} — the
+    result is then a valid bound-in-progress, not an optimum. *)
+val solve_fresh :
+  ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> solution
 
 (** Warm-started solve: dual simplex from the current basis when possible,
     falling back to {!solve_fresh}. Equivalent to {!solve_fresh} if the
-    state was never solved. *)
-val resolve : ?iter_limit:int -> t -> solution
+    state was never solved. [deadline] as in {!solve_fresh}. *)
+val resolve :
+  ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> solution
 
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int

@@ -8,10 +8,10 @@ type lp_result = {
   stats : Simplex.stats;
 }
 
-let solve_lp ?iter_limit ?backend model =
+let solve_lp ?iter_limit ?backend ?deadline model =
   let sf = Standard_form.of_model model in
   let state = Backend.create ?kind:backend sf in
-  let sol = Backend.solve_fresh ?iter_limit state in
+  let sol = Backend.solve_fresh ?iter_limit ?deadline state in
   {
     status = sol.Simplex.status;
     objective = sol.Simplex.objective;
@@ -71,7 +71,8 @@ let rec solve ?pool ?options ?(presolve = false) ?primal_heuristic
   else if Model.is_mip model then
     Branch_bound.solve ?pool ?options ?primal_heuristic ?on_incumbent model
   else begin
-    let r = solve_lp model in
+    let deadline = Option.bind options (fun o -> o.Branch_bound.deadline) in
+    let r = solve_lp ?deadline model in
     let outcome =
       match r.status with
       | Simplex.Optimal -> Branch_bound.Optimal
@@ -93,3 +94,48 @@ let rec solve ?pool ?options ?(presolve = false) ?primal_heuristic
       tree = Branch_bound.serial_tree_stats;
     }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Budget-bounded solve with a structured outcome                      *)
+(* ------------------------------------------------------------------ *)
+
+module R = Repro_resilience
+
+let solve_bounded ?pool ?(options = Branch_bound.default_options)
+    ?presolve ?primal_heuristic ?on_incumbent ?deadline model =
+  let deadline =
+    match deadline with
+    | Some _ -> deadline
+    | None -> options.Branch_bound.deadline
+  in
+  let options = { options with Branch_bound.deadline } in
+  match solve ?pool ~options ?presolve ?primal_heuristic ?on_incumbent model with
+  | exception R.Faults.Injected p -> R.Outcome.Failed (R.Outcome.Fault_injected p)
+  | exception e ->
+      R.Outcome.Failed (R.Outcome.Solver_failure (Printexc.to_string e))
+  | r -> (
+      let open Branch_bound in
+      (* why did the search stop early? Priority: an expired budget is
+         the most specific signal, then lost workers, then the legacy
+         limits in the order the search itself checks them. *)
+      let reason () =
+        match Option.bind deadline R.Deadline.tripped with
+        | Some trip -> R.Outcome.of_trip trip
+        | None ->
+            if r.tree.lost > 0 then R.Outcome.Worker_lost r.tree.lost
+            else if options.interrupt () then R.Outcome.Interrupted
+            else if r.elapsed > options.time_limit then R.Outcome.Wall_deadline
+            else if r.nodes >= options.node_limit then R.Outcome.Node_budget
+            else R.Outcome.Stalled
+      in
+      match r.outcome with
+      | Optimal | Infeasible | Unbounded -> R.Outcome.Complete r
+      | Feasible ->
+          R.Outcome.Feasible_bound
+            {
+              result = r;
+              incumbent = r.objective;
+              proven_bound = r.best_bound;
+              reason = reason ();
+            }
+      | No_incumbent -> R.Outcome.Degraded { result = Some r; reason = reason () })

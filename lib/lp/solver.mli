@@ -15,8 +15,14 @@ type lp_result = {
 }
 
 (** Solve the continuous relaxation (integrality and SOS1 ignored).
-    [backend] defaults to {!Backend.default}[ ()]. *)
-val solve_lp : ?iter_limit:int -> ?backend:Backend.kind -> Model.t -> lp_result
+    [backend] defaults to {!Backend.default}[ ()]. An expired [deadline]
+    surfaces as status [Iteration_limit] with the bound-in-progress. *)
+val solve_lp :
+  ?iter_limit:int ->
+  ?backend:Backend.kind ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  Model.t ->
+  lp_result
 
 (** [value result var] reads a variable out of an LP result. *)
 val value : lp_result -> Model.var -> float
@@ -41,3 +47,21 @@ val solve :
   ?on_incumbent:(float -> unit) ->
   Model.t ->
   Branch_bound.result
+
+(** Like {!solve}, but budget-aware and with a structured outcome: the
+    caller always learns whether the answer is proven ([Complete]), a
+    sound incumbent/bound pair cut short by a budget or lost worker
+    ([Feasible_bound]), a bound-only partial answer ([Degraded]), or a
+    typed failure ([Failed] — solver exceptions are caught here, never
+    re-raised). [deadline] overrides [options.deadline] when given; with
+    neither, limits still map to outcomes via the legacy
+    time/node/stall options. *)
+val solve_bounded :
+  ?pool:Repro_engine.Pool.t ->
+  ?options:Branch_bound.options ->
+  ?presolve:bool ->
+  ?primal_heuristic:(float array -> (float * float array option) option) ->
+  ?on_incumbent:(float -> unit) ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  Model.t ->
+  Branch_bound.result Repro_resilience.Outcome.t

@@ -31,6 +31,8 @@ type t = {
   mutable iters_total : int;
   mutable warm_hits : int;
   mutable warm_misses : int;
+  (* installed by solve_fresh/resolve for the duration of one solve call *)
+  mutable deadline : Repro_resilience.Deadline.t option;
 }
 
 let feas_tol = 1e-7
@@ -81,6 +83,7 @@ let create (sf : Standard_form.t) =
     iters_total = 0;
     warm_hits = 0;
     warm_misses = 0;
+    deadline = None;
   }
 
 let get_lb t j = t.lb.(j)
@@ -291,6 +294,18 @@ let primal_step t ~bland ~degen =
     end
   end
 
+(* One pivot's worth of budget accounting. Costs one Atomic.fetch_and_add
+   plus a couple of loads when a deadline is armed, nothing when it is
+   not, so jobs=1 runs without a deadline stay bit-identical. *)
+let budget_tick t ~stop =
+  if Repro_resilience.Faults.armed () then
+    Repro_resilience.Faults.stall "pivot_stall" ~seconds:0.05;
+  match t.deadline with
+  | None -> ()
+  | Some d ->
+      Repro_resilience.Deadline.charge_pivots d 1;
+      if Repro_resilience.Deadline.expired d then stop ()
+
 let run_primal t ~iter_limit =
   let iters = ref 0 in
   let degen_run = ref 0 in
@@ -307,6 +322,7 @@ let run_primal t ~iter_limit =
       if !degen then incr degen_run else degen_run := 0;
       incr iters;
       t.iters_total <- t.iters_total + 1;
+      budget_tick t ~stop:(fun () -> raise (Done Simplex.Iteration_limit));
       if refactor_due t then begin
         if not (refactorize t) then raise (Done Simplex.Iteration_limit)
       end
@@ -452,7 +468,8 @@ let extract t status iterations : Simplex.solution =
 
 let default_iter_limit t = 20_000 + (40 * (t.m + t.n))
 
-let solve_fresh ?iter_limit t =
+let solve_fresh ?iter_limit ?deadline t =
+  t.deadline <- deadline;
   let iter_limit =
     match iter_limit with
     | Some l -> l
@@ -611,6 +628,9 @@ let run_dual t ~iter_limit =
       | Step_ok -> ());
       incr iters;
       t.iters_total <- t.iters_total + 1;
+      (* stop with Iteration_limit, not [Fallback]: a from-scratch
+         re-solve would keep burning an already-exhausted budget *)
+      budget_tick t ~stop:(fun () -> raise (Done Simplex.Iteration_limit));
       if refactor_due t then begin
         if not (refactorize t) then raise Fallback
       end
@@ -619,8 +639,9 @@ let run_dual t ~iter_limit =
     assert false
   with Done s -> (s, !iters)
 
-let resolve ?iter_limit t =
-  if not t.solved_once then solve_fresh ?iter_limit t
+let resolve ?iter_limit ?deadline t =
+  t.deadline <- deadline;
+  if not t.solved_once then solve_fresh ?iter_limit ?deadline t
   else begin
     let iter_limit =
       match iter_limit with
@@ -655,7 +676,7 @@ let resolve ?iter_limit t =
         extract t Simplex.Iteration_limit it
     | None ->
         t.warm_misses <- t.warm_misses + 1;
-        solve_fresh ~iter_limit t
+        solve_fresh ~iter_limit ?deadline t
   end
 
 let total_iterations t = t.iters_total

@@ -19,12 +19,22 @@ val set_bounds : t -> int -> lb:float -> ub:float -> unit
 val get_lb : t -> int -> float
 val get_ub : t -> int -> float
 
-(** Fresh two-phase primal solve, ignoring any previous basis. *)
-val solve_fresh : ?iter_limit:int -> t -> Simplex.solution
+(** Fresh two-phase primal solve, ignoring any previous basis. An
+    expired [deadline] stops the solve with {!Simplex.Iteration_limit}
+    (see the dense backend for the contract). *)
+val solve_fresh :
+  ?iter_limit:int ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  t ->
+  Simplex.solution
 
 (** Warm-started solve: dual simplex from the current factorized basis
     when possible, falling back to {!solve_fresh}. *)
-val resolve : ?iter_limit:int -> t -> Simplex.solution
+val resolve :
+  ?iter_limit:int ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  t ->
+  Simplex.solution
 
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int

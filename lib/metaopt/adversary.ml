@@ -330,10 +330,19 @@ let run_search ?pool st gp ~(options : options) ~search =
             | None -> 0.)
         in
         let last = ref root in
+        (* an expired budget latches: once it trips, no further probe is
+           worth launching — each would return immediately anyway, but
+           the model build per probe is not free *)
+        let out_of_budget () =
+          match options.bb.Branch_bound.deadline with
+          | Some d -> Repro_resilience.Deadline.expired d
+          | None -> false
+        in
         for _ = 1 to probes do
           if
             !hi -. !lo > 1e-6 *. Float.max 1. !hi
-            && not (options.bb.Branch_bound.interrupt ())
+            && (not (options.bb.Branch_bound.interrupt ()))
+            && not (out_of_budget ())
           then begin
             let target = (!lo +. !hi) /. 2. in
             let gp' =

@@ -1,0 +1,130 @@
+type state = Closed | Open | Half_open
+
+type decision = Admit | Probe | Shed
+
+type t = {
+  mu : Mutex.t;
+  window : int;
+  min_samples : int;
+  failure_rate : float;
+  latency_s : float;
+  cooldown_s : float;
+  (* ring of recent operations *)
+  ok_ring : bool array;
+  lat_ring : float array;
+  mutable filled : int;
+  mutable next : int;
+  mutable st : state;
+  mutable opened_at : float;
+  mutable probe_out : bool; (* half-open canary in flight *)
+  mutable shed : int;
+  mutable opened : int;
+}
+
+let create ?(window = 32) ?(min_samples = 8) ?(failure_rate = 0.5)
+    ?(latency_s = infinity) ?(cooldown_s = 5.0) () =
+  if window < 1 then invalid_arg "Breaker.create: window < 1";
+  {
+    mu = Mutex.create ();
+    window;
+    min_samples;
+    failure_rate;
+    latency_s;
+    cooldown_s;
+    ok_ring = Array.make window true;
+    lat_ring = Array.make window 0.;
+    filled = 0;
+    next = 0;
+    st = Closed;
+    opened_at = 0.;
+    probe_out = false;
+    shed = 0;
+    opened = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* mutex held *)
+let window_metrics t =
+  let fails = ref 0 and lat = ref 0. in
+  for i = 0 to t.filled - 1 do
+    if not t.ok_ring.(i) then incr fails;
+    lat := !lat +. t.lat_ring.(i)
+  done;
+  let n = Float.max 1. (float_of_int t.filled) in
+  (float_of_int !fails /. n, !lat /. n)
+
+(* mutex held *)
+let reset_window t =
+  t.filled <- 0;
+  t.next <- 0
+
+let admit t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> Admit
+      | Open ->
+          if Unix.gettimeofday () -. t.opened_at >= t.cooldown_s then begin
+            t.st <- Half_open;
+            t.probe_out <- true;
+            Probe
+          end
+          else begin
+            t.shed <- t.shed + 1;
+            Shed
+          end
+      | Half_open ->
+          if t.probe_out then begin
+            t.shed <- t.shed + 1;
+            Shed
+          end
+          else begin
+            t.probe_out <- true;
+            Probe
+          end)
+
+let record t ~ok ~latency_s =
+  locked t (fun () ->
+      match t.st with
+      | Half_open ->
+          t.probe_out <- false;
+          if ok then begin
+            t.st <- Closed;
+            reset_window t
+          end
+          else begin
+            t.st <- Open;
+            t.opened_at <- Unix.gettimeofday ();
+            t.opened <- t.opened + 1
+          end
+      | Open -> () (* a straggler from before the trip; nothing to decide *)
+      | Closed ->
+          t.ok_ring.(t.next) <- ok;
+          t.lat_ring.(t.next) <- latency_s;
+          t.next <- (t.next + 1) mod t.window;
+          if t.filled < t.window then t.filled <- t.filled + 1;
+          if t.filled >= t.min_samples then begin
+            let fail_rate, mean_lat = window_metrics t in
+            if fail_rate >= t.failure_rate || mean_lat >= t.latency_s then begin
+              t.st <- Open;
+              t.opened_at <- Unix.gettimeofday ();
+              t.opened <- t.opened + 1;
+              reset_window t
+            end
+          end)
+
+let state t = locked t (fun () -> t.st)
+
+type stats = { shed : int; opened : int; window_failure_rate : float }
+
+let stats t =
+  locked t (fun () ->
+      let fr, _ = window_metrics t in
+      { shed = t.shed; opened = t.opened; window_failure_rate = fr })
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

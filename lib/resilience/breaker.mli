@@ -1,0 +1,46 @@
+(** Circuit breaker: sheds load when recent solves fail or run long.
+
+    Classic three-state machine over a sliding window of recent
+    operations. [Closed]: everything is admitted. When, with at least
+    [min_samples] operations in the window, the failure rate reaches
+    [failure_rate] {e or} the mean latency reaches [latency_s], the
+    breaker opens: {!admit} answers [Shed] so the caller can fall back
+    to a cached/blackbox answer instead of queueing more doomed work.
+    After [cooldown_s] it goes half-open: a single probe operation is
+    admitted; its success closes the breaker, its failure re-opens it.
+
+    Thread-safe; one breaker is shared by every connection handler of a
+    daemon. *)
+
+type t
+
+type decision = Admit | Probe | Shed
+
+val create :
+  ?window:int ->
+  ?min_samples:int ->
+  ?failure_rate:float ->
+  ?latency_s:float ->
+  ?cooldown_s:float ->
+  unit ->
+  t
+(** Defaults: window 32, min_samples 8, failure_rate 0.5, latency_s
+    [infinity] (failure-rate-only), cooldown_s 5.0. *)
+
+val admit : t -> decision
+(** [Probe] is [Admit] for the single half-open canary; callers treat
+    them alike but {b must} call {!record} for a probe, or the breaker
+    stays half-open with the probe slot taken until {!record} arrives
+    from elsewhere. *)
+
+val record : t -> ok:bool -> latency_s:float -> unit
+(** Report an operation's fate. Shed operations are not recorded. *)
+
+type state = Closed | Open | Half_open
+
+val state : t -> state
+
+type stats = { shed : int; opened : int; window_failure_rate : float }
+
+val stats : t -> stats
+val state_to_string : state -> string

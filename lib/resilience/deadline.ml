@@ -1,0 +1,75 @@
+type trip = Wall | Pivots | Nodes
+
+type t = {
+  start : float;
+  wall : float; (* relative seconds; infinity = unbounded *)
+  pivot_limit : int; (* max_int = unbounded *)
+  node_limit : int;
+  pivots : int Atomic.t;
+  nodes : int Atomic.t;
+  (* first observed trip, latched so [tripped] stays stable while other
+     budgets keep draining. 0 = none, 1 = wall, 2 = pivots, 3 = nodes *)
+  latch : int Atomic.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?wall ?pivots ?nodes () =
+  (match wall with
+  | Some w when w < 0. -> invalid_arg "Deadline.create: wall < 0"
+  | _ -> ());
+  {
+    start = now ();
+    wall = Option.value wall ~default:infinity;
+    pivot_limit = Option.value pivots ~default:max_int;
+    node_limit = Option.value nodes ~default:max_int;
+    pivots = Atomic.make 0;
+    nodes = Atomic.make 0;
+    latch = Atomic.make 0;
+  }
+
+let charge_pivots t n = if n > 0 then ignore (Atomic.fetch_and_add t.pivots n)
+let charge_node t = Atomic.incr t.nodes
+
+let latch t code = ignore (Atomic.compare_and_set t.latch 0 code : bool)
+
+let expired t =
+  Atomic.get t.latch <> 0
+  ||
+  if Atomic.get t.pivots > t.pivot_limit then begin
+    latch t 2;
+    true
+  end
+  else if Atomic.get t.nodes > t.node_limit then begin
+    latch t 3;
+    true
+  end
+  else if t.wall < infinity && now () -. t.start > t.wall then begin
+    latch t 1;
+    true
+  end
+  else false
+
+let tripped t =
+  if not (expired t) then None
+  else
+    match Atomic.get t.latch with
+    | 1 -> Some Wall
+    | 2 -> Some Pivots
+    | 3 -> Some Nodes
+    | _ -> None
+
+let remaining_wall t =
+  if t.wall = infinity then infinity
+  else Float.max 0. (t.wall -. (now () -. t.start))
+
+let elapsed t = now () -. t.start
+let pivots_used t = Atomic.get t.pivots
+let nodes_used t = Atomic.get t.nodes
+
+let trip_to_string = function
+  | Wall -> "wall-clock"
+  | Pivots -> "pivot-budget"
+  | Nodes -> "node-budget"
+
+let pp_trip ppf tr = Fmt.string ppf (trip_to_string tr)

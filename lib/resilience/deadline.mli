@@ -1,0 +1,54 @@
+(** Unified cooperative budget: wall clock, simplex pivots, tree nodes.
+
+    A [t] is created once per request/solve and threaded down the stack;
+    every layer charges the work it performs ({!charge_pivots} in the
+    simplex pivot loops, {!charge_node} per branch-and-bound expansion)
+    and polls {!expired} at its natural cadence. The three budgets are
+    one value so a caller can say "this solve gets 2 seconds, 100k
+    pivots, 5k nodes, whichever trips first" and every layer below
+    respects all of them without knowing which the caller cares about.
+
+    Charging uses atomics and expiry checks are wait-free, so one
+    deadline can be shared by every worker domain of a parallel tree
+    search. Wall time is measured from [Unix.gettimeofday] deltas
+    against the creation instant, never from absolute timestamps, so a
+    clock step cannot spuriously expire a budget (the closest to a
+    monotonic clock the stdlib offers).
+
+    A solve given no deadline must behave bit-identically to one built
+    before this module existed: every consumer treats
+    [deadline = None] as "skip all checks". *)
+
+type t
+
+type trip = Wall | Pivots | Nodes
+
+val create : ?wall:float -> ?pivots:int -> ?nodes:int -> unit -> t
+(** [wall] is a relative budget in seconds from now; [pivots]/[nodes]
+    are total counts. Omitted budgets never trip. *)
+
+val charge_pivots : t -> int -> unit
+(** Add simplex pivots to the consumed-pivot counter. *)
+
+val charge_node : t -> unit
+(** Count one branch-and-bound node expansion. *)
+
+val expired : t -> bool
+(** True once any budget is exhausted. Monotone: once true, always
+    true (the first observed trip is latched, so {!tripped} is stable
+    even as later budgets also run out). *)
+
+val tripped : t -> trip option
+(** Which budget tripped first, once {!expired} is true. *)
+
+val remaining_wall : t -> float
+(** Seconds left on the wall budget; [infinity] if none was set. *)
+
+val elapsed : t -> float
+(** Seconds since the deadline was created. *)
+
+val pivots_used : t -> int
+val nodes_used : t -> int
+
+val pp_trip : Format.formatter -> trip -> unit
+val trip_to_string : trip -> string

@@ -1,0 +1,131 @@
+exception Injected of string
+
+type spec = { prob : float; limit : int option }
+
+type point = {
+  spec : spec;
+  mutable state : int64; (* splitmix64 stream *)
+  mutable count : int; (* fires so far *)
+}
+
+let is_armed = Atomic.make false
+let mu = Mutex.create ()
+let points : (string, point) Hashtbl.t = Hashtbl.create 8
+
+let src = Logs.Src.create "repro.faults" ~doc:"fault injection"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* splitmix64: tiny, good, and stdlib-only *)
+let splitmix64 s =
+  let s = Int64.add s 0x9E3779B97F4A7C15L in
+  let z = s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (s, Int64.logxor z (Int64.shift_right_logical z 31))
+
+let unit_float bits =
+  (* top 53 bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.
+
+let seed_for ~seed name =
+  (* fold the point name into the seed so each point gets its own
+     stream, stable under changes to the rest of the armed set *)
+  let h = ref (Int64.of_int seed) in
+  String.iter
+    (fun c -> h := Int64.add (Int64.mul !h 31L) (Int64.of_int (Char.code c)))
+    name;
+  !h
+
+let arm ~seed ~points:pts =
+  Mutex.lock mu;
+  Hashtbl.reset points;
+  List.iter
+    (fun (name, spec) ->
+      Hashtbl.replace points name
+        { spec; state = seed_for ~seed name; count = 0 })
+    pts;
+  Atomic.set is_armed (pts <> []);
+  Mutex.unlock mu
+
+let disarm () =
+  Mutex.lock mu;
+  Hashtbl.reset points;
+  Atomic.set is_armed false;
+  Mutex.unlock mu
+
+let armed () = Atomic.get is_armed
+
+let fires name =
+  Atomic.get is_armed
+  && begin
+       Mutex.lock mu;
+       let hit =
+         match Hashtbl.find_opt points name with
+         | None -> false
+         | Some p ->
+             let over_limit =
+               match p.spec.limit with Some l -> p.count >= l | None -> false
+             in
+             if over_limit then false
+             else begin
+               let state, bits = splitmix64 p.state in
+               p.state <- state;
+               let hit = unit_float bits < p.spec.prob in
+               if hit then begin
+                 p.count <- p.count + 1;
+                 Log.warn (fun m -> m "fault %S fired (#%d)" name p.count)
+               end;
+               hit
+             end
+       in
+       Mutex.unlock mu;
+       hit
+     end
+
+let inject name = if fires name then raise (Injected name)
+let stall name ~seconds = if fires name then Unix.sleepf seconds
+
+let fired name =
+  Mutex.lock mu;
+  let n =
+    match Hashtbl.find_opt points name with Some p -> p.count | None -> 0
+  in
+  Mutex.unlock mu;
+  n
+
+let arm_from_env () =
+  match Sys.getenv_opt "REPRO_FAULTS" with
+  | None | Some "" -> ()
+  | Some s ->
+      let seed =
+        match Sys.getenv_opt "REPRO_FAULT_SEED" with
+        | Some v -> ( match int_of_string_opt v with Some i -> i | None -> 0)
+        | None -> 0
+      in
+      let parse_one entry =
+        match String.split_on_char ':' (String.trim entry) with
+        | [ name; prob ] -> (
+            match float_of_string_opt prob with
+            | Some p when p >= 0. -> Some (name, { prob = p; limit = None })
+            | _ -> None)
+        | [ name; prob; limit ] -> (
+            match (float_of_string_opt prob, int_of_string_opt limit) with
+            | Some p, Some l when p >= 0. && l >= 0 ->
+                Some (name, { prob = p; limit = Some l })
+            | _ -> None)
+        | _ -> None
+      in
+      let pts =
+        List.filter_map
+          (fun e ->
+            if String.trim e = "" then None
+            else
+              match parse_one e with
+              | Some _ as ok -> ok
+              | None ->
+                  Log.warn (fun m -> m "REPRO_FAULTS: ignoring %S" e);
+                  None)
+          (String.split_on_char ',' s)
+      in
+      arm ~seed ~points:pts

@@ -1,0 +1,69 @@
+type reason =
+  | Wall_deadline
+  | Pivot_budget
+  | Node_budget
+  | Stalled
+  | Interrupted
+  | Worker_lost of int
+  | Load_shed
+
+type error =
+  | Solver_failure of string
+  | Fault_injected of string
+  | Cancelled
+
+type 'a t =
+  | Complete of 'a
+  | Feasible_bound of {
+      result : 'a;
+      incumbent : float;
+      proven_bound : float;
+      reason : reason;
+    }
+  | Degraded of { result : 'a option; reason : reason }
+  | Failed of error
+
+let of_trip = function
+  | Deadline.Wall -> Wall_deadline
+  | Deadline.Pivots -> Pivot_budget
+  | Deadline.Nodes -> Node_budget
+
+let map f = function
+  | Complete r -> Complete (f r)
+  | Feasible_bound { result; incumbent; proven_bound; reason } ->
+      Feasible_bound { result = f result; incumbent; proven_bound; reason }
+  | Degraded { result; reason } -> Degraded { result = Option.map f result; reason }
+  | Failed e -> Failed e
+
+let result = function
+  | Complete r -> Some r
+  | Feasible_bound { result; _ } -> Some result
+  | Degraded { result; _ } -> result
+  | Failed _ -> None
+
+let reason_to_string = function
+  | Wall_deadline -> "wall-deadline"
+  | Pivot_budget -> "pivot-budget"
+  | Node_budget -> "node-budget"
+  | Stalled -> "stalled"
+  | Interrupted -> "interrupted"
+  | Worker_lost n -> Printf.sprintf "worker-lost(%d)" n
+  | Load_shed -> "load-shed"
+
+let error_to_string = function
+  | Solver_failure m -> "solver-failure: " ^ m
+  | Fault_injected p -> "fault-injected: " ^ p
+  | Cancelled -> "cancelled"
+
+let pp_reason ppf r = Fmt.string ppf (reason_to_string r)
+let pp_error ppf e = Fmt.string ppf (error_to_string e)
+
+let pp pp_r ppf = function
+  | Complete r -> Fmt.pf ppf "complete (%a)" pp_r r
+  | Feasible_bound { incumbent; proven_bound; reason; _ } ->
+      Fmt.pf ppf "feasible-bound [%a]: incumbent %.6g, proven bound %.6g"
+        pp_reason reason incumbent proven_bound
+  | Degraded { reason; result } ->
+      Fmt.pf ppf "degraded [%a]%s" pp_reason reason
+        (match result with Some _ -> " (partial result)" | None -> "")
+  | Failed e -> Fmt.pf ppf "failed: %a" pp_error e

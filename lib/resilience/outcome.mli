@@ -1,0 +1,49 @@
+(** Structured degradation outcomes for budget-bounded solves.
+
+    The contract every resilient layer promises: a bounded computation
+    never hangs and never silently drops precision — it finishes with a
+    proof ([Complete]), finishes early with a sound incumbent/bound pair
+    ([Feasible_bound]), finishes early with whatever partial value it
+    can still vouch for ([Degraded]), or fails with a typed error
+    ([Failed]). Callers can always distinguish "the answer" from "the
+    best answer the budget allowed". *)
+
+type reason =
+  | Wall_deadline
+  | Pivot_budget
+  | Node_budget
+  | Stalled  (** no incumbent progress within the stall window *)
+  | Interrupted  (** the caller's interrupt callback fired *)
+  | Worker_lost of int  (** [n] workers died/stalled; search degraded *)
+  | Load_shed  (** circuit breaker open: answered from fallback *)
+
+type error =
+  | Solver_failure of string  (** the solve raised; exception text *)
+  | Fault_injected of string  (** a {!Faults} point fired terminally *)
+  | Cancelled  (** cooperative cancellation before any result *)
+
+type 'a t =
+  | Complete of 'a
+  | Feasible_bound of {
+      result : 'a;
+      incumbent : float;  (** best feasible objective found, model dir *)
+      proven_bound : float;  (** valid bound on the true optimum *)
+      reason : reason;
+    }
+  | Degraded of { result : 'a option; reason : reason }
+  | Failed of error
+
+val of_trip : Deadline.trip -> reason
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val result : 'a t -> 'a option
+(** The payload, when any was produced. *)
+
+val reason_to_string : reason -> string
+val error_to_string : error -> string
+val pp_reason : Format.formatter -> reason -> unit
+val pp_error : Format.formatter -> error -> unit
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** One line: outcome class, reason and incumbent/bound when present. *)

@@ -1,0 +1,51 @@
+type policy = {
+  retries : int;
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_policy =
+  { retries = 4; base = 0.05; factor = 2.; max_delay = 2.; jitter = 0.5 }
+
+let splitmix64 s =
+  let s = Int64.add s 0x9E3779B97F4A7C15L in
+  let z = s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float bits =
+  Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.
+
+let delay p ~seed ~attempt =
+  if attempt < 0 then invalid_arg "Retry.delay: attempt < 0";
+  let raw = p.base *. (p.factor ** float_of_int attempt) in
+  let u =
+    (* draw [attempt] steps into the seeded stream so delays are a pure
+       function of (seed, attempt), not of how many ran before *)
+    let s = ref (Int64.of_int seed) in
+    let bits = ref 0L in
+    for _ = 0 to attempt do
+      let b = splitmix64 !s in
+      s := Int64.add !s 0x9E3779B97F4A7C15L;
+      bits := b
+    done;
+    unit_float !bits
+  in
+  Float.min p.max_delay (raw *. (1. -. p.jitter +. (p.jitter *. u)))
+
+let run ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
+    ~retryable f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+        if attempt >= policy.retries || not (retryable e) then err
+        else begin
+          sleep (delay policy ~seed ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** Client-side retry with jittered exponential backoff.
+
+    Delays are deterministic given [seed] (splitmix64 jitter, same
+    generator as {!Faults}), so tests can assert exact schedules:
+    attempt [k] sleeps [base * factor^k * (1 - jitter + jitter * u_k)]
+    capped at [max_delay], where [u_k] is the seeded uniform draw. The
+    jitter decorrelates fleets of clients that all saw the same daemon
+    restart — without it they retry in lockstep and re-create the spike
+    that knocked the daemon over. *)
+
+type policy = {
+  retries : int;  (** additional attempts after the first *)
+  base : float;  (** first delay, seconds *)
+  factor : float;
+  max_delay : float;
+  jitter : float;  (** in [0,1]: fraction of the delay randomized *)
+}
+
+val default_policy : policy
+(** 4 retries, base 0.05s, factor 2, max 2s, jitter 0.5. *)
+
+val delay : policy -> seed:int -> attempt:int -> float
+(** The backoff before retry [attempt] (0-based). Pure. *)
+
+val run :
+  ?policy:policy ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  retryable:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** Run the operation, sleeping the backoff schedule between failed
+    attempts while [retryable] says the error is transient. Returns the
+    first success or the last error. [sleep] defaults to
+    [Unix.sleepf] (injectable for tests). *)

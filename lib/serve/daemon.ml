@@ -2,6 +2,7 @@ open Repro_topology
 open Repro_te
 open Repro_metaopt
 module Engine = Repro_engine
+module Resilience = Repro_resilience
 
 type config = {
   socket_path : string;
@@ -11,6 +12,7 @@ type config = {
   queue_limit : int;
   batch_max : int;
   shards : int;
+  heartbeat_timeout : float option;
 }
 
 let default_config ~socket_path =
@@ -22,6 +24,7 @@ let default_config ~socket_path =
     queue_limit = 256;
     batch_max = 16;
     shards = 8;
+    heartbeat_timeout = None;
   }
 
 let default_cache_dir () =
@@ -49,6 +52,7 @@ type state = {
   sched : Json.t Scheduler.t;
   pathsets : (string * int, Pathset.t) Hashtbl.t;
   pathsets_mutex : Mutex.t;
+  breaker : Resilience.Breaker.t;
   started : float;
   stop : bool Atomic.t;
 }
@@ -163,11 +167,26 @@ let evaluate_job ev g demand () =
       ("pairs", Json.Num (float_of_int (Demand.size space)));
     ]
 
-let find_gap_job ?pool ~jobs ev ~(method_ : Protocol.search_method) ~time ~seed
-    () =
+(* [budget] (wall seconds, from degrade mode) bounds the solve itself:
+   the whitebox MILPs run under a [Resilience.Deadline] and the search
+   time limits shrink to it, so the job comes back with a best-so-far
+   answer instead of the caller timing out empty-handed. *)
+let find_gap_job ?pool ?budget ~jobs ev ~(method_ : Protocol.search_method)
+    ~time ~seed () =
   let space = Pathset.space ev.Evaluate.pathset in
+  let effective_time =
+    match budget with Some b -> Float.min time b | None -> time
+  in
+  let degraded_fields tripped reason =
+    if tripped then
+      [ ("degraded", Json.Bool true); ("reason", Json.Str reason) ]
+    else []
+  in
   match method_ with
   | Protocol.Whitebox | Protocol.Sweep | Protocol.Portfolio ->
+      let deadline =
+        Option.map (fun b -> Resilience.Deadline.create ~wall:b ()) budget
+      in
       let options =
         {
           Adversary.default_options with
@@ -175,40 +194,50 @@ let find_gap_job ?pool ~jobs ev ~(method_ : Protocol.search_method) ~time ~seed
           search =
             (match method_ with
             | Protocol.Sweep ->
-                Adversary.Binary_sweep { probes = 5; probe_time = time /. 6. }
+                Adversary.Binary_sweep
+                  { probes = 5; probe_time = effective_time /. 6. }
             | Protocol.Portfolio ->
                 Adversary.Portfolio
                   {
                     Adversary.default_portfolio with
-                    blackbox_time = time /. 2.;
+                    blackbox_time = effective_time /. 2.;
                   }
             | _ -> Adversary.Direct);
           bb =
             {
               Repro_lp.Branch_bound.default_options with
-              time_limit = time;
-              stall_time = Float.max 2. (time /. 4.);
+              time_limit = effective_time;
+              stall_time = Float.max 2. (effective_time /. 4.);
+              deadline;
             };
         }
       in
       let r = Adversary.find ev ~options ?pool () in
+      let tripped =
+        match Option.bind deadline Resilience.Deadline.tripped with
+        | Some trip ->
+            Some ("deadline: " ^ Resilience.Deadline.trip_to_string trip)
+        | None -> None
+      in
       Json.Obj
-        [
-          ("gap", Json.Num r.Adversary.gap);
-          ("normalized_gap", Json.Num r.Adversary.normalized_gap);
-          ("opt", Json.Num r.Adversary.opt_value);
-          ("heuristic", Json.Num r.Adversary.heuristic_value);
-          ( "upper_bound",
-            match r.Adversary.upper_bound with
-            | Some ub -> Json.Num ub
-            | None -> Json.Null );
-          ( "oracle_calls",
-            Json.Num (float_of_int r.Adversary.stats.Adversary.oracle_calls) );
-          ("demands", demands_to_entries space r.Adversary.demands);
-          ("trace", trace_to_json r.Adversary.trace);
-        ]
+        ([
+           ("gap", Json.Num r.Adversary.gap);
+           ("normalized_gap", Json.Num r.Adversary.normalized_gap);
+           ("opt", Json.Num r.Adversary.opt_value);
+           ("heuristic", Json.Num r.Adversary.heuristic_value);
+           ( "upper_bound",
+             match r.Adversary.upper_bound with
+             | Some ub -> Json.Num ub
+             | None -> Json.Null );
+           ( "oracle_calls",
+             Json.Num (float_of_int r.Adversary.stats.Adversary.oracle_calls) );
+           ("demands", demands_to_entries space r.Adversary.demands);
+           ("trace", trace_to_json r.Adversary.trace);
+         ]
+        @ degraded_fields (tripped <> None)
+            (Option.value ~default:"" tripped))
   | Protocol.Hillclimb | Protocol.Annealing ->
-      let options = { Blackbox.default_options with time_limit = time } in
+      let options = { Blackbox.default_options with time_limit = effective_time } in
       let rng = Rng.create seed in
       let r =
         match method_ with
@@ -216,14 +245,18 @@ let find_gap_job ?pool ~jobs ev ~(method_ : Protocol.search_method) ~time ~seed
         | _ -> Blackbox.simulated_annealing ev ~rng ~options ()
       in
       Json.Obj
-        [
-          ("gap", Json.Num r.Blackbox.gap);
-          ("normalized_gap", Json.Num r.Blackbox.normalized_gap);
-          ("evaluations", Json.Num (float_of_int r.Blackbox.evaluations));
-          ("restarts", Json.Num (float_of_int r.Blackbox.restarts));
-          ("demands", demands_to_entries space r.Blackbox.demands);
-          ("trace", trace_to_json r.Blackbox.trace);
-        ]
+        ([
+           ("gap", Json.Num r.Blackbox.gap);
+           ("normalized_gap", Json.Num r.Blackbox.normalized_gap);
+           ("evaluations", Json.Num (float_of_int r.Blackbox.evaluations));
+           ("restarts", Json.Num (float_of_int r.Blackbox.restarts));
+           ("demands", demands_to_entries space r.Blackbox.demands);
+           ("trace", trace_to_json r.Blackbox.trace);
+         ]
+        @ degraded_fields
+            (effective_time < time)
+            (Printf.sprintf "search time cut from %gs to %gs by deadline" time
+               effective_time))
 
 (* ---- request handling ---------------------------------------------- *)
 
@@ -232,22 +265,42 @@ let scheduler_error = function
       Protocol.error ~code:"overloaded"
         (Printf.sprintf "queue full (%d/%d); retry later" queued limit)
   | Scheduler.Failed msg -> Protocol.error ~code:"solve-failed" msg
+  | Scheduler.Timed_out budget ->
+      Protocol.error ~code:"deadline-exceeded"
+        (Printf.sprintf
+           "no answer within the %gs deadline; the solve continues toward \
+            the cache — retrying may hit"
+           budget)
   | Scheduler.Shutdown ->
       Protocol.error ~code:"overloaded" "daemon is shutting down"
 
-let submit state ~key ~group job extra_fields =
-  match Scheduler.submit state.sched ~key ~group job with
-  | Error e -> scheduler_error e
-  | Ok (Json.Obj fields, source) ->
-      Protocol.ok
-        (fields
-        @ extra_fields
-        @ [
-            ("cached", Json.Bool (source = `Cached));
-            ("coalesced", Json.Bool (source = `Coalesced));
-            ("fingerprint", Json.Str (Fingerprint.to_hex key));
-          ])
-  | Ok (other, _) -> Protocol.ok [ ("result", other) ]
+let submit state ~key ~group ?deadline_s job extra_fields =
+  match Resilience.Breaker.admit state.breaker with
+  | Resilience.Breaker.Shed ->
+      Protocol.error ~code:"degraded"
+        "circuit open: recent solves failed or timed out; retry after cooldown"
+  | Resilience.Breaker.Admit | Resilience.Breaker.Probe -> (
+      let t0 = Unix.gettimeofday () in
+      let result = Scheduler.submit state.sched ~key ~group ?deadline_s job in
+      let ok =
+        match result with
+        | Error (Scheduler.Failed _ | Scheduler.Timed_out _) -> false
+        | Error (Scheduler.Overloaded _ | Scheduler.Shutdown) | Ok _ -> true
+      in
+      Resilience.Breaker.record state.breaker ~ok
+        ~latency_s:(Unix.gettimeofday () -. t0);
+      match result with
+      | Error e -> scheduler_error e
+      | Ok (Json.Obj fields, source) ->
+          Protocol.ok
+            (fields
+            @ extra_fields
+            @ [
+                ("cached", Json.Bool (source = `Cached));
+                ("coalesced", Json.Bool (source = `Coalesced));
+                ("fingerprint", Json.Str (Fingerprint.to_hex key));
+              ])
+      | Ok (other, _) -> Protocol.ok [ ("result", other) ])
 
 let cache_stats_json (s : Solve_cache.stats) =
   let total = s.Solve_cache.hits + s.Solve_cache.misses in
@@ -287,10 +340,30 @@ let stats_response state =
             ("batches", Json.Num (float_of_int sc.Scheduler.batches));
             ("max_batch", Json.Num (float_of_int sc.Scheduler.max_batch));
             ("rejected", Json.Num (float_of_int sc.Scheduler.rejected));
+            ("timed_out", Json.Num (float_of_int sc.Scheduler.timed_out));
             ("queued_now", Json.Num (float_of_int sc.Scheduler.queued_now));
             ( "in_flight_now",
               Json.Num (float_of_int sc.Scheduler.in_flight_now) );
           ] );
+      ( "breaker",
+        let bs = Resilience.Breaker.stats state.breaker in
+        Json.Obj
+          [
+            ( "state",
+              Json.Str
+                (Resilience.Breaker.state_to_string
+                   (Resilience.Breaker.state state.breaker)) );
+            ("shed", Json.Num (float_of_int bs.Resilience.Breaker.shed));
+            ("opened", Json.Num (float_of_int bs.Resilience.Breaker.opened));
+            ( "window_failure_rate",
+              Json.Num bs.Resilience.Breaker.window_failure_rate );
+          ] );
+      ( "lost_workers",
+        Json.Num
+          (float_of_int
+             (match state.pool with
+             | Some p -> Engine.Pool.lost_workers p
+             | None -> 0)) );
     ]
 
 let handle state (req : Protocol.request) =
@@ -298,7 +371,7 @@ let handle state (req : Protocol.request) =
   | Protocol.Ping -> Protocol.ok [ ("pong", Json.Bool true) ]
   | Protocol.Stats -> stats_response state
   | Protocol.Shutdown -> Protocol.ok [ ("stopping", Json.Bool true) ]
-  | Protocol.Evaluate { instance; demand } -> (
+  | Protocol.Evaluate { instance; demand; deadline } -> (
       let result =
         let* ev, g = build_evaluator state instance in
         let space = Pathset.space ev.Evaluate.pathset in
@@ -313,11 +386,17 @@ let handle state (req : Protocol.request) =
           in
           submit state ~key
             ~group:(group instance "evaluate")
-            (evaluate_job ev g d) [])
-  | Protocol.Find_gap { instance; method_; time; seed } -> (
+            ?deadline_s:deadline (evaluate_job ev g d) [])
+  | Protocol.Find_gap { instance; method_; time; seed; deadline; degrade } -> (
       match build_evaluator state instance with
       | Error e -> Protocol.error ~code:"bad-request" e
       | Ok (ev, _g) ->
+          (* with degrade the solver runs under a budget sized to the
+             deadline (90%, leaving margin to assemble the reply), so it
+             returns a best-so-far answer before the waiter gives up *)
+          let budget =
+            if degrade then Option.map (fun d -> 0.9 *. d) deadline else None
+          in
           let key =
             let acc =
               Fingerprint.feed_int64 Fingerprint.empty
@@ -334,12 +413,21 @@ let handle state (req : Protocol.request) =
                 | Protocol.Portfolio -> "portfolio")
             in
             let acc = Fingerprint.feed_float acc time in
-            Fingerprint.finish (Fingerprint.feed_int acc seed)
+            let acc = Fingerprint.feed_int acc seed in
+            (* a budget-bounded solve computes a different (weaker)
+               answer: give it its own cache identity *)
+            let acc =
+              match budget with
+              | Some b -> Fingerprint.feed_float (Fingerprint.feed_string acc "budget") b
+              | None -> acc
+            in
+            Fingerprint.finish acc
           in
           submit state ~key
             ~group:(group instance "find-gap")
-            (find_gap_job ?pool:state.pool ~jobs:state.config.jobs ev ~method_
-               ~time ~seed)
+            ?deadline_s:deadline
+            (find_gap_job ?pool:state.pool ?budget ~jobs:state.config.jobs ev
+               ~method_ ~time ~seed)
             [])
 
 (* ------------------------------------------------------------------ *)
@@ -384,6 +472,7 @@ let handle_connection state fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let run ?(ready = fun () -> ()) config =
+  Resilience.Faults.arm_from_env ();
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -426,7 +515,7 @@ let run ?(ready = fun () -> ()) config =
           let pool =
             if config.jobs > 1 then
               Some
-                (Engine.Pool.create
+                (Engine.Pool.create ?heartbeat_timeout:config.heartbeat_timeout
                    ~domains:(Engine.Jobs.clamp config.jobs)
                    ())
             else None
@@ -446,6 +535,7 @@ let run ?(ready = fun () -> ()) config =
               sched;
               pathsets = Hashtbl.create 8;
               pathsets_mutex = Mutex.create ();
+              breaker = Resilience.Breaker.create ();
               started = Unix.gettimeofday ();
               stop = Atomic.make false;
             }

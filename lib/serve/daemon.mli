@@ -9,6 +9,15 @@
     degrades into structured ["overloaded"] errors instead of latency
     collapse.
 
+    Robustness: requests may carry a ["deadline"] (a bounded wait that
+    fails typed with ["deadline-exceeded"] while the solve keeps
+    warming the cache) and find-gap a ["degrade"] flag (budget-bounded
+    best-so-far answer instead of the error); a process-wide circuit
+    breaker ({!Repro_resilience.Breaker}) sheds solve requests with
+    ["degraded"] errors while recent solves keep failing or timing
+    out; and {!Repro_resilience.Faults.arm_from_env} runs at startup,
+    so chaos tests can arm fault points via [REPRO_FAULTS].
+
     Two caches are maintained:
     - the {b result cache} keys full evaluate / find-gap responses by
       canonical instance fingerprint; it is the one that turns repeated
@@ -29,10 +38,16 @@ type config = {
   queue_limit : int;
   batch_max : int;
   shards : int;
+  heartbeat_timeout : float option;
+      (** enables the engine pool's supervision watchdog (seconds);
+          [None] — no watchdog. Use a value comfortably above the
+          longest legitimate solve: daemon batches run as plain pool
+          tasks, which heartbeat only at start. *)
 }
 
 val default_config : socket_path:string -> config
-(** jobs 1, 64 MiB, no persistence, queue 256, batch 16, 8 shards. *)
+(** jobs 1, 64 MiB, no persistence, queue 256, batch 16, 8 shards, no
+    watchdog. *)
 
 val default_cache_dir : unit -> string
 (** [$XDG_CACHE_HOME/repro-serve] or [$HOME/.cache/repro-serve]. *)

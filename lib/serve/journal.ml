@@ -1,6 +1,36 @@
-let header = "REPRO-SERVE-JOURNAL v1\n"
+let header = "REPRO-SERVE-JOURNAL v2\n"
+
+let src = Logs.Src.create "repro.serve.journal" ~doc:"solve-cache journal"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
+
+(* ---- CRC-32 (IEEE 802.3 polynomial, the zlib one) ------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_update crc s =
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
 
 let be32 n =
   let b = Bytes.create 4 in
@@ -9,6 +39,8 @@ let be32 n =
   Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
   Bytes.set_uint8 b 3 (n land 0xff);
   Bytes.to_string b
+
+let be32_of_int32 (v : int32) = be32 (Int32.to_int (Int32.logand v 0xFFFFFFFFl) land 0xFFFFFFFF)
 
 let be64 (v : int64) =
   String.init 8 (fun i ->
@@ -28,11 +60,21 @@ let read_be32 s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
+(* CRC of one record's integrity-protected region: key, length, value. *)
+let record_crc ~key ~value =
+  let crc = crc32_update 0l (be64 key) in
+  let crc = crc32_update crc (be32 (String.length value)) in
+  crc32_update crc value
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Record layout: 8-byte key | 4-byte length | value | 4-byte CRC32.
+   [overhead] bytes of framing per record. *)
+let overhead = 16
 
 let replay path ~f =
   if not (Sys.file_exists path) then Ok 0
@@ -51,17 +93,42 @@ let replay path ~f =
           let n = String.length contents in
           let pos = ref hl in
           let count = ref 0 in
+          let skipped = ref 0 in
           let truncated = ref false in
-          while (not !truncated) && !pos + 12 <= n do
+          while (not !truncated) && !pos + overhead <= n do
             let key = read_be64 contents !pos in
             let len = read_be32 contents (!pos + 8) in
-            if len < 0 || !pos + 12 + len > n then truncated := true
+            if len < 0 || !pos + overhead + len > n then truncated := true
             else begin
-              f ~key ~value:(String.sub contents (!pos + 12) len);
-              pos := !pos + 12 + len;
-              incr count
+              let value = String.sub contents (!pos + 12) len in
+              let stored = Int32.of_int (read_be32 contents (!pos + 12 + len)) in
+              let computed =
+                Int32.of_int
+                  (Int32.to_int (Int32.logand (record_crc ~key ~value) 0xFFFFFFFFl)
+                  land 0xFFFFFFFF)
+              in
+              if Int32.logand stored 0xFFFFFFFFl = Int32.logand computed 0xFFFFFFFFl
+              then begin
+                f ~key ~value;
+                incr count
+              end
+              else begin
+                (* a flipped bit inside an otherwise well-framed record:
+                   skip just this record and keep replaying — dropping one
+                   cached solve is cheap, dropping the rest of the journal
+                   is not *)
+                incr skipped;
+                Log.warn (fun m ->
+                    m "%s: CRC mismatch at offset %d (key %Ld), record skipped"
+                      path !pos key)
+              end;
+              pos := !pos + overhead + len
             end
           done;
+          if !skipped > 0 then
+            Log.warn (fun m ->
+                m "%s: %d corrupt record(s) skipped, %d replayed" path !skipped
+                  !count);
           Ok !count
         end
 
@@ -84,14 +151,16 @@ let open_append path =
           String.length contents >= hl && String.sub contents 0 hl = header
         then begin
           (* drop a torn tail record before appending, or everything
-             written after it would be unreachable on the next replay *)
+             written after it would be unreachable on the next replay.
+             The scan is structural only: a CRC-corrupt record is still
+             well-framed, and is replay's business to skip. *)
           let n = String.length contents in
           let valid = ref hl in
           let stop = ref false in
-          while (not !stop) && !valid + 12 <= n do
+          while (not !stop) && !valid + overhead <= n do
             let len = read_be32 contents (!valid + 8) in
-            if len < 0 || !valid + 12 + len > n then stop := true
-            else valid := !valid + 12 + len
+            if len < 0 || !valid + overhead + len > n then stop := true
+            else valid := !valid + overhead + len
           done;
           if !valid < n then Unix.truncate path !valid;
           match
@@ -101,8 +170,8 @@ let open_append path =
           | exception Sys_error e -> Error e
         end
         else
-          (* empty file, truncated header, or a foreign version: start a
-             fresh version-1 journal *)
+          (* empty file, truncated header, or a foreign version (including
+             the CRC-less v1): start a fresh journal *)
           fresh ()
 
 let append t ~key ~value =
@@ -111,10 +180,22 @@ let append t ~key ~value =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       if not t.closed then begin
-        output_string t.oc (be64 key);
-        output_string t.oc (be32 (String.length value));
-        output_string t.oc value;
-        flush t.oc
+        if Repro_resilience.Faults.fires "journal_torn_write" then begin
+          (* simulated crash mid-append: half a record hits the disk.
+             Replay treats it as a torn tail; open_append truncates it. *)
+          output_string t.oc (be64 key);
+          output_string t.oc (be32 (String.length value));
+          output_string t.oc
+            (String.sub value 0 (String.length value / 2));
+          flush t.oc
+        end
+        else begin
+          output_string t.oc (be64 key);
+          output_string t.oc (be32 (String.length value));
+          output_string t.oc value;
+          output_string t.oc (be32_of_int32 (record_crc ~key ~value));
+          flush t.oc
+        end
       end)
 
 let close t =

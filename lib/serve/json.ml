@@ -278,3 +278,4 @@ let list = function List l -> Some l | _ -> None
 let obj_int k j = Option.bind (member k j) int
 let obj_str k j = Option.bind (member k j) str
 let obj_num k j = Option.bind (member k j) num
+let obj_bool k j = Option.bind (member k j) bool

@@ -42,4 +42,5 @@ val list : t -> t list option
 val obj_int : string -> t -> int option
 val obj_str : string -> t -> string option
 val obj_num : string -> t -> float option
+val obj_bool : string -> t -> bool option
 (** [obj_* k j] — [member k j] composed with the scalar accessor. *)

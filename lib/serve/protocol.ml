@@ -69,12 +69,18 @@ type instance = {
 type search_method = Whitebox | Sweep | Hillclimb | Annealing | Portfolio
 
 type request =
-  | Evaluate of { instance : instance; demand : demand_spec }
+  | Evaluate of {
+      instance : instance;
+      demand : demand_spec;
+      deadline : float option;
+    }
   | Find_gap of {
       instance : instance;
       method_ : search_method;
       time : float;
       seed : int;
+      deadline : float option;
+      degrade : bool;
     }
   | Stats
   | Ping
@@ -156,6 +162,12 @@ let method_to_string = function
   | Annealing -> "annealing"
   | Portfolio -> "portfolio"
 
+let deadline_of_json j =
+  match Json.obj_num "deadline" j with
+  | None -> Ok None
+  | Some d when d > 0. -> Ok (Some d)
+  | Some _ -> Error "deadline <= 0"
+
 let request_of_json j =
   match Json.obj_str "op" j with
   | Some "ping" -> Ok Ping
@@ -167,7 +179,8 @@ let request_of_json j =
         let* d = required "demands" (Json.member "demands" j) in
         demand_of_json d
       in
-      Ok (Evaluate { instance; demand })
+      let* deadline = deadline_of_json j in
+      Ok (Evaluate { instance; demand; deadline })
   | Some "find-gap" ->
       let* instance = instance_of_json j in
       let* method_ =
@@ -176,8 +189,12 @@ let request_of_json j =
       in
       let time = Option.value ~default:10. (Json.obj_num "time" j) in
       let seed = Option.value ~default:1 (Json.obj_int "seed" j) in
+      let* deadline = deadline_of_json j in
+      let degrade = Option.value ~default:false (Json.obj_bool "degrade" j) in
       if time <= 0. then Error "time <= 0"
-      else Ok (Find_gap { instance; method_; time; seed })
+      else if degrade && deadline = None then
+        Error "degrade requires a deadline"
+      else Ok (Find_gap { instance; method_; time; seed; deadline; degrade })
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
   | None -> Error "request must be an object with an \"op\" member"
 
@@ -232,22 +249,29 @@ let instance_fields { topology; paths; heuristic } =
     ("heuristic", heuristic_to_json heuristic);
   ]
 
+let deadline_fields = function
+  | None -> []
+  | Some d -> [ ("deadline", Json.Num d) ]
+
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
-  | Evaluate { instance; demand } ->
+  | Evaluate { instance; demand; deadline } ->
       Json.Obj
         ((("op", Json.Str "evaluate") :: instance_fields instance)
-        @ [ ("demands", demand_to_json demand) ])
-  | Find_gap { instance; method_; time; seed } ->
+        @ [ ("demands", demand_to_json demand) ]
+        @ deadline_fields deadline)
+  | Find_gap { instance; method_; time; seed; deadline; degrade } ->
       Json.Obj
         ((("op", Json.Str "find-gap") :: instance_fields instance)
         @ [
             ("method", Json.Str (method_to_string method_));
             ("time", Json.Num time);
             ("seed", Json.Num (float_of_int seed));
-          ])
+          ]
+        @ deadline_fields deadline
+        @ (if degrade then [ ("degrade", Json.Bool true) ] else []))
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
 

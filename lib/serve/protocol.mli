@@ -11,9 +11,10 @@
     - [{"op":"stats"}]
     - [{"op":"shutdown"}]
     - [{"op":"evaluate", "topology":NAME, "paths":K, "heuristic":H,
-        "demands":D}]
+        "demands":D, "deadline":SECONDS?}]
     - [{"op":"find-gap", "topology":NAME, "paths":K, "heuristic":H,
-        "method":M, "time":SECONDS, "seed":N}]
+        "method":M, "time":SECONDS, "seed":N, "deadline":SECONDS?,
+        "degrade":BOOL?}]
 
     where [H] is [{"kind":"dp", "threshold_frac":F}] or
     [{"kind":"pop", "parts":N, "instances":R, "seed":S}], [D] is
@@ -23,9 +24,18 @@
     ["whitebox"], ["sweep"], ["hillclimb"], ["annealing"],
     ["portfolio"].
 
+    ["deadline"] (optional, seconds > 0) bounds how long the daemon may
+    spend answering this request; past it the reply is the typed error
+    ["deadline-exceeded"] (the solve keeps warming the cache). On
+    find-gap, ["degrade":true] (requires a deadline) asks for a
+    best-so-far answer instead of an error: the solver runs under a
+    budget sized to the deadline and the response carries
+    ["degraded":true] plus a ["reason"] when the budget tripped.
+
     Responses are [{"ok":true, ...}] or
     [{"ok":false, "error":{"code":C, "message":S}}] with codes
     ["bad-request"], ["overloaded"], ["solve-failed"],
+    ["deadline-exceeded"], ["degraded"] (circuit breaker shedding),
     ["internal"]. *)
 
 val max_frame : int
@@ -58,12 +68,20 @@ type instance = {
 type search_method = Whitebox | Sweep | Hillclimb | Annealing | Portfolio
 
 type request =
-  | Evaluate of { instance : instance; demand : demand_spec }
+  | Evaluate of {
+      instance : instance;
+      demand : demand_spec;
+      deadline : float option;  (** seconds the caller will wait *)
+    }
   | Find_gap of {
       instance : instance;
       method_ : search_method;
       time : float;
       seed : int;
+      deadline : float option;  (** seconds the caller will wait *)
+      degrade : bool;
+          (** prefer a budget-bounded best-so-far answer over a
+              deadline-exceeded error; requires [deadline] *)
     }
   | Stats
   | Ping

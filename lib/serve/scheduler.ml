@@ -1,6 +1,7 @@
 type error =
   | Overloaded of { queued : int; limit : int }
   | Failed of string
+  | Timed_out of float
   | Shutdown
 
 type source = [ `Cached | `Coalesced | `Computed ]
@@ -22,6 +23,7 @@ type stats = {
   batches : int;
   max_batch : int;
   rejected : int;
+  timed_out : int;
   queued_now : int;
   in_flight_now : int;
 }
@@ -39,6 +41,8 @@ type 'v t = {
   cost_bytes : 'v -> int;
   mutable stopping : bool;
   mutable dispatcher : Thread.t option;
+  mutable ticker : Thread.t option;
+  mutable timed_waiters : int;
   mutable submitted : int;
   mutable cache_hits : int;
   mutable dedup_hits : int;
@@ -46,6 +50,7 @@ type 'v t = {
   mutable batches : int;
   mutable max_batch : int;
   mutable rejected : int;
+  mutable timed_out : int;
 }
 
 let locked t f =
@@ -115,11 +120,31 @@ let run_dispatcher t =
       let results =
         match t.pool with
         | None -> Array.map run_one arr
-        | Some p ->
-            Repro_engine.Pool.await_passive
-              (Repro_engine.Pool.submit p (fun () ->
-                   Repro_engine.Parallel.map ~pool:p
-                     ~cost:Repro_engine.Parallel.default_min_work run_one arr))
+        | Some p -> (
+            (* the pool can fail this batch wholesale: [Cancelled] when it
+               shut down (or was shut down mid-request) and [Stalled] when
+               the watchdog gave up on the domain running it. Either way
+               every waiter of the batch gets a typed error, never a
+               dispatcher-killing exception. *)
+            match
+              Repro_engine.Pool.await_passive
+                (Repro_engine.Pool.submit p (fun () ->
+                     Repro_engine.Parallel.map ~pool:p
+                       ~cost:Repro_engine.Parallel.default_min_work run_one arr))
+            with
+            | results -> results
+            | exception Repro_engine.Pool.Cancelled ->
+                Array.map (fun _ -> Error Shutdown) arr
+            | exception Repro_engine.Pool.Stalled dt ->
+                Array.map
+                  (fun _ ->
+                    Error
+                      (Failed
+                         (Printf.sprintf
+                            "solve stalled for %.1fs; worker replaced" dt)))
+                  arr
+            | exception exn ->
+                Array.map (fun _ -> Error (Failed (Printexc.to_string exn))) arr)
       in
       locked t (fun () ->
           Array.iteri (fun i e -> complete t e results.(i)) arr;
@@ -129,6 +154,25 @@ let run_dispatcher t =
           Condition.broadcast t.finished)
     end
   done
+
+(* [Condition.wait] has no timeout, so deadlines need an external pulse:
+   while any timed waiter exists this thread broadcasts [finished] every
+   tick, letting waiters re-check their deadline. Idle (no timed
+   waiters) it only takes the mutex 50 times a second. *)
+let run_ticker t =
+  let rec loop () =
+    Thread.delay 0.02;
+    let continue_ =
+      locked t (fun () ->
+          if t.stopping then false
+          else begin
+            if t.timed_waiters > 0 then Condition.broadcast t.finished;
+            true
+          end)
+    in
+    if continue_ then loop ()
+  in
+  loop ()
 
 let create ?(queue_limit = 256) ?(batch_max = 16) ?pool ?cache ~cost_bytes () =
   if queue_limit <= 0 then invalid_arg "Scheduler.create: queue_limit <= 0";
@@ -147,6 +191,8 @@ let create ?(queue_limit = 256) ?(batch_max = 16) ?pool ?cache ~cost_bytes () =
       cost_bytes;
       stopping = false;
       dispatcher = None;
+      ticker = None;
+      timed_waiters = 0;
       submitted = 0;
       cache_hits = 0;
       dedup_hits = 0;
@@ -154,23 +200,45 @@ let create ?(queue_limit = 256) ?(batch_max = 16) ?pool ?cache ~cost_bytes () =
       batches = 0;
       max_batch = 0;
       rejected = 0;
+      timed_out = 0;
     }
   in
   t.dispatcher <- Some (Thread.create run_dispatcher t);
+  t.ticker <- Some (Thread.create run_ticker t);
   t
 
-let await_cell t cell =
-  (* mutex held on entry and exit *)
+let await_cell ?deadline t cell =
+  (* mutex held on entry and exit. [deadline] is [(budget_s, abs_time)]:
+     once [abs_time] passes, this waiter gives up with [Timed_out] — the
+     solve itself keeps running and still lands in the cache. *)
   let rec wait () =
     match cell.result with
     | Some r -> r
-    | None ->
-        Condition.wait t.finished t.mutex;
-        wait ()
+    | None -> (
+        match deadline with
+        | Some (budget, at) when Unix.gettimeofday () >= at ->
+            t.timed_out <- t.timed_out + 1;
+            Error (Timed_out budget)
+        | _ ->
+            Condition.wait t.finished t.mutex;
+            wait ())
   in
-  wait ()
+  match deadline with
+  | None -> wait ()
+  | Some _ ->
+      t.timed_waiters <- t.timed_waiters + 1;
+      Fun.protect
+        ~finally:(fun () -> t.timed_waiters <- t.timed_waiters - 1)
+        wait
 
-let submit t ~key ?(group = "default") job =
+let submit t ~key ?(group = "default") ?deadline_s job =
+  let deadline =
+    Option.map
+      (fun s ->
+        if s <= 0. then invalid_arg "Scheduler.submit: deadline_s <= 0";
+        (s, Unix.gettimeofday () +. s))
+      deadline_s
+  in
   locked t (fun () ->
       t.submitted <- t.submitted + 1;
       if t.stopping then Error Shutdown
@@ -184,7 +252,7 @@ let submit t ~key ?(group = "default") job =
             | Some cell ->
                 (* coalesce onto the identical in-flight solve *)
                 t.dedup_hits <- t.dedup_hits + 1;
-                Result.map (fun v -> (v, `Coalesced)) (await_cell t cell)
+                Result.map (fun v -> (v, `Coalesced)) (await_cell ?deadline t cell)
             | None ->
                 if Queue.length t.queue >= t.queue_limit then begin
                   t.rejected <- t.rejected + 1;
@@ -197,7 +265,7 @@ let submit t ~key ?(group = "default") job =
                   Hashtbl.replace t.in_flight key cell;
                   Queue.push { key; group; job; cell } t.queue;
                   Condition.signal t.work;
-                  Result.map (fun v -> (v, `Computed)) (await_cell t cell)
+                  Result.map (fun v -> (v, `Computed)) (await_cell ?deadline t cell)
                 end))
 
 let stats t =
@@ -210,20 +278,23 @@ let stats t =
         batches = t.batches;
         max_batch = t.max_batch;
         rejected = t.rejected;
+        timed_out = t.timed_out;
         queued_now = Queue.length t.queue;
         in_flight_now = Hashtbl.length t.in_flight;
       })
 
 let shutdown t =
-  let d =
+  let threads =
     locked t (fun () ->
-        if t.stopping then None
+        if t.stopping then []
         else begin
           t.stopping <- true;
           Condition.broadcast t.work;
-          let d = t.dispatcher in
+          Condition.broadcast t.finished;
+          let ts = List.filter_map Fun.id [ t.dispatcher; t.ticker ] in
           t.dispatcher <- None;
-          d
+          t.ticker <- None;
+          ts
         end)
   in
-  match d with Some d -> Thread.join d | None -> ()
+  List.iter Thread.join threads

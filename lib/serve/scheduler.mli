@@ -28,8 +28,15 @@ type 'v t
 type error =
   | Overloaded of { queued : int; limit : int }
       (** backpressure: the bounded queue is full *)
-  | Failed of string  (** the job raised; the exception's text *)
-  | Shutdown  (** the scheduler stopped before the job ran *)
+  | Failed of string
+      (** the job raised (or the pool's watchdog declared its batch
+          stalled); the diagnostic text *)
+  | Timed_out of float
+      (** the caller's [deadline_s] (the payload) elapsed before the
+          solve finished. The solve itself is {e not} cancelled: it
+          keeps running and its value still lands in the cache, so a
+          retry of the same query typically hits. *)
+  | Shutdown  (** the scheduler (or its pool) stopped before the job ran *)
 
 type source =
   [ `Cached  (** served from the solve cache *)
@@ -44,6 +51,7 @@ type stats = {
   batches : int;
   max_batch : int;
   rejected : int;
+  timed_out : int;  (** waits abandoned at their deadline *)
   queued_now : int;
   in_flight_now : int;
 }
@@ -61,11 +69,19 @@ val create :
     immediately. *)
 
 val submit :
-  'v t -> key:Fingerprint.t -> ?group:string -> (unit -> 'v) -> ('v * source, error) result
+  'v t ->
+  key:Fingerprint.t ->
+  ?group:string ->
+  ?deadline_s:float ->
+  (unit -> 'v) ->
+  ('v * source, error) result
 (** Blocking: returns when the value is available (or the request was
     rejected / the job failed). Safe to call from any thread or domain.
     [group] defaults to ["default"]; only same-group entries batch
-    together. *)
+    together. [deadline_s] (seconds, > 0) bounds {e this caller's wait}:
+    past it the call returns [Error (Timed_out deadline_s)] while the
+    underlying solve continues toward the cache. Deadline expiry is
+    detected within one ticker period (~20ms). *)
 
 val stats : 'v t -> stats
 

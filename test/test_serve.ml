@@ -522,6 +522,89 @@ let test_journal_bad_header () =
       Alcotest.(check int) "fresh journal replays" 1 n;
       Alcotest.(check bool) "record" true (records = [ (7L, "fresh") ]))
 
+let test_journal_crc_corruption () =
+  with_temp "crc" (fun path ->
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "open: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:1L ~value:"alpha";
+          S.Journal.append j ~key:2L ~value:"beta";
+          S.Journal.append j ~key:3L ~value:"gamma";
+          S.Journal.close j);
+      (* flip one byte inside the middle record's payload: the framing
+         stays intact, the checksum no longer matches *)
+      let contents =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Bytes.of_string s
+      in
+      let idx =
+        let s = Bytes.to_string contents in
+        let rec find i =
+          if i + 4 > String.length s then
+            Alcotest.fail "payload not found in journal"
+          else if String.sub s i 4 = "beta" then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      Bytes.set contents (idx + 1)
+        (Char.chr (Char.code (Bytes.get contents (idx + 1)) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc contents;
+      close_out oc;
+      (* replay skips exactly the corrupt record and keeps going *)
+      let n, records = journal_records path in
+      Alcotest.(check int) "corrupt record skipped" 2 n;
+      Alcotest.(check bool)
+        "later record still replayed" true
+        (records = [ (1L, "alpha"); (3L, "gamma") ]);
+      (* re-opening for append keeps the file: framing is sound, so new
+         records land after the (still-skipped) corrupt one *)
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "reopen: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:4L ~value:"delta";
+          S.Journal.close j);
+      let n, records = journal_records path in
+      Alcotest.(check int) "append after corruption reachable" 3 n;
+      Alcotest.(check bool)
+        "tail is the new record" true
+        (List.nth records 2 = (4L, "delta")))
+
+let test_journal_torn_write_fault () =
+  with_temp "fault" (fun path ->
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "open: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:1L ~value:"alpha";
+          (* inject a crash mid-append: half the payload, no checksum *)
+          Repro_resilience.Faults.arm ~seed:9
+            ~points:
+              [
+                ( "journal_torn_write",
+                  { Repro_resilience.Faults.prob = 1.; limit = Some 1 } );
+              ];
+          Fun.protect ~finally:Repro_resilience.Faults.disarm (fun () ->
+              S.Journal.append j ~key:2L ~value:"torn-away");
+          S.Journal.close j);
+      (* replay recovers the committed prefix *)
+      let n, records = journal_records path in
+      Alcotest.(check int) "committed prefix recovered" 1 n;
+      Alcotest.(check bool) "record intact" true (records = [ (1L, "alpha") ]);
+      (* open_append truncates the torn tail; appends are reachable again *)
+      (match S.Journal.open_append path with
+      | Error e -> Alcotest.failf "reopen: %s" e
+      | Ok j ->
+          S.Journal.append j ~key:3L ~value:"gamma";
+          S.Journal.close j);
+      let n, records = journal_records path in
+      Alcotest.(check int) "post-recovery append reachable" 2 n;
+      Alcotest.(check bool)
+        "records" true
+        (records = [ (1L, "alpha"); (3L, "gamma") ]))
+
 let test_cache_journal_restart () =
   with_temp "cachej" (fun path ->
       let encode = string_of_int and decode = int_of_string_opt in
@@ -608,6 +691,7 @@ let test_daemon_roundtrip () =
                    {
                      instance = b4_dp_instance;
                      demand = S.Protocol.Gen { gen = `Gravity; seed = 2 };
+                     deadline = None;
                    })
             in
             let first = expect_ok "evaluate#1" (evaluate ()) in
@@ -668,6 +752,8 @@ let test_daemon_find_gap_and_unknown_topology () =
                         method_ = S.Protocol.Hillclimb;
                         time = 0.3;
                         seed = 3;
+                        deadline = None;
+                        degrade = false;
                       }))
             in
             Alcotest.(check bool)
@@ -684,6 +770,7 @@ let test_daemon_find_gap_and_unknown_topology () =
                          heuristic = S.Protocol.Dp { threshold_frac = 0.05 };
                        };
                      demand = S.Protocol.Gen { gen = `Uniform; seed = 1 };
+                     deadline = None;
                    })
             with
             | Ok response ->
@@ -713,6 +800,7 @@ let test_daemon_persistent_cache () =
                   {
                     instance = b4_dp_instance;
                     demand = S.Protocol.Gen { gen = `Uniform; seed = 5 };
+                    deadline = None;
                   })))
     with
     | Ok r -> r
@@ -787,6 +875,10 @@ let () =
             test_journal_truncated_tail;
           Alcotest.test_case "foreign header rejected" `Quick
             test_journal_bad_header;
+          Alcotest.test_case "corrupt record skipped on replay" `Quick
+            test_journal_crc_corruption;
+          Alcotest.test_case "torn-write fault recovered" `Quick
+            test_journal_torn_write_fault;
           Alcotest.test_case "cache journal restart" `Quick
             test_cache_journal_restart;
         ] );

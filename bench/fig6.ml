@@ -121,4 +121,80 @@ let run () =
     (Fmt.str "%a" Branch_bound.pp_result r);
   Common.row "  lp engine (%s backend): %s"
     (Backend.kind_to_string (Backend.default ()))
-    (Fmt.str "%a" Simplex.pp_stats r.Branch_bound.lp_stats)
+    (Fmt.str "%a" Simplex.pp_stats r.Branch_bound.lp_stats);
+
+  (* DP threshold sweep (gap vs pinning threshold), routed through the
+     batched sweep engine: one shared LP skeleton, factorized-basis RHS
+     re-solves, versus the former rebuild-per-point loop. *)
+  Common.subsection "DP threshold sweep via lib/sweep";
+  let module Sweep = Repro_sweep.Scenario_sweep in
+  let module Sweep_plan = Repro_sweep.Plan in
+  let fracs =
+    if Common.full_mode then
+      [ 0.005; 0.01; 0.02; 0.03; 0.05; 0.07; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5 ]
+    else [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5 ]
+  in
+  let num_seeds = if Common.full_mode then 10 else 5 in
+  let plan =
+    Sweep_plan.grid
+      ~space:(Pathset.space pathset)
+      ~generator:
+        (Sweep_plan.Gravity { total = 0.5 *. Graph.total_capacity g })
+      ~thresholds:
+        (Array.of_list
+           (List.map (fun f -> Common.threshold_of g ~fraction:f) fracs))
+      ~scales:[| 1. |]
+      ~seeds:(Array.init num_seeds (fun i -> i + 1))
+      ()
+  in
+  let sweep mode =
+    Sweep.run
+      ~options:
+        {
+          Sweep.jobs = 1;
+          chunk = Sweep.default_options.Sweep.chunk;
+          backend = None;
+          mode;
+          deadline = None;
+          cache = None;
+          jsonl = None;
+        }
+      ~paths:Common.default_paths pathset plan
+  in
+  let shared = sweep Sweep.Shared_basis in
+  let rebuild = sweep Sweep.Rebuild in
+  Common.row "%-12s %12s %12s %8s" "threshold" "mean gap" "mean gap/cap"
+    "infeas";
+  List.iteri
+    (fun ti frac ->
+      let sum = ref 0. and cnt = ref 0 and infeas = ref 0 in
+      Array.iter
+        (function
+          | Some sr
+            when Float.abs
+                   (sr.Sweep.scenario.Sweep_plan.threshold
+                   -. Common.threshold_of g ~fraction:frac)
+                 < 1e-9 -> (
+              match Sweep.gap sr with
+              | Some gv ->
+                  sum := !sum +. gv;
+                  incr cnt
+              | None -> incr infeas)
+          | _ -> ())
+        shared.Sweep.results;
+      ignore ti;
+      let mean = if !cnt > 0 then !sum /. float_of_int !cnt else 0. in
+      Common.row "%-12.3g %12.1f %12.4f %8d"
+        (Common.threshold_of g ~fraction:frac)
+        mean (Common.norm g mean) !infeas)
+    fracs;
+  let speedup =
+    if shared.Sweep.wall_s > 0. then rebuild.Sweep.wall_s /. shared.Sweep.wall_s
+    else 0.
+  in
+  Common.row
+    "sweep engine: %d scenarios in %.2fs shared-basis vs %.2fs rebuild \
+     (%.1fx; %s)"
+    (Sweep_plan.num_scenarios plan)
+    shared.Sweep.wall_s rebuild.Sweep.wall_s speedup
+    (Fmt.str "%a" Simplex.pp_stats shared.Sweep.lp_stats)

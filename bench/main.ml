@@ -26,13 +26,14 @@ let all : (string * (unit -> unit)) list =
     ("micro", Micro.run);
     ("engine", Engine_perf.run);
     ("serve", Serve.run);
+    ("sweep", Sweep.run);
     ("resilience", Resilience.run);
   ]
 
 let default =
   [
     "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "lp"; "ablations"; "micro";
-    "engine"; "serve"; "resilience";
+    "engine"; "serve"; "sweep"; "resilience";
   ]
 
 let () =

@@ -173,6 +173,28 @@ let run () =
           |> List.length
         in
 
+        (* batch: concurrent distinct queries in one admission group
+           (same topology and op) — the scheduler's admission window
+           must dispatch them as one parallel batch, not 6 batches of
+           one *)
+        let batch_clients = 6 in
+        let batch_threads =
+          List.init batch_clients (fun i ->
+              Thread.create
+                (fun () ->
+                  match
+                    S.Client.with_connection socket_path (fun c' ->
+                        expect_ok
+                          (S.Client.call c'
+                             (evaluate_query ~topology:"b4"
+                                ~threshold_frac:0.041 ~seed:(500 + i))))
+                  with
+                  | Ok _ -> ()
+                  | Error e -> fail "serve bench: batch client: %s" e)
+                ())
+        in
+        List.iter Thread.join batch_threads;
+
         let stats = expect_ok (S.Client.call c S.Protocol.Stats) in
         ignore (expect_ok (S.Client.call c S.Protocol.Shutdown));
         (cold, warm, warm_wall, coalesced, computed, stats))
@@ -199,6 +221,15 @@ let run () =
       Common.row "  result-cache hit rate: %.3f" hit_rate;
       Common.row "  dedup: %d concurrent identical clients -> %d solve(s), %d coalesced"
         8 computed coalesced;
+      let max_batch =
+        Option.bind (Json.member "scheduler" stats) (Json.obj_int "max_batch")
+        |> Option.value ~default:0
+      in
+      Common.row "  batch: 6 concurrent distinct clients -> max batch %d"
+        max_batch;
+      if max_batch <= 1 then
+        fail "serve bench: concurrent burst never formed a batch (max_batch %d)"
+          max_batch;
       let take name =
         Option.value (Json.member name stats) ~default:Json.Null
       in

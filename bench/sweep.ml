@@ -1,0 +1,196 @@
+(* sweep: batched scenario-sweep engine benchmark (lib/sweep).
+
+   A fig6-family grid on B4 — DP pinning thresholds x demand scales x
+   demand seeds — evaluated three ways, emitting BENCH_sweep.json:
+
+   - shared:  one LP skeleton, factorized-basis RHS re-solves (the
+     engine's point);
+   - rebuild: the pre-sweep baseline, a full model rebuild and cold
+     solve per scenario;
+   - cached:  the shared run repeated against a warm content-addressed
+     solve cache — every scenario a lookup.
+
+   The headline numbers are shared-vs-rebuild (the batching win) and
+   cached-vs-cold (the serve-cache win on top). A jobs=1 vs jobs=4
+   re-run of the shared sweep must agree bit-for-bit: chunk boundaries
+   are fixed by the plan, never by the worker count.
+
+   REPRO_BENCH_SWEEP_TINY=1 shrinks the grid to a few scenarios for CI
+   smoke runs (the speedup assertion there is >= 1.0x, not 10x). *)
+
+module Sweep = Repro_sweep.Scenario_sweep
+module Sweep_plan = Repro_sweep.Plan
+module Json = Repro_serve.Json
+
+let tiny_mode =
+  match Sys.getenv_opt "REPRO_BENCH_SWEEP_TINY" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let jobs = 4
+
+let result_key = function
+  | None -> "skipped"
+  | Some r ->
+      (* bit-exact comparison: hex of the IEEE patterns, not printf *)
+      Printf.sprintf "%Lx:%s"
+        (Int64.bits_of_float r.Sweep.opt)
+        (match r.Sweep.heur with
+        | None -> "inf"
+        | Some h -> Printf.sprintf "%Lx" (Int64.bits_of_float h))
+
+let lp_json (s : Simplex.stats) =
+  Json.Obj
+    [
+      ("iterations", Json.Num (float_of_int s.Simplex.iterations));
+      ("refactorizations", Json.Num (float_of_int s.Simplex.refactorizations));
+      ("warm_hits", Json.Num (float_of_int s.Simplex.warm_hits));
+      ("warm_misses", Json.Num (float_of_int s.Simplex.warm_misses));
+      ("rhs_ftran", Json.Num (float_of_int s.Simplex.rhs_ftran));
+      ("rhs_dual", Json.Num (float_of_int s.Simplex.rhs_dual));
+    ]
+
+let phase_json (r : Sweep.result) =
+  Json.Obj
+    [
+      ("wall_s", Json.Num r.Sweep.wall_s);
+      ( "scenarios_per_s",
+        Json.Num
+          (if r.Sweep.wall_s > 0. then
+             float_of_int r.Sweep.completed /. r.Sweep.wall_s
+           else 0.) );
+      ("completed", Json.Num (float_of_int r.Sweep.completed));
+      ("skipped", Json.Num (float_of_int r.Sweep.skipped));
+      ("chunks", Json.Num (float_of_int r.Sweep.chunks));
+      ("lp", lp_json r.Sweep.lp_stats);
+    ]
+
+let run () =
+  Common.section "sweep: batched scenario-sweep engine (B4)";
+  let g = Topologies.b4 () in
+  let paths = Common.default_paths in
+  let pathset = Common.pathset_of g ~paths in
+  let space = Pathset.space pathset in
+  let maxcap = Graph.max_capacity g in
+  (* fig6-family grid: DP thresholds as capacity fractions, demand scales
+     around the feasibility knee, gravity seeds *)
+  let fracs, scales, num_seeds =
+    if tiny_mode then ([ 0.02; 0.05; 0.1 ], [ 1. ], 3)
+    else
+      ( [ 0.01; 0.02; 0.03; 0.05; 0.07; 0.1; 0.15; 0.2; 0.3; 0.5 ],
+        [ 0.25; 0.5; 1.; 1.5; 2. ],
+        10 )
+  in
+  let plan =
+    Sweep_plan.grid ~space
+      ~generator:(Sweep_plan.Gravity { total = 0.5 *. Graph.total_capacity g })
+      ~thresholds:(Array.of_list (List.map (fun f -> f *. maxcap) fracs))
+      ~scales:(Array.of_list scales)
+      ~seeds:(Array.init num_seeds (fun i -> i + 1))
+      ()
+  in
+  let n = Sweep_plan.num_scenarios plan in
+  Common.row "grid: %d thresholds x %d scales x %d seeds = %d scenarios"
+    (List.length fracs) (List.length scales) num_seeds n;
+  Common.note_jobs jobs;
+  let base mode jobs cache =
+    {
+      Sweep.jobs;
+      chunk = Sweep.default_options.Sweep.chunk;
+      backend = None;
+      mode;
+      deadline = None;
+      cache;
+      jsonl = None;
+    }
+  in
+  let sweep options = Sweep.run ~options ~paths pathset plan in
+
+  (* shared-basis, cold *)
+  let shared = sweep (base Sweep.Shared_basis jobs None) in
+  if shared.Sweep.completed <> n then
+    fail "sweep bench: shared run completed %d of %d" shared.Sweep.completed n;
+  Common.row "  shared  (jobs %d): %6.2fs  %7.1f scenarios/s  (%s)" jobs
+    shared.Sweep.wall_s
+    (float_of_int n /. shared.Sweep.wall_s)
+    (Fmt.str "%a" Simplex.pp_stats shared.Sweep.lp_stats);
+
+  (* rebuild-per-scenario baseline *)
+  let rebuild = sweep (base Sweep.Rebuild jobs None) in
+  if rebuild.Sweep.completed <> n then
+    fail "sweep bench: rebuild run completed %d of %d" rebuild.Sweep.completed n;
+  Common.row "  rebuild (jobs %d): %6.2fs  %7.1f scenarios/s" jobs
+    rebuild.Sweep.wall_s
+    (float_of_int n /. rebuild.Sweep.wall_s);
+  let speedup =
+    if shared.Sweep.wall_s > 0. then
+      rebuild.Sweep.wall_s /. shared.Sweep.wall_s
+    else 0.
+  in
+  Common.row "  shared basis is %.1fx faster than rebuild-per-scenario" speedup;
+  if speedup < 1.0 then
+    fail "sweep bench: shared basis slower than rebuild (%.2fx)" speedup;
+
+  (* cached re-run: warm the cache with one shared sweep, then re-run *)
+  let cache = Repro_serve.Solve_cache.create () in
+  ignore (sweep (base Sweep.Shared_basis jobs (Some cache)));
+  let cached = sweep (base Sweep.Shared_basis jobs (Some cache)) in
+  if cached.Sweep.completed <> n then
+    fail "sweep bench: cached run completed %d of %d" cached.Sweep.completed n;
+  let all_cached =
+    Array.for_all
+      (function
+        | Some r -> r.Sweep.cached_opt && r.Sweep.cached_heur
+        | None -> false)
+      cached.Sweep.results
+  in
+  if not all_cached then fail "sweep bench: warm re-run missed the cache";
+  let cached_speedup =
+    if cached.Sweep.wall_s > 0. then shared.Sweep.wall_s /. cached.Sweep.wall_s
+    else 0.
+  in
+  Common.row "  cached  (jobs %d): %6.2fs  %7.1f scenarios/s  (%.1fx vs cold)"
+    jobs cached.Sweep.wall_s
+    (float_of_int n /. cached.Sweep.wall_s)
+    cached_speedup;
+
+  (* determinism: jobs=1 and jobs=4 must agree bit-for-bit (cacheless) *)
+  let serial = sweep (base Sweep.Shared_basis 1 None) in
+  let identical =
+    Array.for_all2
+      (fun a b -> String.equal (result_key a) (result_key b))
+      serial.Sweep.results shared.Sweep.results
+  in
+  if not identical then
+    fail "sweep bench: jobs=1 and jobs=%d disagree on scenario results" jobs;
+  Common.row "  jobs=1 vs jobs=%d: identical results (bitwise)" jobs;
+
+  let doc =
+    Json.Obj
+      [
+        ("benchmark", Json.Str "repro-sweep");
+        ( "mode",
+          Json.Str
+            (if tiny_mode then "tiny"
+             else if Common.full_mode then "full"
+             else "fast") );
+        ("cpus", Json.Num (float_of_int (Domain.recommended_domain_count ())));
+        ("jobs", Json.Num (float_of_int jobs));
+        ("topology", Json.Str (Graph.name g));
+        ("paths", Json.Num (float_of_int paths));
+        ("scenarios", Json.Num (float_of_int n));
+        ("shared", phase_json shared);
+        ("rebuild", phase_json rebuild);
+        ("cached", phase_json cached);
+        ("shared_vs_rebuild", Json.Num speedup);
+        ("cached_vs_cold", Json.Num cached_speedup);
+        ("deterministic_across_jobs", Json.Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Common.row "machine-readable results written to BENCH_sweep.json"

@@ -412,6 +412,237 @@ let find_gap_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Sweep = Repro_sweep.Scenario_sweep
+module Sweep_plan = Repro_sweep.Plan
+
+let sweep_cmd =
+  let run g paths thresholds_frac scales num_seeds seed gen jobs chunk
+      lp_backend rebuild cache_mb out perturb_fraction perturb_level
+      perturb_variants deadline_s degrade verbose =
+    setup_logs verbose;
+    Backend.set_default lp_backend;
+    if degrade && deadline_s = None then begin
+      Fmt.epr "sweep: --degrade requires --deadline@.";
+      exit 1
+    end;
+    if num_seeds <= 0 then begin
+      Fmt.epr "sweep: --num-seeds must be positive@.";
+      exit 1
+    end;
+    let pathset = Pathset.compute (Demand.full_space g) ~k:paths in
+    let space = Pathset.space pathset in
+    let maxcap = Graph.max_capacity g in
+    let thresholds =
+      Array.of_list (List.map (fun f -> f *. maxcap) thresholds_frac)
+    in
+    let generator =
+      match gen with
+      | `Uniform -> Sweep_plan.Uniform { max = 0.5 *. maxcap }
+      | `Gravity -> Sweep_plan.Gravity { total = 0.5 *. Graph.total_capacity g }
+    in
+    let perturbs =
+      if perturb_fraction <= 0. then [| None |]
+      else
+        Array.init (Int.max 1 perturb_variants) (fun i ->
+            Some
+              {
+                Sweep_plan.pseed = i;
+                fraction = perturb_fraction;
+                level = perturb_level;
+              })
+    in
+    let plan =
+      Sweep_plan.grid ~space ~generator ~thresholds
+        ~scales:(Array.of_list scales)
+        ~seeds:(Array.init num_seeds (fun i -> seed + i))
+        ~perturbs ()
+    in
+    let cache =
+      if cache_mb <= 0 then None
+      else
+        Some
+          (Repro_serve.Solve_cache.create
+             ~max_bytes:(cache_mb * 1024 * 1024)
+             ())
+    in
+    let deadline =
+      Option.map
+        (fun wall -> Repro_resilience.Deadline.create ~wall ())
+        deadline_s
+    in
+    let options =
+      {
+        Sweep.jobs = Repro_engine.Jobs.clamp jobs;
+        chunk;
+        backend = Some lp_backend;
+        mode = (if rebuild then Sweep.Rebuild else Sweep.Shared_basis);
+        deadline;
+        cache;
+        jsonl = out;
+      }
+    in
+    let r = Sweep.run ~options ~paths pathset plan in
+    Fmt.pr "topology      : %s (%d pairs, %d paths/pair)@." (Graph.name g)
+      (Pathset.num_pairs pathset) paths;
+    Fmt.pr "scenarios     : %d total, %d completed, %d skipped (%d chunks)@."
+      (Sweep_plan.num_scenarios plan)
+      r.Sweep.completed r.Sweep.skipped r.Sweep.chunks;
+    Fmt.pr "mode          : %s, %s backend, %d jobs@."
+      (if rebuild then "rebuild-per-scenario" else "shared-basis")
+      (Backend.kind_to_string lp_backend)
+      (Repro_engine.Jobs.clamp jobs);
+    Fmt.pr "wall          : %.2fs (%.1f scenarios/s)@." r.Sweep.wall_s
+      (if r.Sweep.wall_s > 0. then
+         float_of_int r.Sweep.completed /. r.Sweep.wall_s
+       else 0.);
+    if not rebuild then
+      Fmt.pr "lp engine     : %a@." Simplex.pp_stats r.Sweep.lp_stats;
+    let infeasible = ref 0 in
+    let best = ref None in
+    Array.iter
+      (function
+        | None -> ()
+        | Some sr -> (
+            match Sweep.gap sr with
+            | None -> incr infeasible
+            | Some gv -> (
+                match !best with
+                | Some (bg, _) when bg >= gv -> ()
+                | _ -> best := Some (gv, sr))))
+      r.Sweep.results;
+    (match !best with
+    | Some (gv, sr) ->
+        Fmt.pr "max gap       : %.1f (gap/capacity %.4f) at %a@." gv
+          (gv /. Graph.total_capacity g)
+          Sweep_plan.pp_scenario sr.Sweep.scenario
+    | None -> ());
+    if !infeasible > 0 then
+      Fmt.pr "infeasible    : %d scenario(s) overload their pinned paths@."
+        !infeasible;
+    (match cache with
+    | Some c ->
+        let cs = Repro_serve.Solve_cache.stats c in
+        Fmt.pr "solve cache   : %d hits, %d misses, %d entries@."
+          cs.Repro_serve.Solve_cache.hits cs.Repro_serve.Solve_cache.misses
+          cs.Repro_serve.Solve_cache.entries
+    | None -> ());
+    (match out with
+    | Some path -> Fmt.pr "results written to %s (JSONL)@." path
+    | None -> ());
+    match r.Sweep.outcome with
+    | `Complete -> ()
+    | `Partial reason ->
+        Fmt.pr "degraded      : partial sweep (%s); completed results above@."
+          (Repro_resilience.Outcome.reason_to_string reason);
+        if not degrade then exit 4
+  in
+  let thresholds_frac_arg =
+    let doc =
+      "Comma-separated DP pinning thresholds, as fractions of the maximum \
+       link capacity; one sweep axis."
+    in
+    Arg.(
+      value
+      & opt (list float) [ 0.02; 0.05; 0.1 ]
+      & info [ "thresholds-frac" ] ~docv:"F,F,..." ~doc)
+  in
+  let scales_arg =
+    let doc = "Comma-separated demand-scale multipliers; one sweep axis." in
+    Arg.(value & opt (list float) [ 1. ] & info [ "scales" ] ~docv:"S,S,..." ~doc)
+  in
+  let num_seeds_arg =
+    let doc =
+      "Demand seeds per grid point: seeds seed, seed+1, ..., seed+N-1."
+    in
+    Arg.(value & opt int 5 & info [ "num-seeds" ] ~docv:"N" ~doc)
+  in
+  let sweep_gen_arg =
+    let doc = "Demand generator: uniform or gravity." in
+    Arg.(
+      value
+      & opt (enum [ ("uniform", `Uniform); ("gravity", `Gravity) ]) `Gravity
+      & info [ "demands" ] ~docv:"GEN" ~doc)
+  in
+  let chunk_arg =
+    let doc =
+      "Scenarios per work chunk. Fixed independently of --jobs, so results \
+       are identical whatever the worker count."
+    in
+    Arg.(value & opt int 32 & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let rebuild_arg =
+    let doc =
+      "Rebuild the model per scenario instead of specializing the shared \
+       LP skeleton (the slow baseline; for comparison)."
+    in
+    Arg.(value & flag & info [ "rebuild" ] ~doc)
+  in
+  let cache_mb_arg =
+    let doc =
+      "Attach an in-memory content-addressed solve cache of this many MiB \
+       (0 = none). Repeated demands — e.g. one matrix probed under many \
+       thresholds — then cost one OPT solve."
+    in
+    Arg.(value & opt int 0 & info [ "cache-mb" ] ~docv:"MIB" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Stream per-scenario results to this JSONL file, flushed chunk by \
+       chunk (a killed sweep still leaves finished chunks on disk)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let perturb_fraction_arg =
+    let doc =
+      "Perturb each scenario's demand: rewrite this fraction of pairs to \
+       a volume tied to the pinning threshold (0 = off)."
+    in
+    Arg.(value & opt float 0. & info [ "perturb-fraction" ] ~docv:"F" ~doc)
+  in
+  let perturb_level_arg =
+    let doc =
+      "Perturbed pairs get volume LEVEL * threshold (<= 1 lands at or \
+       below the pinning threshold: adversarial pressure on pinned paths)."
+    in
+    Arg.(value & opt float 1. & info [ "perturb-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let perturb_variants_arg =
+    let doc = "Independent perturbation draws per grid point; one sweep axis." in
+    Arg.(value & opt int 1 & info [ "perturb-variants" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Wall-clock budget in seconds for the whole sweep. Past it, remaining \
+       scenarios are skipped and the sweep reports a partial result (exit \
+       code 4 unless --degrade)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let degrade_arg =
+    let doc = "With --deadline: accept a partial sweep instead of failing." in
+    Arg.(value & flag & info [ "degrade" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ paths_arg $ thresholds_frac_arg $ scales_arg
+      $ num_seeds_arg $ seed_arg $ sweep_gen_arg $ jobs_arg $ chunk_arg
+      $ lp_backend_arg $ rebuild_arg $ cache_mb_arg $ out_arg
+      $ perturb_fraction_arg $ perturb_level_arg $ perturb_variants_arg
+      $ deadline_arg $ degrade_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Evaluate a grid of scenarios (thresholds x scales x seeds) against \
+          one topology in a single batched run, re-solving a shared LP by \
+          right-hand-side edits only")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* find-capacity-gap                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -861,5 +1092,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topology_cmd; evaluate_cmd; find_gap_cmd; find_capacity_gap_cmd;
-            solve_lp_cmd; serve_cmd; client_cmd ]))
+          [ topology_cmd; evaluate_cmd; find_gap_cmd; sweep_cmd;
+            find_capacity_gap_cmd; solve_lp_cmd; serve_cmd; client_cmd ]))

@@ -51,6 +51,15 @@ module type S = sig
     state ->
     Simplex.solution
 
+  val set_rhs : state -> int -> float -> unit
+  val get_rhs : state -> int -> float
+
+  val resolve_rhs :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    Simplex.solution
+
   val total_iterations : state -> int
   val snapshot_basis : state -> Simplex.basis_snapshot
   val install_basis : state -> Simplex.basis_snapshot -> bool
@@ -67,6 +76,9 @@ module Dense_backend : S with type state = Simplex.t = struct
   let get_ub = Simplex.get_ub
   let solve_fresh = Simplex.solve_fresh
   let resolve = Simplex.resolve
+  let set_rhs = Simplex.set_rhs
+  let get_rhs = Simplex.get_rhs
+  let resolve_rhs = Simplex.resolve_rhs
   let total_iterations = Simplex.total_iterations
   let snapshot_basis = Simplex.snapshot_basis
   let install_basis = Simplex.install_basis
@@ -83,6 +95,9 @@ module Sparse_backend : S with type state = Sparse_simplex.t = struct
   let get_ub = Sparse_simplex.get_ub
   let solve_fresh = Sparse_simplex.solve_fresh
   let resolve = Sparse_simplex.resolve
+  let set_rhs = Sparse_simplex.set_rhs
+  let get_rhs = Sparse_simplex.get_rhs
+  let resolve_rhs = Sparse_simplex.resolve_rhs
   let total_iterations = Sparse_simplex.total_iterations
   let snapshot_basis = Sparse_simplex.snapshot_basis
   let install_basis = Sparse_simplex.install_basis
@@ -112,6 +127,13 @@ let solve_fresh ?iter_limit ?deadline (Packed ((module B), s, _)) =
 
 let resolve ?iter_limit ?deadline (Packed ((module B), s, _)) =
   B.resolve ?iter_limit ?deadline s
+
+let set_rhs (Packed ((module B), s, _)) i v = B.set_rhs s i v
+let get_rhs (Packed ((module B), s, _)) i = B.get_rhs s i
+
+let resolve_rhs ?iter_limit ?deadline (Packed ((module B), s, _)) =
+  B.resolve_rhs ?iter_limit ?deadline s
+
 let total_iterations (Packed ((module B), s, _)) = B.total_iterations s
 let snapshot_basis (Packed ((module B), s, _)) = B.snapshot_basis s
 let install_basis (Packed ((module B), s, _)) snap = B.install_basis s snap

@@ -47,6 +47,15 @@ module type S = sig
     state ->
     Simplex.solution
 
+  val set_rhs : state -> int -> float -> unit
+  val get_rhs : state -> int -> float
+
+  val resolve_rhs :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    Simplex.solution
+
   val total_iterations : state -> int
   val snapshot_basis : state -> Simplex.basis_snapshot
   val install_basis : state -> Simplex.basis_snapshot -> bool
@@ -72,6 +81,18 @@ val solve_fresh :
   ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> Simplex.solution
 
 val resolve :
+  ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> Simplex.solution
+
+(** Per-state right-hand side edits for scenario sweeps; see
+    {!Simplex.set_rhs}. The standard form stays shared read-only. *)
+val set_rhs : t -> int -> float -> unit
+
+val get_rhs : t -> int -> float
+
+(** Factorized-basis fast path for RHS-only changes: ftran-only
+    re-solve when the old basis stays primal feasible, dual simplex
+    otherwise; see {!Simplex.resolve_rhs}. *)
+val resolve_rhs :
   ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> Simplex.solution
 
 val total_iterations : t -> int

@@ -15,7 +15,7 @@ type constr_data = {
   c_name : string;
   c_expr : Linexpr.t; (* constant part already folded into c_rhs *)
   c_sense : sense;
-  c_rhs : float;
+  mutable c_rhs : float;
 }
 
 type t = {
@@ -101,6 +101,7 @@ let constr_name t c = (Buf.get t.constrs c).c_name
 let constr_expr t c = (Buf.get t.constrs c).c_expr
 let constr_sense t c = (Buf.get t.constrs c).c_sense
 let constr_rhs t c = (Buf.get t.constrs c).c_rhs
+let set_constr_rhs t c rhs = (Buf.get t.constrs c).c_rhs <- rhs
 let sos1_groups t = Buf.to_array t.sos1
 let objective t = t.obj
 

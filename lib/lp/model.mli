@@ -67,6 +67,10 @@ val constr_expr : t -> constr -> Linexpr.t
 val constr_sense : t -> constr -> sense
 val constr_rhs : t -> constr -> float
 
+(** Replace a constraint's right-hand side in place (scenario sweeps
+    rebuild nothing but the RHS vector between solves). *)
+val set_constr_rhs : t -> constr -> float -> unit
+
 val sos1_groups : t -> var array array
 val objective : t -> direction * Linexpr.t
 

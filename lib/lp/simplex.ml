@@ -19,6 +19,8 @@ type stats = {
   etas : int;
   warm_hits : int;
   warm_misses : int;
+  rhs_ftran : int;
+  rhs_dual : int;
   presolve_rows : int;
   presolve_cols : int;
 }
@@ -30,6 +32,8 @@ let empty_stats =
     etas = 0;
     warm_hits = 0;
     warm_misses = 0;
+    rhs_ftran = 0;
+    rhs_dual = 0;
     presolve_rows = 0;
     presolve_cols = 0;
   }
@@ -41,6 +45,8 @@ let add_stats a b =
     etas = a.etas + b.etas;
     warm_hits = a.warm_hits + b.warm_hits;
     warm_misses = a.warm_misses + b.warm_misses;
+    rhs_ftran = a.rhs_ftran + b.rhs_ftran;
+    rhs_dual = a.rhs_dual + b.rhs_dual;
     presolve_rows = a.presolve_rows + b.presolve_rows;
     presolve_cols = a.presolve_cols + b.presolve_cols;
   }
@@ -48,6 +54,8 @@ let add_stats a b =
 let pp_stats ppf s =
   Fmt.pf ppf "iters=%d refactors=%d etas=%d warm=%d/%d" s.iterations
     s.refactorizations s.etas s.warm_hits (s.warm_hits + s.warm_misses);
+  if s.rhs_ftran > 0 || s.rhs_dual > 0 then
+    Fmt.pf ppf " rhs=%df/%dd" s.rhs_ftran s.rhs_dual;
   if s.presolve_rows > 0 || s.presolve_cols > 0 then
     Fmt.pf ppf " presolve=-%dr/-%dc" s.presolve_rows s.presolve_cols
 
@@ -73,6 +81,10 @@ type t = {
   n : int;
   m : int;
   nt : int;
+  b : float array;
+      (* per-state right-hand side, seeded from sf.b at create; scenario
+         sweeps edit it in place via set_rhs while sf stays shared
+         read-only across domains *)
   tab : float array array; (* m rows x nt columns: B^-1 [A I I] *)
   d : float array; (* reduced costs, length nt *)
   cost : float array; (* current phase cost vector, length nt *)
@@ -82,9 +94,15 @@ type t = {
   lb : float array; (* length nt *)
   ub : float array; (* length nt *)
   mutable solved_once : bool;
+  mutable phase2_opt : bool;
+      (* last extract left a phase-2 optimal basis and nothing (bounds,
+         basis install) invalidated it since — the precondition for the
+         ftran-only RHS re-solve path *)
   mutable iters_total : int;
   mutable warm_hits : int;
   mutable warm_misses : int;
+  mutable rhs_ftran : int;
+  mutable rhs_dual : int;
   mutable refactors : int;
   mutable deadline : Repro_resilience.Deadline.t option;
       (* cooperative budget checked inside the pivot loops; installed by
@@ -127,6 +145,7 @@ let create (sf : Standard_form.t) =
     n;
     m;
     nt;
+    b = Array.copy sf.b;
     tab = Array.init m (fun _ -> Array.make nt 0.);
     d = Array.make nt 0.;
     cost = Array.make nt 0.;
@@ -136,9 +155,12 @@ let create (sf : Standard_form.t) =
     lb;
     ub;
     solved_once = false;
+    phase2_opt = false;
     iters_total = 0;
     warm_hits = 0;
     warm_misses = 0;
+    rhs_ftran = 0;
+    rhs_dual = 0;
     refactors = 0;
     deadline = None;
   }
@@ -157,6 +179,7 @@ let nb_value t j =
 let set_bounds t j ~lb ~ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds";
   if lb > ub then invalid_arg "Simplex.set_bounds: lb > ub";
+  t.phase2_opt <- false;
   if t.stat.(j) = Basic || not t.solved_once then begin
     t.lb.(j) <- lb;
     t.ub.(j) <- ub
@@ -197,7 +220,7 @@ let rebuild_tableau t =
 
 (* Residual b - (A x_N) over nonbasic structural + slack columns. *)
 let residuals t =
-  let r = Array.copy t.sf.b in
+  let r = Array.copy t.b in
   (* walk rows once using sparse storage (cheaper than column walk) *)
   for i = 0 to t.m - 1 do
     Array.iter
@@ -299,9 +322,7 @@ let residual_error t =
     let acc = ref 0. in
     Array.iter (fun (j, a) -> acc := !acc +. (a *. x.(j))) t.sf.rows.(i);
     acc := !acc +. x.(slack t i) +. x.(art t i);
-    let err =
-      Float.abs (!acc -. t.sf.b.(i)) /. (1. +. Float.abs t.sf.b.(i))
-    in
+    let err = Float.abs (!acc -. t.b.(i)) /. (1. +. Float.abs t.b.(i)) in
     if err > !worst then worst := err
   done;
   !worst
@@ -523,7 +544,7 @@ let start_basis t =
   done;
   rebuild_tableau t;
   (* residual with all slacks+artificials nonbasic at 0 *)
-  let r = Array.copy t.sf.b in
+  let r = Array.copy t.b in
   for i = 0 to t.m - 1 do
     Array.iter (fun (j, a) -> r.(i) <- r.(i) -. (a *. nb_value t j)) t.sf.rows.(i)
   done;
@@ -611,6 +632,9 @@ let dual_values t =
   y
 
 let extract t status iterations =
+  (* every extract site with [Optimal] is past phase 2, so this flag is
+     exactly "the state holds a phase-2 optimal basis" *)
+  t.phase2_opt <- status = Optimal;
   let sgn = if t.sf.flip_sign then -1. else 1. in
   match status with
   | Optimal | Iteration_limit ->
@@ -908,6 +932,63 @@ let resolve ?iter_limit ?deadline t =
         solve_fresh ~iter_limit ?deadline t
   end
 
+let set_rhs t i v =
+  if i < 0 || i >= t.m then invalid_arg "Simplex.set_rhs";
+  t.b.(i) <- v
+
+let get_rhs t i =
+  if i < 0 || i >= t.m then invalid_arg "Simplex.get_rhs";
+  t.b.(i)
+
+(* Are all basic values within their variable's bounds? *)
+let basics_feasible t =
+  let ok = ref true in
+  for i = 0 to t.m - 1 do
+    let bi = t.basis.(i) in
+    if t.xb.(i) < t.lb.(bi) -. feas_tol || t.xb.(i) > t.ub.(bi) +. feas_tol
+    then ok := false
+  done;
+  !ok
+
+(* Re-solve after RHS-only edits. Changing b leaves every reduced cost
+   untouched, so a phase-2 optimal basis stays dual feasible: recompute
+   the basic values against the new b (refresh_xb) and, when they are
+   still within bounds, the old basis is optimal for the new RHS with
+   zero pivots. Otherwise the dual simplex restores primal feasibility
+   from the same basis. *)
+let resolve_rhs ?iter_limit ?deadline t =
+  if not (t.solved_once && t.phase2_opt) then resolve ?iter_limit ?deadline t
+  else begin
+    t.deadline <- deadline;
+    let iter_limit =
+      match iter_limit with
+      | Some l -> l
+      | None -> default_iter_limit t
+    in
+    refresh_xb t;
+    if basics_feasible t then begin
+      t.rhs_ftran <- t.rhs_ftran + 1;
+      extract t Optimal 0
+    end
+    else begin
+      t.rhs_dual <- t.rhs_dual + 1;
+      match (try Some (run_dual t ~iter_limit) with Fallback -> None) with
+      | Some (Optimal, it) ->
+          refresh_d t;
+          let s2, it2 = run_primal t ~iter_limit in
+          let sol =
+            extract t (if s2 = Optimal then Optimal else s2) (it + it2)
+          in
+          repair_drift t ~iter_limit sol
+      | Some (Infeasible, it) -> extract t Infeasible it
+      | Some ((Unbounded | Iteration_limit), it) ->
+          extract t Iteration_limit it
+      | None ->
+          t.warm_misses <- t.warm_misses + 1;
+          solve_fresh ~iter_limit ?deadline t
+    end
+  end
+
 let total_iterations t = t.iters_total
 
 let encode_stat = function
@@ -933,6 +1014,7 @@ let install_basis t snap =
     Array.length snap.snap_basis <> t.m || Array.length snap.snap_stat <> t.nt
   then false
   else begin
+    t.phase2_opt <- false;
     Array.blit snap.snap_basis 0 t.basis 0 t.m;
     for j = 0 to t.nt - 1 do
       t.stat.(j) <- decode_stat snap.snap_stat.(j)
@@ -955,6 +1037,8 @@ let stats t =
     etas = 0;
     warm_hits = t.warm_hits;
     warm_misses = t.warm_misses;
+    rhs_ftran = t.rhs_ftran;
+    rhs_dual = t.rhs_dual;
     presolve_rows = 0;
     presolve_cols = 0;
   }

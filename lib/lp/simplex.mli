@@ -25,15 +25,20 @@ val pp_status : Format.formatter -> status -> unit
     tableau rebuilds (triggered by the drift detector or a basis
     install) and [etas = 0]; warm-start counters track {!resolve}
     outcomes — a hit is a successful dual-simplex warm restart, a miss
-    is a fallback to {!solve_fresh}. [presolve_rows]/[presolve_cols]
-    are filled in by {!Solver.solve} when presolve ran: rows dropped
-    and variables fixed before the model reached the engine. *)
+    is a fallback to {!solve_fresh}. [rhs_ftran]/[rhs_dual] count
+    {!resolve_rhs} outcomes: re-solves finished by the single ftran
+    (the old basis stayed optimal) vs ones that needed dual-simplex
+    pivots. [presolve_rows]/[presolve_cols] are filled in by
+    {!Solver.solve} when presolve ran: rows dropped and variables fixed
+    before the model reached the engine. *)
 type stats = {
   iterations : int;
   refactorizations : int;
   etas : int;
   warm_hits : int;
   warm_misses : int;
+  rhs_ftran : int;
+  rhs_dual : int;
   presolve_rows : int;
   presolve_cols : int;
 }
@@ -82,6 +87,25 @@ val solve_fresh :
     falling back to {!solve_fresh}. Equivalent to {!solve_fresh} if the
     state was never solved. [deadline] as in {!solve_fresh}. *)
 val resolve :
+  ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> solution
+
+(** Overwrite row [i]'s right-hand side in this state (the shared
+    standard form is not modified). Takes effect at the next solve;
+    pair with {!resolve_rhs} for the factorized-basis fast path. *)
+val set_rhs : t -> int -> float -> unit
+
+val get_rhs : t -> int -> float
+
+(** Re-solve after RHS-only edits ({!set_rhs}). Changing [b] leaves
+    reduced costs untouched, so the last optimal basis stays dual
+    feasible: the new basic values are one ftran away, and when they
+    remain within bounds the re-solve costs zero pivots (counted in
+    [stats.rhs_ftran]); otherwise a dual-simplex run restores primal
+    feasibility from the same basis ([stats.rhs_dual]). Falls back to
+    {!resolve} when the state has no phase-2 optimal basis (never
+    solved, bounds changed since, or last solve was not optimal), so it
+    is always safe to call. *)
+val resolve_rhs :
   ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> solution
 
 (** Total pivots performed over the lifetime of this state. *)

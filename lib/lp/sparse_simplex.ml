@@ -16,6 +16,10 @@ type t = {
   n : int;
   m : int;
   nt : int;
+  b : float array;
+      (* per-state right-hand side, seeded from sf.b at create; scenario
+         sweeps edit it in place via set_rhs while sf stays shared
+         read-only across domains *)
   cols : Sparse_matrix.t;
   bas : Basis.t;
   d : float array; (* reduced costs, repriced every iteration *)
@@ -28,9 +32,15 @@ type t = {
   y : float array; (* btran workspace (duals / dual-step rho) *)
   w : float array; (* ftran workspace (entering column) *)
   mutable solved_once : bool;
+  mutable phase2_opt : bool;
+      (* last extract left a phase-2 optimal basis and nothing (bounds,
+         basis install) invalidated it since — the precondition for the
+         ftran-only RHS re-solve path *)
   mutable iters_total : int;
   mutable warm_hits : int;
   mutable warm_misses : int;
+  mutable rhs_ftran : int;
+  mutable rhs_dual : int;
   (* installed by solve_fresh/resolve for the duration of one solve call *)
   mutable deadline : Repro_resilience.Deadline.t option;
 }
@@ -68,6 +78,7 @@ let create (sf : Standard_form.t) =
     n;
     m;
     nt;
+    b = Array.copy sf.b;
     cols = sf.cols;
     bas = Basis.create ~m;
     d = Array.make nt 0.;
@@ -80,9 +91,12 @@ let create (sf : Standard_form.t) =
     y = Array.make m 0.;
     w = Array.make m 0.;
     solved_once = false;
+    phase2_opt = false;
     iters_total = 0;
     warm_hits = 0;
     warm_misses = 0;
+    rhs_ftran = 0;
+    rhs_dual = 0;
     deadline = None;
   }
 
@@ -105,6 +119,7 @@ let iter_col t j f =
 let set_bounds t j ~lb ~ub =
   if j < 0 || j >= t.n then invalid_arg "Sparse_simplex.set_bounds";
   if lb > ub then invalid_arg "Sparse_simplex.set_bounds: lb > ub";
+  t.phase2_opt <- false;
   t.lb.(j) <- lb;
   t.ub.(j) <- ub;
   (* Re-anchor a nonbasic variable on a bound that still exists. Unlike
@@ -150,7 +165,7 @@ let ftran_col t j =
 
 (* Recompute basic values: xb = B^-1 (b - A_N x_N). *)
 let refresh_xb t =
-  let r = Array.copy t.sf.b in
+  let r = Array.copy t.b in
   for j = 0 to t.nt - 1 do
     if t.stat.(j) <> Basic then begin
       let v = nb_value t j in
@@ -343,7 +358,7 @@ let start_basis t =
        else Free_nb)
   done;
   (* residual with all slacks + artificials nonbasic at 0 *)
-  let r = Array.copy t.sf.b in
+  let r = Array.copy t.b in
   for j = 0 to t.n - 1 do
     let v = nb_value t j in
     if v <> 0. then
@@ -425,6 +440,9 @@ let dual_values t =
   y
 
 let extract t status iterations : Simplex.solution =
+  (* every extract site with [Optimal] is past phase 2, so this flag is
+     exactly "the state holds a phase-2 optimal basis" *)
+  t.phase2_opt <- status = Simplex.Optimal;
   let sgn = if t.sf.flip_sign then -1. else 1. in
   match (status : Simplex.status) with
   | Optimal | Iteration_limit ->
@@ -679,6 +697,64 @@ let resolve ?iter_limit ?deadline t =
         solve_fresh ~iter_limit ?deadline t
   end
 
+let set_rhs t i v =
+  if i < 0 || i >= t.m then invalid_arg "Sparse_simplex.set_rhs";
+  t.b.(i) <- v
+
+let get_rhs t i =
+  if i < 0 || i >= t.m then invalid_arg "Sparse_simplex.get_rhs";
+  t.b.(i)
+
+(* Are all basic values within their variable's bounds? *)
+let basics_feasible t =
+  let ok = ref true in
+  for i = 0 to t.m - 1 do
+    let bi = t.basis.(i) in
+    if t.xb.(i) < t.lb.(bi) -. feas_tol || t.xb.(i) > t.ub.(bi) +. feas_tol
+    then ok := false
+  done;
+  !ok
+
+(* Re-solve after RHS-only edits. Changing b leaves every reduced cost
+   untouched, so a phase-2 optimal basis stays dual feasible: recompute
+   the basic values against the new b — a single ftran through the
+   existing factorization (refresh_xb) — and, when they are still
+   within bounds, the old basis is optimal for the new RHS with zero
+   pivots. Otherwise the dual simplex restores primal feasibility from
+   the same factorized basis. *)
+let resolve_rhs ?iter_limit ?deadline t =
+  if not (t.solved_once && t.phase2_opt) then resolve ?iter_limit ?deadline t
+  else begin
+    t.deadline <- deadline;
+    let iter_limit =
+      match iter_limit with
+      | Some l -> l
+      | None -> default_iter_limit t
+    in
+    refresh_xb t;
+    if basics_feasible t then begin
+      t.rhs_ftran <- t.rhs_ftran + 1;
+      extract t Simplex.Optimal 0
+    end
+    else begin
+      t.rhs_dual <- t.rhs_dual + 1;
+      match (try Some (run_dual t ~iter_limit) with Fallback -> None) with
+      | Some (Simplex.Optimal, it) ->
+          (* repriced at the top of the next primal step, so a plain
+             polish run suffices, exactly as in [resolve] *)
+          let s2, it2 = run_primal t ~iter_limit in
+          extract t
+            (if s2 = Simplex.Optimal then Simplex.Optimal else s2)
+            (it + it2)
+      | Some (Simplex.Infeasible, it) -> extract t Simplex.Infeasible it
+      | Some ((Simplex.Unbounded | Simplex.Iteration_limit), it) ->
+          extract t Simplex.Iteration_limit it
+      | None ->
+          t.warm_misses <- t.warm_misses + 1;
+          solve_fresh ~iter_limit ?deadline t
+    end
+  end
+
 let total_iterations t = t.iters_total
 
 let encode_stat = function
@@ -705,6 +781,7 @@ let install_basis t (snap : Simplex.basis_snapshot) =
     || Array.length snap.Simplex.snap_stat <> t.nt
   then false
   else begin
+    t.phase2_opt <- false;
     Array.blit snap.Simplex.snap_basis 0 t.basis 0 t.m;
     for j = 0 to t.nt - 1 do
       t.stat.(j) <- decode_stat snap.Simplex.snap_stat.(j)
@@ -728,6 +805,8 @@ let stats t : Simplex.stats =
     etas = Basis.eta_count t.bas;
     warm_hits = t.warm_hits;
     warm_misses = t.warm_misses;
+    rhs_ftran = t.rhs_ftran;
+    rhs_dual = t.rhs_dual;
     presolve_rows = 0;
     presolve_cols = 0;
   }

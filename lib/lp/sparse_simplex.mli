@@ -36,6 +36,22 @@ val resolve :
   t ->
   Simplex.solution
 
+(** Overwrite row [i]'s right-hand side in this state (the shared
+    standard form is not modified); see {!Simplex.set_rhs}. *)
+val set_rhs : t -> int -> float -> unit
+
+val get_rhs : t -> int -> float
+
+(** Re-solve after RHS-only edits: one ftran through the existing
+    factorization when the old basis stays primal feasible, a
+    dual-simplex run from that basis otherwise. Contract as in
+    {!Simplex.resolve_rhs}. *)
+val resolve_rhs :
+  ?iter_limit:int ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  t ->
+  Simplex.solution
+
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int
 

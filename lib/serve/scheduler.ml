@@ -36,6 +36,7 @@ type 'v t = {
   in_flight : (int64, 'v cell) Hashtbl.t;  (** queued or running *)
   queue_limit : int;
   batch_max : int;
+  batch_window : float;  (** seconds the dispatcher waits for batch mates *)
   pool : Repro_engine.Pool.t option;
   cache : 'v Solve_cache.t option;
   cost_bytes : 'v -> int;
@@ -92,6 +93,22 @@ let run_dispatcher t =
           while Queue.is_empty t.queue && not t.stopping do
             Condition.wait t.work t.mutex
           done;
+          (* Admission window: the queue just gained its head, but the
+             clients that would share its batch are typically still
+             inside [submit] — popping immediately would dispatch every
+             concurrent burst as batches of one. When the queue is still
+             short of [batch_max], sleep briefly {e without the mutex}
+             (only this thread ever pops, so the queue can only grow
+             meanwhile) and only then commit the batch. *)
+          if
+            (not t.stopping)
+            && t.batch_window > 0.
+            && Queue.length t.queue < t.batch_max
+          then begin
+            Mutex.unlock t.mutex;
+            Thread.delay t.batch_window;
+            Mutex.lock t.mutex
+          end;
           if t.stopping then begin
             (* fail whatever is still queued; the race in progress (none:
                we are the dispatcher) is already over *)
@@ -174,9 +191,11 @@ let run_ticker t =
   in
   loop ()
 
-let create ?(queue_limit = 256) ?(batch_max = 16) ?pool ?cache ~cost_bytes () =
+let create ?(queue_limit = 256) ?(batch_max = 16) ?(batch_window = 0.002)
+    ?pool ?cache ~cost_bytes () =
   if queue_limit <= 0 then invalid_arg "Scheduler.create: queue_limit <= 0";
   if batch_max <= 0 then invalid_arg "Scheduler.create: batch_max <= 0";
+  if batch_window < 0. then invalid_arg "Scheduler.create: batch_window < 0";
   let t =
     {
       mutex = Mutex.create ();
@@ -186,6 +205,7 @@ let create ?(queue_limit = 256) ?(batch_max = 16) ?pool ?cache ~cost_bytes () =
       in_flight = Hashtbl.create 64;
       queue_limit;
       batch_max;
+      batch_window;
       pool;
       cache;
       cost_bytes;

@@ -59,14 +59,22 @@ type stats = {
 val create :
   ?queue_limit:int ->
   ?batch_max:int ->
+  ?batch_window:float ->
   ?pool:Repro_engine.Pool.t ->
   ?cache:'v Solve_cache.t ->
   cost_bytes:('v -> int) ->
   unit ->
   'v t
-(** [queue_limit] defaults to 256, [batch_max] to 16. [cost_bytes]
-    estimates a value's cache footprint. The dispatcher thread starts
-    immediately. *)
+(** [queue_limit] defaults to 256, [batch_max] to 16. [batch_window]
+    (seconds, default 2ms, [0.] to disable) is the admission window:
+    when the queue is shorter than [batch_max], the dispatcher waits
+    this long for concurrent submitters to enqueue compatible work
+    before committing a batch — without it, a burst of simultaneous
+    queries dispatches as batches of one because the dispatcher drains
+    faster than clients can enqueue. Solves are milliseconds at
+    minimum, so the window is noise on any individual request.
+    [cost_bytes] estimates a value's cache footprint. The dispatcher
+    thread starts immediately. *)
 
 val submit :
   'v t ->

@@ -1,0 +1,110 @@
+type generator =
+  | Gravity of { total : float }
+  | Uniform of { max : float }
+  | Explicit of Demand.t array
+
+type perturb = { pseed : int; fraction : float; level : float }
+
+type scenario = {
+  index : int;
+  threshold : float;
+  scale : float;
+  seed : int;
+  perturb : perturb option;
+}
+
+type t = {
+  space : Demand.space;
+  generator : generator;
+  thresholds : float array;
+  scales : float array;
+  seeds : int array;
+  perturbs : perturb option array;
+}
+
+let grid ~space ~generator ~thresholds ~scales ~seeds
+    ?(perturbs = [| None |]) () =
+  if Array.length thresholds = 0 then invalid_arg "Plan.grid: no thresholds";
+  if Array.length scales = 0 then invalid_arg "Plan.grid: no scales";
+  if Array.length seeds = 0 then invalid_arg "Plan.grid: no seeds";
+  if Array.length perturbs = 0 then invalid_arg "Plan.grid: no perturbs";
+  (match generator with
+  | Explicit ds ->
+      if Array.length ds = 0 then invalid_arg "Plan.grid: empty demand list";
+      Array.iter
+        (fun d ->
+          if Array.length d <> Demand.size space then
+            invalid_arg "Plan.grid: demand does not match space")
+        ds;
+      Array.iter
+        (fun s ->
+          if s < 0 || s >= Array.length ds then
+            invalid_arg "Plan.grid: seed out of range for explicit demands")
+        seeds
+  | Gravity _ | Uniform _ -> ());
+  { space; generator; thresholds; scales; seeds; perturbs }
+
+let of_demands ~space ~threshold demands =
+  grid ~space ~generator:(Explicit demands) ~thresholds:[| threshold |]
+    ~scales:[| 1. |]
+    ~seeds:(Array.init (Array.length demands) Fun.id)
+    ()
+
+let space t = t.space
+
+let num_scenarios t =
+  Array.length t.thresholds * Array.length t.scales * Array.length t.seeds
+  * Array.length t.perturbs
+
+(* Demand-major enumeration, threshold innermost: consecutive scenarios
+   share their (unperturbed) demand matrix, so a sweep solving them in
+   order re-solves OPT against an unchanged RHS — the factorized basis
+   is still optimal and the re-solve is a no-pivot ftran check. *)
+let scenarios t =
+  let out = Array.make (num_scenarios t) None in
+  let i = ref 0 in
+  Array.iter
+    (fun scale ->
+      Array.iter
+        (fun seed ->
+          Array.iter
+            (fun perturb ->
+              Array.iter
+                (fun threshold ->
+                  out.(!i) <-
+                    Some { index = !i; threshold; scale; seed; perturb };
+                  incr i)
+                t.thresholds)
+            t.perturbs)
+        t.seeds)
+    t.scales;
+  Array.map Option.get out
+
+(* The perturbation stream must be independent of the demand stream (the
+   generator consumed [seed] already) and distinct across variants, so
+   mix the variant id in with a large odd multiplier. *)
+let perturb_rng ~seed ~pseed = Rng.create ((seed * 0x3779fb9) lxor (pseed + 1))
+
+let demand t (s : scenario) =
+  let base =
+    match t.generator with
+    | Gravity { total } -> Demand.gravity t.space ~rng:(Rng.create s.seed) ~total
+    | Uniform { max } -> Demand.uniform t.space ~rng:(Rng.create s.seed) ~max
+    | Explicit ds -> Array.copy ds.(s.seed)
+  in
+  let d = Array.map (fun v -> v *. s.scale) base in
+  (match s.perturb with
+  | None -> ()
+  | Some { pseed; fraction; level } ->
+      let rng = perturb_rng ~seed:s.seed ~pseed in
+      for k = 0 to Array.length d - 1 do
+        if Rng.float rng < fraction then d.(k) <- level *. s.threshold
+      done);
+  d
+
+let pp_scenario ppf s =
+  Fmt.pf ppf "#%d T=%.6g scale=%.4g seed=%d" s.index s.threshold s.scale s.seed;
+  match s.perturb with
+  | None -> ()
+  | Some p ->
+      Fmt.pf ppf " perturb=%d(%.2g@%.2gT)" p.pseed p.fraction p.level

@@ -1,0 +1,77 @@
+(** Sweep plans — the IR of a batched scenario sweep.
+
+    A plan describes a family of gap-query scenarios against one
+    topology: the cartesian grid of DP thresholds x demand scales x
+    demand seeds x optional pinned-demand perturbations (the fig6-style
+    threshold sweep), or an explicit list of demand matrices. A
+    {!scenario} is one grid point; it stays symbolic (threshold, scale,
+    seed) until {!demand} materializes its concrete demand matrix —
+    deterministically, so any worker on any domain reconstructs the
+    exact same instance and results cannot depend on execution order.
+
+    Plans deliberately know nothing about paths, LP backends or pools:
+    they are pure data consumed by {!Scenario_sweep}. *)
+
+type generator =
+  | Gravity of { total : float }
+      (** {!Repro_topology.Demand.gravity} with the scenario's seed *)
+  | Uniform of { max : float }
+      (** {!Repro_topology.Demand.uniform} with the scenario's seed *)
+  | Explicit of Demand.t array
+      (** explicit-list generator: the scenario's seed indexes this
+          array (scale and perturbation still apply) *)
+
+type perturb = {
+  pseed : int;  (** perturbation variant id; part of the rng seed *)
+  fraction : float;  (** fraction of pairs rewritten, in [0, 1] *)
+  level : float;
+      (** rewritten pairs get volume [level *. threshold] — at or below
+          the pinning threshold when [level <= 1], i.e. adversarial
+          pressure on the pinned shortest paths *)
+}
+
+type scenario = {
+  index : int;  (** position in {!scenarios} order *)
+  threshold : float;  (** absolute DP pinning threshold *)
+  scale : float;  (** demand multiplier applied to the base matrix *)
+  seed : int;  (** demand generator seed (or {!Explicit} index) *)
+  perturb : perturb option;
+}
+
+type t
+
+val grid :
+  space:Demand.space ->
+  generator:generator ->
+  thresholds:float array ->
+  scales:float array ->
+  seeds:int array ->
+  ?perturbs:perturb option array ->
+  unit ->
+  t
+(** Cartesian product, enumerated demand-major — scale, then seed, then
+    perturbation, with threshold {e innermost} — so consecutive
+    scenarios share their (unperturbed) demand matrix and a sweep
+    re-solving them in order finds the OPT basis still optimal (a
+    no-pivot ftran check). [perturbs] defaults to [[| None |]] (no
+    perturbation). @raise Invalid_argument on an empty axis. *)
+
+val of_demands : space:Demand.space -> threshold:float -> Demand.t array -> t
+(** Explicit-list plan: one scenario per matrix, single threshold,
+    scale 1. @raise Invalid_argument on an empty list or a matrix not
+    matching [space]. *)
+
+val space : t -> Demand.space
+val num_scenarios : t -> int
+
+val scenarios : t -> scenario array
+(** All scenarios in canonical (index) order. *)
+
+val demand : t -> scenario -> Demand.t
+(** Materialize the scenario's demand matrix: generate the base matrix
+    from the seed, multiply by [scale], then apply the perturbation
+    (each pair is independently rewritten to [level *. threshold] with
+    probability [fraction], from an rng derived from [seed] and
+    [pseed]). Pure: equal scenarios yield equal arrays. *)
+
+val pp_scenario : Format.formatter -> scenario -> unit

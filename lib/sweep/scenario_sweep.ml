@@ -1,0 +1,232 @@
+module Evaluate = Repro_metaopt.Evaluate
+module Oracle_cache = Repro_serve.Oracle_cache
+module Solve_cache = Repro_serve.Solve_cache
+module Fingerprint = Repro_serve.Fingerprint
+module Json = Repro_serve.Json
+module Pool = Repro_engine.Pool
+module Chunks = Repro_engine.Chunks
+module Deadline = Repro_resilience.Deadline
+module Outcome = Repro_resilience.Outcome
+module Faults = Repro_resilience.Faults
+
+type mode = Shared_basis | Rebuild
+
+type options = {
+  jobs : int;
+  chunk : int;
+  backend : Backend.kind option;
+  mode : mode;
+  deadline : Deadline.t option;
+  cache : float option Solve_cache.t option;
+  jsonl : string option;
+}
+
+let default_options =
+  {
+    jobs = 1;
+    chunk = 32;
+    backend = None;
+    mode = Shared_basis;
+    deadline = None;
+    cache = None;
+    jsonl = None;
+  }
+
+type scenario_result = {
+  scenario : Plan.scenario;
+  fingerprint : Fingerprint.t;
+  opt : float;
+  heur : float option;
+  cached_opt : bool;
+  cached_heur : bool;
+}
+
+let gap r = Option.map (fun h -> r.opt -. h) r.heur
+
+type result = {
+  results : scenario_result option array;
+  completed : int;
+  skipped : int;
+  chunks : int;
+  lp_stats : Simplex.stats;
+  wall_s : float;
+  outcome : [ `Complete | `Partial of Outcome.reason ];
+}
+
+let json_of_result r =
+  let s = r.scenario in
+  let opt_num = function None -> Json.Null | Some v -> Json.Num v in
+  Json.Obj
+    [
+      ("i", Json.Num (float_of_int s.Plan.index));
+      ("fp", Json.Str (Fingerprint.to_hex r.fingerprint));
+      ("threshold", Json.Num s.Plan.threshold);
+      ("scale", Json.Num s.Plan.scale);
+      ("seed", Json.Num (float_of_int s.Plan.seed));
+      ("opt", Json.Num r.opt);
+      ("heur", opt_num r.heur);
+      ("gap", opt_num (gap r));
+      ("cached", Json.Bool (r.cached_opt && r.cached_heur));
+    ]
+
+(* One scenario: consult the cache, solve what is missing (shared-basis
+   fast path or full Evaluate rebuild), publish back. [None] = the
+   scenario could not be finished (budget tripped mid-solve, or an
+   unexpected LP status); callers count it as skipped. *)
+let compute_scenario ~options ~paths ~pathset ~state plan (s : Plan.scenario) =
+  let deadline = options.deadline in
+  let ev = Evaluate.make_dp pathset ~threshold:s.Plan.threshold in
+  let demand = Plan.demand plan s in
+  let fingerprint = Fingerprint.instance ~demand ~paths ev in
+  let hook =
+    match options.cache with
+    | None -> None
+    | Some cache -> (Oracle_cache.attach ~cache ~paths ev).Evaluate.hook
+  in
+  let lookup tag =
+    match hook with None -> None | Some h -> h.Evaluate.lookup ~tag demand
+  in
+  let insert tag v =
+    match hook with None -> () | Some h -> h.Evaluate.insert ~tag demand v
+  in
+  let opt =
+    match lookup "opt" with
+    | Some (Some v) -> Some (v, true)
+    | Some None | None -> (
+        let solved =
+          match (options.mode, state) with
+          | Shared_basis, Some st -> (
+              match Shared_lp.solve_opt ?deadline st demand with
+              | Ok v -> Some v
+              | Error _ -> None)
+          | Rebuild, _ | Shared_basis, None ->
+              Some (Evaluate.opt_value ev demand)
+        in
+        match solved with
+        | Some v ->
+            insert "opt" (Some v);
+            Some (v, false)
+        | None -> None)
+  in
+  match opt with
+  | None -> None
+  | Some (opt, cached_opt) -> (
+      let heur =
+        match lookup "heur" with
+        | Some h -> Some (h, true)
+        | None -> (
+            let solved =
+              match (options.mode, state) with
+              | Shared_basis, Some st -> (
+                  match
+                    Shared_lp.solve_heur ?deadline st
+                      ~threshold:s.Plan.threshold demand
+                  with
+                  | Ok h -> Some h
+                  | Error _ -> None)
+              | Rebuild, _ | Shared_basis, None ->
+                  Some (Evaluate.heuristic_value ev demand)
+            in
+            match solved with
+            | Some h ->
+                insert "heur" h;
+                Some (h, false)
+            | None -> None)
+      in
+      match heur with
+      | None -> None
+      | Some (heur, cached_heur) ->
+          Some { scenario = s; fingerprint; opt; heur; cached_opt; cached_heur })
+
+let run ?(options = default_options) ~paths pathset plan =
+  let t0 = Unix.gettimeofday () in
+  let n = Plan.num_scenarios plan in
+  let scen = Plan.scenarios plan in
+  let chunk = max 1 options.chunk in
+  (* chunk count comes from the plan and the chunk size only — never from
+     [jobs] — so chunk boundaries (and hence every warm-start history)
+     are identical whatever the pool size *)
+  let ranges = Chunks.ranges ~n ~chunks:(max 1 ((n + chunk - 1) / chunk)) in
+  let shared =
+    match options.mode with
+    | Shared_basis -> Some (Shared_lp.build pathset)
+    | Rebuild -> None
+  in
+  let results = Array.make n None in
+  let mu = Mutex.create () in
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  in
+  let out = Option.map open_out options.jsonl in
+  let agg = ref Simplex.empty_stats in
+  let failed_chunks = ref 0 in
+  let chunk_failed () = locked (fun () -> incr failed_chunks) in
+  let run_chunk (lo, hi) =
+    Faults.inject "sweep_chunk";
+    let state =
+      Option.map (Shared_lp.create_state ?backend:options.backend) shared
+    in
+    let lines = Buffer.create 256 in
+    for i = lo to hi - 1 do
+      let expired =
+        match options.deadline with
+        | Some d -> Deadline.expired d
+        | None -> false
+      in
+      if not expired then
+        match compute_scenario ~options ~paths ~pathset ~state plan scen.(i) with
+        | None -> ()
+        | Some r ->
+            (* distinct slots per chunk: no two writers share an index *)
+            results.(i) <- Some r;
+            if out <> None then begin
+              Buffer.add_string lines (Json.to_string (json_of_result r));
+              Buffer.add_char lines '\n'
+            end
+    done;
+    locked (fun () ->
+        Option.iter (fun st -> agg := Simplex.add_stats !agg (Shared_lp.stats st)) state;
+        match out with
+        | Some oc when Buffer.length lines > 0 ->
+            (* whole chunks at a time, flushed: a sweep killed later still
+               leaves every finished chunk on disk *)
+            output_string oc (Buffer.contents lines);
+            flush oc
+        | _ -> ())
+  in
+  let safe_chunk r =
+    try run_chunk r with Faults.Injected _ -> chunk_failed ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out_noerr out)
+    (fun () ->
+      if options.jobs <= 1 then List.iter safe_chunk ranges
+      else
+        Pool.with_pool ~domains:options.jobs (fun pool ->
+            ranges
+            |> List.map (fun r -> Pool.submit pool (fun () -> safe_chunk r))
+            |> List.iter (fun fut ->
+                   try Pool.await fut with
+                   | Pool.Cancelled | Pool.Stalled _ -> chunk_failed ())));
+  let completed =
+    Array.fold_left
+      (fun acc r -> match r with None -> acc | Some _ -> acc + 1)
+      0 results
+  in
+  let outcome =
+    if completed = n then `Complete
+    else
+      match Option.bind options.deadline Deadline.tripped with
+      | Some trip -> `Partial (Outcome.of_trip trip)
+      | None -> `Partial (Outcome.Worker_lost !failed_chunks)
+  in
+  {
+    results;
+    completed;
+    skipped = n - completed;
+    chunks = List.length ranges;
+    lp_stats = !agg;
+    wall_s = Unix.gettimeofday () -. t0;
+    outcome;
+  }

@@ -1,0 +1,109 @@
+type t = {
+  pathset : Pathset.t;
+  sf : Standard_form.t;
+  demand_row : int option array; (* pair -> standard-form row *)
+  var_cols : int array array; (* pair -> per-path structural column *)
+}
+
+let build pathset =
+  let model = Model.create ~name:"sweep" () in
+  let vars = Mcf.add_flow_vars model pathset in
+  (* demand RHS placeholders: every scenario overwrites them per state *)
+  let zero = Demand.zero (Pathset.space pathset) in
+  let dem = Mcf.add_demand_constrs model pathset vars (Mcf.Const zero) in
+  let _caps = Mcf.add_capacity_constrs model pathset vars in
+  Model.set_objective model Model.Maximize (Mcf.total_flow_expr vars);
+  (* Model.constr / Model.var are dense creation-order handles, which
+     Standard_form.of_model maps 1:1 to row / column indices *)
+  { pathset; sf = Standard_form.of_model model; demand_row = dem; var_cols = vars }
+
+let pathset t = t.pathset
+
+type state = {
+  shared : t;
+  opt_lp : Backend.t; (* RHS-only edit history: rides resolve_rhs *)
+  heur_lp : Backend.t; (* bound edits too: dual-simplex warm restarts *)
+  residual : float array; (* pinning-pass scratch, one slot per edge *)
+  pinned : bool array; (* pinning-pass scratch, one slot per pair *)
+}
+
+let create_state ?backend shared =
+  let g = Pathset.graph shared.pathset in
+  {
+    shared;
+    opt_lp = Backend.create ?kind:backend shared.sf;
+    heur_lp = Backend.create ?kind:backend shared.sf;
+    residual = Array.make (Graph.num_edges g) 0.;
+    pinned = Array.make (Pathset.num_pairs shared.pathset) false;
+  }
+
+let stats st =
+  Simplex.add_stats (Backend.stats st.opt_lp) (Backend.stats st.heur_lp)
+
+type error = Budget | Solver of Simplex.status
+
+let status_result (sol : Simplex.solution) =
+  match sol.status with
+  | Simplex.Optimal -> Ok sol.objective
+  | Simplex.Iteration_limit -> Error Budget
+  | (Simplex.Infeasible | Simplex.Unbounded) as s -> Error (Solver s)
+
+let set_demand_rhs lp shared demand =
+  Array.iteri
+    (fun k row ->
+      match row with
+      | None -> ()
+      | Some r -> Backend.set_rhs lp r demand.(k))
+    shared.demand_row
+
+let solve_opt ?deadline st demand =
+  set_demand_rhs st.opt_lp st.shared demand;
+  status_result (Backend.resolve_rhs ?deadline st.opt_lp)
+
+let solve_heur ?deadline st ~threshold demand =
+  let ps = st.shared.pathset in
+  let g = Pathset.graph ps in
+  let n_pairs = Pathset.num_pairs ps in
+  (* Phase 1, exactly as Demand_pinning.solve: pin small routable
+     demands onto their shortest paths and charge the edges; an edge
+     driven below -1e-9 means the pinning itself is infeasible and no
+     LP runs. *)
+  for e = 0 to Graph.num_edges g - 1 do
+    st.residual.(e) <- Graph.capacity g e
+  done;
+  let overload = ref false in
+  for k = 0 to n_pairs - 1 do
+    st.pinned.(k) <- false;
+    if Demand_pinning.pins ~threshold demand.(k) && Pathset.routable ps k
+    then begin
+      st.pinned.(k) <- true;
+      Array.iter
+        (fun e ->
+          st.residual.(e) <- st.residual.(e) -. demand.(k);
+          if st.residual.(e) < -1e-9 then overload := true)
+        (Pathset.shortest ps k)
+    end
+  done;
+  if !overload then Ok None
+  else begin
+    set_demand_rhs st.heur_lp st.shared demand;
+    Array.iteri
+      (fun k cols ->
+        if Array.length cols > 0 then
+          if st.pinned.(k) then begin
+            (* phase-1 pin: full demand on the shortest path (index 0),
+               nothing on the alternatives *)
+            Backend.set_bounds st.heur_lp cols.(0) ~lb:demand.(k)
+              ~ub:demand.(k);
+            for p = 1 to Array.length cols - 1 do
+              Backend.set_bounds st.heur_lp cols.(p) ~lb:0. ~ub:0.
+            done
+          end
+          else
+            for p = 0 to Array.length cols - 1 do
+              Backend.set_bounds st.heur_lp cols.(p) ~lb:0. ~ub:infinity
+            done)
+      st.shared.var_cols;
+    Result.map Option.some
+      (status_result (Backend.resolve ?deadline st.heur_lp))
+  end

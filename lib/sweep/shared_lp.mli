@@ -1,0 +1,58 @@
+(** Shared symbolic model for a scenario sweep.
+
+    The OPT and DP-heuristic LPs of every scenario against one topology
+    share the same skeleton: flow variables over the path set, one
+    demand row per routable pair, one capacity row per edge, maximize
+    total flow. [build] constructs that skeleton {e once} (model +
+    standard form + CSC matrix); scenarios then differ only by
+
+    - the demand rows' right-hand sides (OPT and DP), and
+    - for DP, the bounds of pinned pairs' flow variables (the pinned
+      pair's shortest-path variable is fixed to its demand, its other
+      path variables to zero — exactly eq. 4/5's phase 1).
+
+    A {!state} is one worker's pair of backend instances over the
+    shared form. OPT re-solves are RHS-only, so they ride
+    {!Repro_lp.Backend.resolve_rhs} — one ftran through the factorized
+    basis per scenario, dual-simplex only when the basis goes primal
+    infeasible. DP re-solves change bounds and use the ordinary
+    dual-simplex warm restart. The standard form is immutable after
+    [build] and safe to share across domains; each state keeps its own
+    RHS copy and factorization. *)
+
+type t
+
+val build : Pathset.t -> t
+val pathset : t -> Pathset.t
+
+(** One worker's solver state (two backend instances + scratch). *)
+type state
+
+val create_state : ?backend:Backend.kind -> t -> state
+
+val stats : state -> Simplex.stats
+(** Combined lifetime counters of the state's OPT and DP backends. *)
+
+type error =
+  | Budget  (** a deadline/iteration budget stopped the solve *)
+  | Solver of Simplex.status  (** unexpected LP status *)
+
+val solve_opt :
+  ?deadline:Repro_resilience.Deadline.t ->
+  state ->
+  Demand.t ->
+  (float, error) result
+(** OPT(d): demand-row RHS edits + {!Repro_lp.Backend.resolve_rhs}.
+    Matches {!Repro_metaopt.Evaluate.opt_value} to LP tolerance. *)
+
+val solve_heur :
+  ?deadline:Repro_resilience.Deadline.t ->
+  state ->
+  threshold:float ->
+  Demand.t ->
+  (float option, error) result
+(** DP(d): [Ok None] when phase-1 pinning overloads a shortest-path
+    edge (the heuristic is infeasible, as
+    {!Repro_te.Demand_pinning.solve} reports); otherwise the pinned
+    LP's total flow. Matches
+    {!Repro_metaopt.Evaluate.heuristic_value} to LP tolerance. *)

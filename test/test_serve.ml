@@ -437,6 +437,43 @@ let test_scheduler_failure_isolated () =
   | _ -> Alcotest.fail "scheduler must survive a failed job");
   Sched.shutdown sched
 
+(* Regression: a burst of distinct same-group queries must form a batch.
+   The dispatcher used to pop the queue the instant it gained a head, so
+   concurrent clients always dispatched as batches of one (max_batch
+   stuck at 1); the admission window lets the burst accumulate. *)
+let test_scheduler_batch_admission () =
+  let sched =
+    Sched.create ~batch_window:0.05 ~cost_bytes:(fun _ -> 8) ()
+  in
+  let clients = 8 in
+  let g = gate () in
+  let results = Array.make clients (Error Sched.Shutdown) in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            gate_wait g;
+            results.(i) <-
+              Sched.submit sched ~key:(key_of_int (100 + i)) (fun () ->
+                  Thread.delay 0.01;
+                  i))
+          ())
+  in
+  gate_open g;
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (v, `Computed) -> Alcotest.(check int) "own value" i v
+      | _ -> Alcotest.fail "burst submit failed")
+    results;
+  let s = Sched.stats sched in
+  Alcotest.(check int) "all executed" clients s.Sched.executed;
+  Alcotest.(check bool)
+    (Printf.sprintf "burst batched (max_batch %d > 1)" s.Sched.max_batch)
+    true (s.Sched.max_batch > 1);
+  Sched.shutdown sched
+
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -867,6 +904,8 @@ let () =
             test_scheduler_cache_and_backpressure;
           Alcotest.test_case "failed job isolated" `Quick
             test_scheduler_failure_isolated;
+          Alcotest.test_case "concurrent burst forms a batch" `Quick
+            test_scheduler_batch_admission;
         ] );
       ( "journal",
         [

@@ -1,0 +1,124 @@
+(* follower: the declarative follower-IR layer (lib/follower).
+
+   Two sections, emitting BENCH_follower.json:
+
+   - binpack: the first non-TE family end-to-end — the seeded find-gap
+     must close the classic FFD worst case (gap >= 1 bin, verified by
+     the exact oracle) within the node budget;
+   - rewriter: the automatic Kkt_rewrite vs the hand-derived emitter on
+     the DP gap problem — identical model sizes by construction, with
+     the build-time overhead of the IR detour measured.
+
+   REPRO_BENCH_FOLLOWER_TINY=1 shrinks budgets for CI smoke runs. *)
+
+module F = Repro_follower
+module Json = Repro_serve.Json
+
+let tiny_mode =
+  match Sys.getenv_opt "REPRO_BENCH_FOLLOWER_TINY" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let binpack_section () =
+  Common.subsection "binpack: adversarial FFD-vs-OPT gap";
+  let cfg = F.Binpack.config () in
+  let options =
+    if tiny_mode then
+      { F.Binpack.default_options with node_limit = 200; time_limit = 5. }
+    else if Common.full_mode then
+      { F.Binpack.default_options with node_limit = 4000; time_limit = 60. }
+    else F.Binpack.default_options
+  in
+  let r = F.Binpack.find_gap ~options cfg in
+  Common.row "  instance      : %d items, %d dims, capacity %g"
+    cfg.F.Binpack.items cfg.F.Binpack.dims cfg.F.Binpack.capacity;
+  Common.row "  gap           : %d bins (FFD %d vs OPT %d), probe %s"
+    r.F.Binpack.gap r.F.Binpack.ffd_bins r.F.Binpack.opt_bins
+    r.F.Binpack.probe;
+  Common.row "  bound         : %s"
+    (if Float.is_finite r.F.Binpack.bound then
+       Printf.sprintf "%.2f" r.F.Binpack.bound
+     else "(probe-only)");
+  Common.row "  search        : %d oracle calls, %d MILP nodes, %.2fs"
+    r.F.Binpack.oracle_calls r.F.Binpack.milp_nodes r.F.Binpack.elapsed;
+  if r.F.Binpack.gap < 1 then
+    fail "follower bench: binpack gap %d < 1 (FFD worst case not found)"
+      r.F.Binpack.gap;
+  if not r.F.Binpack.oracle_closed then
+    fail "follower bench: an oracle OPT solve was not proven optimal";
+  ( "binpack",
+    Json.Obj
+      [
+        ("items", Json.Num (float_of_int cfg.F.Binpack.items));
+        ("dims", Json.Num (float_of_int cfg.F.Binpack.dims));
+        ("gap", Json.Num (float_of_int r.F.Binpack.gap));
+        ("ffd_bins", Json.Num (float_of_int r.F.Binpack.ffd_bins));
+        ("opt_bins", Json.Num (float_of_int r.F.Binpack.opt_bins));
+        ("bound", Json.Num r.F.Binpack.bound);
+        ("probe", Json.Str r.F.Binpack.probe);
+        ("oracle_calls", Json.Num (float_of_int r.F.Binpack.oracle_calls));
+        ("oracle_closed", Json.Bool r.F.Binpack.oracle_closed);
+        ("milp_nodes", Json.Num (float_of_int r.F.Binpack.milp_nodes));
+        ("wall_s", Json.Num r.F.Binpack.elapsed) ] )
+
+let rewriter_section () =
+  Common.subsection "rewriter: automatic Kkt_rewrite vs hand emitter (DP)";
+  let g = if tiny_mode then Topologies.fig1 () else Topologies.b4 () in
+  let pathset = Common.pathset_of g ~paths:Common.default_paths in
+  let threshold = Common.threshold_of g ~fraction:0.05 in
+  let heuristic = Gap_problem.Dp { threshold } in
+  let build engine =
+    let t = Unix.gettimeofday () in
+    let gp = Gap_problem.build pathset ~heuristic ~engine () in
+    (gp, Unix.gettimeofday () -. t)
+  in
+  let hand, hand_s = build Follower_bridge.Hand in
+  let ir, ir_s = build Follower_bridge.Ir in
+  let hv, hc, hs = Gap_problem.size hand in
+  let iv, ic, is_ = Gap_problem.size ir in
+  Common.row "  topology      : %s" (Graph.name g);
+  Common.row "  hand emitter  : %d vars, %d rows, %d SOS1  (%.1f ms)" hv hc hs
+    (1000. *. hand_s);
+  Common.row "  IR rewriter   : %d vars, %d rows, %d SOS1  (%.1f ms)" iv ic is_
+    (1000. *. ir_s);
+  if (hv, hc, hs) <> (iv, ic, is_) then
+    fail "follower bench: IR rewrite emitted a different model (%d,%d,%d vs %d,%d,%d)"
+      hv hc hs iv ic is_;
+  (* the IR detour must not blow up model construction: the hand and IR
+     paths build the same rows, so parity within a generous factor *)
+  let overhead = if hand_s > 0. then ir_s /. hand_s else 1. in
+  Common.row "  build overhead: %.2fx" overhead;
+  ( "rewriter",
+    Json.Obj
+      [
+        ("topology", Json.Str (Graph.name g));
+        ("vars", Json.Num (float_of_int hv));
+        ("rows", Json.Num (float_of_int hc));
+        ("sos1", Json.Num (float_of_int hs));
+        ("sizes_identical", Json.Bool ((hv, hc, hs) = (iv, ic, is_)));
+        ("hand_build_s", Json.Num hand_s);
+        ("ir_build_s", Json.Num ir_s);
+        ("build_overhead", Json.Num overhead) ] )
+
+let run () =
+  Common.section "follower: IR, KKT rewriter and the binpack family";
+  let binpack = binpack_section () in
+  let rewriter = rewriter_section () in
+  let sections = [ binpack; rewriter ] in
+  let doc =
+    Json.Obj
+      (( "benchmark", Json.Str "repro-follower" )
+      :: ( "mode",
+           Json.Str
+             (if tiny_mode then "tiny"
+              else if Common.full_mode then "full"
+              else "fast") )
+      :: sections)
+  in
+  let oc = open_out "BENCH_follower.json" in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Common.row "machine-readable results written to BENCH_follower.json"

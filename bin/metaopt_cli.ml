@@ -12,6 +12,7 @@
      repro-metaopt find-gap -t b4 -H pop --parts 3 -m annealing --time 20 *)
 
 open Cmdliner
+module Follower = Repro_follower
 
 let topology_conv =
   let parse s =
@@ -268,9 +269,88 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
+let family_arg =
+  let doc =
+    "Heuristic family from the registry ('repro-metaopt families' lists \
+     them). 'dp' and 'pop' alias the TE path (-H); 'binpack' runs the \
+     vector bin-packing FFD-vs-OPT gap search (--items, --dims)."
+  in
+  Arg.(value & opt (some string) None & info [ "family" ] ~docv:"NAME" ~doc)
+
+let items_arg =
+  let doc = "Bin-packing items per instance (--family binpack)." in
+  Arg.(value & opt int 6 & info [ "items" ] ~docv:"N" ~doc)
+
+let dims_arg =
+  let doc = "Bin-packing size dimensions (--family binpack)." in
+  Arg.(value & opt int 1 & info [ "dims" ] ~docv:"D" ~doc)
+
+(* the non-TE gap search: adversarial FFD-vs-OPT bin packing through the
+   follower IR's white-box MILP (probes refine into the exact encoding) *)
+let run_binpack ~items ~dims ~seed ~time ~no_milp ~verbose =
+  setup_logs verbose;
+  let cfg = Follower.Binpack.config ~items ~dims () in
+  let options =
+    {
+      Follower.Binpack.default_options with
+      run_milp = not no_milp;
+      time_limit = time;
+      seed;
+    }
+  in
+  let r = Follower.Binpack.find_gap ~options cfg in
+  Fmt.pr "family        : binpack (%d items, %d dims, capacity %g)@." items
+    dims cfg.Follower.Binpack.capacity;
+  Fmt.pr "max gap found : %d bins (FFD %d vs OPT %d)@." r.Follower.Binpack.gap
+    r.Follower.Binpack.ffd_bins r.Follower.Binpack.opt_bins;
+  (if Float.is_finite r.Follower.Binpack.bound then
+     Fmt.pr "proven bound  : %.1f@." r.Follower.Binpack.bound
+   else Fmt.pr "proven bound  : (none - probe-only mode)@.");
+  Fmt.pr "winning probe : %s@." r.Follower.Binpack.probe;
+  Fmt.pr
+    "search        : %d oracle calls%s, %d MILP nodes, %.2fs@."
+    r.Follower.Binpack.oracle_calls
+    (if r.Follower.Binpack.oracle_closed then "" else " (some OPT unproven)")
+    r.Follower.Binpack.milp_nodes r.Follower.Binpack.elapsed;
+  if verbose then begin
+    Fmt.pr "instance sizes:@.";
+    let a = r.Follower.Binpack.instance in
+    for i = 0 to items - 1 do
+      Fmt.pr "  item %d:" i;
+      for d = 0 to dims - 1 do
+        Fmt.pr " %.4f" (Follower.Binpack.size cfg a ~item:i ~dim:d)
+      done;
+      Fmt.pr "@."
+    done
+  end;
+  if r.Follower.Binpack.gap <= 0 then exit 2
+
 let find_gap_cmd =
   let run g paths heuristic threshold_frac parts instances seed method_ time
-      no_milp show_demands out verbose jobs lp_backend deadline_s degrade =
+      no_milp show_demands out verbose jobs lp_backend deadline_s degrade
+      family items dims =
+    (match family with
+    | None -> ()
+    | Some "dp" | Some "pop" | Some "binpack" -> ()
+    | Some other ->
+        Families.ensure_registered ();
+        Fmt.epr "find-gap: unknown family %S (known: %s)@." other
+          (String.concat ", "
+             (List.map
+                (fun f -> f.Follower.Family.name)
+                (Families.all ())));
+        exit 1);
+    if family = Some "binpack" then begin
+      Backend.set_default lp_backend;
+      run_binpack ~items ~dims ~seed ~time ~no_milp ~verbose
+    end
+    else begin
+    let heuristic =
+      match family with
+      | Some "dp" -> Dp
+      | Some "pop" -> Pop_h
+      | _ -> heuristic
+    in
     setup_logs verbose;
     Backend.set_default lp_backend;
     if degrade && deadline_s = None then begin
@@ -398,18 +478,47 @@ let find_gap_cmd =
               r.Blackbox.restarts)
           r.Blackbox.demands;
         finish_deadline ()
+    end
   in
   let term =
     Term.(
       const run $ topology_arg $ paths_arg $ heuristic_arg $ threshold_frac_arg
       $ parts_arg $ instances_arg $ seed_arg $ method_arg $ time_arg
       $ no_milp_arg $ show_demands_arg $ out_arg $ verbose_arg $ jobs_arg
-      $ lp_backend_arg $ deadline_arg $ degrade_arg)
+      $ lp_backend_arg $ deadline_arg $ degrade_arg $ family_arg $ items_arg
+      $ dims_arg)
   in
   Cmd.v
     (Cmd.info "find-gap"
        ~doc:"Search for inputs maximizing the heuristic's optimality gap")
     term
+
+(* ------------------------------------------------------------------ *)
+(* families                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let families_cmd =
+  let run () =
+    Families.ensure_registered ();
+    List.iter
+      (fun f ->
+        Fmt.pr "%s - %s@." f.Follower.Family.name f.Follower.Family.doc;
+        let s = f.Follower.Family.stats () in
+        Fmt.pr
+          "  encoding: %d vars, %d rows, %d SOS1 pairs, %d binaries@."
+          s.Follower.Family.vars s.Follower.Family.rows s.Follower.Family.sos1
+          s.Follower.Family.binaries;
+        List.iter
+          (fun (name, doc) -> Fmt.pr "  probe %-14s %s@." name doc)
+          f.Follower.Family.probes)
+      (Families.all ())
+  in
+  Cmd.v
+    (Cmd.info "families"
+       ~doc:
+         "List the registered heuristic families with their probe sets and \
+          reference encoding sizes (vars / rows / SOS1 / binaries)")
+    Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -498,8 +607,12 @@ let sweep_cmd =
       (if r.Sweep.wall_s > 0. then
          float_of_int r.Sweep.completed /. r.Sweep.wall_s
        else 0.);
-    if not rebuild then
+    if not rebuild then begin
       Fmt.pr "lp engine     : %a@." Simplex.pp_stats r.Sweep.lp_stats;
+      if verbose then
+        Fmt.pr "lp counters   : %s@."
+          (Sweep.verbose_stats_line r.Sweep.lp_stats)
+    end;
     let infeasible = ref 0 in
     let best = ref None in
     Array.iter
@@ -1092,5 +1205,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topology_cmd; evaluate_cmd; find_gap_cmd; sweep_cmd;
+          [ topology_cmd; evaluate_cmd; find_gap_cmd; families_cmd; sweep_cmd;
             find_capacity_gap_cmd; solve_lp_cmd; serve_cmd; client_cmd ]))

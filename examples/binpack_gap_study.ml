@@ -1,0 +1,40 @@
+(* Bin-packing gap study: the first non-TE heuristic family, end to end.
+
+     dune exec examples/binpack_gap_study.exe [items]
+
+   First-fit-decreasing (FFD) is the canonical fast packing heuristic;
+   its classic worst cases need one more bin than optimal. This example
+   runs the adversarial search (FFD-aware probes refined into the
+   white-box MILP over the follower IR) for growing instance sizes and
+   prints the worst gap found at each — the bin-packing analog of the
+   paper's fig-4 threshold study. *)
+
+module F = Repro_follower
+
+let () =
+  let max_items =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 9
+  in
+  Fmt.pr "adversarial FFD-vs-OPT bin packing (capacity 1.0, 1 dimension)@.@.";
+  Fmt.pr "%-8s %-10s %-10s %-8s %-12s %s@." "items" "FFD bins" "OPT bins"
+    "gap" "probe" "search";
+  List.iter
+    (fun items ->
+      let cfg = F.Binpack.config ~items () in
+      (* probe + refine only past the seeded worst case: the white-box
+         MILP grows quickly with item count, the probes do not *)
+      let options =
+        { F.Binpack.default_options with run_milp = items <= 6 }
+      in
+      let r = F.Binpack.find_gap ~options cfg in
+      Fmt.pr "%-8d %-10d %-10d %-8d %-12s %d oracle calls, %.2fs@." items
+        r.F.Binpack.ffd_bins r.F.Binpack.opt_bins r.F.Binpack.gap
+        r.F.Binpack.probe r.F.Binpack.oracle_calls r.F.Binpack.elapsed;
+      if not r.F.Binpack.oracle_closed then
+        Fmt.pr "         (warning: an OPT solve hit its budget unproven)@.")
+    (List.init (Int.max 1 (max_items - 5)) (fun i -> i + 6));
+  Fmt.pr
+    "@.reading: every reported gap is oracle-verified (exact FFD replay + \
+     exact@.packing MILP); the classic 0.4/0.3 thirds pattern already \
+     costs FFD one@.extra bin at 6 items, and the ratio worsens slowly \
+     with size (FFD <= 11/9 OPT + 6/9).@."

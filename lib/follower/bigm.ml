@@ -1,0 +1,60 @@
+let src = Logs.Src.create "repro.follower.bigm" ~doc:"big-M derivation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let host_intervals model =
+  match Presolve.var_intervals model with
+  | Some intervals -> fun v -> intervals.(v)
+  | None -> fun v -> (Model.var_lb model v, Model.var_ub model v)
+
+let activity_interval ~var_interval terms =
+  List.fold_left
+    (fun (mn, mx) (v, c) ->
+      let lo, hi = var_interval v in
+      if c > 0. then (mn +. (c *. lo), mx +. (c *. hi))
+      else (mn +. (c *. hi), mx +. (c *. lo)))
+    (0., 0.) terms
+
+type derivation = { m : float; derived : bool }
+
+let fallbacks = Atomic.make 0
+
+let note_fallback ~context =
+  if Atomic.fetch_and_add fallbacks 1 = 0 then
+    Log.warn (fun m ->
+        m
+          "big-M for %s not derivable from presolve intervals; using the \
+           fallback constant (further fallbacks are silent)"
+          context)
+
+let fallbacks_noted () = Atomic.get fallbacks
+let reset_fallbacks () = Atomic.set fallbacks 0
+
+let derive_ub ~context ~var_interval ~fallback terms =
+  let _, hi = activity_interval ~var_interval terms in
+  if hi < infinity then { m = hi; derived = true }
+  else begin
+    note_fallback ~context;
+    { m = fallback; derived = false }
+  end
+
+type tracked = {
+  context : string;
+  m : float;
+  indicator : Model.var;
+  active_when : [ `One | `Zero ];
+  activity : Linexpr.t;
+}
+
+let audit ?(tol = 1e-6) primal tracked =
+  let read v = if v < Array.length primal then primal.(v) else 0. in
+  List.filter
+    (fun t ->
+      let gate_open =
+        match t.active_when with
+        | `One -> read t.indicator >= 0.5
+        | `Zero -> read t.indicator < 0.5
+      in
+      gate_open
+      && Linexpr.eval t.activity read >= t.m -. (tol *. (1. +. Float.abs t.m)))
+    tracked

@@ -1,0 +1,61 @@
+(** Derivation and audit of big-M constants.
+
+    The paper's encodings gate rows on indicator binaries via big-M
+    constants. A hand-picked M that is too small silently cuts the true
+    optimum; one that is too large weakens the LP relaxation. This module
+    (a) derives activity bounds from {!Presolve.var_intervals} instead of
+    hand-picked constants, falling back — with a single warning — to a
+    caller-supplied constant only when the intervals are unbounded, and
+    (b) audits a solved primal for gated rows that sit {e on} their big-M,
+    the tell-tale of a constant that may be binding the optimum. *)
+
+(** Tightened [(lb, ub)] accessor for a host model's variables, from
+    presolve interval propagation (raw bounds if presolve proves the
+    model infeasible, which only happens on degenerate inputs). *)
+val host_intervals : Model.t -> Model.var -> float * float
+
+(** Interval of [sum c_v x_v] given per-variable intervals. *)
+val activity_interval :
+  var_interval:(Model.var -> float * float) ->
+  (Model.var * float) list ->
+  float * float
+
+type derivation = { m : float; derived : bool }
+
+(** [derive_ub ~var_interval ~fallback terms] is an upper bound on the
+    activity of [terms]: the interval maximum when finite (derived),
+    otherwise [fallback] (with {!note_fallback}). *)
+val derive_ub :
+  context:string ->
+  var_interval:(Model.var -> float * float) ->
+  fallback:float ->
+  (Model.var * float) list ->
+  derivation
+
+(** {1 Fallback accounting}
+
+    The first fallback per process logs a warning; tests reset. *)
+
+val note_fallback : context:string -> unit
+val fallbacks_noted : unit -> int
+val reset_fallbacks : unit -> unit
+
+(** {1 Audit} *)
+
+type tracked = {
+  context : string;  (** row name the constant gates *)
+  m : float;
+  indicator : Model.var;
+  active_when : [ `One | `Zero ];
+      (** indicator value at which the gate opens (activity bounded by
+          [m] instead of forced to its row) *)
+  activity : Linexpr.t;
+      (** model-space expression the constant bounds when the gate is
+          open *)
+}
+
+(** [audit primal tracked] returns the tracked constants whose gate is
+    open while the gated activity sits within [tol] (relative) of [m] —
+    i.e. the big-M itself is binding, so the reported optimum may be cut.
+    A correctly-derived M is never flagged. *)
+val audit : ?tol:float -> float array -> tracked list -> tracked list

@@ -1,0 +1,37 @@
+type stats = {
+  vars : int;
+  rows : int;
+  sos1 : int;
+  binaries : int;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  probes : (string * string) list;
+  stats : unit -> stats;
+}
+
+let registry : t list ref = ref []
+
+let register f =
+  if List.exists (fun g -> g.name = f.name) !registry then
+    registry := List.map (fun g -> if g.name = f.name then f else g) !registry
+  else registry := !registry @ [ f ]
+
+let find name = List.find_opt (fun f -> f.name = name) !registry
+let all () = !registry
+let names () = List.map (fun f -> f.name) !registry
+
+let stats_of_model ?binaries model =
+  let binaries =
+    match binaries with
+    | Some b -> b
+    | None -> Array.length (Model.integer_vars model)
+  in
+  {
+    vars = Model.num_vars model;
+    rows = Model.num_constrs model;
+    sos1 = Model.num_sos1 model;
+    binaries;
+  }

@@ -1,0 +1,37 @@
+(** Registry of heuristic families.
+
+    A family packages everything the adversary pipeline needs to attack
+    one heuristic: a human-readable description, the structure-aware
+    probes it seeds the search with, and a thunk building a
+    representative encoding whose size the [families] CLI reports.
+    Registration is explicit (call sites invoke
+    [Repro_metaopt.Families.ensure_registered] or register directly)
+    rather than relying on module-initialization side effects. *)
+
+type stats = {
+  vars : int;
+  rows : int;
+  sos1 : int;
+  binaries : int;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  probes : (string * string) list;  (** (probe name, what it seeds) *)
+  stats : unit -> stats;
+      (** builds a representative gap encoding and reports its size *)
+}
+
+(** [register f] adds (or replaces, keyed by [name]) a family. *)
+val register : t -> unit
+
+val find : string -> t option
+
+(** All registered families, in registration order. *)
+val all : unit -> t list
+
+val names : unit -> string list
+
+(** Size of a built host model, for [stats] thunks. *)
+val stats_of_model : ?binaries:int -> Model.t -> stats

@@ -1,0 +1,243 @@
+type comp = Sos1 | Big_m of { fallback : float }
+
+type emitted = {
+  x : Model.var array;
+  row_duals : Model.var array;
+  row_slacks : Model.var option array;
+  bound_duals : Model.var array;
+  ub_duals : Model.var option array;
+  value : Linexpr.t;
+  num_complementarity : int;
+  num_binaries : int;
+  bigm_derived : int;
+  bigm_fallbacks : int;
+  tracked : Bigm.tracked list;
+}
+
+let emit ?(comp = Sos1) model (ir : Ir.t) =
+  let prefix = Ir.name ir in
+  let n = Ir.num_cols ir in
+  let rows = Ir.rows ir in
+  let m = Array.length rows in
+  (* Host intervals are only consulted in Big_m mode, and reflect the
+     model as built so far (the host rows bounding the outer variables
+     are in place before the follower is encoded). *)
+  let var_interval = lazy (Bigm.host_intervals model) in
+  let derived = ref 0 in
+  let fellback = ref 0 in
+  let binaries = ref 0 in
+  let tracked = ref [] in
+  let comp_count = ref 0 in
+  let comp_idx = ref 0 in
+  let count (d : Bigm.derivation) =
+    if d.Bigm.derived then incr derived else incr fellback
+  in
+  let dual_bound ~context fallback =
+    Bigm.note_fallback ~context;
+    { Bigm.m = fallback; derived = false }
+  in
+  (* a ⊥ b with activity bounds ma, mb: SOS1 pair or a binary disjunction
+     [a <= ma.z, b <= mb.(1-z)] *)
+  let complementarity ~context a (ma : Bigm.derivation Lazy.t) b
+      (mb : Bigm.derivation Lazy.t) =
+    incr comp_count;
+    match comp with
+    | Sos1 -> Model.add_sos1 model [ a; b ]
+    | Big_m _ ->
+        let idx = !comp_idx in
+        incr comp_idx;
+        let ma = Lazy.force ma and mb = Lazy.force mb in
+        count ma;
+        count mb;
+        let z =
+          Model.add_var
+            ~name:(Printf.sprintf "%s_comp_%d" prefix idx)
+            ~kind:Model.Binary model
+        in
+        incr binaries;
+        ignore
+          (Model.add_constr
+             ~name:(Printf.sprintf "%s_mdual_%d" prefix idx)
+             model
+             (Linexpr.of_terms [ (a, 1.); (z, -.ma.Bigm.m) ])
+             Model.Le 0.);
+        ignore
+          (Model.add_constr
+             ~name:(Printf.sprintf "%s_mprimal_%d" prefix idx)
+             model
+             (Linexpr.of_terms [ (b, 1.); (z, mb.Bigm.m) ])
+             Model.Le mb.Bigm.m);
+        tracked :=
+          {
+            Bigm.context = context ^ "/primal";
+            m = mb.Bigm.m;
+            indicator = z;
+            active_when = `Zero;
+            activity = Linexpr.var b;
+          }
+          :: {
+               Bigm.context = context ^ "/dual";
+               m = ma.Bigm.m;
+               indicator = z;
+               active_when = `One;
+               activity = Linexpr.var a;
+             }
+          :: !tracked
+  in
+  let fallback_m =
+    match comp with Big_m { fallback } -> fallback | Sos1 -> infinity
+  in
+  let x =
+    Array.init n (fun j ->
+        Model.add_var
+          ~name:(Printf.sprintf "%s_x_%d" prefix j)
+          ~ub:(Ir.col_ub ir j) model)
+  in
+  (* duals and slacks *)
+  let row_duals =
+    Array.init m (fun i ->
+        match rows.(i).Ir.sense with
+        | Ir.Le ->
+            Model.add_var ~name:(Printf.sprintf "%s_lam_%d" prefix i) model
+        | Ir.Eq ->
+            Model.add_var
+              ~name:(Printf.sprintf "%s_nu_%d" prefix i)
+              ~lb:neg_infinity model)
+  in
+  let row_slacks =
+    Array.init m (fun i ->
+        match rows.(i).Ir.sense with
+        | Ir.Le ->
+            Some (Model.add_var ~name:(Printf.sprintf "%s_s_%d" prefix i) model)
+        | Ir.Eq -> None)
+  in
+  (* upper bound on a <=-row's slack: rhs - min activity of its terms *)
+  let slack_bound (row : Ir.row) =
+    lazy
+      (let inner_min =
+         List.fold_left
+           (fun acc (j, c) ->
+             if c > 0. then acc else acc +. (c *. Ir.col_ub ir j))
+           0. row.Ir.inner_terms
+       in
+       let outer_min, _ =
+         Bigm.activity_interval
+           ~var_interval:(Lazy.force var_interval)
+           row.Ir.outer_terms
+       in
+       let hi = row.Ir.rhs -. inner_min -. outer_min in
+       if hi < infinity then { Bigm.m = Float.max 0. hi; derived = true }
+       else begin
+         Bigm.note_fallback ~context:(row.Ir.row_name ^ "/slack");
+         { Bigm.m = fallback_m; derived = false }
+       end)
+  in
+  (* primal feasibility rows *)
+  Array.iteri
+    (fun i (row : Ir.row) ->
+      let expr =
+        Linexpr.of_terms
+          (List.map (fun (j, c) -> (x.(j), c)) row.Ir.inner_terms
+          @ row.Ir.outer_terms)
+      in
+      match row_slacks.(i) with
+      | Some s ->
+          let expr = Linexpr.add_term expr s 1. in
+          ignore
+            (Model.add_constr ~name:(row.Ir.row_name ^ "_pf") model expr
+               Model.Eq row.Ir.rhs);
+          complementarity ~context:row.Ir.row_name row_duals.(i)
+            (lazy (dual_bound ~context:(row.Ir.row_name ^ "/dual") fallback_m))
+            s (slack_bound row)
+      | None ->
+          ignore
+            (Model.add_constr ~name:(row.Ir.row_name ^ "_pf") model expr
+               Model.Eq row.Ir.rhs))
+    rows;
+  (* stationarity + bound-dual complementarity *)
+  let coef_of_col = Array.make n [] in
+  Array.iteri
+    (fun i (row : Ir.row) ->
+      List.iter
+        (fun (j, c) -> coef_of_col.(j) <- (row_duals.(i), c) :: coef_of_col.(j))
+        row.Ir.inner_terms)
+    rows;
+  let c_obj = Array.make n 0. in
+  List.iter (fun (j, c) -> c_obj.(j) <- c_obj.(j) +. c) (Ir.objective ir);
+  let ub_duals = Array.make n None in
+  let bound_duals =
+    Array.init n (fun j ->
+        let mu = Model.add_var ~name:(Printf.sprintf "%s_mu_%d" prefix j) model in
+        let u = Ir.col_ub ir j in
+        let upper =
+          if u < infinity then begin
+            let eta =
+              Model.add_var ~name:(Printf.sprintf "%s_eta_%d" prefix j) model
+            in
+            let r =
+              Model.add_var ~name:(Printf.sprintf "%s_r_%d" prefix j) ~ub:u
+                model
+            in
+            ub_duals.(j) <- Some eta;
+            Some (eta, r)
+          end
+          else None
+        in
+        (* c_j - sum_i dual_i a_ij + mu_j - eta_j = 0 *)
+        let expr =
+          Linexpr.add_term
+            (Linexpr.of_terms (List.map (fun (d, c) -> (d, -.c)) coef_of_col.(j)))
+            mu 1.
+        in
+        let expr =
+          match upper with
+          | Some (eta, _) -> Linexpr.add_term expr eta (-1.)
+          | None -> expr
+        in
+        ignore
+          (Model.add_constr ~name:(Printf.sprintf "%s_stat_%d" prefix j) model
+             expr Model.Eq (-.c_obj.(j)));
+        (match upper with
+        | Some (_, r) ->
+            (* x_j + r_j = u_j *)
+            ignore
+              (Model.add_constr ~name:(Printf.sprintf "%s_ub_%d" prefix j)
+                 model
+                 (Linexpr.of_terms [ (x.(j), 1.); (r, 1.) ])
+                 Model.Eq u)
+        | None -> ());
+        let ctx = Printf.sprintf "%s_x_%d" prefix j in
+        complementarity ~context:ctx mu
+          (lazy (dual_bound ~context:(ctx ^ "/mu") fallback_m))
+          x.(j)
+          (lazy
+            (if u < infinity then { Bigm.m = u; derived = true }
+             else begin
+               Bigm.note_fallback ~context:(ctx ^ "/x");
+               { Bigm.m = fallback_m; derived = false }
+             end));
+        (match upper with
+        | Some (eta, r) ->
+            complementarity ~context:(ctx ^ "_ub") eta
+              (lazy (dual_bound ~context:(ctx ^ "/eta") fallback_m))
+              r
+              (lazy { Bigm.m = u; derived = true })
+        | None -> ());
+        mu)
+  in
+  let value =
+    Linexpr.of_terms (List.map (fun (j, c) -> (x.(j), c)) (Ir.objective ir))
+  in
+  {
+    x;
+    row_duals;
+    row_slacks;
+    bound_duals;
+    ub_duals;
+    value;
+    num_complementarity = !comp_count;
+    num_binaries = !binaries;
+    bigm_derived = !derived;
+    bigm_fallbacks = !fellback;
+    tracked = List.rev !tracked;
+  }

@@ -266,6 +266,18 @@ let reduce original =
           bounds_tightened = !bounds_tightened;
         }
 
+let var_intervals model =
+  match reduce model with
+  | Infeasible_model -> None
+  | Reduced red ->
+      Some
+        (Array.mapi
+           (fun v mapped ->
+             if mapped >= 0 then
+               (Model.var_lb red.model mapped, Model.var_ub red.model mapped)
+             else (red.fixed_values.(v), red.fixed_values.(v)))
+           red.var_map)
+
 let restore red reduced_primal =
   Array.mapi
     (fun v mapped ->

@@ -34,3 +34,11 @@ val reduce : Model.t -> outcome
 val restore : t -> float array -> float array
 (** [restore red reduced_primal] rebuilds a primal assignment over the
     original model's variables. *)
+
+val var_intervals : Model.t -> (float * float) array option
+(** Fixed-point interval propagation only: the tightened [(lb, ub)] of
+    every variable, indexed in the {e original} model's variable space.
+    Every feasible point of the model lies inside these boxes, so they
+    are valid activity bounds for big-M derivation (the follower layer's
+    {!module:Repro_follower} [Bigm] consumes them). [None] when the
+    propagation proves the model infeasible. *)

@@ -265,13 +265,31 @@ let run_probes ?pool ?(stop = fun () -> false) st (ev : Evaluate.t) ~demand_ub
           ignore (oracle_gap st d))
   end
 
+let audit_src = Logs.Src.create "repro.metaopt.adversary" ~doc:"gap search"
+
 (* The MILP phase goes through {!Solver.solve} with presolve ON: the KKT
    models carry removable rows (singleton/forcing constraints from the
    rewrite) and the reduction is free relative to a tree search. [pool]
    supplies the worker domains when [bb_options.jobs] > 1. *)
 let solve_one ?pool st gp ~bb_options =
-  Solver.solve ?pool ~options:bb_options ~presolve:true
-    ~primal_heuristic:(primal_heuristic st gp) gp.Gap_problem.model
+  let r =
+    Solver.solve ?pool ~options:bb_options ~presolve:true
+      ~primal_heuristic:(primal_heuristic st gp) gp.Gap_problem.model
+  in
+  (match r.Branch_bound.primal with
+  | Some p -> (
+      match Gap_problem.audit gp p with
+      | [] -> ()
+      | flagged ->
+          Logs.warn ~src:audit_src (fun m ->
+              m "big-M audit: %d gate(s) near saturation at the incumbent (%s)"
+                (List.length flagged)
+                (String.concat ", "
+                   (List.map
+                      (fun t -> t.Repro_follower.Bigm.context)
+                      flagged))))
+  | None -> ());
+  r
 
 (* The single-strategy searches (the paper's two §3.3 modes). Probing must
    already have run on [st]; returns the B&B result and the proven upper

@@ -1,12 +1,16 @@
+module F = Repro_follower
+
 type t = {
   inner : Inner_problem.t;
   kkt : Kkt.emitted;
   indicators : (int * Model.var) list;
   flows : Flow_rows.t;
   value : Linexpr.t;
+  tracked : F.Bigm.tracked list;
 }
 
-let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
+let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon ?engine
+    ?big_m () =
   if demand_ub <= 0. then invalid_arg "Dp_encoding.encode: demand_ub <= 0";
   if threshold < 0. then invalid_arg "Dp_encoding.encode: threshold < 0";
   let epsilon =
@@ -15,9 +19,30 @@ let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
     | None -> 1e-6 *. demand_ub
   in
   let flows = Flow_rows.make pathset ~only:(fun _ -> true) in
-  let big_m = demand_ub +. epsilon in
+  (* The pin rows' big-M constants, derived per pair from the host model's
+     presolve intervals (the demand variable's tightened upper bound)
+     instead of the global hand-picked [demand_ub + epsilon]. [big_m]
+     overrides the derivation — the regression tests use it to prove that
+     a too-small constant is caught by the audit rather than silently
+     cutting the optimum. *)
+  let var_interval = lazy (F.Bigm.host_intervals model) in
+  let m_of k =
+    match big_m with
+    | Some m -> m
+    | None ->
+        let d =
+          F.Bigm.derive_ub
+            ~context:(Printf.sprintf "dp_pin_%d" k)
+            ~var_interval:(Lazy.force var_interval)
+            ~fallback:demand_ub
+            [ (demand_vars.(k), 1.) ]
+        in
+        d.F.Bigm.m +. epsilon
+  in
   let indicators = ref [] in
   let pin_rows = ref [] in
+  (* (row name, inner activity, outer activity, gate, M) for the audit *)
+  let pin_specs = ref [] in
   for k = Pathset.num_pairs pathset - 1 downto 0 do
     if Flow_rows.included flows k then begin
       let z =
@@ -38,11 +63,12 @@ let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
               [ (demand_vars.(k), 1.); (z, -.(threshold +. epsilon)) ])
            Model.Ge 0.);
       (* inner pinning rows (the paper's big-M or-constraints) *)
+      let big_m = m_of k in
       let np = Array.length (Pathset.paths_of_pair pathset k) in
       let non_shortest =
         List.init (np - 1) (fun i -> (Flow_rows.var flows ~pair:k ~path:(i + 1), 1.))
       in
-      if non_shortest <> [] then
+      if non_shortest <> [] then begin
         pin_rows :=
           {
             Inner_problem.row_name = Printf.sprintf "pin_spread_%d" k;
@@ -52,6 +78,10 @@ let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
             rhs = 0.;
           }
           :: !pin_rows;
+        pin_specs :=
+          (Printf.sprintf "pin_spread_%d" k, non_shortest, [], z, big_m)
+          :: !pin_specs
+      end;
       pin_rows :=
         {
           Inner_problem.row_name = Printf.sprintf "pin_full_%d" k;
@@ -60,7 +90,14 @@ let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
           sense = Inner_problem.Le;
           rhs = 0.;
         }
-        :: !pin_rows
+        :: !pin_rows;
+      pin_specs :=
+        ( Printf.sprintf "pin_full_%d" k,
+          [ (Flow_rows.var flows ~pair:k ~path:0, -1.) ],
+          [ (demand_vars.(k), 1.) ],
+          z,
+          big_m )
+        :: !pin_specs
     end
   done;
   let rows =
@@ -72,5 +109,20 @@ let encode model pathset ~demand_vars ~threshold ~demand_ub ?epsilon () =
     Inner_problem.create ~name:"dp" ~num_vars:(Flow_rows.num_vars flows)
       ~objective:(Flow_rows.objective flows) rows
   in
-  let kkt = Kkt.emit model inner in
-  { inner; kkt; indicators = !indicators; flows; value = kkt.Kkt.value }
+  let kkt = Follower_bridge.emit ?engine model inner in
+  let tracked =
+    List.rev_map
+      (fun (name, inner_terms, outer_terms, z, m) ->
+        {
+          F.Bigm.context = name;
+          m;
+          indicator = z;
+          active_when = `One;
+          activity =
+            Linexpr.of_terms
+              (List.map (fun (j, c) -> (kkt.Kkt.x.(j), c)) inner_terms
+              @ outer_terms);
+        })
+      !pin_specs
+  in
+  { inner; kkt; indicators = !indicators; flows; value = kkt.Kkt.value; tracked }

@@ -24,6 +24,8 @@ type t = {
   indicators : (int * Model.var) list;  (** routable pair -> z binary *)
   flows : Flow_rows.t;
   value : Linexpr.t;  (** the heuristic's optimal total flow *)
+  tracked : Repro_follower.Bigm.tracked list;
+      (** audit handles for the pin rows' big-M gates *)
 }
 
 val encode :
@@ -33,7 +35,14 @@ val encode :
   threshold:float ->
   demand_ub:float ->
   ?epsilon:float ->
+  ?engine:Follower_bridge.engine ->
+  ?big_m:float ->
   unit ->
   t
 (** [demand_ub] must upper-bound every demand variable — it sizes the
-    big-M constants. [epsilon] defaults to [1e-6 * demand_ub]. *)
+    host linking rows. The {e pin} rows' big-M constants are derived per
+    pair from presolve intervals ({!Repro_follower.Bigm.derive_ub}) and
+    recorded in [tracked] for post-solve auditing; [big_m] overrides the
+    derivation (regression tests use a deliberately small value to prove
+    the audit catches it). [epsilon] defaults to [1e-6 * demand_ub].
+    [engine] selects the KKT emitter (default {!Follower_bridge.Ir}). *)

@@ -1,0 +1,80 @@
+module F = Repro_follower
+
+let fig1_pathset = ref None
+
+let pathset () =
+  match !fig1_pathset with
+  | Some ps -> ps
+  | None ->
+      let ps = Pathset.compute (Demand.full_space (Topologies.fig1 ())) ~k:2 in
+      fig1_pathset := Some ps;
+      ps
+
+let gap_stats heuristic () =
+  let ps = pathset () in
+  let gp = Gap_problem.build ps ~heuristic () in
+  F.Family.stats_of_model gp.Gap_problem.model
+
+let dp_family =
+  let ps_threshold () =
+    0.05 *. Graph.max_capacity (Pathset.graph (pathset ()))
+  in
+  {
+    F.Family.name = "dp";
+    doc = "demand pinning on k-shortest-path TE (paper §3.2)";
+    probes =
+      [
+        ( "hop-sweep",
+          "pin long-shortest-path pairs at the threshold, others at the \
+           bound (Probes.dp_candidates)" );
+        ("corners", "all-at-bound and all-at-threshold demand matrices");
+        ( "refine",
+          "coordinate descent over {0, threshold-ish, ub} extremum levels" );
+      ];
+    stats =
+      (fun () ->
+        gap_stats (Gap_problem.Dp { threshold = ps_threshold () }) ());
+  }
+
+let pop_family =
+  {
+    F.Family.name = "pop";
+    doc = "partitioned optimization (POP) with random partitions (§3.2)";
+    probes =
+      [
+        ( "concentration",
+          "demand only on one partition's pairs, stranding the other \
+           parts' capacity shares (Probes.pop_candidates)" );
+        ("co-location", "cross-instance greedy same-part pair sets");
+        ( "refine",
+          "coordinate descent over {0, threshold-ish, ub} extremum levels" );
+      ];
+    stats =
+      (fun () ->
+        let ps = pathset () in
+        let num_pairs = Demand.size (Pathset.space ps) in
+        let partitions =
+          [ Pop.random_partition ~rng:(Rng.create 1) ~num_pairs ~parts:2 ]
+        in
+        gap_stats
+          (Gap_problem.Pop { parts = 2; partitions; reduce = `Average })
+          ());
+  }
+
+let registered = ref false
+
+let ensure_registered () =
+  if not !registered then begin
+    registered := true;
+    F.Family.register dp_family;
+    F.Family.register pop_family;
+    F.Family.register F.Binpack.family
+  end
+
+let all () =
+  ensure_registered ();
+  F.Family.all ()
+
+let find name =
+  ensure_registered ();
+  F.Family.find name

@@ -1,0 +1,15 @@
+(** The heuristic families this repo can run the metaoptimization
+    against, registered into the {!Repro_follower.Family} registry.
+
+    The TE families (DP, POP) report encoding stats for the paper's fig-1
+    topology with the default adversary configuration; the bin-packing
+    family comes from {!Repro_follower.Binpack.family}. Registration is
+    idempotent and lazy — stats thunks only build models when forced (the
+    [families] CLI subcommand and the bench harness). *)
+
+val ensure_registered : unit -> unit
+
+(** Registry accessors that force registration first. *)
+
+val all : unit -> Repro_follower.Family.t list
+val find : string -> Repro_follower.Family.t option

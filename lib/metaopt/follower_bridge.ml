@@ -1,0 +1,45 @@
+module F = Repro_follower
+
+type engine = Hand | Ir
+
+let default_engine = Ir
+
+let engine_of_string = function
+  | "hand" -> Some Hand
+  | "ir" -> Some Ir
+  | _ -> None
+
+let ir_of_inner (ip : Inner_problem.t) =
+  let ir = F.Ir.create ~name:ip.Inner_problem.name () in
+  ignore (F.Ir.add_cols ~group:"x" ir ip.Inner_problem.num_vars);
+  F.Ir.set_objective ir ip.Inner_problem.objective;
+  List.iter
+    (fun (r : Inner_problem.row) ->
+      F.Ir.add_row ir
+        {
+          F.Ir.row_name = r.Inner_problem.row_name;
+          inner_terms = r.Inner_problem.inner_terms;
+          outer_terms = r.Inner_problem.outer_terms;
+          sense =
+            (match r.Inner_problem.sense with
+            | Inner_problem.Le -> F.Ir.Le
+            | Inner_problem.Eq -> F.Ir.Eq);
+          rhs = r.Inner_problem.rhs;
+        })
+    ip.Inner_problem.rows;
+  ir
+
+let adapt (e : F.Kkt_rewrite.emitted) : Kkt.emitted =
+  {
+    Kkt.x = e.F.Kkt_rewrite.x;
+    row_duals = e.F.Kkt_rewrite.row_duals;
+    row_slacks = e.F.Kkt_rewrite.row_slacks;
+    bound_duals = e.F.Kkt_rewrite.bound_duals;
+    value = e.F.Kkt_rewrite.value;
+    num_complementarity = e.F.Kkt_rewrite.num_complementarity;
+  }
+
+let emit ?(engine = default_engine) ?comp model ip =
+  match engine with
+  | Hand -> Kkt.emit model ip
+  | Ir -> adapt (F.Kkt_rewrite.emit ?comp model (ir_of_inner ip))

@@ -1,0 +1,31 @@
+(** Bridge from the hand-written {!Inner_problem} follower descriptions to
+    the declarative {!Repro_follower.Ir} layer.
+
+    The TE encodings ({!Dp_encoding}, {!Pop_encoding}) describe their
+    follower LPs as {!Inner_problem} values; this module lifts them into
+    the follower IR and routes KKT emission through the automatic
+    {!Repro_follower.Kkt_rewrite} — which, by construction, emits exactly
+    the rows/columns/SOS1 groups of the hand-derived {!Kkt.emit}. The hand
+    path is kept selectable as a differential oracle. *)
+
+type engine =
+  | Hand  (** the original hand-derived {!Kkt.emit} *)
+  | Ir  (** {!Repro_follower.Kkt_rewrite} over {!ir_of_inner} (default) *)
+
+val default_engine : engine
+
+(** Parse ["hand"] / ["ir"] (for CLI flags). *)
+val engine_of_string : string -> engine option
+
+val ir_of_inner : Inner_problem.t -> Repro_follower.Ir.t
+(** Columns become one ["x"] group; row blocks are inferred from row-name
+    prefixes (e.g. [pin_spread_3] lands in block [pin_spread]). *)
+
+val emit :
+  ?engine:engine ->
+  ?comp:Repro_follower.Kkt_rewrite.comp ->
+  Model.t ->
+  Inner_problem.t ->
+  Kkt.emitted
+(** Emit the KKT block with the selected engine. [comp] (default [Sos1])
+    only applies to the [Ir] engine; the hand path always uses SOS1. *)

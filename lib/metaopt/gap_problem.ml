@@ -13,12 +13,13 @@ type t = {
   opt_value : Linexpr.t;
   heuristic_value : Linexpr.t;
   demand_ub : float;
+  tracked : Repro_follower.Bigm.tracked list;
 }
 
 let default_demand_ub pathset = Graph.max_capacity (Pathset.graph pathset)
 
 let build pathset ~heuristic ?(constraints = Input_constraints.none) ?demand_ub
-    ?quantize () =
+    ?quantize ?engine () =
   let demand_ub =
     match demand_ub with
     | Some u -> u
@@ -60,23 +61,32 @@ let build pathset ~heuristic ?(constraints = Input_constraints.none) ?demand_ub
     Mcf.add_feasible_flow ~prefix:"opt_f" model pathset (Mcf.Var demand_vars)
   in
   let opt_value = Mcf.total_flow_expr opt_vars in
-  let heuristic_value =
+  let heuristic_value, tracked =
     match heuristic with
     | Dp { threshold } ->
         let enc =
-          Dp_encoding.encode model pathset ~demand_vars ~threshold ~demand_ub ()
+          Dp_encoding.encode model pathset ~demand_vars ~threshold ~demand_ub
+            ?engine ()
         in
-        enc.Dp_encoding.value
+        (enc.Dp_encoding.value, enc.Dp_encoding.tracked)
     | Pop { parts; partitions; reduce } ->
         let enc =
           Pop_encoding.encode model pathset ~demand_vars ~parts ~partitions
-            ~reduce ()
+            ~reduce ?engine ()
         in
-        enc.Pop_encoding.value
+        (enc.Pop_encoding.value, enc.Pop_encoding.tracked)
   in
   Model.set_objective model Model.Maximize
     (Linexpr.sub opt_value heuristic_value);
-  { model; demand_vars; opt_vars; opt_value; heuristic_value; demand_ub }
+  {
+    model;
+    demand_vars;
+    opt_vars;
+    opt_value;
+    heuristic_value;
+    demand_ub;
+    tracked;
+  }
 
 let demands_of_primal t primal =
   Array.map
@@ -87,6 +97,8 @@ let demands_of_primal t primal =
 
 let size t =
   (Model.num_vars t.model, Model.num_constrs t.model, Model.num_sos1 t.model)
+
+let audit ?tol t primal = Repro_follower.Bigm.audit ?tol primal t.tracked
 
 let size_of_model m = (Model.num_vars m, Model.num_constrs m, Model.num_sos1 m)
 

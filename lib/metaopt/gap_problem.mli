@@ -29,6 +29,8 @@ type t = {
   opt_value : Linexpr.t;
   heuristic_value : Linexpr.t;
   demand_ub : float;
+  tracked : Repro_follower.Bigm.tracked list;
+      (** audit handles for every big-M gate of the heuristic encoding *)
 }
 
 val build :
@@ -37,6 +39,7 @@ val build :
   ?constraints:Input_constraints.t ->
   ?demand_ub:float ->
   ?quantize:float ->
+  ?engine:Follower_bridge.engine ->
   unit ->
   t
 (** [demand_ub] bounds every demand variable (default: the topology's
@@ -54,6 +57,11 @@ val demands_of_primal : t -> float array -> Demand.t
 
 (** Sizes for Fig 6: (variables, linear constraints, SOS1 groups). *)
 val size : t -> int * int * int
+
+val audit : ?tol:float -> t -> float array -> Repro_follower.Bigm.tracked list
+(** Check a primal point against every tracked big-M gate
+    ({!Repro_follower.Bigm.audit}); a non-empty result means some big-M
+    constant was too small and may have cut the true optimum. *)
 
 val baseline_sizes :
   Pathset.t -> heuristic:heuristic -> (string * (int * int * int)) list

@@ -1,7 +1,10 @@
+module F = Repro_follower
+
 type t = {
   followers : Kkt.emitted list;
   instance_totals : Model.var list;
   value : Linexpr.t;
+  tracked : F.Bigm.tracked list;
 }
 
 (* One follower: the block-diagonal union of a single instance's
@@ -9,7 +12,8 @@ type t = {
    (edge, part) pair gets its own scaled capacity row over that part's
    pairs only, and each pair's demand row binds to the shared outer demand
    variable. *)
-let instance_follower model pathset ~demand_vars ~parts ~partition ~index =
+let instance_follower ?engine model pathset ~demand_vars ~parts ~partition
+    ~index =
   let flows = Flow_rows.make pathset ~only:(fun _ -> true) in
   let g = Pathset.graph pathset in
   let scale = 1. /. float_of_int parts in
@@ -43,7 +47,7 @@ let instance_follower model pathset ~demand_vars ~parts ~partition ~index =
       ~num_vars:(Flow_rows.num_vars flows)
       ~objective:(Flow_rows.objective flows) rows
   in
-  Kkt.emit model inner
+  Follower_bridge.emit ?engine model inner
 
 (* Bind one host variable to each follower's optimum and reduce them to
    the deterministic descriptor the adversary optimizes (§3.2). *)
@@ -81,7 +85,7 @@ let reduce_followers model followers ~cap_total ~reduce =
   in
   (instance_totals, value)
 
-let encode model pathset ~demand_vars ~parts ~partitions ~reduce () =
+let encode model pathset ~demand_vars ~parts ~partitions ~reduce ?engine () =
   if partitions = [] then invalid_arg "Pop_encoding.encode: no partitions";
   if parts <= 0 then invalid_arg "Pop_encoding.encode: parts <= 0";
   List.iter
@@ -92,14 +96,15 @@ let encode model pathset ~demand_vars ~parts ~partitions ~reduce () =
   let followers =
     List.mapi
       (fun index partition ->
-        instance_follower model pathset ~demand_vars ~parts ~partition ~index)
+        instance_follower ?engine model pathset ~demand_vars ~parts ~partition
+          ~index)
       partitions
   in
   let cap_total = Graph.total_capacity (Pathset.graph pathset) in
   let instance_totals, value =
     reduce_followers model followers ~cap_total ~reduce
   in
-  { followers; instance_totals; value }
+  { followers; instance_totals; value; tracked = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Appendix A: client splitting                                        *)
@@ -109,7 +114,7 @@ let encode model pathset ~demand_vars ~parts ~partitions ~reduce () =
    number of halvings Appendix A performs) activates its 2^s slots, each
    carrying d_k / 2^s. Host binaries w_{k,s} select the level from the
    demand value; inner big-M rows gate each slot's flow on its level. *)
-let split_follower model pathset ~demand_vars ~parts ~assignment
+let split_follower ?engine model pathset ~demand_vars ~parts ~assignment
     ~level_vars ~max_splits ~demand_ub ~index =
   let g = Pathset.graph pathset in
   let n_pairs = Pathset.num_pairs pathset in
@@ -130,8 +135,21 @@ let split_follower model pathset ~demand_vars ~parts ~assignment
   in
   let rows = ref [] in
   let add r = rows := r :: !rows in
+  (* per-pair activity big-M for the slot-gating rows, derived from the
+     host demand variable's presolve interval (hand-picked fallback:
+     [demand_ub]) *)
+  let var_interval = lazy (F.Bigm.host_intervals model) in
+  let m_act = Array.make n_pairs demand_ub in
+  let act_specs = ref [] in
   for k = 0 to n_pairs - 1 do
     if offsets.(k) >= 0 then begin
+      m_act.(k) <-
+        (F.Bigm.derive_ub
+           ~context:(Printf.sprintf "pop%d_act_%d" index k)
+           ~var_interval:(Lazy.force var_interval)
+           ~fallback:demand_ub
+           [ (demand_vars.(k), 1.) ])
+          .F.Bigm.m;
       let np = Array.length (Pathset.paths_of_pair pathset k) in
       for level = 0 to max_splits do
         let copies = 1 lsl level in
@@ -148,16 +166,22 @@ let split_follower model pathset ~demand_vars ~parts ~assignment
               sense = Inner_problem.Le;
               rhs = 0.;
             };
-          (* activity: sum_p f <= demand_ub * w_{k,level} *)
+          (* activity: sum_p f <= M_k * w_{k,level} *)
           add
             {
               Inner_problem.row_name =
                 Printf.sprintf "pop%d_act_%d_%d_%d" index k level copy;
               inner_terms = flows;
-              outer_terms = [ (level_vars.(k).(level), -.demand_ub) ];
+              outer_terms = [ (level_vars.(k).(level), -.m_act.(k)) ];
               sense = Inner_problem.Le;
               rhs = 0.;
-            }
+            };
+          act_specs :=
+            ( Printf.sprintf "pop%d_act_%d_%d_%d" index k level copy,
+              flows,
+              level_vars.(k).(level),
+              m_act.(k) )
+            :: !act_specs
         done
       done
     end
@@ -196,10 +220,25 @@ let split_follower model pathset ~demand_vars ~parts ~assignment
       ~objective:(List.init !next (fun v -> (v, 1.)))
       (List.rev !rows)
   in
-  Kkt.emit model inner
+  let kkt = Follower_bridge.emit ?engine model inner in
+  let tracked =
+    List.rev_map
+      (fun (name, flows, w, m) ->
+        {
+          F.Bigm.context = name;
+          m;
+          indicator = w;
+          active_when = `One;
+          activity =
+            Linexpr.of_terms
+              (List.map (fun (j, c) -> (kkt.Kkt.x.(j), c)) flows);
+        })
+      !act_specs
+  in
+  (kkt, tracked)
 
 let encode_with_client_split model pathset ~demand_vars ~parts ~threshold
-    ~max_splits ~assignments ~demand_ub ~reduce ?epsilon () =
+    ~max_splits ~assignments ~demand_ub ~reduce ?epsilon ?engine () =
   if assignments = [] then invalid_arg "Pop_encoding: no assignments";
   if threshold <= 0. then invalid_arg "Pop_encoding: threshold <= 0";
   if max_splits < 0 then invalid_arg "Pop_encoding: max_splits < 0";
@@ -262,15 +301,17 @@ let encode_with_client_split model pathset ~demand_vars ~parts ~threshold
       end
     done
   done;
-  let followers =
+  let emitted =
     List.mapi
       (fun index assignment ->
-        split_follower model pathset ~demand_vars ~parts ~assignment
+        split_follower ?engine model pathset ~demand_vars ~parts ~assignment
           ~level_vars ~max_splits ~demand_ub ~index)
       assignments
   in
+  let followers = List.map fst emitted in
+  let tracked = List.concat_map snd emitted in
   let cap_total = Graph.total_capacity (Pathset.graph pathset) in
   let instance_totals, value =
     reduce_followers model followers ~cap_total ~reduce
   in
-  { followers; instance_totals; value }
+  { followers; instance_totals; value; tracked }

@@ -22,6 +22,9 @@ type t = {
   instance_totals : Model.var list;
       (** host variable equal to each instance's heuristic total *)
   value : Linexpr.t;  (** the reduced (average / percentile) value *)
+  tracked : Repro_follower.Bigm.tracked list;
+      (** audit handles for the client-split slot gates (empty for the
+          plain encoder, which has no big-M rows) *)
 }
 
 val encode :
@@ -31,9 +34,11 @@ val encode :
   parts:int ->
   partitions:Pop.partition list ->
   reduce:[ `Average | `Kth_smallest of int ] ->
+  ?engine:Follower_bridge.engine ->
   unit ->
   t
-(** @raise Invalid_argument on empty [partitions] or size mismatches. *)
+(** [engine] selects the KKT emitter (default {!Follower_bridge.Ir}).
+    @raise Invalid_argument on empty [partitions] or size mismatches. *)
 
 (** Appendix A, in full: POP with client splitting as a convex follower.
     Every pair pre-builds virtual-client flow variables for all split
@@ -43,7 +48,10 @@ val encode :
     describes), and inner big-M rows gate each slot's flow on its level.
     Each [assignment] is a fixed partition of the slots
     ({!Pop.random_slot_assignment}); ground truth for a concrete demand
-    matrix is {!Pop.solve_fixed_split}. *)
+    matrix is {!Pop.solve_fixed_split}. The slot-gating rows' big-M
+    constants are derived per pair from presolve intervals
+    ({!Repro_follower.Bigm.derive_ub}, hand-picked fallback [demand_ub])
+    and recorded in [tracked] for post-solve auditing. *)
 val encode_with_client_split :
   Model.t ->
   Pathset.t ->
@@ -55,5 +63,6 @@ val encode_with_client_split :
   demand_ub:float ->
   reduce:[ `Average | `Kth_smallest of int ] ->
   ?epsilon:float ->
+  ?engine:Follower_bridge.engine ->
   unit ->
   t

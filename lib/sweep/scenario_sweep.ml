@@ -230,3 +230,11 @@ let run ?(options = default_options) ~paths pathset plan =
     wall_s = Unix.gettimeofday () -. t0;
     outcome;
   }
+
+let verbose_stats_line (s : Simplex.stats) =
+  Printf.sprintf
+    "rhs_ftran=%d rhs_dual=%d refactorizations=%d etas=%d warm_hits=%d \
+     warm_misses=%d presolve_rows=%d presolve_cols=%d"
+    s.Simplex.rhs_ftran s.Simplex.rhs_dual s.Simplex.refactorizations
+    s.Simplex.etas s.Simplex.warm_hits s.Simplex.warm_misses
+    s.Simplex.presolve_rows s.Simplex.presolve_cols

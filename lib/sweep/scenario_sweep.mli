@@ -86,3 +86,10 @@ val run : ?options:options -> paths:int -> Pathset.t -> Plan.t -> result
 val json_of_result : scenario_result -> Repro_serve.Json.t
 (** The JSONL record: [{"i", "fp", "threshold", "scale", "seed", "opt",
     "heur", "gap", "cached"}]. *)
+
+val verbose_stats_line : Simplex.stats -> string
+(** One [key=value] line naming every solver-internals counter the
+    sweep's fast path depends on — [rhs_ftran]/[rhs_dual] (the
+    factorized-basis re-solve split), [refactorizations], [etas],
+    [warm_hits]/[warm_misses], and the [presolve_rows]/[presolve_cols]
+    reductions — for [sweep --verbose] and log scraping. *)

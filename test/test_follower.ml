@@ -1,0 +1,622 @@
+(* Tests for the follower IR layer (Repro_follower) and its integration
+   with the metaopt encodings:
+
+   - Ir construction: column groups, inferred row blocks, direct solve;
+   - Kkt_rewrite vs the hand-derived Repro_metaopt.Kkt: identical model
+     sizes and (by qcheck) identical optima, in both complementarity
+     modes;
+   - Bigm derivation from presolve intervals, the fallback counter, and
+     the post-solve audit — including the regression where a
+     deliberately too-small big-M in the DP encoding is detected by the
+     audit instead of silently cutting the adversary's optimum;
+   - gap-problem differential: Ir and Hand engines agree on the DP and
+     POP white-box gap values (both LP backends, jobs=1 and jobs=4);
+   - the bin-packing family: exact FFD/OPT known answers, white-box
+     encoding vs the simulator on fixed instances, and the seeded
+     find-gap closing the classic FFD worst case;
+   - the family registry. *)
+
+open Repro_lp
+open Repro_topology
+open Repro_te
+open Repro_metaopt
+module F = Repro_follower
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let fig1_pathset =
+  let ps = lazy (Pathset.compute (Demand.full_space (Topologies.fig1 ())) ~k:2) in
+  fun () -> Lazy.force ps
+
+(* ------------------------------------------------------------------ *)
+(* Ir                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ir_groups_and_blocks () =
+  let ir = F.Ir.create ~name:"toy" () in
+  let f = F.Ir.add_cols ~group:"flow" ir 2 in
+  let s = F.Ir.add_cols ~group:"slack" ~ub:3. ir 1 in
+  Alcotest.(check int) "first flow col" 0 f;
+  Alcotest.(check int) "slack col" 2 s;
+  Alcotest.(check int) "num cols" 3 (F.Ir.num_cols ir);
+  Alcotest.(check bool) "flow unbounded" true (F.Ir.col_ub ir 0 = infinity);
+  check_float "slack ub" 3. (F.Ir.col_ub ir 2);
+  Alcotest.(check string) "group of 1" "flow" (F.Ir.col_group ir 1);
+  Alcotest.(check string) "group of 2" "slack" (F.Ir.col_group ir 2);
+  F.Ir.set_objective ir [ (0, 1.); (1, 1.) ];
+  F.Ir.add_rows ir
+    [
+      {
+        F.Ir.row_name = "cap_0";
+        inner_terms = [ (0, 1.) ];
+        outer_terms = [];
+        sense = F.Ir.Le;
+        rhs = 2.;
+      };
+      {
+        F.Ir.row_name = "cap_1";
+        inner_terms = [ (1, 1.) ];
+        outer_terms = [];
+        sense = F.Ir.Le;
+        rhs = 3.;
+      };
+      {
+        F.Ir.row_name = "budget";
+        inner_terms = [ (0, 1.); (1, 1.); (2, 1.) ];
+        outer_terms = [];
+        sense = F.Ir.Eq;
+        rhs = 4.;
+      };
+    ];
+  Alcotest.(check int) "rows" 3 (F.Ir.num_rows ir);
+  Alcotest.(check int) "le rows" 2 (F.Ir.num_le_rows ir);
+  Alcotest.(check (list (pair string (list int))))
+    "blocks infer trailing indices"
+    [ ("cap", [ 0; 1 ]); ("budget", [ 2 ]) ]
+    (F.Ir.blocks ir);
+  Alcotest.(check (list (pair string (list int))))
+    "groups in declaration order"
+    [ ("flow", [ 0; 1 ]); ("slack", [ 2 ]) ]
+    (F.Ir.groups ir)
+
+let test_ir_solve_directly () =
+  let host = Model.create () in
+  let p = Model.add_var ~name:"p" ~lb:1. ~ub:1. host in
+  let ir = F.Ir.create ~name:"toy" () in
+  ignore (F.Ir.add_cols ir 2);
+  F.Ir.set_objective ir [ (0, 1.); (1, 1.) ];
+  F.Ir.add_rows ir
+    [
+      {
+        F.Ir.row_name = "r_0";
+        inner_terms = [ (0, 1.) ];
+        (* rhs 3 shifted down by the outer value: x0 <= 3 - p = 2 *)
+        outer_terms = [ (p, 1.) ];
+        sense = F.Ir.Le;
+        rhs = 3.;
+      };
+      {
+        F.Ir.row_name = "r_1";
+        inner_terms = [ (1, 1.) ];
+        outer_terms = [];
+        sense = F.Ir.Le;
+        rhs = 3.;
+      };
+    ];
+  let r = F.Ir.solve_directly ir ~outer_values:(fun _ -> 1.) in
+  check_float "direct optimum" 5. r.Solver.objective
+
+(* ------------------------------------------------------------------ *)
+(* Kkt_rewrite vs hand Kkt                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* one follower description instantiated twice (once per host model) so
+   the hand and IR paths see identical inputs *)
+let toy_inner model =
+  let p = Model.add_var ~name:"P" ~lb:6. ~ub:6. model in
+  Inner_problem.create ~name:"toy" ~num_vars:2
+    ~objective:[ (0, 2.); (1, 1.) ]
+    [
+      {
+        Inner_problem.row_name = "cap_0";
+        inner_terms = [ (0, 1.); (1, 1.) ];
+        outer_terms = [ (p, -1.) ];
+        sense = Inner_problem.Le;
+        rhs = 0.;
+      };
+      {
+        Inner_problem.row_name = "cap_1";
+        inner_terms = [ (0, 1.) ];
+        outer_terms = [];
+        sense = Inner_problem.Le;
+        rhs = 4.;
+      };
+      {
+        Inner_problem.row_name = "tie";
+        inner_terms = [ (1, 1.) ];
+        outer_terms = [];
+        sense = Inner_problem.Eq;
+        rhs = 1.;
+      };
+    ]
+
+(* follower optimum: x1 = 1 (tie), x0 = min(4, 6 - 1) = 4, value 9 *)
+let toy_value = 9.
+
+let solve_feasibility model =
+  Model.set_objective model Model.Maximize Linexpr.zero;
+  let r = Solver.solve model in
+  Alcotest.(check bool) "solved" true
+    (r.Branch_bound.outcome = Branch_bound.Optimal);
+  Option.get r.Branch_bound.primal
+
+let test_rewrite_matches_hand_exactly () =
+  let hand_model = Model.create () in
+  let hand = Kkt.emit hand_model (toy_inner hand_model) in
+  let ir_model = Model.create () in
+  let ir =
+    Follower_bridge.emit ~engine:Follower_bridge.Ir ir_model
+      (toy_inner ir_model)
+  in
+  Alcotest.(check int)
+    "same vars" (Model.num_vars hand_model) (Model.num_vars ir_model);
+  Alcotest.(check int)
+    "same rows" (Model.num_constrs hand_model) (Model.num_constrs ir_model);
+  Alcotest.(check int)
+    "same sos1" (Model.num_sos1 hand_model) (Model.num_sos1 ir_model);
+  Alcotest.(check int)
+    "same complementarity count" hand.Kkt.num_complementarity
+    ir.Kkt.num_complementarity;
+  let hp = solve_feasibility hand_model in
+  let ip = solve_feasibility ir_model in
+  check_float "hand value" toy_value (Linexpr.eval hand.Kkt.value (Array.get hp));
+  check_float "ir value" toy_value (Linexpr.eval ir.Kkt.value (Array.get ip))
+
+let test_rewrite_big_m_agrees () =
+  let model = Model.create () in
+  let ip = toy_inner model in
+  let e =
+    F.Kkt_rewrite.emit
+      ~comp:(F.Kkt_rewrite.Big_m { fallback = 50. })
+      model
+      (Follower_bridge.ir_of_inner ip)
+  in
+  Alcotest.(check int) "no sos1 groups" 0 (Model.num_sos1 model);
+  Alcotest.(check int)
+    "one binary per complementarity pair" e.F.Kkt_rewrite.num_complementarity
+    e.F.Kkt_rewrite.num_binaries;
+  Alcotest.(check bool)
+    "every gate tracked" true
+    (List.length e.F.Kkt_rewrite.tracked = 2 * e.F.Kkt_rewrite.num_binaries);
+  let p = solve_feasibility model in
+  check_float "big-M value = follower optimum" toy_value
+    (Linexpr.eval e.F.Kkt_rewrite.value (Array.get p));
+  (* at a KKT point no derived gate may sit at its big-M ceiling *)
+  Alcotest.(check int)
+    "audit clean" 0
+    (List.length (F.Bigm.audit p e.F.Kkt_rewrite.tracked))
+
+let test_rewrite_finite_ub () =
+  List.iter
+    (fun comp ->
+      let model = Model.create () in
+      let ir = F.Ir.create ~name:"ub" () in
+      ignore (F.Ir.add_cols ~ub:1.5 ir 1);
+      F.Ir.set_objective ir [ (0, 3.) ];
+      F.Ir.add_row ir
+        {
+          F.Ir.row_name = "cap_0";
+          inner_terms = [ (0, 1.) ];
+          outer_terms = [];
+          sense = F.Ir.Le;
+          rhs = 10.;
+        };
+      let e = F.Kkt_rewrite.emit ~comp model ir in
+      Alcotest.(check bool)
+        "eta emitted for finite ub" true
+        (e.F.Kkt_rewrite.ub_duals.(0) <> None);
+      let p = solve_feasibility model in
+      (* the binding constraint is the column bound, not the row *)
+      check_float "pinned at ub" 4.5 (Linexpr.eval e.F.Kkt_rewrite.value (Array.get p));
+      check_float "x at ub" 1.5 p.(e.F.Kkt_rewrite.x.(0)))
+    [ F.Kkt_rewrite.Sos1; F.Kkt_rewrite.Big_m { fallback = 20. } ]
+
+(* random follower LPs: hand, IR/SOS1, IR/big-M and the direct solve all
+   agree on the optimum *)
+let rewrite_differential_property =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 4 in
+      let* m = int_range 1 3 in
+      let* a = array_size (return (m * n)) (float_range 0. 4.) in
+      let* b = array_size (return m) (float_range 1. 10.) in
+      let* c = array_size (return n) (float_range 0.1 5.) in
+      return (n, m, a, b, c))
+  in
+  QCheck.Test.make ~count:40 ~name:"hand = IR sos1 = IR big-M = direct"
+    (QCheck.make gen) (fun (n, m, a, b, c) ->
+      let rows =
+        ({
+           Inner_problem.row_name = "budget";
+           inner_terms = List.init n (fun j -> (j, 1.));
+           outer_terms = [];
+           sense = Inner_problem.Le;
+           rhs = 50.;
+         }
+        :: List.init m (fun i ->
+               {
+                 Inner_problem.row_name = Printf.sprintf "r_%d" i;
+                 inner_terms =
+                   List.filter_map
+                     (fun j ->
+                       let v = a.((i * n) + j) in
+                       if v = 0. then None else Some (j, v))
+                     (List.init n (fun j -> j));
+                 outer_terms = [];
+                 sense = Inner_problem.Le;
+                 rhs = b.(i);
+               }))
+      in
+      let inner () =
+        Inner_problem.create ~name:"prop" ~num_vars:n
+          ~objective:(List.init n (fun j -> (j, c.(j))))
+          rows
+      in
+      let value_of engine comp =
+        let model = Model.create () in
+        let e =
+          match engine with
+          | `Hand -> Kkt.emit model (inner ())
+          | `Ir ->
+              Follower_bridge.emit ~engine:Follower_bridge.Ir ?comp model
+                (inner ())
+        in
+        Model.set_objective model Model.Maximize Linexpr.zero;
+        let r = Solver.solve model in
+        if r.Branch_bound.outcome <> Branch_bound.Optimal then
+          QCheck.Test.fail_reportf "KKT system not solved";
+        Linexpr.eval e.Kkt.value (Array.get (Option.get r.Branch_bound.primal))
+      in
+      let direct =
+        (Inner_problem.solve_directly (inner ()) ~outer_values:(fun _ -> 0.))
+          .Solver.objective
+      in
+      let hand = value_of `Hand None in
+      let sos = value_of `Ir None in
+      let bigm =
+        value_of `Ir (Some (F.Kkt_rewrite.Big_m { fallback = 200. }))
+      in
+      if
+        Float.abs (hand -. direct) > 1e-6
+        || Float.abs (sos -. direct) > 1e-6
+        || Float.abs (bigm -. direct) > 1e-5
+      then
+        QCheck.Test.fail_reportf "hand %g sos %g bigm %g direct %g" hand sos
+          bigm direct
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Bigm + Presolve.var_intervals                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_var_intervals () =
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" m in
+  let y = Model.add_var ~name:"y" ~ub:10. m in
+  ignore (Model.add_constr m (Linexpr.var x) Model.Le 4.);
+  ignore (Model.add_constr m (Linexpr.var y) Model.Eq 7.);
+  (match Presolve.var_intervals m with
+  | None -> Alcotest.fail "feasible model reported infeasible"
+  | Some iv ->
+      let _, xu = iv.(x) in
+      let yl, yu = iv.(y) in
+      Alcotest.(check bool) "x tightened" true (xu <= 4. +. 1e-9);
+      Alcotest.(check bool) "y fixed" true
+        (Float.abs (yl -. 7.) <= 1e-9 && Float.abs (yu -. 7.) <= 1e-9));
+  let bad = Model.create () in
+  let z = Model.add_var ~name:"z" ~ub:1. bad in
+  ignore (Model.add_constr bad (Linexpr.var z) Model.Ge 2.);
+  Alcotest.(check bool) "infeasible -> None" true
+    (Presolve.var_intervals bad = None)
+
+let test_bigm_derivation_and_fallback () =
+  F.Bigm.reset_fallbacks ();
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" ~ub:3. m in
+  let free = Model.add_var ~name:"free" m in
+  let iv = F.Bigm.host_intervals m in
+  let d =
+    F.Bigm.derive_ub ~context:"t/bounded" ~var_interval:iv ~fallback:99.
+      [ (x, 2.) ]
+  in
+  Alcotest.(check bool) "derived" true d.F.Bigm.derived;
+  check_float "activity bound" 6. d.F.Bigm.m;
+  Alcotest.(check int) "no fallback yet" 0 (F.Bigm.fallbacks_noted ());
+  let f =
+    F.Bigm.derive_ub ~context:"t/unbounded" ~var_interval:iv ~fallback:99.
+      [ (free, 1.) ]
+  in
+  Alcotest.(check bool) "fell back" false f.F.Bigm.derived;
+  check_float "fallback value" 99. f.F.Bigm.m;
+  Alcotest.(check int) "fallback noted" 1 (F.Bigm.fallbacks_noted ());
+  F.Bigm.reset_fallbacks ();
+  Alcotest.(check int) "reset" 0 (F.Bigm.fallbacks_noted ())
+
+(* the satellite regression: a hand-tuned big-M that is too small cuts
+   the adversary's optimum; the audit must flag it on the incumbent
+   instead of letting it pass silently *)
+let dp_gap_with ?big_m ?engine () =
+  let pathset = fig1_pathset () in
+  let demand_ub = Graph.max_capacity (Pathset.graph pathset) in
+  let threshold = 0.05 *. demand_ub in
+  let model = Model.create () in
+  let space = Pathset.space pathset in
+  let demand_vars =
+    Array.init (Demand.size space) (fun k ->
+        ignore k;
+        Model.add_var ~name:"d" ~ub:demand_ub model)
+  in
+  let opt_vars =
+    Mcf.add_feasible_flow ~prefix:"opt_f" model pathset (Mcf.Var demand_vars)
+  in
+  let enc =
+    Dp_encoding.encode model pathset ~demand_vars ~threshold ~demand_ub
+      ?engine ?big_m ()
+  in
+  Model.set_objective model Model.Maximize
+    (Linexpr.sub (Mcf.total_flow_expr opt_vars) enc.Dp_encoding.value);
+  let r = Solver.solve ~presolve:true model in
+  Alcotest.(check bool) "solved" true
+    (r.Branch_bound.outcome = Branch_bound.Optimal);
+  let primal = Option.get r.Branch_bound.primal in
+  (r.Branch_bound.objective, F.Bigm.audit primal enc.Dp_encoding.tracked)
+
+let test_dp_small_big_m_detected () =
+  let full_gap, full_audit = dp_gap_with () in
+  Alcotest.(check int) "derived M passes the audit" 0 (List.length full_audit);
+  let pathset = fig1_pathset () in
+  let demand_ub = Graph.max_capacity (Pathset.graph pathset) in
+  (* far below any demand the adversary wants to leave unpinned *)
+  let cut_gap, cut_audit = dp_gap_with ~big_m:(0.02 *. demand_ub) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimum visibly cut (%g < %g)" cut_gap full_gap)
+    true
+    (cut_gap < full_gap -. 1e-3);
+  Alcotest.(check bool) "audit flags saturated gates" true (cut_audit <> [])
+
+(* ------------------------------------------------------------------ *)
+(* gap-problem differential: Ir vs Hand engines                        *)
+(* ------------------------------------------------------------------ *)
+
+let solve_gap ?(jobs = 1) ?backend gp =
+  let options =
+    { Branch_bound.default_options with jobs; backend; time_limit = 60. }
+  in
+  let r = Solver.solve ~options ~presolve:true gp.Gap_problem.model in
+  Alcotest.(check bool) "solved" true
+    (r.Branch_bound.outcome = Branch_bound.Optimal);
+  r.Branch_bound.objective
+
+let test_dp_engines_agree_both_backends () =
+  let pathset = fig1_pathset () in
+  let heuristic = Gap_problem.Dp { threshold = 5. } in
+  List.iter
+    (fun backend ->
+      let hand =
+        Gap_problem.build pathset ~heuristic ~engine:Follower_bridge.Hand ()
+      in
+      let ir =
+        Gap_problem.build pathset ~heuristic ~engine:Follower_bridge.Ir ()
+      in
+      Alcotest.(check bool)
+        "identical model sizes" true
+        (Gap_problem.size hand = Gap_problem.size ir);
+      let vh = solve_gap ?backend hand and vi = solve_gap ?backend ir in
+      if Float.abs (vh -. vi) > 1e-6 then
+        Alcotest.failf "dp hand %g <> ir %g (backend %s)" vh vi
+          (match backend with
+          | None -> "default"
+          | Some k -> Backend.kind_to_string k))
+    [ None; Some Backend.Sparse; Some Backend.Dense ]
+
+let test_pop_engines_agree_and_jobs () =
+  let pathset = fig1_pathset () in
+  let num_pairs = Demand.size (Pathset.space pathset) in
+  let partitions =
+    List.init 2 (fun i ->
+        Pop.random_partition ~rng:(Rng.create (i + 1)) ~num_pairs ~parts:2)
+  in
+  let heuristic =
+    Gap_problem.Pop { parts = 2; partitions; reduce = `Average }
+  in
+  let hand =
+    Gap_problem.build pathset ~heuristic ~engine:Follower_bridge.Hand ()
+  in
+  let ir =
+    Gap_problem.build pathset ~heuristic ~engine:Follower_bridge.Ir ()
+  in
+  Alcotest.(check bool)
+    "identical model sizes" true
+    (Gap_problem.size hand = Gap_problem.size ir);
+  let vh = solve_gap hand in
+  let vi = solve_gap ir in
+  check_float "pop hand = ir" vh vi;
+  let v4 =
+    solve_gap ~jobs:4
+      (Gap_problem.build pathset ~heuristic ~engine:Follower_bridge.Ir ())
+  in
+  Alcotest.(check (float 1e-5)) "jobs=1 = jobs=4" vi v4
+
+let test_client_split_engines_agree () =
+  let pathset = fig1_pathset () in
+  let num_pairs = Demand.size (Pathset.space pathset) in
+  let demand_ub = Graph.max_capacity (Pathset.graph pathset) in
+  let max_splits = 1 in
+  let assignments =
+    [
+      Pop.random_slot_assignment ~rng:(Rng.create 7) ~num_pairs ~max_splits
+        ~parts:2;
+    ]
+  in
+  let value engine =
+    let model = Model.create () in
+    let demand_vars =
+      Array.init num_pairs (fun _ -> Model.add_var ~name:"d" ~ub:demand_ub model)
+    in
+    let enc =
+      Pop_encoding.encode_with_client_split model pathset ~demand_vars
+        ~parts:2 ~threshold:(0.3 *. demand_ub) ~max_splits ~assignments
+        ~demand_ub ~reduce:`Average ~engine ()
+    in
+    Model.set_objective model Model.Maximize enc.Pop_encoding.value;
+    let r = Solver.solve ~presolve:true model in
+    Alcotest.(check bool) "solved" true
+      (r.Branch_bound.outcome = Branch_bound.Optimal);
+    (r.Branch_bound.objective, enc.Pop_encoding.tracked)
+  in
+  let vh, _ = value Follower_bridge.Hand in
+  let vi, tracked = value Follower_bridge.Ir in
+  check_float "client-split hand = ir" vh vi;
+  Alcotest.(check bool) "slot gates tracked" true (tracked <> [])
+
+(* ------------------------------------------------------------------ *)
+(* binpack                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let thirds = [| 0.4; 0.4; 0.3; 0.3; 0.3; 0.3 |]
+
+let test_ffd_known_answers () =
+  let cfg = F.Binpack.config () in
+  let p = F.Binpack.ffd cfg thirds in
+  Alcotest.(check int) "ffd on the thirds pattern" 3 p.F.Binpack.bins;
+  let opt_bins, outcome = F.Binpack.opt cfg thirds in
+  Alcotest.(check bool) "opt proven" true (outcome = Branch_bound.Optimal);
+  Alcotest.(check int) "opt repacks into 2" 2 opt_bins;
+  (* no gap cases: FFD is optimal on these *)
+  let even = [| 0.6; 0.6; 0.35; 0.35; 0.; 0. |] in
+  Alcotest.(check int) "ffd pairs big+small" 2 (F.Binpack.ffd cfg even).F.Binpack.bins;
+  Alcotest.(check int) "opt agrees" 2 (fst (F.Binpack.opt cfg even))
+
+let test_normalize_sorts_decreasing () =
+  let cfg = F.Binpack.config ~items:4 () in
+  let a = F.Binpack.normalize cfg [| 0.2; 0.9; 0.5; 1.4 |] in
+  Alcotest.(check (array (float 1e-9)))
+    "clamped and sorted" [| 1.0; 0.9; 0.5; 0.2 |] a
+
+(* fix the encoded model's size variables to a concrete (grid-snapped)
+   instance: the white-box objective must equal the simulated FFD bins
+   minus the exact OPT bins *)
+let test_encode_matches_simulator () =
+  let cfg = F.Binpack.config () in
+  let check_instance name a =
+    let a = F.Binpack.normalize cfg a in
+    let enc = F.Binpack.encode cfg in
+    Array.iteri
+      (fun i s ->
+        ignore
+          (Model.add_constr
+             ~name:(Printf.sprintf "fix_%d" i)
+             enc.F.Binpack.model (Linexpr.var s) Model.Eq a.(i)))
+      enc.F.Binpack.sizes;
+    let r =
+      Solver.solve
+        ~options:
+          { Branch_bound.default_options with node_limit = 4000; time_limit = 20. }
+        ~presolve:true enc.F.Binpack.model
+    in
+    Alcotest.(check bool) (name ^ " solved") true
+      (r.Branch_bound.outcome = Branch_bound.Optimal);
+    let ffd = (F.Binpack.ffd cfg a).F.Binpack.bins in
+    let opt_bins, outcome = F.Binpack.opt cfg a in
+    Alcotest.(check bool) (name ^ " opt proven") true
+      (outcome = Branch_bound.Optimal);
+    Alcotest.(check (float 1e-5))
+      (name ^ " white-box gap = simulated gap")
+      (float_of_int (ffd - opt_bins))
+      r.Branch_bound.objective
+  in
+  check_instance "thirds" thirds;
+  (* a snapped non-adversarial instance exercising partial fills *)
+  check_instance "mixed" [| 0.55; 0.45; 0.35; 0.25; 0.2; 0.1 |]
+
+let test_find_gap_seeded () =
+  let r = F.Binpack.find_gap (F.Binpack.config ()) in
+  Alcotest.(check bool) "nonzero adversarial gap" true (r.F.Binpack.gap >= 1);
+  Alcotest.(check int) "gap = ffd - opt"
+    (r.F.Binpack.ffd_bins - r.F.Binpack.opt_bins)
+    r.F.Binpack.gap;
+  Alcotest.(check bool) "oracle proved every OPT" true r.F.Binpack.oracle_closed;
+  (* the reported instance really is adversarial when re-simulated *)
+  let p = F.Binpack.ffd r.F.Binpack.config r.F.Binpack.instance in
+  Alcotest.(check int) "instance replays" r.F.Binpack.ffd_bins p.F.Binpack.bins
+
+let test_find_gap_two_dims () =
+  let cfg = F.Binpack.config ~items:6 ~dims:2 () in
+  let r =
+    F.Binpack.find_gap
+      ~options:{ F.Binpack.default_options with run_milp = false }
+      cfg
+  in
+  Alcotest.(check bool) "2-d probes find a gap" true (r.F.Binpack.gap >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* family registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_families_registry () =
+  Families.ensure_registered ();
+  List.iter
+    (fun name ->
+      match Families.find name with
+      | None -> Alcotest.failf "family %s not registered" name
+      | Some f -> Alcotest.(check string) "name" name f.F.Family.name)
+    [ "dp"; "pop"; "binpack" ];
+  Alcotest.(check bool) "unknown is None" true (Families.find "nope" = None);
+  let s =
+    (Option.get (Families.find "binpack")).F.Family.stats ()
+  in
+  Alcotest.(check bool) "binpack stats populated" true
+    (s.F.Family.vars > 0 && s.F.Family.rows > 0 && s.F.Family.binaries > 0
+   && s.F.Family.sos1 = 0);
+  let d = (Option.get (Families.find "dp")).F.Family.stats () in
+  Alcotest.(check bool) "dp stats have sos1 pairs" true (d.F.Family.sos1 > 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "follower"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "groups and blocks" `Quick test_ir_groups_and_blocks;
+          Alcotest.test_case "solve directly" `Quick test_ir_solve_directly;
+        ] );
+      ( "kkt_rewrite",
+        [
+          Alcotest.test_case "matches hand emitter" `Quick test_rewrite_matches_hand_exactly;
+          Alcotest.test_case "big-M mode agrees" `Quick test_rewrite_big_m_agrees;
+          Alcotest.test_case "finite column ub" `Quick test_rewrite_finite_ub;
+          q rewrite_differential_property;
+        ] );
+      ( "bigm",
+        [
+          Alcotest.test_case "presolve var intervals" `Quick test_var_intervals;
+          Alcotest.test_case "derive and fallback" `Quick test_bigm_derivation_and_fallback;
+          Alcotest.test_case "small big-M detected" `Slow test_dp_small_big_m_detected;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "dp hand=ir, both backends" `Slow test_dp_engines_agree_both_backends;
+          Alcotest.test_case "pop hand=ir, jobs 1=4" `Slow test_pop_engines_agree_and_jobs;
+          Alcotest.test_case "client split hand=ir" `Slow test_client_split_engines_agree;
+        ] );
+      ( "binpack",
+        [
+          Alcotest.test_case "ffd/opt known answers" `Quick test_ffd_known_answers;
+          Alcotest.test_case "normalize" `Quick test_normalize_sorts_decreasing;
+          Alcotest.test_case "encoding = simulator" `Slow test_encode_matches_simulator;
+          Alcotest.test_case "seeded find-gap" `Slow test_find_gap_seeded;
+          Alcotest.test_case "two dims probes" `Quick test_find_gap_two_dims;
+        ] );
+      ( "families",
+        [ Alcotest.test_case "registry" `Quick test_families_registry ] );
+    ]

@@ -349,6 +349,37 @@ let test_sweep_chunk_fault_partial () =
           Alcotest.(check int) "surviving chunks flushed" r.Sweep.completed
             (count_lines path)))
 
+(* the --verbose counters line: every fast-path and presolve field must
+   appear by name with its value (CI greps for them) *)
+let test_verbose_stats_line () =
+  let s =
+    {
+      Simplex.iterations = 9;
+      refactorizations = 2;
+      etas = 7;
+      warm_hits = 4;
+      warm_misses = 1;
+      rhs_ftran = 11;
+      rhs_dual = 3;
+      presolve_rows = 5;
+      presolve_cols = 6;
+    }
+  in
+  let line = Sweep.verbose_stats_line s in
+  let contains needle =
+    let n = String.length needle and h = String.length line in
+    let rec go i = i + n <= h && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun field ->
+      if not (contains field) then
+        Alcotest.failf "field %S missing from %S" field line)
+    [
+      "rhs_ftran=11"; "rhs_dual=3"; "refactorizations=2"; "etas=7";
+      "warm_hits=4"; "warm_misses=1"; "presolve_rows=5"; "presolve_cols=6";
+    ]
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite name tests =
@@ -381,5 +412,7 @@ let () =
             test_sweep_deadline_partial;
           Alcotest.test_case "chunk fault degrades to partial" `Quick
             test_sweep_chunk_fault_partial;
+          Alcotest.test_case "verbose stats line fields" `Quick
+            test_verbose_stats_line;
         ] );
     ]

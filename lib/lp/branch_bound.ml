@@ -17,6 +17,10 @@ type options = {
      down inside the simplex; [None] keeps the search bit-identical to
      a build without the resilience layer *)
   deadline : Repro_resilience.Deadline.t option;
+  (* relaxation pipeline (cut separation, node bound tightening,
+     pseudo-cost branching); [Relaxation.disabled] — the default —
+     keeps the historical one-LP-per-node loop bit-identical *)
+  cuts : Relaxation.config;
 }
 
 let default_options =
@@ -34,6 +38,7 @@ let default_options =
     warm_start = true;
     jobs = Engine.Jobs.default ();
     deadline = None;
+    cuts = Relaxation.of_env Relaxation.disabled;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -61,6 +66,9 @@ type node = {
      entries shadow earlier ones for the same variable *)
   overrides : (int * float * float) list;
   depth : int;
+  (* the branch that created this node — (var, went up, fractional
+     distance, parent bound) — fuels pseudo-cost learning *)
+  origin : (int * bool * float * float) option;
 }
 
 let src = Logs.Src.create "repro.branch_bound" ~doc:"MILP branch and bound"
@@ -133,6 +141,70 @@ let mip_gap_of ~objective ~bound =
   if Float.is_nan objective || Float.is_nan bound then Float.nan
   else Float.abs (bound -. objective) /. Float.max 1e-9 (Float.abs objective)
 
+(* The relaxation pipeline around one node's LP: solve, then while the
+   relaxation stays fractional alternate cut-separation rounds with one
+   bound-tightening pass, re-solving (dual simplex, basis kept warm by
+   the backends' append-row machinery) after every change. [None] means
+   interval propagation emptied a box — the node is infeasible. With
+   the pipeline disabled ([mgr = None]) this is exactly one LP solve,
+   bit-identical to the historical loop. Node-local tightenings are
+   registered in [applied] so the next node's [apply_overrides] resets
+   them to root bounds. *)
+let refine_node ~opts ~mgr ~int_vars ~sos ~applied ~prunable ~on_cut ~bt be
+    ~depth =
+  let solve_lp () =
+    if opts.warm_start then Backend.resolve ?deadline:opts.deadline be
+    else Backend.solve_fresh ?deadline:opts.deadline be
+  in
+  match mgr with
+  | None -> Some (solve_lp ())
+  | Some mgr ->
+      let cfg = Relaxation.config mgr in
+      let budget =
+        if depth = 0 then cfg.Relaxation.max_rounds
+        else if depth <= cfg.Relaxation.max_depth then
+          cfg.Relaxation.node_rounds
+        else 0
+      in
+      let round = ref 0 and tightened = ref false in
+      let rec go () =
+        let sol = solve_lp () in
+        match sol.Simplex.status with
+        | Simplex.Optimal when not (prunable sol.Simplex.objective) -> (
+            match
+              find_violation ~int_tol:opts.int_tol ~sos_tol:opts.sos_tol
+                ~int_vars ~sos sol.Simplex.primal
+            with
+            | No_violation -> Some sol
+            | _ ->
+                if
+                  !round < budget
+                  && Relaxation.separate mgr be ~primal:sol.Simplex.primal
+                       ?on_cut ()
+                     > 0
+                then begin
+                  incr round;
+                  go ()
+                end
+                else if cfg.Relaxation.tighten && not !tightened then begin
+                  tightened := true;
+                  match Relaxation.tighten mgr be with
+                  | `Infeasible -> None
+                  | `Tightened [] -> Some sol
+                  | `Tightened changes ->
+                      List.iter
+                        (fun (v, lo, hi) ->
+                          Backend.set_bounds be v ~lb:lo ~ub:hi;
+                          Hashtbl.replace applied v ())
+                        changes;
+                      bt := !bt + List.length changes;
+                      go ()
+                end
+                else Some sol)
+        | _ -> Some sol
+      in
+      go ()
+
 (* ------------------------------------------------------------------ *)
 (* Serial tree search (the jobs = 1 path, bit-exact)                   *)
 (* ------------------------------------------------------------------ *)
@@ -148,6 +220,10 @@ type state = {
   sos : int array array;
   heap : node Heap.t;
   applied : (int, unit) Hashtbl.t;
+  mgr : Relaxation.t option;
+  pc : Relaxation.pseudocost;
+  bt : int ref; (* node bound-tightenings applied, for stats *)
+  on_cut : (Cut_pool.cut -> unit) option;
   mutable incumbent : float option;
   mutable incumbent_x : float array option;
   mutable trace : (float * float) list;
@@ -195,12 +271,19 @@ let record_incumbent st ?x value on_incumbent =
 
 let fix_to_zero _st v = (v, 0., 0.)
 
-let solve_serial ~options ?primal_heuristic ~on_incumbent model =
+let solve_serial ~options ?primal_heuristic ?on_cut ~on_incumbent model =
   let dir, _ = Model.objective model in
   let maximize = dir = Model.Maximize in
   let sf = Standard_form.of_model model in
   let simplex = Backend.create ?kind:options.backend sf in
   let n = Model.num_vars model in
+  let int_vars = Model.integer_vars model in
+  let sos = Model.sos1_groups model in
+  let mgr =
+    if options.cuts.Relaxation.enabled then
+      Some (Relaxation.create options.cuts ~sf ~int_vars ~sos)
+    else None
+  in
   let st =
     {
       model;
@@ -209,10 +292,14 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
       simplex;
       root_lb = Array.init n (Model.var_lb model);
       root_ub = Array.init n (Model.var_ub model);
-      int_vars = Model.integer_vars model;
-      sos = Model.sos1_groups model;
+      int_vars;
+      sos;
       heap = Heap.create ();
       applied = Hashtbl.create 64;
+      mgr;
+      pc = Relaxation.pseudocost n;
+      bt = ref 0;
+      on_cut;
       incumbent = None;
       incumbent_x = None;
       trace = [];
@@ -236,7 +323,9 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
       primal = st.incumbent_x;
       nodes = st.nodes;
       simplex_iterations = Backend.total_iterations simplex;
-      lp_stats = Backend.stats simplex;
+      lp_stats =
+        (let s = Backend.stats simplex in
+         { s with Simplex.bounds_tightened = !(st.bt) });
       elapsed = now () -. st.start;
       incumbent_trace = List.rev st.trace;
       tree = serial_tree_stats;
@@ -256,7 +345,7 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
     else Some (if maximize then Heap.max_priority st.heap else -.(Heap.max_priority st.heap))
   in
   Heap.push st.heap (prio (if maximize then infinity else neg_infinity))
-    { overrides = []; depth = 0 };
+    { overrides = []; depth = 0; origin = None };
   let stop_outcome = ref None in
   let best_root_bound = ref (if maximize then infinity else neg_infinity) in
   (try
@@ -292,13 +381,16 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
          | Some d -> Repro_resilience.Deadline.charge_node d
          | None -> ());
          apply_node st node;
-         let sol =
-           (* [warm_start:false] forces a cold from-scratch solve per node;
-              only useful for measuring what the basis reuse buys *)
-           if st.opts.warm_start then
-             Backend.resolve ?deadline:st.opts.deadline simplex
-           else Backend.solve_fresh ?deadline:st.opts.deadline simplex
-         in
+         (* [warm_start:false] inside the pipeline forces a cold
+            from-scratch solve per node; only useful for measuring what
+            the basis reuse buys *)
+         match
+           refine_node ~opts:st.opts ~mgr:st.mgr ~int_vars:st.int_vars
+             ~sos:st.sos ~applied:st.applied ~prunable ~on_cut:st.on_cut
+             ~bt:st.bt simplex ~depth:node.depth
+         with
+         | None -> () (* tightening emptied a box: node infeasible *)
+         | Some sol ->
          (match sol.status with
          | Simplex.Infeasible -> ()
          | Simplex.Unbounded ->
@@ -320,6 +412,15 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
          | Simplex.Optimal ->
              let bound = sol.objective in
              if node.depth = 0 then best_root_bound := bound;
+             (* pseudo-cost learning: how much did the branch that
+                created this node actually degrade the parent bound? *)
+             (match (node.origin, st.mgr) with
+             | Some (v, up, dist, pbound), Some _ ->
+                 let delta =
+                   if st.maximize then pbound -. bound else bound -. pbound
+                 in
+                 Relaxation.pc_record st.pc v ~up ~delta ~dist
+             | _ -> ());
              if not (prunable bound) then begin
                match
                  find_violation ~int_tol:st.opts.int_tol
@@ -338,31 +439,68 @@ let solve_serial ~options ?primal_heuristic ~on_incumbent model =
                            record_incumbent st ~x value on_incumbent
                        | Some (value, None) ->
                            record_incumbent st value on_incumbent));
-                   let mk extra =
-                     { overrides = node.overrides @ extra; depth = node.depth + 1 }
+                   let mk ?origin extra =
+                     {
+                       overrides = node.overrides @ extra;
+                       depth = node.depth + 1;
+                       origin;
+                     }
                    in
-                   (match viol with
-                   | No_violation -> assert false
-                   | Fractional (v, value) ->
-                       let lo = Backend.get_lb simplex v
-                       and hi = Backend.get_ub simplex v in
-                       let down = Float.floor value and up = Float.ceil value in
-                       if down >= lo -. 1e-9 then
-                         Heap.push st.heap (prio bound) (mk [ (v, lo, down) ]);
-                       if up <= hi +. 1e-9 then
-                         Heap.push st.heap (prio bound) (mk [ (v, up, hi) ])
-                   | Sos_violated (group, arg_max) ->
-                       (* child A: the largest member is zero;
-                          child B: every other member is zero *)
-                       let biggest = group.(arg_max) in
-                       Heap.push st.heap (prio bound)
-                         (mk [ fix_to_zero st biggest ]);
-                       let others =
-                         group |> Array.to_list
-                         |> List.filteri (fun i _ -> i <> arg_max)
-                         |> List.map (fix_to_zero st)
-                       in
-                       Heap.push st.heap (prio bound) (mk others))
+                   let legacy viol =
+                     match viol with
+                     | No_violation -> assert false
+                     | Fractional (v, value) ->
+                         let lo = Backend.get_lb simplex v
+                         and hi = Backend.get_ub simplex v in
+                         let down = Float.floor value
+                         and up = Float.ceil value in
+                         if down >= lo -. 1e-9 then
+                           Heap.push st.heap (prio bound)
+                             (mk [ (v, lo, down) ]);
+                         if up <= hi +. 1e-9 then
+                           Heap.push st.heap (prio bound) (mk [ (v, up, hi) ])
+                     | Sos_violated (group, arg_max) ->
+                         (* child A: the largest member is zero;
+                            child B: every other member is zero *)
+                         let biggest = group.(arg_max) in
+                         Heap.push st.heap (prio bound)
+                           (mk [ fix_to_zero st biggest ]);
+                         let others =
+                           group |> Array.to_list
+                           |> List.filteri (fun i _ -> i <> arg_max)
+                           |> List.map (fix_to_zero st)
+                         in
+                         Heap.push st.heap (prio bound) (mk others)
+                   in
+                   (match st.mgr with
+                   | Some mgrv -> (
+                       (* pseudo-cost / reliability selection over every
+                          fractional integer; SOS branching only when no
+                          integer is fractional *)
+                       match
+                         Relaxation.select_branch mgrv st.pc simplex
+                           ?deadline:st.opts.deadline
+                           ~probes:st.opts.warm_start ~maximize:st.maximize
+                           ~parent_bound:bound ~int_tol:st.opts.int_tol
+                           sol.primal
+                       with
+                       | Some (v, value, _prefer_down) ->
+                           let lo = Backend.get_lb simplex v
+                           and hi = Backend.get_ub simplex v in
+                           let down = Float.floor value
+                           and up = Float.ceil value in
+                           if down >= lo -. 1e-9 then
+                             Heap.push st.heap (prio bound)
+                               (mk
+                                  ~origin:(v, false, value -. down, bound)
+                                  [ (v, lo, down) ]);
+                           if up <= hi +. 1e-9 then
+                             Heap.push st.heap (prio bound)
+                               (mk
+                                  ~origin:(v, true, up -. value, bound)
+                                  [ (v, up, hi) ])
+                       | None -> legacy viol)
+                   | None -> legacy viol)
              end)
        end
      done
@@ -405,10 +543,16 @@ type pnode = {
   p_overrides : (int * float * float) list;
   p_depth : int;
   p_basis : Simplex.basis_snapshot option;
+  (* cut-pool generation the basis snapshot was taken at: a thief
+     replays the pool up to [p_gen] (or pads the snapshot if it is
+     already past it) before installing, so the snapshot's row layout
+     always matches the backend it lands in *)
+  p_gen : int;
+  p_origin : (int * bool * float * float) option;
 }
 
-let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
-    =
+let solve_parallel ~jobs ?pool ~options ?primal_heuristic ?on_cut
+    ~on_incumbent model =
   let dir, _ = Model.objective model in
   let maximize = dir = Model.Maximize in
   let sf = Standard_form.of_model model in
@@ -417,6 +561,13 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
   let root_ub = Array.init n (Model.var_ub model) in
   let int_vars = Model.integer_vars model in
   let sos = Model.sos1_groups model in
+  (* one shared relaxation manager: the cut pool is the only mutable
+     part and is mutex-protected; every worker holds a pool prefix *)
+  let mgr =
+    if options.cuts.Relaxation.enabled then
+      Some (Relaxation.create options.cuts ~sf ~int_vars ~sos)
+    else None
+  in
   let start = now () in
   let prio bound = if maximize then bound else -.bound in
   let unprio p = if maximize then p else -.p in
@@ -519,6 +670,8 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
   let worker wid =
     let be = Backend.create ?kind:options.backend sf in
     let applied = Hashtbl.create 64 in
+    let pc = Relaxation.pseudocost n in
+    let bt = ref 0 in
     (* [process] expands one in-flight node and then {e plunges}: it
        keeps one child in hand (depth-first) and heaps the sibling for
        later or for thieves. Pure best-bound order never reaches a leaf
@@ -543,14 +696,23 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
            last *)
         if stolen && options.warm_start then (
           match nd.p_basis with
-          | Some snap -> ignore (Backend.install_basis be snap : bool)
+          | Some snap ->
+              let snap =
+                match mgr with
+                | Some m -> Relaxation.sync_snapshot m be ~gen:nd.p_gen snap
+                | None -> snap
+              in
+              ignore (Backend.install_basis be snap : bool)
           | None -> ());
         apply_overrides be applied ~root_lb ~root_ub nd.p_overrides;
-        let sol =
-          if options.warm_start then
-            Backend.resolve ?deadline:options.deadline be
-          else Backend.solve_fresh ?deadline:options.deadline be
-        in
+        match
+          refine_node ~opts:options ~mgr ~int_vars ~sos ~applied ~prunable
+            ~on_cut ~bt be ~depth:nd.p_depth
+        with
+        | None ->
+            (* tightening emptied a box: node infeasible *)
+            Node_pool.finish npool ~worker:wid
+        | Some sol -> (
         match sol.Simplex.status with
         | Simplex.Infeasible -> Node_pool.finish npool ~worker:wid
         | Simplex.Unbounded ->
@@ -572,6 +734,13 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
               best_root_bound := bound;
               Mutex.unlock mu
             end;
+            (match (nd.p_origin, mgr) with
+            | Some (v, up, dist, pbound), Some _ ->
+                let delta =
+                  if maximize then pbound -. bound else bound -. pbound
+                in
+                Relaxation.pc_record pc v ~up ~delta ~dist
+            | _ -> ());
             if prunable bound then Node_pool.finish npool ~worker:wid
             else begin
               match
@@ -593,11 +762,16 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
                     if options.warm_start then Some (Backend.snapshot_basis be)
                     else None
                   in
-                  let mk extra =
+                  let gen =
+                    match mgr with Some _ -> Backend.num_cuts be | None -> 0
+                  in
+                  let mk ?origin extra =
                     {
                       p_overrides = nd.p_overrides @ extra;
                       p_depth = nd.p_depth + 1;
                       p_basis = snap;
+                      p_gen = gen;
+                      p_origin = origin;
                     }
                   in
                   let plunge child =
@@ -605,44 +779,77 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
                       ~prio:(prio bound);
                     process child false
                   in
-                  match viol with
-                  | No_violation -> assert false
-                  | Fractional (v, value) ->
-                      let lo = Backend.get_lb be v
-                      and hi = Backend.get_ub be v in
-                      let down = Float.floor value
-                      and up = Float.ceil value in
-                      let dn_ok = down >= lo -. 1e-9
-                      and up_ok = up <= hi +. 1e-9 in
-                      let dn_nd = mk [ (v, lo, down) ]
-                      and up_nd = mk [ (v, up, hi) ] in
-                      if dn_ok && up_ok then begin
-                        (* dive toward the nearer integer — the LP is
-                           least perturbed there — and heap the other *)
-                        let keep, other =
-                          if value -. down <= up -. value then (dn_nd, up_nd)
-                          else (up_nd, dn_nd)
-                        in
-                        Node_pool.push npool ~worker:wid ~prio:(prio bound)
-                          other;
-                        plunge keep
-                      end
-                      else if dn_ok then plunge dn_nd
-                      else if up_ok then plunge up_nd
-                      else Node_pool.finish npool ~worker:wid
-                  | Sos_violated (group, arg_max) ->
-                      let biggest = group.(arg_max) in
-                      Node_pool.push npool ~worker:wid ~prio:(prio bound)
-                        (mk [ (biggest, 0., 0.) ]);
-                      let others =
-                        group |> Array.to_list
-                        |> List.filteri (fun i _ -> i <> arg_max)
-                        |> List.map (fun v -> (v, 0., 0.))
+                  let branch_fractional v value prefer_down ~origin =
+                    let lo = Backend.get_lb be v
+                    and hi = Backend.get_ub be v in
+                    let down = Float.floor value and up = Float.ceil value in
+                    let dn_ok = down >= lo -. 1e-9
+                    and up_ok = up <= hi +. 1e-9 in
+                    let dn_nd =
+                      mk
+                        ?origin:
+                          (if origin then
+                             Some (v, false, value -. down, bound)
+                           else None)
+                        [ (v, lo, down) ]
+                    and up_nd =
+                      mk
+                        ?origin:
+                          (if origin then Some (v, true, up -. value, bound)
+                           else None)
+                        [ (v, up, hi) ]
+                    in
+                    if dn_ok && up_ok then begin
+                      (* dive into the preferred child — nearer integer
+                         for the legacy rule, smaller estimated
+                         degradation under pseudo-costs — heap the other *)
+                      let keep, other =
+                        if prefer_down then (dn_nd, up_nd)
+                        else (up_nd, dn_nd)
                       in
-                      (* dive on the branch that keeps the dominant
-                         variable of the violated group *)
-                      plunge (mk others))
-            end
+                      Node_pool.push npool ~worker:wid ~prio:(prio bound)
+                        other;
+                      plunge keep
+                    end
+                    else if dn_ok then plunge dn_nd
+                    else if up_ok then plunge up_nd
+                    else Node_pool.finish npool ~worker:wid
+                  in
+                  let legacy viol =
+                    match viol with
+                    | No_violation -> assert false
+                    | Fractional (v, value) ->
+                        branch_fractional v value
+                          (value -. Float.floor value
+                          <= Float.ceil value -. value)
+                          ~origin:false
+                    | Sos_violated (group, arg_max) ->
+                        let biggest = group.(arg_max) in
+                        Node_pool.push npool ~worker:wid ~prio:(prio bound)
+                          (mk [ (biggest, 0., 0.) ]);
+                        let others =
+                          group |> Array.to_list
+                          |> List.filteri (fun i _ -> i <> arg_max)
+                          |> List.map (fun v -> (v, 0., 0.))
+                        in
+                        (* dive on the branch that keeps the dominant
+                           variable of the violated group *)
+                        plunge (mk others)
+                  in
+                  match mgr with
+                  | Some mgrv -> (
+                      match
+                        Relaxation.select_branch mgrv pc be
+                          ?deadline:options.deadline
+                          ~probes:options.warm_start ~maximize
+                          ~parent_bound:bound ~int_tol:options.int_tol
+                          sol.Simplex.primal
+                      with
+                      | Some (v, value, prefer_down) ->
+                          branch_fractional v value prefer_down ~origin:true
+                      | None -> legacy viol)
+                  | None -> legacy viol)
+            end)
       end
     in
     let rec loop () =
@@ -668,11 +875,14 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
         let bt = Printexc.get_raw_backtrace () in
         ignore (Atomic.compare_and_set failure None (Some (e, bt)) : bool);
         Node_pool.stop npool);
-    (Backend.stats be, Backend.total_iterations be)
+    ( (let s = Backend.stats be in
+       { s with Simplex.bounds_tightened = !bt }),
+      Backend.total_iterations be )
   in
   Node_pool.push npool ~worker:0
     ~prio:(prio (if maximize then infinity else neg_infinity))
-    { p_overrides = []; p_depth = 0; p_basis = None };
+    { p_overrides = []; p_depth = 0; p_basis = None; p_gen = 0;
+      p_origin = None };
   let run_workers pool =
     let futs =
       List.init jobs (fun wid -> Engine.Pool.submit pool (fun () -> worker wid))
@@ -755,11 +965,14 @@ let solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let solve ?pool ?(options = default_options) ?primal_heuristic
+let solve ?pool ?(options = default_options) ?primal_heuristic ?on_cut
     ?(on_incumbent = fun _ -> ()) model =
   let jobs = Engine.Jobs.clamp options.jobs in
-  if jobs <= 1 then solve_serial ~options ?primal_heuristic ~on_incumbent model
-  else solve_parallel ~jobs ?pool ~options ?primal_heuristic ~on_incumbent model
+  if jobs <= 1 then
+    solve_serial ~options ?primal_heuristic ?on_cut ~on_incumbent model
+  else
+    solve_parallel ~jobs ?pool ~options ?primal_heuristic ?on_cut ~on_incumbent
+      model
 
 let pp_outcome ppf = function
   | Optimal -> Fmt.string ppf "optimal"

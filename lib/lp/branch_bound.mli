@@ -68,6 +68,19 @@ type options = {
           can inspect {!Repro_resilience.Deadline.tripped} afterwards to
           learn which budget fired; {!Solver.solve_bounded} does exactly
           that *)
+  cuts : Relaxation.config;
+      (** the relaxation pipeline: each node runs solve → separate
+          (Gomory mixed-integer + SOS1 disjunctive cuts into a shared
+          deduplicating {!Cut_pool}) → tighten (node-level interval
+          propagation, {!Presolve.tighten_intervals}) → branch
+          (pseudo-cost/reliability selection). The default is
+          {!Relaxation.disabled} — the historical one-LP-per-node loop,
+          bit-identical to earlier builds — unless the [REPRO_CUTS]
+          environment variable forces the gate ([1] on, [0] off).
+          With [jobs > 1] the pool is shared: cuts are appended to each
+          worker in pool order only, and basis snapshots carry their
+          pool generation, so any job count proves the same optimum
+          (node counts may differ; cut timing is scheduler-dependent) *)
 }
 
 val default_options : options
@@ -135,11 +148,17 @@ type result = {
 
     [on_incumbent] observes every incumbent improvement; with [jobs > 1]
     it is invoked under the search's incumbent lock (improvements are
-    serialized and strictly monotone). *)
+    serialized and strictly monotone).
+
+    [on_cut] observes every cut accepted into the shared pool (after
+    deduplication) — the hook the property tests use to check that no
+    separated cut ever cuts off a known integer-feasible witness. With
+    [jobs > 1] it runs on worker domains and must be thread-safe. *)
 val solve :
   ?pool:Repro_engine.Pool.t ->
   ?options:options ->
   ?primal_heuristic:(float array -> (float * float array option) option) ->
+  ?on_cut:(Cut_pool.cut -> unit) ->
   ?on_incumbent:(float -> unit) ->
   Model.t ->
   result

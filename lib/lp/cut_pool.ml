@@ -1,0 +1,59 @@
+type cut = { terms : (int * float) array; rhs : float; origin : string }
+
+type t = {
+  mutable cuts : cut array;
+  mutable len : int;
+  seen : (string, unit) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let create () =
+  { cuts = [||]; len = 0; seen = Hashtbl.create 64; mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Scale so the largest |coefficient| is 1, then round to 7 significant
+   digits: the same row re-derived at different nodes hashes equal even
+   when the arithmetic ran in a different order. *)
+let fingerprint c =
+  let amax =
+    Array.fold_left (fun acc (_, a) -> Float.max acc (Float.abs a)) 0. c.terms
+  in
+  let s = if amax > 0. then 1. /. amax else 1. in
+  let buf = Buffer.create (16 * (1 + Array.length c.terms)) in
+  Array.iter
+    (fun (j, a) -> Buffer.add_string buf (Printf.sprintf "%d:%.6e;" j (a *. s)))
+    c.terms;
+  Buffer.add_string buf (Printf.sprintf "<=%.6e" (c.rhs *. s));
+  Buffer.contents buf
+
+let size t = locked t (fun () -> t.len)
+
+let add t c =
+  locked t (fun () ->
+      let key = fingerprint c in
+      if Hashtbl.mem t.seen key then false
+      else begin
+        Hashtbl.add t.seen key ();
+        let cap = Array.length t.cuts in
+        if t.len = cap then begin
+          let cuts = Array.make (Int.max 16 (2 * cap)) c in
+          Array.blit t.cuts 0 cuts 0 t.len;
+          t.cuts <- cuts
+        end;
+        t.cuts.(t.len) <- c;
+        t.len <- t.len + 1;
+        true
+      end)
+
+let get t i =
+  locked t (fun () ->
+      if i < 0 || i >= t.len then invalid_arg "Cut_pool.get";
+      t.cuts.(i))
+
+let slice t ~lo ~hi =
+  locked t (fun () ->
+      if lo < 0 || hi > t.len || lo > hi then invalid_arg "Cut_pool.slice";
+      Array.sub t.cuts lo (hi - lo))

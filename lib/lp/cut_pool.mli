@@ -1,0 +1,45 @@
+(** Shared, append-only, deduplicating cut pool.
+
+    The relaxation pipeline ({!Relaxation}) separates cuts per node but
+    stores them here, globally: every cut is valid for the whole tree
+    (Gomory rows are derived against root bounds, SOS1 disjunctions
+    against root boxes), so a cut found in one subtree tightens every
+    other worker's relaxation too.
+
+    The pool is append-only and each entry is immutable, which makes a
+    plain [int] a {e generation}: a backend state holding the first [g]
+    pool cuts as appended rows is fully described by [g]. Parallel
+    branch-and-bound ships that integer with each node's basis snapshot
+    ({!Branch_bound}) and replays [slice] on the thief — no cut is ever
+    re-separated or re-ordered, so jobs = 1 stays bit-identical and
+    any job count sees the same pool prefix semantics.
+
+    Deduplication is by normalized fingerprint (coefficients scaled so
+    the largest magnitude is 1, then rounded), so re-separating the same
+    Gomory row at two nodes inserts once. All operations are
+    mutex-protected; [add] is the only writer. *)
+
+type cut = {
+  terms : (int * float) array;
+      (** sparse row over {e structural} columns, ascending index *)
+  rhs : float;  (** sense is always [terms . x <= rhs] *)
+  origin : string;  (** ["gomory"] | ["sos1"] — for stats and tests *)
+}
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Current generation: the number of cuts ever accepted. *)
+
+val add : t -> cut -> bool
+(** Append unless a normalized duplicate is already present; returns
+    whether the cut was accepted. *)
+
+val get : t -> int -> cut
+(** [get t i] for [i < size t]; entries never change once added. *)
+
+val slice : t -> lo:int -> hi:int -> cut array
+(** The generations [lo, hi) in insertion order — what a backend state
+    at generation [lo] must append to reach generation [hi]. *)

@@ -266,17 +266,145 @@ let reduce original =
           bounds_tightened = !bounds_tightened;
         }
 
+(* ------------------------------------------------------------------ *)
+(* Reusable in-place interval propagation                              *)
+(* ------------------------------------------------------------------ *)
+
+type row = { terms : (int * float) array; sense : Model.sense; rhs : float }
+
+(* Full row-implied bound tightening over [lb]/[ub], edited in place:
+   for each row and each of its variables, the residual activity of the
+   other variables bounds what this one can contribute. Unlike [reduce]
+   (a build-time Model -> Model rewrite), this pass is representation-
+   agnostic and cheap enough to run per branch-and-bound node — the
+   "tighten" stage of the relaxation pipeline — and to sharpen the
+   intervals big-M derivation consumes. Infinite contributions are
+   counted, not summed, so a single unbounded variable still receives
+   the bound implied by its (finite) co-variables. *)
+let tighten_intervals ?(max_rounds = 4) ~rows ~integer ~lb ~ub () =
+  let tightened = ref 0 in
+  try
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds < max_rounds do
+      changed := false;
+      incr rounds;
+      Array.iter
+        (fun { terms; sense; rhs } ->
+          (* activity interval, with infinities counted separately so a
+             single infinite term can be excluded exactly *)
+          let mn_fin = ref 0. and mx_fin = ref 0. in
+          let mn_inf = ref 0 and mx_inf = ref 0 in
+          Array.iter
+            (fun (v, c) ->
+              let lo_c = if c > 0. then c *. lb.(v) else c *. ub.(v) in
+              let hi_c = if c > 0. then c *. ub.(v) else c *. lb.(v) in
+              if lo_c = neg_infinity then incr mn_inf else mn_fin := !mn_fin +. lo_c;
+              if hi_c = infinity then incr mx_inf else mx_fin := !mx_fin +. hi_c)
+            terms;
+          let mn = if !mn_inf > 0 then neg_infinity else !mn_fin in
+          let mx = if !mx_inf > 0 then infinity else !mx_fin in
+          (match sense with
+          | Model.Le -> if mn > rhs +. 1e-7 then raise Infeasible_found
+          | Model.Ge -> if mx < rhs -. 1e-7 then raise Infeasible_found
+          | Model.Eq ->
+              if mn > rhs +. 1e-7 || mx < rhs -. 1e-7 then
+                raise Infeasible_found);
+          Array.iter
+            (fun (v, c) ->
+              let lo_c = if c > 0. then c *. lb.(v) else c *. ub.(v) in
+              let hi_c = if c > 0. then c *. ub.(v) else c *. lb.(v) in
+              (* residual activity of the row without v *)
+              let mn_wo =
+                if lo_c = neg_infinity then
+                  if !mn_inf = 1 then !mn_fin else neg_infinity
+                else if !mn_inf > 0 then neg_infinity
+                else !mn_fin -. lo_c
+              in
+              let mx_wo =
+                if hi_c = infinity then
+                  if !mx_inf = 1 then !mx_fin else infinity
+                else if !mx_inf > 0 then infinity
+                else !mx_fin -. hi_c
+              in
+              let apply_ub x =
+                let x =
+                  if integer.(v) then Float.floor (x +. 1e-7) else x
+                in
+                if x < ub.(v) -. tol then begin
+                  ub.(v) <- x;
+                  incr tightened;
+                  changed := true;
+                  if lb.(v) > ub.(v) +. 1e-7 then raise Infeasible_found
+                end
+              in
+              let apply_lb x =
+                let x = if integer.(v) then Float.ceil (x -. 1e-7) else x in
+                if x > lb.(v) +. tol then begin
+                  lb.(v) <- x;
+                  incr tightened;
+                  changed := true;
+                  if lb.(v) > ub.(v) +. 1e-7 then raise Infeasible_found
+                end
+              in
+              (* c*x_v <= rhs - mn_wo from Le/Eq rows *)
+              (match sense with
+              | Model.Le | Model.Eq ->
+                  if mn_wo > neg_infinity then begin
+                    let bound = (rhs -. mn_wo) /. c in
+                    if c > 0. then apply_ub bound else apply_lb bound
+                  end
+              | Model.Ge -> ());
+              (* c*x_v >= rhs - mx_wo from Ge/Eq rows *)
+              match sense with
+              | Model.Ge | Model.Eq ->
+                  if mx_wo < infinity then begin
+                    let bound = (rhs -. mx_wo) /. c in
+                    if c > 0. then apply_lb bound else apply_ub bound
+                  end
+              | Model.Le -> ())
+            terms)
+        rows
+    done;
+    `Tightened !tightened
+  with Infeasible_found -> `Infeasible
+
+let model_rows model =
+  Array.init (Model.num_constrs model) (fun i ->
+      {
+        terms = Array.of_list (Linexpr.terms (Model.constr_expr model i));
+        sense = Model.constr_sense model i;
+        rhs = Model.constr_rhs model i;
+      })
+
 let var_intervals model =
   match reduce model with
   | Infeasible_model -> None
-  | Reduced red ->
-      Some
-        (Array.mapi
-           (fun v mapped ->
-             if mapped >= 0 then
-               (Model.var_lb red.model mapped, Model.var_ub red.model mapped)
-             else (red.fixed_values.(v), red.fixed_values.(v)))
-           red.var_map)
+  | Reduced red -> (
+      (* sharpen the reduced model's boxes with the full row-implied
+         propagation before mapping back: [reduce] only tightens via
+         singleton rows, which leaves big-M intervals looser than the
+         rows actually allow *)
+      let nr = Model.num_vars red.model in
+      let lb = Array.init nr (Model.var_lb red.model) in
+      let ub = Array.init nr (Model.var_ub red.model) in
+      let integer =
+        Array.init nr (fun v ->
+            match Model.var_kind red.model v with
+            | Model.Binary | Model.Integer -> true
+            | Model.Continuous -> false)
+      in
+      match
+        tighten_intervals ~rows:(model_rows red.model) ~integer ~lb ~ub ()
+      with
+      | `Infeasible -> None
+      | `Tightened _ ->
+          Some
+            (Array.mapi
+               (fun v mapped ->
+                 if mapped >= 0 then (lb.(mapped), ub.(mapped))
+                 else (red.fixed_values.(v), red.fixed_values.(v)))
+               red.var_map))
 
 let restore red reduced_primal =
   Array.mapi

@@ -1,0 +1,476 @@
+type config = {
+  enabled : bool;
+  max_rounds : int;
+  node_rounds : int;
+  max_cuts_per_round : int;
+  max_depth : int;
+  min_violation : float;
+  tighten : bool;
+  tighten_rounds : int;
+  reliability : int;
+  probe_iters : int;
+  max_probes : int;
+}
+
+let disabled =
+  {
+    enabled = false;
+    max_rounds = 0;
+    node_rounds = 0;
+    max_cuts_per_round = 0;
+    max_depth = 0;
+    min_violation = 1e-4;
+    tighten = false;
+    tighten_rounds = 0;
+    reliability = 0;
+    probe_iters = 0;
+    max_probes = 0;
+  }
+
+let default_enabled =
+  {
+    enabled = true;
+    max_rounds = 4;
+    node_rounds = 1;
+    max_cuts_per_round = 16;
+    max_depth = 8;
+    min_violation = 1e-4;
+    tighten = true;
+    tighten_rounds = 2;
+    reliability = 1;
+    probe_iters = 40;
+    max_probes = 4;
+  }
+
+let of_env cfg =
+  match Sys.getenv_opt "REPRO_CUTS" with
+  | Some ("0" | "false" | "off" | "no") -> disabled
+  | Some _ -> if cfg.enabled then cfg else default_enabled
+  | None -> cfg
+
+type t = {
+  cfg : config;
+  sf : Standard_form.t;
+  pool : Cut_pool.t;
+  integer : bool array;
+  int_vars : int array;
+  sos : int array array;
+  (* root bound anchors for the Gomory shift: structural boxes come from
+     the standard form, slack boxes from the row senses (they never
+     change during the search), cut slacks are always [0, inf) *)
+  slack_lb : float array;
+  slack_ub : float array;
+  base_rows : Presolve.row array;
+}
+
+let create cfg ~sf ~int_vars ~sos =
+  let n = sf.Standard_form.n and m = sf.Standard_form.m in
+  let integer = Array.make n false in
+  Array.iter (fun v -> integer.(v) <- true) int_vars;
+  let slack_lb = Array.make m 0. and slack_ub = Array.make m infinity in
+  for i = 0 to m - 1 do
+    match sf.Standard_form.senses.(i) with
+    | Model.Le -> ()
+    | Model.Ge ->
+        slack_lb.(i) <- neg_infinity;
+        slack_ub.(i) <- 0.
+    | Model.Eq -> slack_ub.(i) <- 0.
+  done;
+  let base_rows =
+    Array.init m (fun i ->
+        {
+          Presolve.terms = sf.Standard_form.rows.(i);
+          sense = sf.Standard_form.senses.(i);
+          rhs = sf.Standard_form.b.(i);
+        })
+  in
+  { cfg; sf; pool = Cut_pool.create (); integer; int_vars; sos;
+    slack_lb; slack_ub; base_rows }
+
+let config t = t.cfg
+let pool t = t.pool
+
+(* root box of any tableau column: structural, original slack, cut slack *)
+let anchor_bounds t j =
+  let n = t.sf.Standard_form.n and m0 = t.sf.Standard_form.m in
+  if j < n then (t.sf.Standard_form.lb.(j), t.sf.Standard_form.ub.(j))
+  else if j < n + m0 then (t.slack_lb.(j - n), t.slack_ub.(j - n))
+  else (0., infinity)
+
+(* equation backing slack column [n + i]: row . x + s = rhs *)
+let row_equation t i =
+  let m0 = t.sf.Standard_form.m in
+  if i < m0 then (t.sf.Standard_form.rows.(i), t.sf.Standard_form.b.(i))
+  else
+    let c = Cut_pool.get t.pool (i - m0) in
+    (c.Cut_pool.terms, c.Cut_pool.rhs)
+
+let near_integer v = Float.abs (v -. Float.round v) < 1e-9
+
+exception Reject
+
+(* Gomory mixed-integer cut from tableau row [r] whose basic variable is
+   a fractional structural integer. Nonbasic columns are shifted by
+   their ROOT bounds (not the node's), so the cut is valid everywhere in
+   the tree; slack columns are substituted back out against their row
+   equations so the stored cut is structural-only. *)
+let gomory_from_row t be ~primal r =
+  let n = t.sf.Standard_form.n in
+  let xb = Backend.basic_value be r in
+  let alpha = Backend.tableau_row be r in
+  try
+    (* shifted right-hand side: xb + sum a_j (cur_j - anchor_j), where
+       cur_j is the bound the column currently sits at (node bounds) *)
+    let entries =
+      List.map
+        (fun (j, a) ->
+          let stat = Backend.col_stat be j in
+          if stat <> 1 && stat <> 2 then raise Reject;
+          let al, au = anchor_bounds t j in
+          let at_lower = stat = 1 in
+          let anch = if at_lower then al else au in
+          if not (Float.is_finite anch) then raise Reject;
+          let cur = if at_lower then Backend.get_lb be j else Backend.get_ub be j in
+          (j, a, at_lower, anch, cur))
+        alpha
+    in
+    let bbar =
+      List.fold_left
+        (fun acc (_, a, _, anch, cur) -> acc +. (a *. (cur -. anch)))
+        xb entries
+    in
+    let f0 = bbar -. Float.floor bbar in
+    if f0 < 0.01 || f0 > 0.99 then raise Reject;
+    let acc = Array.make n 0. in
+    let rhs = ref (-1.) in
+    let add_term j c =
+      if j < n then acc.(j) <- acc.(j) +. c
+      else begin
+        (* c * s_i = c * (rhs_i - row_i . x) *)
+        let terms, b_i = row_equation t (j - n) in
+        rhs := !rhs -. (c *. b_i);
+        Array.iter (fun (k, a) -> acc.(k) <- acc.(k) -. (c *. a)) terms
+      end
+    in
+    List.iter
+      (fun (j, a, at_lower, anch, _) ->
+        let abar = if at_lower then a else -.a in
+        let gamma =
+          if j < n && t.integer.(j) && near_integer anch then begin
+            let fj = abar -. Float.floor abar in
+            if fj <= f0 +. 1e-12 then fj /. f0 else (1. -. fj) /. (1. -. f0)
+          end
+          else if abar > 0. then abar /. f0
+          else -.abar /. (1. -. f0)
+        in
+        if gamma > 1e-12 then begin
+          (* t-space cut sum gamma t >= 1 flipped to <=:
+             at-lower columns contribute -gamma x, at-upper +gamma x *)
+          if at_lower then begin
+            add_term j (-.gamma);
+            rhs := !rhs -. (gamma *. anch)
+          end
+          else begin
+            add_term j gamma;
+            rhs := !rhs +. (gamma *. anch)
+          end
+        end)
+      entries;
+    (* numerical hygiene: drop noise, reject wild dynamic range, scale
+       the largest magnitude to 1 *)
+    let amax = Array.fold_left (fun m c -> Float.max m (Float.abs c)) 0. acc in
+    if amax < 1e-9 || not (Float.is_finite amax) then raise Reject;
+    let drop = 1e-10 *. amax in
+    let amin = ref amax and nnz = ref 0 in
+    Array.iter
+      (fun c ->
+        let m = Float.abs c in
+        if m > drop then begin
+          incr nnz;
+          if m < !amin then amin := m
+        end)
+      acc;
+    if !nnz = 0 || amax /. !amin > 1e8 then raise Reject;
+    let scale = 1. /. amax in
+    let terms = ref [] in
+    for j = n - 1 downto 0 do
+      if Float.abs acc.(j) > drop then terms := (j, acc.(j) *. scale) :: !terms
+    done;
+    let terms = Array.of_list !terms in
+    let rhs = !rhs *. scale in
+    if not (Float.is_finite rhs) then raise Reject;
+    let viol =
+      Array.fold_left (fun s (j, c) -> s +. (c *. primal.(j))) (-.rhs) terms
+    in
+    if viol < t.cfg.min_violation then raise Reject;
+    Some { Cut_pool.terms; rhs; origin = "gomory" }
+  with Reject -> None
+
+let separate_gomory t be ~primal =
+  let n = t.sf.Standard_form.n in
+  let rows = Backend.num_rows be in
+  let cands = ref [] in
+  for i = rows - 1 downto 0 do
+    let bv = Backend.basic_var be i in
+    if bv >= 0 && bv < n && t.integer.(bv) then begin
+      let x = Backend.basic_value be i in
+      let fd = Float.abs (x -. Float.round x) in
+      if fd > 1e-4 then cands := (fd, i) :: !cands
+    end
+  done;
+  (* most fractional rows first, ties by row index: deterministic *)
+  let sorted =
+    List.sort
+      (fun (fa, ia) (fb, ib) ->
+        if fa = fb then compare ia ib else compare fb fa)
+      !cands
+  in
+  let cuts = ref [] and tried = ref 0 in
+  List.iter
+    (fun (_, i) ->
+      if !tried < t.cfg.max_cuts_per_round then begin
+        incr tried;
+        match gomory_from_row t be ~primal i with
+        | Some c -> cuts := c :: !cuts
+        | None -> ()
+      end)
+    sorted;
+  List.rev !cuts
+
+(* SOS1 disjunction: at most one member is nonzero and each is bounded
+   by its root upper bound, so sum x_k / ub_k <= 1 whenever every member
+   has a finite positive root box above zero. *)
+let separate_sos1 t ~primal =
+  let sf = t.sf in
+  let cuts = ref [] in
+  Array.iter
+    (fun group ->
+      let ok = ref true and members = ref [] in
+      Array.iter
+        (fun v ->
+          let lb = sf.Standard_form.lb.(v) and ub = sf.Standard_form.ub.(v) in
+          if lb < -1e-9 || not (Float.is_finite ub) then ok := false
+          else if ub > 1e-9 then members := v :: !members)
+        group;
+      let members = List.sort compare !members in
+      if !ok && List.length members >= 2 then begin
+        let lhs =
+          List.fold_left
+            (fun s v -> s +. (primal.(v) /. sf.Standard_form.ub.(v)))
+            0. members
+        in
+        if lhs > 1. +. t.cfg.min_violation then
+          let terms =
+            Array.of_list
+              (List.map (fun v -> (v, 1. /. sf.Standard_form.ub.(v))) members)
+          in
+          cuts := { Cut_pool.terms; rhs = 1.; origin = "sos1" } :: !cuts
+      end)
+    t.sos;
+  List.rev !cuts
+
+let append_slice t be ~lo ~hi =
+  if hi > lo then begin
+    let fresh = Cut_pool.slice t.pool ~lo ~hi in
+    Backend.append_rows be
+      (Array.map (fun c -> (c.Cut_pool.terms, c.Cut_pool.rhs)) fresh)
+  end;
+  hi - lo
+
+let sync t be =
+  append_slice t be ~lo:(Backend.num_cuts be) ~hi:(Cut_pool.size t.pool)
+
+let separate t be ~primal ?on_cut () =
+  (* first reconcile with cuts other workers published: if that alone
+     grew this LP, re-solve before separating against a stale basis *)
+  let pulled = sync t be in
+  if pulled > 0 then pulled
+  else begin
+    let cuts = separate_gomory t be ~primal @ separate_sos1 t ~primal in
+    List.iter
+      (fun c ->
+        if Cut_pool.add t.pool c then
+          match on_cut with Some f -> f c | None -> ())
+      cuts;
+    sync t be
+  end
+
+let sync_snapshot t be ~gen snap =
+  let have = Backend.num_cuts be in
+  if have < gen then begin
+    ignore (append_slice t be ~lo:have ~hi:gen : int);
+    snap
+  end
+  else if have > gen then
+    Simplex.pad_snapshot ~n:t.sf.Standard_form.n snap
+      ~rows:(t.sf.Standard_form.m + have)
+  else snap
+
+let tighten t be =
+  let n = t.sf.Standard_form.n in
+  let k = Backend.num_cuts be in
+  let rows =
+    if k = 0 then t.base_rows
+    else
+      Array.append t.base_rows
+        (Array.map
+           (fun c ->
+             { Presolve.terms = c.Cut_pool.terms; sense = Model.Le;
+               rhs = c.Cut_pool.rhs })
+           (Cut_pool.slice t.pool ~lo:0 ~hi:k))
+  in
+  let lb = Array.init n (fun v -> Backend.get_lb be v) in
+  let ub = Array.init n (fun v -> Backend.get_ub be v) in
+  let old_lb = Array.copy lb and old_ub = Array.copy ub in
+  match
+    Presolve.tighten_intervals ~max_rounds:t.cfg.tighten_rounds ~rows
+      ~integer:t.integer ~lb ~ub ()
+  with
+  | `Infeasible -> `Infeasible
+  | `Tightened _ ->
+      let changes = ref [] in
+      for v = n - 1 downto 0 do
+        if lb.(v) > old_lb.(v) +. 1e-9 || ub.(v) < old_ub.(v) -. 1e-9 then begin
+          (* propagation tolerates crossings up to its infeasibility
+             slack; order the box so set_bounds accepts it *)
+          let lo = Float.min lb.(v) ub.(v) and hi = Float.max lb.(v) ub.(v) in
+          changes := (v, lo, hi) :: !changes
+        end
+      done;
+      `Tightened !changes
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-cost branching                                               *)
+(* ------------------------------------------------------------------ *)
+
+type pseudocost = {
+  up_sum : float array;
+  up_cnt : int array;
+  dn_sum : float array;
+  dn_cnt : int array;
+}
+
+let pseudocost n =
+  {
+    up_sum = Array.make n 0.;
+    up_cnt = Array.make n 0;
+    dn_sum = Array.make n 0.;
+    dn_cnt = Array.make n 0;
+  }
+
+let pc_record pc v ~up ~delta ~dist =
+  if dist > 1e-6 && Float.is_finite delta then begin
+    let rate = Float.max 0. delta /. dist in
+    if up then begin
+      pc.up_sum.(v) <- pc.up_sum.(v) +. rate;
+      pc.up_cnt.(v) <- pc.up_cnt.(v) + 1
+    end
+    else begin
+      pc.dn_sum.(v) <- pc.dn_sum.(v) +. rate;
+      pc.dn_cnt.(v) <- pc.dn_cnt.(v) + 1
+    end
+  end
+
+(* mean degradation rate over initialized variables, per direction —
+   the fallback estimate for variables never branched on *)
+let global_rate sum cnt =
+  let s = ref 0. and c = ref 0 in
+  Array.iteri (fun v k -> if k > 0 then begin s := !s +. (sum.(v) /. float_of_int k); incr c end) cnt;
+  if !c > 0 then !s /. float_of_int !c else 1.
+
+(* bounded dual-simplex strong branch: clamp, resolve, restore *)
+let probe t pc be ?deadline ~maximize ~parent_bound v x ~up =
+  let lo = Backend.get_lb be v and hi = Backend.get_ub be v in
+  let feasible =
+    if up then Float.ceil x <= hi +. 1e-9 else Float.floor x >= lo -. 1e-9
+  in
+  if not feasible then Some infinity
+  else begin
+    if up then Backend.set_bounds be v ~lb:(Float.ceil x) ~ub:hi
+    else Backend.set_bounds be v ~lb:lo ~ub:(Float.floor x);
+    let sol = Backend.resolve ~iter_limit:t.cfg.probe_iters ?deadline be in
+    Backend.set_bounds be v ~lb:lo ~ub:hi;
+    match sol.Simplex.status with
+    | Simplex.Optimal ->
+        let delta =
+          Float.max 0.
+            (if maximize then parent_bound -. sol.Simplex.objective
+             else sol.Simplex.objective -. parent_bound)
+        in
+        let dist = if up then Float.ceil x -. x else x -. Float.floor x in
+        pc_record pc v ~up ~delta ~dist;
+        Some delta
+    | Simplex.Infeasible -> Some infinity
+    | _ -> None
+  end
+
+let select_branch t pc be ?deadline ?(probes = true) ~maximize ~parent_bound
+    ~int_tol primal =
+  let cands = ref [] in
+  Array.iter
+    (fun v ->
+      let x = primal.(v) in
+      if Float.abs (x -. Float.round x) > int_tol then cands := (v, x) :: !cands)
+    t.int_vars;
+  match List.rev !cands with
+  | [] -> None
+  | cands ->
+      let g_up = global_rate pc.up_sum pc.up_cnt in
+      let g_dn = global_rate pc.dn_sum pc.dn_cnt in
+      let scored =
+        List.map
+          (fun (v, x) ->
+            let fdn = x -. Float.floor x and fup = Float.ceil x -. x in
+            let est cnt sum g dist =
+              if cnt > 0 then sum /. float_of_int cnt *. dist else g *. dist
+            in
+            ( v, x,
+              ref (est pc.dn_cnt.(v) pc.dn_sum.(v) g_dn fdn),
+              ref (est pc.up_cnt.(v) pc.up_sum.(v) g_up fup) ))
+          cands
+      in
+      if t.cfg.reliability > 0 && probes then begin
+        (* probe the most fractional unreliable candidates *)
+        let unreliable =
+          List.filter
+            (fun (v, _, _, _) ->
+              pc.dn_cnt.(v) < t.cfg.reliability
+              || pc.up_cnt.(v) < t.cfg.reliability)
+            scored
+        in
+        let frac (_, x, _, _) =
+          Float.min (x -. Float.floor x) (Float.ceil x -. x)
+        in
+        let by_frac =
+          List.sort
+            (fun ((va, _, _, _) as a) ((vb, _, _, _) as b) ->
+              let fa = frac a and fb = frac b in
+              if fa = fb then compare va vb else compare fb fa)
+            unreliable
+        in
+        let probed = ref 0 in
+        List.iter
+          (fun (v, x, edn, eup) ->
+            if !probed < t.cfg.max_probes then begin
+              incr probed;
+              if pc.dn_cnt.(v) < t.cfg.reliability then (
+                match probe t pc be ?deadline ~maximize ~parent_bound v x ~up:false with
+                | Some d -> edn := d
+                | None -> ());
+              if pc.up_cnt.(v) < t.cfg.reliability then (
+                match probe t pc be ?deadline ~maximize ~parent_bound v x ~up:true with
+                | Some d -> eup := d
+                | None -> ())
+            end)
+          by_frac
+      end;
+      let best = ref None and best_score = ref neg_infinity in
+      List.iter
+        (fun (v, x, edn, eup) ->
+          let score = Float.max !edn 1e-9 *. Float.max !eup 1e-9 in
+          if score > !best_score then begin
+            best_score := score;
+            best := Some (v, x, !edn <= !eup)
+          end)
+        scored;
+      !best

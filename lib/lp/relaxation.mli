@@ -1,0 +1,140 @@
+(** The relaxation manager: per-node solve → separate → tighten → branch.
+
+    {!Branch_bound} historically solved one LP per node and branched on
+    the nearest integer. This module factors the "what happens between
+    the LP and the branch" into an explicit pipeline, shared by the
+    serial loop and every parallel worker:
+
+    - {b separate} — after an optimal fractional relaxation, derive
+      violated valid inequalities and append them through the backend's
+      cut-row API ({!Backend.append_rows}): Gomory mixed-integer cuts
+      from sparse tableau rows (shifted against {e root} bounds so they
+      are valid tree-wide, with slack columns substituted back out), and
+      SOS1 disjunctive cuts [sum x_k / ub_k <= 1] for the
+      complementarity groups emitted by the KKT rewrite. Accepted cuts
+      live in a shared {!Cut_pool}; each worker's LP holds a pool
+      {e prefix}, so a generation integer is enough to reconcile a
+      stolen node's basis snapshot with the thief's state.
+    - {b tighten} — re-run {!Presolve.tighten_intervals} under the
+      node's branching bounds (rows + pool cuts); strictly tighter boxes
+      are applied as transient node-local bounds, and an emptied box
+      prunes the node outright.
+    - {b branch} — pseudo-cost scoring with reliability probing
+      (bounded dual-simplex probes on unreliable candidates) replaces
+      nearest-integer selection.
+
+    Everything is gated on {!config.enabled} (default {e off}):
+    with cuts disabled the pipeline collapses to exactly the historical
+    one-LP-per-node loop, keeping jobs = 1 bit-identical to earlier
+    builds. [REPRO_CUTS=1]/[=0] force the gate from the environment. *)
+
+type config = {
+  enabled : bool;
+  max_rounds : int;  (** separation rounds at the root node *)
+  node_rounds : int;  (** separation rounds at depth 1..max_depth *)
+  max_cuts_per_round : int;  (** Gomory candidates attempted per round *)
+  max_depth : int;  (** no separation below this depth *)
+  min_violation : float;
+      (** required violation of a normalized cut at the current point *)
+  tighten : bool;  (** run node-level bound tightening *)
+  tighten_rounds : int;  (** fixed-point rounds per node *)
+  reliability : int;
+      (** pseudo-costs with fewer than this many observations per
+          direction are unreliable and get strong-branching probes;
+          [0] disables probing *)
+  probe_iters : int;  (** dual-simplex pivot budget per probe *)
+  max_probes : int;  (** probed candidates per node *)
+}
+
+val disabled : config
+(** The gate off: {!Branch_bound} behaves exactly as before. *)
+
+val default_enabled : config
+(** The gate on with the tuning the benchmarks use. *)
+
+val of_env : config -> config
+(** [REPRO_CUTS=0|false|off|no] forces {!disabled}; any other set value
+    forces on ({!default_enabled} unless [cfg] is already enabled);
+    unset returns [cfg]. *)
+
+type t
+(** Shared manager for one branch-and-bound solve: config, cut pool,
+    root bounds (structural and slack anchors for the Gomory shift),
+    integrality mask and SOS groups. Safe to share across worker
+    domains — the pool is the only mutable part. *)
+
+val create :
+  config ->
+  sf:Standard_form.t ->
+  int_vars:int array ->
+  sos:int array array ->
+  t
+
+val config : t -> config
+val pool : t -> Cut_pool.t
+
+val separate :
+  t ->
+  Backend.t ->
+  primal:float array ->
+  ?on_cut:(Cut_pool.cut -> unit) ->
+  unit ->
+  int
+(** One separation round against [be]'s current optimal basis. First
+    syncs the backend up to the pool head (another worker's cuts); if
+    that alone grew the LP the round stops there. Otherwise derives
+    violated Gomory/SOS1 cuts, offers them to the pool ([on_cut] fires
+    per accepted cut), and appends every newly accepted generation to
+    the backend. Returns the number of rows appended to [be] — when
+    positive the caller must re-solve before trusting the relaxation. *)
+
+val sync_snapshot :
+  t -> Backend.t -> gen:int -> Simplex.basis_snapshot -> Simplex.basis_snapshot
+(** Reconcile a donor's basis snapshot (taken at pool generation [gen])
+    with the thief backend [be]: appends pool cuts until [be] reaches
+    [gen], or pads the snapshot ({!Simplex.pad_snapshot}) when [be] is
+    already ahead. The result installs cleanly into [be]. *)
+
+val tighten :
+  t -> Backend.t -> [ `Infeasible | `Tightened of (int * float * float) list ]
+(** Interval propagation over rows + pool cuts under [be]'s current
+    (node) bounds. Returns the strictly tighter [(var, lb, ub)] boxes
+    to apply as node-local overrides — valid for the whole subtree —
+    or [`Infeasible] when a box empties (prune the node). *)
+
+(** {2 Pseudo-cost branching} *)
+
+type pseudocost
+(** Per-worker store of observed objective degradations per unit of
+    fractional distance, by variable and direction. *)
+
+val pseudocost : int -> pseudocost
+(** [pseudocost n] for [n] structural variables. *)
+
+val pc_record :
+  pseudocost -> int -> up:bool -> delta:float -> dist:float -> unit
+(** Record that branching variable [v] in direction [up] degraded the
+    parent bound by [delta >= 0] over fractional distance [dist]. *)
+
+val select_branch :
+  t ->
+  pseudocost ->
+  Backend.t ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  ?probes:bool ->
+  maximize:bool ->
+  parent_bound:float ->
+  int_tol:float ->
+  float array ->
+  (int * float * bool) option
+(** Pick the fractional integer variable maximizing the product of
+    estimated up/down degradations; candidates whose pseudo-costs are
+    unreliable are strong-branch probed first (bounded [resolve] with
+    the bound temporarily clamped, then restored). Returns
+    [(var, value, prefer_down)] — [prefer_down] is the direction with
+    the smaller estimated degradation, which the parallel workers
+    plunge into — or [None] when no integer variable is fractional
+    (SOS branching takes over). [probes:false] disables the probing
+    (pseudo-costs and fractionality fallback only) — branch-and-bound
+    passes its [warm_start] flag here so a cold-restart measurement run
+    never touches the warm machinery. *)

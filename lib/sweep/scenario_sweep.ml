@@ -234,7 +234,9 @@ let run ?(options = default_options) ~paths pathset plan =
 let verbose_stats_line (s : Simplex.stats) =
   Printf.sprintf
     "rhs_ftran=%d rhs_dual=%d refactorizations=%d etas=%d warm_hits=%d \
-     warm_misses=%d presolve_rows=%d presolve_cols=%d"
+     warm_misses=%d presolve_rows=%d presolve_cols=%d cuts_added=%d \
+     cuts_active=%d bounds_tightened=%d"
     s.Simplex.rhs_ftran s.Simplex.rhs_dual s.Simplex.refactorizations
     s.Simplex.etas s.Simplex.warm_hits s.Simplex.warm_misses
-    s.Simplex.presolve_rows s.Simplex.presolve_cols
+    s.Simplex.presolve_rows s.Simplex.presolve_cols s.Simplex.cuts_added
+    s.Simplex.cuts_active s.Simplex.bounds_tightened

@@ -91,5 +91,7 @@ val verbose_stats_line : Simplex.stats -> string
 (** One [key=value] line naming every solver-internals counter the
     sweep's fast path depends on — [rhs_ftran]/[rhs_dual] (the
     factorized-basis re-solve split), [refactorizations], [etas],
-    [warm_hits]/[warm_misses], and the [presolve_rows]/[presolve_cols]
-    reductions — for [sweep --verbose] and log scraping. *)
+    [warm_hits]/[warm_misses], the [presolve_rows]/[presolve_cols]
+    reductions, and the relaxation-pipeline counters
+    [cuts_added]/[cuts_active]/[bounds_tightened] — for
+    [sweep --verbose] and log scraping. *)

@@ -349,7 +349,10 @@ let test_bb_primal_heuristic_incumbent () =
   let r = Branch_bound.solve ~primal_heuristic:h m in
   Alcotest.check bb_outcome "outcome" Branch_bound.Optimal r.Branch_bound.outcome;
   check_float "true optimum still found" 7. r.Branch_bound.objective;
-  Alcotest.(check bool) "heuristic called" true !called
+  (* with cuts on (REPRO_CUTS=1) the root Gomory round closes this model
+     to integrality, so no fractional node ever consults the heuristic *)
+  if not Branch_bound.default_options.Branch_bound.cuts.Relaxation.enabled then
+    Alcotest.(check bool) "heuristic called" true !called
 
 let test_bb_incumbent_trace () =
   let m = Model.create () in
@@ -1014,6 +1017,182 @@ let random_sos1_milp =
         QCheck.Test.fail_reportf "sos bb %g <> enum %g" r.Branch_bound.objective !best
       else true)
 
+(* ------------------------------------------------------------------ *)
+(* cutting planes (the relaxation pipeline)                            *)
+(* ------------------------------------------------------------------ *)
+
+let cuts_on_options =
+  { Branch_bound.default_options with cuts = Relaxation.default_enabled }
+
+let eval_cut point (c : Cut_pool.cut) =
+  Array.fold_left
+    (fun acc (v, a) -> acc +. (a *. point.(v)))
+    0. c.Cut_pool.terms
+
+(* Known-answer Gomory case: max x s.t. 2x <= 15, x integer. The root
+   relaxation sits at x = 7.5; the first separation round must derive
+   (the x-space equivalent of) x <= 7 and close the model at the root. *)
+let test_gomory_known_answer () =
+  let model = Model.create () in
+  let x = Model.add_var ~kind:Model.Integer ~ub:100. model in
+  ignore (Model.add_constr model (Linexpr.of_terms [ (x, 2.) ]) Model.Le 15.);
+  Model.set_objective model Model.Maximize (Linexpr.of_terms [ (x, 1.) ]);
+  let cuts = ref [] in
+  let r =
+    Branch_bound.solve ~options:cuts_on_options
+      ~on_cut:(fun c -> cuts := c :: !cuts)
+      model
+  in
+  Alcotest.(check bool)
+    "optimal" true
+    (r.Branch_bound.outcome = Branch_bound.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" 7. r.Branch_bound.objective;
+  Alcotest.(check int) "closed at the root" 1 r.Branch_bound.nodes;
+  Alcotest.(check bool) "a cut was accepted" true (!cuts <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "optimum x=7 survives every cut" true
+        (eval_cut [| 7. |] c <= c.Cut_pool.rhs +. 1e-6))
+    !cuts;
+  Alcotest.(check bool)
+    "fractional root x=7.5 is cut off" true
+    (List.exists (fun c -> eval_cut [| 7.5 |] c > c.Cut_pool.rhs +. 1e-6) !cuts)
+
+(* The final objective must not depend on the pipeline gate, the LP
+   backend, or the worker count — cuts/tightening/pseudo-costs only
+   reshape the tree. Fixed seeded binary program, all 8 combinations. *)
+let test_cuts_objective_invariance () =
+  let build () =
+    let rng = Random.State.make [| 20240807 |] in
+    let n = 8 and m = 5 in
+    let model = Model.create () in
+    let xs = Model.add_vars ~kind:Model.Binary model n in
+    for _ = 1 to m do
+      let terms =
+        List.init n (fun j -> (xs.(j), Random.State.float rng 10. -. 4.))
+      in
+      ignore
+        (Model.add_constr model (Linexpr.of_terms terms) Model.Le
+           (1. +. Random.State.float rng 8.))
+    done;
+    Model.set_objective model Model.Maximize
+      (Linexpr.of_terms
+         (List.init n (fun j -> (xs.(j), Random.State.float rng 6. -. 1.))));
+    model
+  in
+  let solve ~on ~backend ~jobs =
+    let r =
+      Branch_bound.solve
+        ~options:
+          {
+            Branch_bound.default_options with
+            cuts = (if on then Relaxation.default_enabled else Relaxation.disabled);
+            backend = Some backend;
+            jobs;
+          }
+        (build ())
+    in
+    Alcotest.(check bool)
+      "optimal" true
+      (r.Branch_bound.outcome = Branch_bound.Optimal);
+    r.Branch_bound.objective
+  in
+  let reference = solve ~on:false ~backend:Backend.Sparse ~jobs:1 in
+  List.iter
+    (fun (on, backend, jobs) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "objective cuts=%b backend=%s jobs=%d" on
+           (Backend.kind_to_string backend)
+           jobs)
+        reference
+        (solve ~on ~backend ~jobs))
+    [
+      (false, Backend.Sparse, 4);
+      (false, Backend.Dense, 1);
+      (false, Backend.Dense, 4);
+      (true, Backend.Sparse, 1);
+      (true, Backend.Sparse, 4);
+      (true, Backend.Dense, 1);
+      (true, Backend.Dense, 4);
+    ]
+
+(* Every cut accepted into the pool is a globally valid inequality: the
+   brute-force optimal integer witness must satisfy all of them, and the
+   cuts-on search must still reach the brute-force optimum. *)
+let cuts_preserve_integer_witness =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* m = int_range 1 4 in
+      let* a = array_size (return (m * n)) (float_range (-4.) 6.) in
+      let* b = array_size (return m) (float_range 0.5 12.) in
+      let* c = array_size (return n) (float_range (-3.) 8.) in
+      return (n, m, a, b, c))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"no separated cut removes the optimal integer witness"
+    (QCheck.make gen)
+    (fun (n, m, a, b, c) ->
+      let model = Model.create () in
+      let xs = Model.add_vars ~kind:Model.Binary model n in
+      for i = 0 to m - 1 do
+        let expr =
+          Linexpr.of_terms (List.init n (fun j -> (xs.(j), a.((i * n) + j))))
+        in
+        ignore (Model.add_constr model expr Model.Le b.(i))
+      done;
+      Model.set_objective model Model.Maximize
+        (Linexpr.of_terms (List.init n (fun j -> (xs.(j), c.(j)))));
+      (* brute-force witness *)
+      let best = ref neg_infinity in
+      let witness = Array.make n 0. in
+      for mask = 0 to (1 lsl n) - 1 do
+        let x j = if mask land (1 lsl j) <> 0 then 1. else 0. in
+        let ok = ref true in
+        for i = 0 to m - 1 do
+          let lhs = ref 0. in
+          for j = 0 to n - 1 do
+            lhs := !lhs +. (a.((i * n) + j) *. x j)
+          done;
+          if !lhs > b.(i) +. 1e-9 then ok := false
+        done;
+        if !ok then begin
+          let v = ref 0. in
+          for j = 0 to n - 1 do
+            v := !v +. (c.(j) *. x j)
+          done;
+          if !v > !best then begin
+            best := !v;
+            for j = 0 to n - 1 do
+              witness.(j) <- x j
+            done
+          end
+        end
+      done;
+      let cuts = ref [] in
+      let r =
+        Branch_bound.solve ~options:cuts_on_options
+          ~on_cut:(fun cu -> cuts := cu :: !cuts)
+          model
+      in
+      if !best = neg_infinity then
+        r.Branch_bound.outcome = Branch_bound.Infeasible
+      else begin
+        List.iter
+          (fun (cu : Cut_pool.cut) ->
+            let lhs = eval_cut witness cu in
+            if lhs > cu.Cut_pool.rhs +. 1e-6 then
+              QCheck.Test.fail_reportf
+                "%s cut cuts off witness (obj %g): lhs %g > rhs %g"
+                cu.Cut_pool.origin !best lhs cu.Cut_pool.rhs)
+          !cuts;
+        if Float.abs (r.Branch_bound.objective -. !best) > 1e-5 then
+          QCheck.Test.fail_reportf "cuts-on bb %g <> brute %g"
+            r.Branch_bound.objective !best
+        else true
+      end)
+
 let () =
   let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests) in
   Alcotest.run "lp"
@@ -1059,6 +1238,13 @@ let () =
           Alcotest.test_case "primal heuristic" `Quick test_bb_primal_heuristic_incumbent;
           Alcotest.test_case "incumbent trace" `Quick test_bb_incumbent_trace;
         ] );
+      ( "cuts",
+        [
+          Alcotest.test_case "gomory known answer" `Quick
+            test_gomory_known_answer;
+          Alcotest.test_case "objective invariance" `Quick
+            test_cuts_objective_invariance;
+        ] );
       ( "containers",
         [
           Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
@@ -1095,6 +1281,7 @@ let () =
           warm_restart_matches_fresh;
           random_binary_milp;
           random_sos1_milp;
+          cuts_preserve_integer_witness;
           presolve_equivalence_property;
           heap_sorts_property;
         ];

@@ -363,6 +363,9 @@ let test_verbose_stats_line () =
       rhs_dual = 3;
       presolve_rows = 5;
       presolve_cols = 6;
+      cuts_added = 8;
+      cuts_active = 2;
+      bounds_tightened = 13;
     }
   in
   let line = Sweep.verbose_stats_line s in
@@ -378,6 +381,7 @@ let test_verbose_stats_line () =
     [
       "rhs_ftran=11"; "rhs_dual=3"; "refactorizations=2"; "etas=7";
       "warm_hits=4"; "warm_misses=1"; "presolve_rows=5"; "presolve_cols=6";
+      "cuts_added=8"; "cuts_active=2"; "bounds_tightened=13";
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -62,6 +62,31 @@ let pp_trace trace =
 let norm g gap = gap /. Graph.total_capacity g
 
 (* ------------------------------------------------------------------ *)
+(* host metadata (every BENCH_*.json emitter)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every BENCH_*.json file records the same two host facts — the
+   hardware's recommended domain count and the highest worker count the
+   run actually used — so cross-file and cross-machine comparisons can
+   tell a 1-core CI runner from a workstation, and oversubscription
+   ("cpus": 1, "jobs": 4) from a reporting bug. One helper per JSON
+   mechanism in use: raw Printf emitters and Json.Obj builders. *)
+
+module Json = Repro_serve.Json
+
+let host_cpus () = Domain.recommended_domain_count ()
+
+let host_printf_fields oc ~jobs =
+  Printf.fprintf oc "  \"cpus\": %d,\n  \"jobs\": %d,\n" (host_cpus ())
+    jobs
+
+let host_json_fields ~jobs =
+  [
+    ("cpus", Json.Num (float_of_int (host_cpus ())));
+    ("jobs", Json.Num (float_of_int jobs));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* machine-readable timing log (BENCH_engine.json)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -91,12 +116,9 @@ let write_bench_json path =
     Printf.fprintf oc
       "{\n\
       \  \"benchmark\": \"repro-engine\",\n\
-      \  \"mode\": %S,\n\
-      \  \"cpus\": %d,\n\
-      \  \"jobs\": %d,\n"
-      (if full_mode then "full" else "fast")
-      (Domain.recommended_domain_count ())
-      !effective_jobs;
+      \  \"mode\": %S,\n"
+      (if full_mode then "full" else "fast");
+    host_printf_fields oc ~jobs:!effective_jobs;
     Printf.fprintf oc "  \"targets\": [\n%s\n  ],\n"
       (String.concat ",\n"
          (List.rev_map

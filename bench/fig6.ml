@@ -158,6 +158,8 @@ let run () =
           deadline = None;
           cache = None;
           jsonl = None;
+          batch_rhs = false;
+          basis_store = None;
         }
       ~paths:Common.default_paths pathset plan
   in

@@ -109,13 +109,14 @@ let run () =
   let sections = [ binpack; rewriter ] in
   let doc =
     Json.Obj
-      (( "benchmark", Json.Str "repro-follower" )
+      (("benchmark", Json.Str "repro-follower")
       :: ( "mode",
            Json.Str
              (if tiny_mode then "tiny"
               else if Common.full_mode then "full"
               else "fast") )
-      :: sections)
+      (* every phase here is serial; jobs:1 is the truth, not a default *)
+      :: (Common.host_json_fields ~jobs:1 @ sections))
   in
   let oc = open_out "BENCH_follower.json" in
   output_string oc (Json.to_string_pretty doc);

@@ -435,6 +435,15 @@ let write_json path roots warm par_rows cut_rows =
     \  \"default_backend\": %S,\n"
     (if tiny_mode then "tiny" else if Common.full_mode then "full" else "fast")
     (Backend.kind_to_string (Backend.default ()));
+  (* the tree-search phases are the only parallel ones: record the
+     widest worker count any row actually ran with *)
+  let jobs =
+    List.fold_left
+      (fun acc r -> max acc r.cut_jobs)
+      (List.fold_left (fun acc r -> max acc r.par_jobs) 1 par_rows)
+      cut_rows
+  in
+  Common.host_printf_fields oc ~jobs;
   Printf.fprintf oc "  \"root_lp\": [\n%s\n  ],\n"
     (String.concat ",\n"
        (List.map

@@ -235,12 +235,12 @@ let run () =
       in
       let doc =
         Json.Obj
-          [
-            ("benchmark", Json.Str "repro-serve");
-            ("mode", Json.Str (if Common.full_mode then "full" else "fast"));
-            ( "cpus",
-              Json.Num (float_of_int (Domain.recommended_domain_count ())) );
-            ("jobs", Json.Num (float_of_int jobs));
+          ([
+             ("benchmark", Json.Str "repro-serve");
+             ("mode", Json.Str (if Common.full_mode then "full" else "fast"));
+           ]
+          @ Common.host_json_fields ~jobs
+          @ [
             ("cold", cold_json);
             ("warm", warm_json);
             ("warm_vs_cold_p50", Json.Num speedup);
@@ -252,10 +252,10 @@ let run () =
                   ("computed", Json.Num (float_of_int computed));
                   ("coalesced", Json.Num (float_of_int coalesced));
                 ] );
-            ("result_cache", take "result_cache");
-            ("oracle_cache", take "oracle_cache");
-            ("scheduler", take "scheduler");
-          ]
+              ("result_cache", take "result_cache");
+              ("oracle_cache", take "oracle_cache");
+              ("scheduler", take "scheduler");
+            ])
       in
       let oc = open_out "BENCH_serve.json" in
       output_string oc (Json.to_string_pretty doc);

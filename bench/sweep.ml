@@ -8,12 +8,19 @@
    - rebuild: the pre-sweep baseline, a full model rebuild and cold
      solve per scenario;
    - cached:  the shared run repeated against a warm content-addressed
-     solve cache — every scenario a lookup.
+     solve cache — every scenario a lookup;
+   - batched: the shared run with --batch-rhs semantics — each chunk's
+     OPT solves answered by one multi-RHS ftran kernel call;
+   - snapshot: the batched run against a cross-sweep basis snapshot
+     store, cold (store empty, written at the end) then warm (a second
+     sweep re-reading the journal and installing the stored bases).
 
-   The headline numbers are shared-vs-rebuild (the batching win) and
-   cached-vs-cold (the serve-cache win on top). A jobs=1 vs jobs=4
-   re-run of the shared sweep must agree bit-for-bit: chunk boundaries
-   are fixed by the plan, never by the worker count.
+   The headline numbers are shared-vs-rebuild (the engine win),
+   batched-vs-shared (the kernel win), cached-vs-cold (the serve-cache
+   win) and snapshot-warm-vs-cold. A jobs=1 vs jobs=4 re-run of the
+   shared sweep must agree bit-for-bit, and so must --batch-rhs on/off:
+   chunk boundaries are fixed by the plan, never by the worker count,
+   and the batched kernel reproduces the scalar op sequence.
 
    REPRO_BENCH_SWEEP_TINY=1 shrinks the grid to a few scenarios for CI
    smoke runs (the speedup assertion there is >= 1.0x, not 10x). *)
@@ -29,7 +36,26 @@ let tiny_mode =
 
 let fail fmt = Printf.ksprintf failwith fmt
 
-let jobs = 4
+(* Perf phases run at the host's real parallelism, capped at 4: on a
+   1-CPU container extra domains only add GC coordination overhead and
+   used to make every wall here measure contention, not the engine
+   (the "cpus": 1 / "jobs": 4 mismatch this file once shipped). The
+   determinism cross-check below always exercises jobs=1 vs jobs=4
+   regardless of what the perf phases used. *)
+let jobs = max 1 (min 4 (Common.host_cpus ()))
+let det_jobs = 4
+
+(* Walls on the fast grid are a couple hundred ms — tens of ms in tiny
+   mode — the same order as scheduler/GC jitter on a shared container.
+   Take the best of several identical runs (results are deterministic,
+   only the wall varies); tiny mode needs more reps because its walls
+   are smaller than a single scheduling quantum. *)
+let reps = if tiny_mode then 9 else 5
+
+(* committed PR-7 measurement of the scalar shared-basis path on this
+   same 500-scenario grid (BENCH_sweep.json at 9778585) — the baseline
+   the batched kernel is graded against *)
+let baseline_shared_scenarios_per_s = 1127.0
 
 let result_key = function
   | None -> "skipped"
@@ -50,6 +76,9 @@ let lp_json (s : Simplex.stats) =
       ("warm_misses", Json.Num (float_of_int s.Simplex.warm_misses));
       ("rhs_ftran", Json.Num (float_of_int s.Simplex.rhs_ftran));
       ("rhs_dual", Json.Num (float_of_int s.Simplex.rhs_dual));
+      ("rhs_batch", Json.Num (float_of_int s.Simplex.rhs_batch));
+      ("rhs_batch_cols", Json.Num (float_of_int s.Simplex.rhs_batch_cols));
+      ("rhs_peeled", Json.Num (float_of_int s.Simplex.rhs_peeled));
     ]
 
 let phase_json (r : Sweep.result) =
@@ -62,7 +91,9 @@ let phase_json (r : Sweep.result) =
              float_of_int r.Sweep.completed /. r.Sweep.wall_s
            else 0.) );
       ("completed", Json.Num (float_of_int r.Sweep.completed));
+      ("from_cache", Json.Num (float_of_int r.Sweep.from_cache));
       ("skipped", Json.Num (float_of_int r.Sweep.skipped));
+      ("basis_warm_hits", Json.Num (float_of_int r.Sweep.basis_warm_hits));
       ("chunks", Json.Num (float_of_int r.Sweep.chunks));
       ("lp", lp_json r.Sweep.lp_stats);
     ]
@@ -95,7 +126,7 @@ let run () =
   Common.row "grid: %d thresholds x %d scales x %d seeds = %d scenarios"
     (List.length fracs) (List.length scales) num_seeds n;
   Common.note_jobs jobs;
-  let base mode jobs cache =
+  let base ?(batch_rhs = false) ?basis_store mode jobs cache =
     {
       Sweep.jobs;
       chunk = Sweep.default_options.Sweep.chunk;
@@ -104,12 +135,30 @@ let run () =
       deadline = None;
       cache;
       jsonl = None;
+      batch_rhs;
+      basis_store;
     }
   in
   let sweep options = Sweep.run ~options ~paths pathset plan in
+  (* best-of-[reps] wall; the runs are deterministic so any result
+     stands for all of them *)
+  let keep_min best r =
+    match !best with
+    | Some b when b.Sweep.wall_s <= r.Sweep.wall_s -> ()
+    | _ -> best := Some r
+  in
 
-  (* shared-basis, cold *)
-  let shared = sweep (base Sweep.Shared_basis jobs None) in
+  (* shared-basis (cold, scalar) and batched multi-RHS kernel: the two
+     walls being compared, so their reps are interleaved — slow drift
+     (thermal, page cache, sibling load) hits both sides equally
+     instead of whichever phase ran second *)
+  let shared_best = ref None and batched_best = ref None in
+  for _ = 1 to reps do
+    keep_min shared_best (sweep (base Sweep.Shared_basis jobs None));
+    keep_min batched_best
+      (sweep (base ~batch_rhs:true Sweep.Shared_basis jobs None))
+  done;
+  let shared = Option.get !shared_best in
   if shared.Sweep.completed <> n then
     fail "sweep bench: shared run completed %d of %d" shared.Sweep.completed n;
   Common.row "  shared  (jobs %d): %6.2fs  %7.1f scenarios/s  (%s)" jobs
@@ -133,6 +182,94 @@ let run () =
   if speedup < 1.0 then
     fail "sweep bench: shared basis slower than rebuild (%.2fx)" speedup;
 
+  (* batched multi-RHS kernel: same grid, each chunk's OPT solves go
+     through one resolve_rhs_batch call *)
+  let batched = Option.get !batched_best in
+  if batched.Sweep.completed <> n then
+    fail "sweep bench: batched run completed %d of %d" batched.Sweep.completed
+      n;
+  let batched_speedup =
+    if batched.Sweep.wall_s > 0. then
+      shared.Sweep.wall_s /. batched.Sweep.wall_s
+    else 0.
+  in
+  Common.row
+    "  batched (jobs %d): %6.2fs  %7.1f scenarios/s  (%.2fx vs shared)  (%s)"
+    jobs batched.Sweep.wall_s
+    (float_of_int n /. batched.Sweep.wall_s)
+    batched_speedup
+    (Fmt.str "%a" Simplex.pp_stats batched.Sweep.lp_stats);
+  (* tiny walls are a couple of scheduling quanta; allow jitter there,
+     be strict on the full grid where min-of-reps is stable *)
+  if batched_speedup < (if tiny_mode then 0.9 else 1.0) then
+    fail "sweep bench: batched kernel slower than scalar path (%.2fx)"
+      batched_speedup;
+  (* --batch-rhs on/off must agree bit-for-bit (cacheless) *)
+  let batch_identical =
+    Array.for_all2
+      (fun a b -> String.equal (result_key a) (result_key b))
+      batched.Sweep.results shared.Sweep.results
+  in
+  if not batch_identical then
+    fail "sweep bench: batched and scalar runs disagree on scenario results";
+  Common.row "  batched vs scalar: identical results (bitwise)";
+  (* the acceptance yardstick: the kernel against the committed PR-7
+     scalar shared-basis measurement of this same grid *)
+  let batched_vs_baseline =
+    if batched.Sweep.wall_s > 0. then
+      float_of_int n /. batched.Sweep.wall_s
+      /. baseline_shared_scenarios_per_s
+    else 0.
+  in
+  if not tiny_mode then begin
+    Common.row "  batched vs committed shared baseline (%.0f scenarios/s): %.2fx"
+      baseline_shared_scenarios_per_s batched_vs_baseline;
+    if batched_vs_baseline < 2.0 then
+      fail "sweep bench: batched kernel under 2x the committed baseline (%.2fx)"
+        batched_vs_baseline
+  end;
+
+  (* cross-sweep basis snapshot store: cold sweep writes the journal,
+     a second store replays it and the warm sweep installs its bases.
+     Each cold rep starts from an empty journal; warm reps replay the
+     last cold journal. *)
+  let snap_path = Filename.temp_file "repro-basis" ".journal" in
+  let snapshot_phase () =
+    let bs = Repro_serve.Basis_store.create () in
+    (match Repro_serve.Basis_store.with_journal bs ~path:snap_path with
+    | Ok _ -> ()
+    | Error e -> fail "sweep bench: basis journal: %s" e);
+    let r =
+      sweep (base ~batch_rhs:true ~basis_store:bs Sweep.Shared_basis jobs None)
+    in
+    Repro_serve.Basis_store.close bs;
+    r
+  in
+  (* the warm run does strictly less LP work than the cold one, but the
+     gap is a fraction of the wall — give the min extra reps to converge
+     so the warm-beats-cold ratio reflects work, not scheduler jitter *)
+  let snap_reps = reps + 4 in
+  let snap_cold_best = ref None and snap_warm_best = ref None in
+  for _ = 1 to snap_reps do
+    (try Sys.remove snap_path with Sys_error _ -> ());
+    keep_min snap_cold_best (snapshot_phase ());
+    keep_min snap_warm_best (snapshot_phase ())
+  done;
+  let snap_cold = Option.get !snap_cold_best in
+  let snap_warm = Option.get !snap_warm_best in
+  Sys.remove snap_path;
+  if snap_warm.Sweep.basis_warm_hits <= 0 then
+    fail "sweep bench: warm sweep installed no snapshot bases";
+  let snap_speedup =
+    if snap_warm.Sweep.wall_s > 0. then
+      snap_cold.Sweep.wall_s /. snap_warm.Sweep.wall_s
+    else 0.
+  in
+  Common.row
+    "  snapshot warm   : %6.2fs vs %6.2fs cold  (%.2fx, %d basis installs)"
+    snap_warm.Sweep.wall_s snap_cold.Sweep.wall_s snap_speedup
+    snap_warm.Sweep.basis_warm_hits;
+
   (* cached re-run: warm the cache with one shared sweep, then re-run *)
   let cache = Repro_serve.Solve_cache.create () in
   ignore (sweep (base Sweep.Shared_basis jobs (Some cache)));
@@ -147,6 +284,9 @@ let run () =
       cached.Sweep.results
   in
   if not all_cached then fail "sweep bench: warm re-run missed the cache";
+  if cached.Sweep.from_cache <> n then
+    fail "sweep bench: from_cache %d <> completed %d on the warm re-run"
+      cached.Sweep.from_cache n;
   let cached_speedup =
     if cached.Sweep.wall_s > 0. then shared.Sweep.wall_s /. cached.Sweep.wall_s
     else 0.
@@ -156,38 +296,58 @@ let run () =
     (float_of_int n /. cached.Sweep.wall_s)
     cached_speedup;
 
-  (* determinism: jobs=1 and jobs=4 must agree bit-for-bit (cacheless) *)
-  let serial = sweep (base Sweep.Shared_basis 1 None) in
+  (* determinism: jobs=1 and jobs=4 must agree bit-for-bit (cacheless),
+     whatever parallelism the perf phases above actually used *)
+  let det_serial =
+    if jobs = 1 then shared else sweep (base Sweep.Shared_basis 1 None)
+  in
+  let det_par =
+    if jobs = det_jobs then shared
+    else sweep (base Sweep.Shared_basis det_jobs None)
+  in
   let identical =
     Array.for_all2
       (fun a b -> String.equal (result_key a) (result_key b))
-      serial.Sweep.results shared.Sweep.results
+      det_serial.Sweep.results det_par.Sweep.results
   in
   if not identical then
-    fail "sweep bench: jobs=1 and jobs=%d disagree on scenario results" jobs;
-  Common.row "  jobs=1 vs jobs=%d: identical results (bitwise)" jobs;
+    fail "sweep bench: jobs=1 and jobs=%d disagree on scenario results"
+      det_jobs;
+  Common.row "  jobs=1 vs jobs=%d: identical results (bitwise)" det_jobs;
 
   let doc =
     Json.Obj
-      [
-        ("benchmark", Json.Str "repro-sweep");
-        ( "mode",
-          Json.Str
-            (if tiny_mode then "tiny"
-             else if Common.full_mode then "full"
-             else "fast") );
-        ("cpus", Json.Num (float_of_int (Domain.recommended_domain_count ())));
-        ("jobs", Json.Num (float_of_int jobs));
+      ([
+         ("benchmark", Json.Str "repro-sweep");
+         ( "mode",
+           Json.Str
+             (if tiny_mode then "tiny"
+              else if Common.full_mode then "full"
+              else "fast") );
+       ]
+      @ Common.host_json_fields ~jobs
+      @ [
         ("topology", Json.Str (Graph.name g));
         ("paths", Json.Num (float_of_int paths));
         ("scenarios", Json.Num (float_of_int n));
         ("shared", phase_json shared);
         ("rebuild", phase_json rebuild);
         ("cached", phase_json cached);
+        ("batched", phase_json batched);
+        ("snapshot_cold", phase_json snap_cold);
+        ("snapshot_warm", phase_json snap_warm);
         ("shared_vs_rebuild", Json.Num speedup);
         ("cached_vs_cold", Json.Num cached_speedup);
-        ("deterministic_across_jobs", Json.Bool identical);
-      ]
+        ("batched_vs_shared", Json.Num batched_speedup);
+        ( "baseline_shared_scenarios_per_s",
+          Json.Num baseline_shared_scenarios_per_s );
+        ("batched_vs_baseline", Json.Num batched_vs_baseline);
+        ("snapshot_warm_vs_cold", Json.Num snap_speedup);
+        ("determinism_jobs", Json.Num (float_of_int det_jobs));
+        ("reps", Json.Num (float_of_int reps));
+          ("deterministic_across_jobs", Json.Bool identical);
+          ("deterministic_batch_toggle", Json.Bool batch_identical);
+        ])
   in
   let oc = open_out "BENCH_sweep.json" in
   output_string oc (Json.to_string_pretty doc);

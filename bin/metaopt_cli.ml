@@ -543,8 +543,8 @@ module Sweep_plan = Repro_sweep.Plan
 
 let sweep_cmd =
   let run g paths thresholds_frac scales num_seeds seed gen jobs chunk
-      lp_backend rebuild cache_mb out perturb_fraction perturb_level
-      perturb_variants deadline_s degrade verbose =
+      lp_backend rebuild batch_rhs basis_cache cache_mb out perturb_fraction
+      perturb_level perturb_variants deadline_s degrade verbose =
     setup_logs verbose;
     Backend.set_default lp_backend;
     if degrade && deadline_s = None then begin
@@ -596,6 +596,18 @@ let sweep_cmd =
         (fun wall -> Repro_resilience.Deadline.create ~wall ())
         deadline_s
     in
+    let basis_store =
+      match basis_cache with
+      | None -> None
+      | Some path ->
+          let bs = Repro_serve.Basis_store.create () in
+          (match Repro_serve.Basis_store.with_journal bs ~path with
+          | Ok _ -> ()
+          | Error e ->
+              Fmt.epr "sweep: basis cache %s: %s@." path e;
+              exit 1);
+          Some bs
+    in
     let options =
       {
         Sweep.jobs = Repro_engine.Jobs.clamp jobs;
@@ -605,16 +617,22 @@ let sweep_cmd =
         deadline;
         cache;
         jsonl = out;
+        batch_rhs;
+        basis_store;
       }
     in
     let r = Sweep.run ~options ~paths pathset plan in
+    Option.iter Repro_serve.Basis_store.close basis_store;
     Fmt.pr "topology      : %s (%d pairs, %d paths/pair)@." (Graph.name g)
       (Pathset.num_pairs pathset) paths;
-    Fmt.pr "scenarios     : %d total, %d completed, %d skipped (%d chunks)@."
+    Fmt.pr
+      "scenarios     : %d total, %d completed (%d from cache), %d skipped \
+       (%d chunks)@."
       (Sweep_plan.num_scenarios plan)
-      r.Sweep.completed r.Sweep.skipped r.Sweep.chunks;
-    Fmt.pr "mode          : %s, %s backend, %d jobs@."
+      r.Sweep.completed r.Sweep.from_cache r.Sweep.skipped r.Sweep.chunks;
+    Fmt.pr "mode          : %s%s, %s backend, %d jobs@."
       (if rebuild then "rebuild-per-scenario" else "shared-basis")
+      (if batch_rhs && not rebuild then " (batched RHS kernel)" else "")
       (Backend.kind_to_string lp_backend)
       (Repro_engine.Jobs.clamp jobs);
     Fmt.pr "wall          : %.2fs (%.1f scenarios/s)@." r.Sweep.wall_s
@@ -655,6 +673,18 @@ let sweep_cmd =
         Fmt.pr "solve cache   : %d hits, %d misses, %d entries@."
           cs.Repro_serve.Solve_cache.hits cs.Repro_serve.Solve_cache.misses
           cs.Repro_serve.Solve_cache.entries
+    | None -> ());
+    (match basis_store with
+    | Some bs ->
+        let bst = Repro_serve.Basis_store.stats bs in
+        Fmt.pr
+          "basis cache   : %d warm installs, %d store lookups (%d hits), %d \
+           snapshots stored@."
+          r.Sweep.basis_warm_hits
+          (bst.Repro_serve.Basis_store.warm_hits
+          + bst.Repro_serve.Basis_store.warm_misses)
+          bst.Repro_serve.Basis_store.warm_hits
+          bst.Repro_serve.Basis_store.stores
     | None -> ());
     (match out with
     | Some path -> Fmt.pr "results written to %s (JSONL)@." path
@@ -707,6 +737,26 @@ let sweep_cmd =
     in
     Arg.(value & flag & info [ "rebuild" ] ~doc)
   in
+  let batch_rhs_arg =
+    let doc =
+      "Answer each chunk's OPT solves with one batched multi-RHS ftran \
+       kernel call instead of a scalar re-solve per scenario. Cacheless \
+       output is bitwise identical either way."
+    in
+    Arg.(value & flag & info [ "batch-rhs" ] ~doc)
+  in
+  let basis_cache_arg =
+    let doc =
+      "Persist final LP bases to this journal file and warm-start from it: \
+       repeated or adjacent sweeps over the same topology skip the \
+       from-scratch factorization (the serve daemon reads the same store \
+       for its cold queries)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "basis-cache" ] ~docv:"FILE" ~doc)
+  in
   let cache_mb_arg =
     let doc =
       "Attach an in-memory content-addressed solve cache of this many MiB \
@@ -757,9 +807,9 @@ let sweep_cmd =
     Term.(
       const run $ topology_arg $ paths_arg $ thresholds_frac_arg $ scales_arg
       $ num_seeds_arg $ seed_arg $ sweep_gen_arg $ jobs_arg $ chunk_arg
-      $ lp_backend_arg $ rebuild_arg $ cache_mb_arg $ out_arg
-      $ perturb_fraction_arg $ perturb_level_arg $ perturb_variants_arg
-      $ deadline_arg $ degrade_arg $ verbose_arg)
+      $ lp_backend_arg $ rebuild_arg $ batch_rhs_arg $ basis_cache_arg
+      $ cache_mb_arg $ out_arg $ perturb_fraction_arg $ perturb_level_arg
+      $ perturb_variants_arg $ deadline_arg $ degrade_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

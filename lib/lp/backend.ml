@@ -60,6 +60,13 @@ module type S = sig
     state ->
     Simplex.solution
 
+  val resolve_rhs_batch :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    float array array ->
+    Simplex.solution array
+
   val total_iterations : state -> int
   val snapshot_basis : state -> Simplex.basis_snapshot
   val install_basis : state -> Simplex.basis_snapshot -> bool
@@ -86,6 +93,7 @@ module Dense_backend : S with type state = Simplex.t = struct
   let set_rhs = Simplex.set_rhs
   let get_rhs = Simplex.get_rhs
   let resolve_rhs = Simplex.resolve_rhs
+  let resolve_rhs_batch = Simplex.resolve_rhs_batch
   let total_iterations = Simplex.total_iterations
   let snapshot_basis = Simplex.snapshot_basis
   let install_basis = Simplex.install_basis
@@ -112,6 +120,7 @@ module Sparse_backend : S with type state = Sparse_simplex.t = struct
   let set_rhs = Sparse_simplex.set_rhs
   let get_rhs = Sparse_simplex.get_rhs
   let resolve_rhs = Sparse_simplex.resolve_rhs
+  let resolve_rhs_batch = Sparse_simplex.resolve_rhs_batch
   let total_iterations = Sparse_simplex.total_iterations
   let snapshot_basis = Sparse_simplex.snapshot_basis
   let install_basis = Sparse_simplex.install_basis
@@ -154,6 +163,9 @@ let get_rhs (Packed ((module B), s, _)) i = B.get_rhs s i
 
 let resolve_rhs ?iter_limit ?deadline (Packed ((module B), s, _)) =
   B.resolve_rhs ?iter_limit ?deadline s
+
+let resolve_rhs_batch ?iter_limit ?deadline (Packed ((module B), s, _)) rhs =
+  B.resolve_rhs_batch ?iter_limit ?deadline s rhs
 
 let total_iterations (Packed ((module B), s, _)) = B.total_iterations s
 let snapshot_basis (Packed ((module B), s, _)) = B.snapshot_basis s

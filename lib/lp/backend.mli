@@ -56,6 +56,13 @@ module type S = sig
     state ->
     Simplex.solution
 
+  val resolve_rhs_batch :
+    ?iter_limit:int ->
+    ?deadline:Repro_resilience.Deadline.t ->
+    state ->
+    float array array ->
+    Simplex.solution array
+
   val total_iterations : state -> int
   val snapshot_basis : state -> Simplex.basis_snapshot
   val install_basis : state -> Simplex.basis_snapshot -> bool
@@ -101,6 +108,19 @@ val get_rhs : t -> int -> float
     otherwise; see {!Simplex.resolve_rhs}. *)
 val resolve_rhs :
   ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> Simplex.solution
+
+(** Batched multi-RHS fast path: each element of the array is a full
+    replacement RHS (length [num_rows]); results come back in order and
+    are bitwise identical to sequential {!resolve_rhs} calls. The
+    sparse backend amortizes the eta-file traversal across the whole
+    block; the dense backend loops the scalar path (differential
+    oracle); see {!Simplex.resolve_rhs_batch}. *)
+val resolve_rhs_batch :
+  ?iter_limit:int ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  t ->
+  float array array ->
+  Simplex.solution array
 
 val total_iterations : t -> int
 

@@ -205,6 +205,69 @@ let ftran t (x : float array) =
     else apply_col_step t k x
   done
 
+(* Batched ftran: X holds [width] RHS columns interleaved row-major
+   (X.(i * width + c) = column c, row i), so each eta's metadata — pivot
+   row, pivot value, entry indices — is read once per eta instead of once
+   per column, and the inner loops over c touch contiguous memory.
+
+   Per column the arithmetic is EXACTLY the scalar ftran's op sequence
+   (same guards, same order of subtractions), so column c of the block
+   ends bitwise identical to [ftran t x_c]. That identity is what lets
+   the sweep engine toggle batching without changing output. *)
+let ftran_batch t ~width (x : float array) =
+  if width <= 0 then invalid_arg "Basis.ftran_batch: width";
+  let tv = Array.make width 0. in
+  let live = Array.make width false in
+  for k = 0 to t.n_eta - 1 do
+    let r = Array.unsafe_get t.rows k in
+    let piv = Array.unsafe_get t.pivots k in
+    let rb = r * width in
+    let s0 = Array.unsafe_get t.start k in
+    let s1 = Array.unsafe_get t.start (k + 1) in
+    if Array.unsafe_get t.kinds k then begin
+      (* row eta: x_r = (x_r - sum w_i x_i) / piv; scalar has no
+         zero-skip here, so neither do we *)
+      for c = 0 to width - 1 do
+        Array.unsafe_set tv c (Array.unsafe_get x (rb + c))
+      done;
+      for p = s0 to s1 - 1 do
+        let ib = Array.unsafe_get t.idx p * width in
+        let v = Array.unsafe_get t.value p in
+        for c = 0 to width - 1 do
+          Array.unsafe_set tv c
+            (Array.unsafe_get tv c -. (v *. Array.unsafe_get x (ib + c)))
+        done
+      done;
+      for c = 0 to width - 1 do
+        Array.unsafe_set x (rb + c) (Array.unsafe_get tv c /. piv)
+      done
+    end
+    else begin
+      (* column eta: skip columns whose pivot entry is exactly zero —
+         the scalar step leaves them untouched, and an unconditional
+         [x -. v *. 0.] would flip a -0. to +0. *)
+      for c = 0 to width - 1 do
+        let xr = Array.unsafe_get x (rb + c) in
+        if xr <> 0. then begin
+          Array.unsafe_set live c true;
+          let tt = xr /. piv in
+          Array.unsafe_set tv c tt;
+          Array.unsafe_set x (rb + c) tt
+        end
+        else Array.unsafe_set live c false
+      done;
+      for p = s0 to s1 - 1 do
+        let ib = Array.unsafe_get t.idx p * width in
+        let v = Array.unsafe_get t.value p in
+        for c = 0 to width - 1 do
+          if Array.unsafe_get live c then
+            Array.unsafe_set x (ib + c)
+              (Array.unsafe_get x (ib + c) -. (v *. Array.unsafe_get tv c))
+        done
+      done
+    end
+  done
+
 (* y := B^-T y.  Apply transposed eta inverses newest-first; transposing
    swaps the column/row step each eta kind uses. *)
 let btran t (y : float array) =

@@ -50,6 +50,16 @@ val push_row : t -> r:int -> piv:float -> (int * float) list -> unit
 (** [ftran t x] overwrites [x] with [B^-1 x]. *)
 val ftran : t -> float array -> unit
 
+(** [ftran_batch t ~width x] overwrites each of the [width] RHS columns
+    packed row-major in [x] ([x.(i * width + c)] is row [i] of column
+    [c], so [x] has length [m * width]) with [B^-1] applied to it. One
+    pass over the eta file serves all columns — eta metadata is read
+    once per eta and the inner loops stream contiguously over the block —
+    while each column's floating-point op sequence is exactly the scalar
+    {!ftran}'s, so column [c] is bitwise identical to a scalar solve.
+    @raise Invalid_argument if [width <= 0]. *)
+val ftran_batch : t -> width:int -> float array -> unit
+
 (** [btran t y] overwrites [y] with [B^-T y]. *)
 val btran : t -> float array -> unit
 

@@ -21,6 +21,9 @@ type stats = {
   warm_misses : int;
   rhs_ftran : int;
   rhs_dual : int;
+  rhs_batch : int;
+  rhs_batch_cols : int;
+  rhs_peeled : int;
   presolve_rows : int;
   presolve_cols : int;
   cuts_added : int;
@@ -37,6 +40,9 @@ let empty_stats =
     warm_misses = 0;
     rhs_ftran = 0;
     rhs_dual = 0;
+    rhs_batch = 0;
+    rhs_batch_cols = 0;
+    rhs_peeled = 0;
     presolve_rows = 0;
     presolve_cols = 0;
     cuts_added = 0;
@@ -53,6 +59,9 @@ let add_stats a b =
     warm_misses = a.warm_misses + b.warm_misses;
     rhs_ftran = a.rhs_ftran + b.rhs_ftran;
     rhs_dual = a.rhs_dual + b.rhs_dual;
+    rhs_batch = a.rhs_batch + b.rhs_batch;
+    rhs_batch_cols = a.rhs_batch_cols + b.rhs_batch_cols;
+    rhs_peeled = a.rhs_peeled + b.rhs_peeled;
     presolve_rows = a.presolve_rows + b.presolve_rows;
     presolve_cols = a.presolve_cols + b.presolve_cols;
     cuts_added = a.cuts_added + b.cuts_added;
@@ -65,6 +74,9 @@ let pp_stats ppf s =
     s.refactorizations s.etas s.warm_hits (s.warm_hits + s.warm_misses);
   if s.rhs_ftran > 0 || s.rhs_dual > 0 then
     Fmt.pf ppf " rhs=%df/%dd" s.rhs_ftran s.rhs_dual;
+  if s.rhs_batch > 0 then
+    Fmt.pf ppf " batch=%dx%d(-%d peeled)" s.rhs_batch s.rhs_batch_cols
+      s.rhs_peeled;
   if s.presolve_rows > 0 || s.presolve_cols > 0 then
     Fmt.pf ppf " presolve=-%dr/-%dc" s.presolve_rows s.presolve_cols;
   if s.cuts_added > 0 || s.bounds_tightened > 0 then
@@ -119,6 +131,9 @@ type t = {
   mutable warm_misses : int;
   mutable rhs_ftran : int;
   mutable rhs_dual : int;
+  mutable rhs_batch : int;
+  mutable rhs_batch_cols : int;
+  mutable rhs_peeled : int;
   mutable refactors : int;
   mutable deadline : Repro_resilience.Deadline.t option;
       (* cooperative budget checked inside the pivot loops; installed by
@@ -184,6 +199,9 @@ let create (sf : Standard_form.t) =
     warm_misses = 0;
     rhs_ftran = 0;
     rhs_dual = 0;
+    rhs_batch = 0;
+    rhs_batch_cols = 0;
+    rhs_peeled = 0;
     refactors = 0;
     deadline = None;
   }
@@ -1095,6 +1113,31 @@ let resolve_rhs ?iter_limit ?deadline t =
     end
   end
 
+(* Batched multi-RHS re-solve. The sparse backend runs a genuinely
+   batched ftran over the whole block; the dense tableau is the
+   differential oracle, so here each RHS is installed and re-solved
+   through the scalar path in order — exactly the semantics the batched
+   kernel must reproduce bitwise. Columns still answered by the
+   zero-pivot ftran count as [rhs_batch_cols]; columns that needed
+   pivots (dual fallback or a full re-solve) count as [rhs_peeled]. *)
+let resolve_rhs_batch ?iter_limit ?deadline t (rhs : float array array) =
+  if Array.length rhs = 0 then [||]
+  else begin
+    t.rhs_batch <- t.rhs_batch + 1;
+    Array.map
+      (fun (bk : float array) ->
+        if Array.length bk <> t.m then
+          invalid_arg "Simplex.resolve_rhs_batch: rhs length";
+        let ftran0 = t.rhs_ftran in
+        Array.blit bk 0 t.b 0 t.m;
+        let sol = resolve_rhs ?iter_limit ?deadline t in
+        if t.rhs_ftran > ftran0 then
+          t.rhs_batch_cols <- t.rhs_batch_cols + 1
+        else t.rhs_peeled <- t.rhs_peeled + 1;
+        sol)
+      rhs
+  end
+
 let total_iterations t = t.iters_total
 
 let encode_stat = function
@@ -1186,6 +1229,9 @@ let stats t =
     warm_misses = t.warm_misses;
     rhs_ftran = t.rhs_ftran;
     rhs_dual = t.rhs_dual;
+    rhs_batch = t.rhs_batch;
+    rhs_batch_cols = t.rhs_batch_cols;
+    rhs_peeled = t.rhs_peeled;
     presolve_rows = 0;
     presolve_cols = 0;
     cuts_added = Array.length t.cuts;

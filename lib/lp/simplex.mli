@@ -28,7 +28,11 @@ val pp_status : Format.formatter -> status -> unit
     is a fallback to {!solve_fresh}. [rhs_ftran]/[rhs_dual] count
     {!resolve_rhs} outcomes: re-solves finished by the single ftran
     (the old basis stayed optimal) vs ones that needed dual-simplex
-    pivots. [presolve_rows]/[presolve_cols] are filled in by
+    pivots. [rhs_batch] counts {!resolve_rhs_batch} kernel passes,
+    [rhs_batch_cols] the batch columns answered by the shared batched
+    ftran with zero pivots, and [rhs_peeled] the columns peeled out of
+    the batch into the per-column dual-simplex fallback (or a full
+    re-solve). [presolve_rows]/[presolve_cols] are filled in by
     {!Solver.solve} when presolve ran: rows dropped and variables fixed
     before the model reached the engine. [cuts_added]/[cuts_active]
     count appended cut rows ({!append_rows}) and how many were binding
@@ -42,6 +46,9 @@ type stats = {
   warm_misses : int;
   rhs_ftran : int;
   rhs_dual : int;
+  rhs_batch : int;
+  rhs_batch_cols : int;
+  rhs_peeled : int;
   presolve_rows : int;
   presolve_cols : int;
   cuts_added : int;
@@ -113,6 +120,21 @@ val get_rhs : t -> int -> float
     is always safe to call. *)
 val resolve_rhs :
   ?iter_limit:int -> ?deadline:Repro_resilience.Deadline.t -> t -> solution
+
+(** [resolve_rhs_batch t rhs] re-solves the state once per RHS vector in
+    [rhs] (each of length [num_rows t], replacing the whole [b]) and
+    returns the solutions in order. Semantically — and bitwise —
+    identical to installing each vector with {!set_rhs} and calling
+    {!resolve_rhs} sequentially; the dense backend does exactly that,
+    serving as the differential oracle for the sparse backend's batched
+    eta-file kernel. Counted in [stats.rhs_batch]/[rhs_batch_cols]/
+    [rhs_peeled]. *)
+val resolve_rhs_batch :
+  ?iter_limit:int ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  t ->
+  float array array ->
+  solution array
 
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int

@@ -8,10 +8,18 @@ type lp_result = {
   stats : Simplex.stats;
 }
 
-let solve_lp ?iter_limit ?backend ?deadline model =
+let solve_lp ?iter_limit ?backend ?basis ?deadline model =
   let sf = Standard_form.of_model model in
   let state = Backend.create ?kind:backend sf in
-  let sol = Backend.solve_fresh ?iter_limit ?deadline state in
+  let warm =
+    match basis with
+    | None -> false
+    | Some snap -> Backend.install_basis state snap
+  in
+  let sol =
+    if warm then Backend.resolve ?iter_limit ?deadline state
+    else Backend.solve_fresh ?iter_limit ?deadline state
+  in
   {
     status = sol.Simplex.status;
     objective = sol.Simplex.objective;

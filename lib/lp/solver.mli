@@ -16,10 +16,18 @@ type lp_result = {
 
 (** Solve the continuous relaxation (integrality and SOS1 ignored).
     [backend] defaults to {!Backend.default}[ ()]. An expired [deadline]
-    surfaces as status [Iteration_limit] with the bound-in-progress. *)
+    surfaces as status [Iteration_limit] with the bound-in-progress.
+
+    [basis] warm-starts the solve from a previously captured snapshot
+    (e.g. out of {!Repro_serve.Basis_store} — a dimension-compatible
+    basis of the same model family): the snapshot is installed and the
+    solve runs as a warm restart instead of from scratch. A snapshot
+    that fails to install (dimension mismatch, singular refactorization)
+    silently falls back to the cold path. *)
 val solve_lp :
   ?iter_limit:int ->
   ?backend:Backend.kind ->
+  ?basis:Simplex.basis_snapshot ->
   ?deadline:Repro_resilience.Deadline.t ->
   Model.t ->
   lp_result

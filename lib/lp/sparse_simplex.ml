@@ -48,6 +48,9 @@ type t = {
   mutable warm_misses : int;
   mutable rhs_ftran : int;
   mutable rhs_dual : int;
+  mutable rhs_batch : int;
+  mutable rhs_batch_cols : int;
+  mutable rhs_peeled : int;
   (* installed by solve_fresh/resolve for the duration of one solve call *)
   mutable deadline : Repro_resilience.Deadline.t option;
 }
@@ -114,6 +117,9 @@ let create (sf : Standard_form.t) =
     warm_misses = 0;
     rhs_ftran = 0;
     rhs_dual = 0;
+    rhs_batch = 0;
+    rhs_batch_cols = 0;
+    rhs_peeled = 0;
     deadline = None;
   }
 
@@ -139,9 +145,15 @@ let iter_col t j f =
 
 (* y . A_j for a structural column, cut rows included. *)
 let col_dot t j (y : float array) =
-  let acc = ref (Sparse_matrix.dot_col t.cols j y) in
-  List.iter (fun (i, v) -> acc := !acc +. (v *. y.(i))) t.cut_cols.(j);
-  !acc
+  (* cut-free states (every LP outside branch-and-bound) stay on the
+     allocation-free CSC dot product; the boxed accumulator below sits
+     in the pricing loop and shows up as minor-GC churn otherwise *)
+  match t.cut_cols.(j) with
+  | [] -> Sparse_matrix.dot_col t.cols j y
+  | cc ->
+      let acc = ref (Sparse_matrix.dot_col t.cols j y) in
+      List.iter (fun (i, v) -> acc := !acc +. (v *. y.(i))) cc;
+      !acc
 
 let set_bounds t j ~lb ~ub =
   if j < 0 || j >= t.n then invalid_arg "Sparse_simplex.set_bounds";
@@ -911,6 +923,166 @@ let resolve_rhs ?iter_limit ?deadline t =
     end
   end
 
+(* Batched multi-RHS re-solve — the genuinely batched kernel. All
+   pending RHS vectors are packed into one row-major m x K block, their
+   residuals b_k - A_N x_N accumulated in a single pass over the
+   nonbasic columns (one CSC walk serves the whole batch instead of one
+   per scenario), and a single Basis.ftran_batch turns the block into
+   candidate basic values. Columns still within bounds are answered
+   with zero pivots; the first column that lost primal feasibility is
+   peeled into the scalar dual-simplex fallback — its pivots change the
+   basis, so the block is rebuilt from the post-pivot factorization for
+   the columns after it, exactly the basis a scalar sequence would have
+   reached.
+
+   Per column the floating-point op sequence matches scalar
+   [resolve_rhs] exactly (same residual subtraction order, same ftran
+   arithmetic, same fallback), so the result array is bitwise identical
+   to K sequential scalar calls — the property the sweep engine's
+   --batch-rhs toggle relies on. *)
+let resolve_rhs_batch ?iter_limit ?deadline t (rhs : float array array) =
+  let kk = Array.length rhs in
+  if kk = 0 then [||]
+  else begin
+    Array.iter
+      (fun bk ->
+        if Array.length bk <> t.m then
+          invalid_arg "Sparse_simplex.resolve_rhs_batch: rhs length")
+      rhs;
+    let out = Array.make kk None in
+    let pos = ref 0 in
+    while !pos < kk do
+      if not (t.solved_once && t.phase2_opt) then begin
+        (* no phase-2 optimal basis to batch from: this column takes the
+           scalar road (resolve / solve_fresh), after which batching can
+           resume for the rest *)
+        Array.blit rhs.(!pos) 0 t.b 0 t.m;
+        out.(!pos) <- Some (resolve_rhs ?iter_limit ?deadline t);
+        incr pos
+      end
+      else begin
+        t.deadline <- deadline;
+        let il =
+          match iter_limit with
+          | Some l -> l
+          | None -> default_iter_limit t
+        in
+        let live = kk - !pos in
+        t.rhs_batch <- t.rhs_batch + 1;
+        (* Adjacent bitwise-identical RHS vectors are packed once:
+           demand-major sweep grids re-solve an unchanged demand for
+           every threshold in a row, and identical inputs through
+           identical ops give bitwise-identical solutions, so the first
+           occurrence's extract serves the whole run. Bits comparison,
+           not (=): +0./-0. must stay distinct columns, their ftran
+           outputs can differ in zero sign. *)
+        let same_rhs a b =
+          let eq = ref true in
+          (try
+             for i = 0 to t.m - 1 do
+               if Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i)
+               then begin
+                 eq := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !eq
+        in
+        let uniq = Array.make live 0 in
+        let width = ref 0 in
+        for c = 0 to live - 1 do
+          if c = 0 || not (same_rhs rhs.(!pos + c - 1) rhs.(!pos + c)) then
+            incr width;
+          uniq.(c) <- !width - 1
+        done;
+        let w = !width in
+        (* block layout: x.(i * w + u) = row i of unique batch column u *)
+        let x = Array.make (t.m * w) 0. in
+        for c = 0 to live - 1 do
+          if c = 0 || uniq.(c) <> uniq.(c - 1) then begin
+            let u = uniq.(c) and bk = rhs.(!pos + c) in
+            for i = 0 to t.m - 1 do
+              x.((i * w) + u) <- bk.(i)
+            done
+          end
+        done;
+        (* residuals b_k - A_N x_N: same per-column subtraction order as
+           refresh_xb, but each nonbasic column is walked once for the
+           whole batch *)
+        for j = 0 to t.nt - 1 do
+          if t.stat.(j) <> Basic then begin
+            let v = nb_value t j in
+            if v <> 0. then
+              iter_col t j (fun i a ->
+                  let base = i * w in
+                  for c = 0 to w - 1 do
+                    x.(base + c) <- x.(base + c) -. (a *. v)
+                  done)
+          end
+        done;
+        Basis.ftran_batch t.bas ~width:w x;
+        let consumed = ref 0 and peeled = ref false in
+        let last_u = ref (-1) and last_sol = ref None in
+        while (not !peeled) && !consumed < live do
+          let c = !consumed in
+          let col = !pos + c in
+          if uniq.(c) = !last_u then begin
+            (* duplicate of the ftran-served column just before it: t.b
+               and xb already hold exactly the values a scalar re-solve
+               of the same bits would recompute *)
+            t.rhs_ftran <- t.rhs_ftran + 1;
+            t.rhs_batch_cols <- t.rhs_batch_cols + 1;
+            out.(col) <- !last_sol;
+            incr consumed
+          end
+          else begin
+          let u = uniq.(c) in
+          Array.blit rhs.(col) 0 t.b 0 t.m;
+          for i = 0 to t.m - 1 do
+            t.xb.(i) <- x.((i * w) + u)
+          done;
+          if basics_feasible t then begin
+            t.rhs_ftran <- t.rhs_ftran + 1;
+            t.rhs_batch_cols <- t.rhs_batch_cols + 1;
+            let sol = extract t Simplex.Optimal 0 in
+            last_u := u;
+            last_sol := Some sol;
+            out.(col) <- Some sol
+          end
+          else begin
+            (* peel: scalar dual fallback, verbatim from resolve_rhs *)
+            t.rhs_dual <- t.rhs_dual + 1;
+            t.rhs_peeled <- t.rhs_peeled + 1;
+            let sol =
+              match
+                (try Some (run_dual t ~iter_limit:il) with Fallback -> None)
+              with
+              | Some (Simplex.Optimal, it) ->
+                  let s2, it2 = run_primal t ~iter_limit:il in
+                  extract t
+                    (if s2 = Simplex.Optimal then Simplex.Optimal else s2)
+                    (it + it2)
+              | Some (Simplex.Infeasible, it) ->
+                  extract t Simplex.Infeasible it
+              | Some ((Simplex.Unbounded | Simplex.Iteration_limit), it) ->
+                  extract t Simplex.Iteration_limit it
+              | None ->
+                  t.warm_misses <- t.warm_misses + 1;
+                  solve_fresh ~iter_limit:il ?deadline t
+            in
+            out.(col) <- Some sol;
+            peeled := true
+          end;
+          incr consumed
+          end
+        done;
+        pos := !pos + !consumed
+      end
+    done;
+    Array.map (function Some s -> s | None -> assert false) out
+  end
+
 let total_iterations t = t.iters_total
 
 let encode_stat = function
@@ -969,6 +1141,9 @@ let stats t : Simplex.stats =
     warm_misses = t.warm_misses;
     rhs_ftran = t.rhs_ftran;
     rhs_dual = t.rhs_dual;
+    rhs_batch = t.rhs_batch;
+    rhs_batch_cols = t.rhs_batch_cols;
+    rhs_peeled = t.rhs_peeled;
     presolve_rows = 0;
     presolve_cols = 0;
     cuts_added = Array.length t.cuts;

@@ -52,6 +52,19 @@ val resolve_rhs :
   t ->
   Simplex.solution
 
+(** Batched multi-RHS re-solve: one residual pass plus one
+    {!Basis.ftran_batch} over the whole block, peeling columns that
+    lost primal feasibility into the scalar dual-simplex fallback (the
+    block is rebuilt after each peel, since the fallback's pivots moved
+    the basis). Bitwise identical to sequential {!resolve_rhs} calls;
+    contract as in {!Simplex.resolve_rhs_batch}. *)
+val resolve_rhs_batch :
+  ?iter_limit:int ->
+  ?deadline:Repro_resilience.Deadline.t ->
+  t ->
+  float array array ->
+  Simplex.solution array
+
 (** Total pivots performed over the lifetime of this state. *)
 val total_iterations : t -> int
 

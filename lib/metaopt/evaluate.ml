@@ -16,10 +16,17 @@ type t = {
   spec : heuristic_spec;
   pool : Repro_engine.Pool.t option;
   hook : cache_hook option;
+  opt_basis : Repro_lp.Simplex.basis_snapshot option;
 }
 
 let make_dp pathset ~threshold =
-  { pathset; spec = Dp_spec { threshold }; pool = None; hook = None }
+  {
+    pathset;
+    spec = Dp_spec { threshold };
+    pool = None;
+    hook = None;
+    opt_basis = None;
+  }
 
 let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
   if instances <= 0 then invalid_arg "Evaluate.make_pop: instances <= 0";
@@ -32,10 +39,12 @@ let make_pop pathset ~parts ~instances ~rng ?(reduce = `Average) () =
     spec = Pop_spec { parts; partitions; reduce };
     pool = None;
     hook = None;
+    opt_basis = None;
   }
 
 let with_pool t pool = { t with pool }
 let with_cache t hook = { t with hook }
+let with_opt_basis t opt_basis = { t with opt_basis }
 
 (* Route a computation through the attached cache hook, if any. The hook
    is consulted and filled under whatever synchronization it carries
@@ -60,7 +69,9 @@ let partitions t =
 let opt_value t demand =
   match
     cached t ~tag:"opt" demand (fun () ->
-        Some (Opt_max_flow.solve t.pathset demand).Opt_max_flow.total)
+        Some
+          (Opt_max_flow.solve ?basis:t.opt_basis t.pathset demand)
+            .Opt_max_flow.total)
   with
   | Some v -> v
   | None -> assert false (* "opt" computations always produce a value *)

@@ -42,6 +42,11 @@ type t = {
           bit-identical to serial because reductions run in instance
           order *)
   hook : cache_hook option;
+  opt_basis : Repro_lp.Simplex.basis_snapshot option;
+      (** warm-start basis for the OPT LP ({!Opt_max_flow.solve}),
+          typically the final sweep basis published to
+          {!Repro_serve.Basis_store}; an incompatible snapshot falls
+          back to a cold solve, so attaching one never changes values *)
 }
 
 val make_dp : Pathset.t -> threshold:float -> t
@@ -65,6 +70,10 @@ val with_cache : t -> cache_hook option -> t
 (** The same oracle, with (or without) an external oracle-value cache.
     Values are unchanged either way — the hook only skips recomputation
     of identical queries. *)
+
+val with_opt_basis : t -> Repro_lp.Simplex.basis_snapshot option -> t
+(** The same oracle, warm-starting its OPT solves from the given basis
+    snapshot (or cold for [None]). Values are unchanged either way. *)
 
 val partitions : t -> Pop.partition list
 (** Empty for DP. *)

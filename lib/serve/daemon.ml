@@ -39,6 +39,7 @@ let default_cache_dir () =
   Filename.concat base "repro-serve"
 
 let journal_file = "solve-cache.journal"
+let basis_journal_file = "basis-cache.journal"
 
 (* ------------------------------------------------------------------ *)
 (* server state                                                        *)
@@ -49,6 +50,10 @@ type state = {
   pool : Engine.Pool.t option;
   results : Json.t Solve_cache.t;
   oracle : float option Solve_cache.t;
+  bases : Basis_store.t option;
+      (* cross-sweep basis snapshots (shared journal with the sweep
+         CLI): cold OPT solves warm-start from the topology's final
+         sweep basis instead of factorizing from scratch *)
   sched : Json.t Scheduler.t;
   pathsets : (string * int, Pathset.t) Hashtbl.t;
   pathsets_mutex : Mutex.t;
@@ -91,6 +96,15 @@ let build_evaluator state (inst : Protocol.instance) =
               ~rng:(Rng.create seed) ()
       in
       let ev = Evaluate.with_pool ev state.pool in
+      let ev =
+        match state.bases with
+        | None -> ev
+        | Some bs ->
+            Evaluate.with_opt_basis ev
+              (Basis_store.find bs
+                 (Basis_store.key ~graph:g ~paths:inst.Protocol.paths
+                    ~role:`Opt ()))
+      in
       Ok
         (Oracle_cache.attach ~cache:state.oracle ~paths:inst.Protocol.paths ev,
          g)
@@ -330,6 +344,19 @@ let stats_response state =
         Json.Bool (Option.is_some state.config.cache_dir) );
       ("result_cache", cache_stats_json (Solve_cache.stats state.results));
       ("oracle_cache", cache_stats_json (Solve_cache.stats state.oracle));
+      ( "basis_cache",
+        match state.bases with
+        | None -> Json.Null
+        | Some bs ->
+            let b = Basis_store.stats bs in
+            Json.Obj
+              [
+                ("warm_hits", Json.Num (float_of_int b.Basis_store.warm_hits));
+                ( "warm_misses",
+                  Json.Num (float_of_int b.Basis_store.warm_misses) );
+                ("stores", Json.Num (float_of_int b.Basis_store.stores));
+                ("entries", Json.Num (float_of_int b.Basis_store.entries));
+              ] );
       ( "scheduler",
         Json.Obj
           [
@@ -496,15 +523,29 @@ let run ?(ready = fun () -> ()) config =
           ~max_bytes:(config.cache_mb * 1024 * 1024)
           ()
       in
+      let bases =
+        Option.map (fun _ -> Basis_store.create ()) config.cache_dir
+      in
       let journal_result =
         match config.cache_dir with
         | None -> Ok 0
-        | Some dir ->
+        | Some dir -> (
             if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-            Solve_cache.with_journal results
-              ~path:(Filename.concat dir journal_file)
-              ~encode:Json.to_string
-              ~decode:(fun s -> Result.to_option (Json.of_string s))
+            let solve_journal =
+              Solve_cache.with_journal results
+                ~path:(Filename.concat dir journal_file)
+                ~encode:Json.to_string
+                ~decode:(fun s -> Result.to_option (Json.of_string s))
+            in
+            match (solve_journal, bases) with
+            | (Error _ as e), _ | e, None -> e
+            | Ok n, Some bs -> (
+                match
+                  Basis_store.with_journal bs
+                    ~path:(Filename.concat dir basis_journal_file)
+                with
+                | Ok _ -> Ok n
+                | Error e -> Error ("basis journal: " ^ e)))
       in
       match journal_result with
       | Error e ->
@@ -531,6 +572,7 @@ let run ?(ready = fun () -> ()) config =
               config;
               pool;
               results;
+              bases;
               oracle = Solve_cache.create ~shards:config.shards ();
               sched;
               pathsets = Hashtbl.create 8;
@@ -561,6 +603,7 @@ let run ?(ready = fun () -> ()) config =
           List.iter Thread.join to_join;
           Scheduler.shutdown sched;
           Solve_cache.close results;
+          Option.iter Basis_store.close bases;
           (match pool with Some p -> Engine.Pool.shutdown p | None -> ());
           cleanup_socket ();
           Ok ())

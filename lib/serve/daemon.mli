@@ -53,8 +53,14 @@ val default_cache_dir : unit -> string
 (** [$XDG_CACHE_HOME/repro-serve] or [$HOME/.cache/repro-serve]. *)
 
 val journal_file : string
-(** File name of the journal inside [cache_dir]
+(** File name of the solve-cache journal inside [cache_dir]
     ("solve-cache.journal"). *)
+
+val basis_journal_file : string
+(** Basename of the basis-snapshot journal inside [cache_dir] — the
+    same {!Basis_store} journal format the sweep CLI's [--basis-cache]
+    writes, so sweeps warm the daemon's cold OPT solves and vice
+    versa. *)
 
 val run : ?ready:(unit -> unit) -> config -> (unit, string) result
 (** Bind, listen, serve until a ["shutdown"] request arrives, then

@@ -96,16 +96,22 @@ let feed_heuristic acc (spec : Repro_metaopt.Evaluate.heuristic_spec) =
       let acc = feed_int acc (List.length partitions) in
       List.fold_left feed_int_array acc partitions
 
-let instance ?demand ~paths (ev : Repro_metaopt.Evaluate.t) =
-  let pathset = ev.Repro_metaopt.Evaluate.pathset in
-  let space = Repro_te.Pathset.space pathset in
+let instance_prefix ~paths pathset =
   let acc = feed_string empty "repro-serve-instance-v1" in
   let acc = feed_graph acc (Repro_te.Pathset.graph pathset) in
-  let acc = feed_int acc paths in
-  let acc = feed_heuristic acc ev.Repro_metaopt.Evaluate.spec in
+  feed_int acc paths
+
+let instance_of_prefix prefix ?demand (ev : Repro_metaopt.Evaluate.t) =
+  let space = Repro_te.Pathset.space ev.Repro_metaopt.Evaluate.pathset in
+  let acc = feed_heuristic prefix ev.Repro_metaopt.Evaluate.spec in
   let acc =
     match demand with
     | None -> feed_char acc '_'
     | Some d -> feed_demand (feed_char acc 'd') space d
   in
   finish acc
+
+let instance ?demand ~paths (ev : Repro_metaopt.Evaluate.t) =
+  instance_of_prefix
+    (instance_prefix ~paths ev.Repro_metaopt.Evaluate.pathset)
+    ?demand ev

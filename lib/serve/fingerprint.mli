@@ -72,3 +72,17 @@ val instance :
   t
 (** The canonical fingerprint of an evaluate-query: graph, path budget,
     heuristic spec, and (when given) the demand matrix. *)
+
+val instance_prefix : paths:int -> Repro_te.Pathset.t -> acc
+(** The accumulator state of {!instance} after its shared prefix (tag,
+    graph, path budget). Scenario sweeps hash hundreds of instances
+    over one pathset; feeding the sorted edge multiset once and
+    finishing per scenario with {!instance_of_prefix} is equivalent
+    and amortizes the graph feed. *)
+
+val instance_of_prefix :
+  acc -> ?demand:Repro_topology.Demand.t -> Repro_metaopt.Evaluate.t -> t
+(** Completes {!instance_prefix}: [instance_of_prefix
+    (instance_prefix ~paths ev.pathset) ?demand ev] equals
+    [instance ?demand ~paths ev] bit for bit. The evaluator must be
+    built over the same pathset the prefix was. *)

@@ -45,11 +45,23 @@ type options = {
   deadline : Repro_resilience.Deadline.t option;
   cache : float option Repro_serve.Solve_cache.t option;
   jsonl : string option;  (** stream results to this path (truncated) *)
+  batch_rhs : bool;
+      (** [Shared_basis] only: answer each chunk's OPT solves with one
+          batched multi-RHS kernel call
+          ({!Repro_lp.Backend.resolve_rhs_batch}) instead of a scalar
+          ftran per scenario. Cacheless output is bitwise identical to
+          the scalar path; deadline checks coarsen from per-scenario to
+          per-phase. *)
+  basis_store : Repro_serve.Basis_store.t option;
+      (** cross-sweep snapshot store: looked up once before the chunks
+          run (every chunk state warm-starts from the same snapshots,
+          keeping jobs=1 ≡ jobs=N) and written back once at the end
+          from the final chunk's state *)
 }
 
 val default_options : options
 (** jobs 1, chunk 32, default backend, [Shared_basis], no deadline, no
-    cache, no JSONL. *)
+    cache, no JSONL, scalar RHS path, no basis store. *)
 
 type scenario_result = {
   scenario : Plan.scenario;
@@ -70,11 +82,21 @@ type result = {
       (** indexed by scenario; [None] = skipped (deadline, fault or
           solver failure) *)
   completed : int;
+  from_cache : int;
+      (** of [completed], how many were answered entirely from the
+          attached solve cache (both OPT and heuristic values) — kept
+          separate so throughput numbers distinguish real solves from
+          cache hits *)
   skipped : int;
   chunks : int;
   lp_stats : Simplex.stats;
       (** aggregated over all chunk states ([Shared_basis] mode only);
-          [rhs_ftran] / [rhs_dual] show the fast-path split *)
+          [rhs_ftran] / [rhs_dual] show the fast-path split,
+          [rhs_batch] / [rhs_batch_cols] / [rhs_peeled] the batched
+          kernel's *)
+  basis_warm_hits : int;
+      (** successful warm-start installs from the basis store, summed
+          over chunk states (up to 2 per chunk: OPT + heuristic) *)
   wall_s : float;
   outcome : [ `Complete | `Partial of Repro_resilience.Outcome.reason ];
 }
@@ -90,7 +112,10 @@ val json_of_result : scenario_result -> Repro_serve.Json.t
 val verbose_stats_line : Simplex.stats -> string
 (** One [key=value] line naming every solver-internals counter the
     sweep's fast path depends on — [rhs_ftran]/[rhs_dual] (the
-    factorized-basis re-solve split), [refactorizations], [etas],
+    factorized-basis re-solve split),
+    [rhs_batch]/[rhs_batch_cols]/[rhs_peeled] (the batched kernel's
+    passes, zero-pivot columns, and dual-fallback peels),
+    [refactorizations], [etas],
     [warm_hits]/[warm_misses], the [presolve_rows]/[presolve_cols]
     reductions, and the relaxation-pipeline counters
     [cuts_added]/[cuts_active]/[bounds_tightened] — for

@@ -60,6 +60,44 @@ let solve_opt ?deadline st demand =
   set_demand_rhs st.opt_lp st.shared demand;
   status_result (Backend.resolve_rhs ?deadline st.opt_lp)
 
+(* Batched OPT: materialize one full RHS vector per scenario (the
+   state's current b with the demand rows replaced — capacity rows
+   never change) and hand the whole block to the backend's batched
+   kernel. Bitwise identical to calling [solve_opt] per demand in
+   order, because the installed vectors match what set_demand_rhs
+   would have left in b and the kernel reproduces the scalar op
+   sequence per column. *)
+let solve_opt_batch ?deadline st (demands : Demand.t array) =
+  let lp = st.opt_lp in
+  let m = Backend.num_rows lp in
+  let base = Array.init m (Backend.get_rhs lp) in
+  let rhs =
+    Array.map
+      (fun demand ->
+        let b = Array.copy base in
+        Array.iteri
+          (fun k row ->
+            match row with None -> () | Some r -> b.(r) <- demand.(k))
+          st.shared.demand_row;
+        b)
+      demands
+  in
+  Array.map status_result (Backend.resolve_rhs_batch ?deadline lp rhs)
+
+(* Warm-start installs from a cross-sweep snapshot store; counts how
+   many of the two backends accepted their snapshot (dimension match +
+   nonsingular refactorization). *)
+let install_bases st ~opt ~heur =
+  let inst lp snap =
+    match snap with
+    | None -> 0
+    | Some s -> if Backend.install_basis lp s then 1 else 0
+  in
+  inst st.opt_lp opt + inst st.heur_lp heur
+
+let final_bases st =
+  (Backend.snapshot_basis st.opt_lp, Backend.snapshot_basis st.heur_lp)
+
 let solve_heur ?deadline st ~threshold demand =
   let ps = st.shared.pathset in
   let g = Pathset.graph ps in

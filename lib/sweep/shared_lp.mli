@@ -45,6 +45,30 @@ val solve_opt :
 (** OPT(d): demand-row RHS edits + {!Repro_lp.Backend.resolve_rhs}.
     Matches {!Repro_metaopt.Evaluate.opt_value} to LP tolerance. *)
 
+val solve_opt_batch :
+  ?deadline:Repro_resilience.Deadline.t ->
+  state ->
+  Demand.t array ->
+  (float, error) result array
+(** Batched OPT over K demands: one RHS block through
+    {!Repro_lp.Backend.resolve_rhs_batch} — the residual pass and eta
+    traversal are amortized across the whole batch. Results are
+    bitwise identical to calling {!solve_opt} per demand in order. *)
+
+val install_bases :
+  state ->
+  opt:Simplex.basis_snapshot option ->
+  heur:Simplex.basis_snapshot option ->
+  int
+(** Install warm-start snapshots (e.g. from
+    {!Repro_serve.Basis_store}) into the OPT / heuristic backends;
+    returns how many installs succeeded (0–2). A failed install leaves
+    that backend solving from scratch, as before. *)
+
+val final_bases : state -> Simplex.basis_snapshot * Simplex.basis_snapshot
+(** The state's current (OPT, heuristic) bases, for publication to a
+    cross-sweep snapshot store. *)
+
 val solve_heur :
   ?deadline:Repro_resilience.Deadline.t ->
   state ->

@@ -3,7 +3,7 @@ type result = {
   allocation : Allocation.t;
 }
 
-let solve_general pathset demand ~only ~capacity_of =
+let solve_general ?basis pathset demand ~only ~capacity_of =
   let g = Pathset.graph pathset in
   let model = Model.create ~name:"max_flow" () in
   let vars = Mcf.add_flow_vars ~only model pathset in
@@ -19,7 +19,7 @@ let solve_general pathset demand ~only ~capacity_of =
     ignore (Model.add_constr model (Linexpr.of_terms terms) Model.Le (capacity_of e))
   done;
   Model.set_objective model Model.Maximize (Mcf.total_flow_expr vars);
-  let r = Solver.solve_lp model in
+  let r = Solver.solve_lp ?basis model in
   (match r.Solver.status with
   | Repro_lp.Simplex.Optimal -> ()
   | _ -> failwith "Opt_max_flow.solve: LP not optimal");
@@ -28,9 +28,10 @@ let solve_general pathset demand ~only ~capacity_of =
     allocation = Mcf.allocation_of_primal pathset vars r.Solver.primal;
   }
 
-let solve pathset demand =
+let solve ?basis pathset demand =
   let g = Pathset.graph pathset in
-  solve_general pathset demand ~only:(fun _ -> true) ~capacity_of:(Graph.capacity g)
+  solve_general ?basis pathset demand ~only:(fun _ -> true)
+    ~capacity_of:(Graph.capacity g)
 
 let residual_capacity_solve pathset demand ~only ~residual =
   solve_general pathset demand ~only ~capacity_of:(fun e -> residual.(e))

@@ -6,9 +6,13 @@ type result = {
   allocation : Allocation.t;
 }
 
-val solve : Pathset.t -> Demand.t -> result
+val solve : ?basis:Repro_lp.Simplex.basis_snapshot -> Pathset.t -> Demand.t -> result
 (** Always succeeds: the zero flow is feasible, the objective is bounded
-    by total capacity.
+    by total capacity. [basis] warm-starts the LP from a snapshot of a
+    structurally identical model (same pathset, full pair set, graph
+    capacities) — e.g. a final sweep basis published to
+    {!Repro_serve.Basis_store}; an incompatible snapshot falls back to a
+    cold solve.
     @raise Failure if the LP solver reports anything but optimal
     (indicates a solver bug, not bad input). *)
 

@@ -845,8 +845,11 @@ let test_daemon_persistent_cache () =
   in
   Fun.protect
     ~finally:(fun () ->
-      let j = Filename.concat cache_dir S.Daemon.journal_file in
-      if Sys.file_exists j then Sys.remove j;
+      List.iter
+        (fun name ->
+          let j = Filename.concat cache_dir name in
+          if Sys.file_exists j then Sys.remove j)
+        [ S.Daemon.journal_file; S.Daemon.basis_journal_file ];
       if Sys.file_exists cache_dir then Unix.rmdir cache_dir)
     (fun () ->
       with_daemon config (fun sock ->

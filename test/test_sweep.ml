@@ -165,6 +165,106 @@ let rhs_resolve_matches_cold kind =
       true)
 
 (* ------------------------------------------------------------------ *)
+(* resolve_rhs_batch: qcheck differential vs scalar resolve_rhs        *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched kernel's contract is bitwise: handing K RHS vectors to
+   one [resolve_rhs_batch] call must reproduce K sequential
+   [resolve_rhs] calls exactly — statuses, objectives, duals, primal —
+   on both backends. Reuses the RHS-edit generator; each round becomes
+   one batch column. *)
+let rhs_batch_matches_scalar kind =
+  QCheck.Test.make ~count:200
+    ~name:
+      (Printf.sprintf "resolve_rhs_batch == scalar resolve_rhs (%s backend)"
+         (Backend.kind_to_string kind))
+    (QCheck.make random_rhs_instance_gen)
+    (fun ((_, m, _, _, b, _, _, _, rounds, deltas) as inst) ->
+      let model, rows = build_rhs_lp inst in
+      let sf = Standard_form.of_model model in
+      let scalar = Backend.create ~kind sf in
+      let batch = Backend.create ~kind sf in
+      ignore (Backend.solve_fresh scalar);
+      ignore (Backend.solve_fresh batch);
+      let nrows = Backend.num_rows batch in
+      let base = Array.init nrows (Backend.get_rhs batch) in
+      let vecs =
+        Array.init rounds (fun r ->
+            let v = Array.copy base in
+            for i = 0 to m - 1 do
+              v.(rows.(i)) <- b.(i) +. deltas.((r * m) + i)
+            done;
+            v)
+      in
+      let bsols = Backend.resolve_rhs_batch batch vecs in
+      if Array.length bsols <> rounds then
+        QCheck.Test.fail_reportf "batch returned %d of %d solutions"
+          (Array.length bsols) rounds;
+      Array.iteri
+        (fun r v ->
+          for i = 0 to m - 1 do
+            Backend.set_rhs scalar rows.(i) v.(rows.(i))
+          done;
+          let s = Backend.resolve_rhs scalar in
+          let bsol = bsols.(r) in
+          if s.Simplex.status <> bsol.Simplex.status then
+            QCheck.Test.fail_reportf "column %d: status scalar %s batch %s" r
+              (Fmt.str "%a" Simplex.pp_status s.Simplex.status)
+              (Fmt.str "%a" Simplex.pp_status bsol.Simplex.status);
+          let same what k a b =
+            if Int64.bits_of_float a <> Int64.bits_of_float b then
+              QCheck.Test.fail_reportf
+                "column %d: %s %d: scalar %.17g batch %.17g" r what k a b
+          in
+          match s.Simplex.status with
+          | Simplex.Optimal ->
+              same "objective" 0 s.Simplex.objective bsol.Simplex.objective;
+              Array.iteri
+                (fun i d -> same "dual" i d bsol.Simplex.duals.(i))
+                s.Simplex.duals;
+              Array.iteri
+                (fun j p -> same "primal" j p bsol.Simplex.primal.(j))
+                s.Simplex.primal
+          | _ -> ())
+        vecs;
+      true)
+
+(* Known-answer batch with a forced dual-fallback peel in the middle:
+   column 0 keeps the basis primal feasible (pure ftran), column 1
+   shrinks the slack row below the basic value (dual fallback peel),
+   column 2 restores it — exercising a restart after the peel. *)
+let test_rhs_batch_peel kind () =
+  let model, _r0, r1 = small_lp () in
+  let be = Backend.create ~kind (Standard_form.of_model model) in
+  let r = Backend.solve_fresh be in
+  check_float "fresh objective" 12. r.Simplex.objective;
+  let nrows = Backend.num_rows be in
+  let base = Array.init nrows (Backend.get_rhs be) in
+  let vec rhs1 =
+    let v = Array.copy base in
+    v.(r1) <- rhs1;
+    v
+  in
+  let sols = Backend.resolve_rhs_batch be [| vec 8.; vec 3.; vec 8. |] in
+  Alcotest.(check int) "three solutions" 3 (Array.length sols);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool)
+        "optimal" true
+        (s.Simplex.status = Simplex.Optimal))
+    sols;
+  check_float "relaxed column rides the basis" 12. sols.(0).Simplex.objective;
+  check_float "tightened column re-optimizes" 9. sols.(1).Simplex.objective;
+  check_float "restored column recovers" 12. sols.(2).Simplex.objective;
+  let s = Backend.stats be in
+  Alcotest.(check bool) "batched kernel ran" true (s.Simplex.rhs_batch >= 1);
+  Alcotest.(check bool) "fast-path column counted" true
+    (s.Simplex.rhs_batch_cols >= 1);
+  Alcotest.(check bool) "peel counted" true (s.Simplex.rhs_peeled >= 1);
+  Alcotest.(check bool) "peel took the dual fallback" true
+    (s.Simplex.rhs_dual >= 1)
+
+(* ------------------------------------------------------------------ *)
 (* sweep: equivalence with the rebuild oracle                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -195,6 +295,8 @@ let sweep_options jobs =
     deadline = None;
     cache = None;
     jsonl = None;
+    batch_rhs = false;
+    basis_store = None;
   }
 
 let test_sweep_matches_evaluate () =
@@ -250,11 +352,104 @@ let test_sweep_jobs_deterministic () =
         (result_key a) (result_key par.Sweep.results.(i)))
     serial.Sweep.results
 
+(* --batch-rhs is a pure kernel swap: cacheless sweeps with the toggle
+   on and off must agree bitwise, scenario by scenario, and the batched
+   run must actually have used the batched kernel *)
+let test_sweep_batch_toggle_deterministic () =
+  let pathset, plan = test_plan () in
+  let scalar = Sweep.run ~options:(sweep_options 1) ~paths:2 pathset plan in
+  let batched =
+    Sweep.run
+      ~options:{ (sweep_options 1) with Sweep.batch_rhs = true }
+      ~paths:2 pathset plan
+  in
+  Alcotest.(check int) "batched completed" scalar.Sweep.completed
+    batched.Sweep.completed;
+  Alcotest.(check bool) "batched kernel engaged" true
+    (batched.Sweep.lp_stats.Simplex.rhs_batch > 0);
+  Alcotest.(check int) "scalar ran no batches" 0
+    scalar.Sweep.lp_stats.Simplex.rhs_batch;
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check string)
+        (Printf.sprintf "scenario %d bit-identical across toggle" i)
+        (result_key a)
+        (result_key batched.Sweep.results.(i)))
+    scalar.Sweep.results
+
+(* cross-sweep snapshot store: a cold sweep publishes its final bases to
+   the journal; a second sweep over a fresh store replayed from the same
+   journal warm-starts from them and must agree bitwise *)
+let test_sweep_basis_store_round_trip () =
+  let pathset, plan = test_plan () in
+  let path = Filename.temp_file "repro-basis-test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let run store =
+        Sweep.run
+          ~options:
+            {
+              (sweep_options 1) with
+              Sweep.batch_rhs = true;
+              basis_store = Some store;
+            }
+          ~paths:2 pathset plan
+      in
+      let store = Repro_serve.Basis_store.create () in
+      (match Repro_serve.Basis_store.with_journal store ~path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "journal attach: %s" e);
+      let cold = run store in
+      Alcotest.(check int) "cold run found nothing to install" 0
+        cold.Sweep.basis_warm_hits;
+      (* per-chunk keying stores an (opt, heur) pair for every chunk,
+         plus the sweep-final pair under the role-only keys *)
+      let st = Repro_serve.Basis_store.stats store in
+      Alcotest.(check bool) "chunk pairs and sweep-final pair published" true
+        (st.Repro_serve.Basis_store.stores >= 4
+        && st.Repro_serve.Basis_store.stores mod 2 = 0);
+      Repro_serve.Basis_store.close store;
+      let store2 = Repro_serve.Basis_store.create () in
+      (match Repro_serve.Basis_store.with_journal store2 ~path with
+      | Ok replayed ->
+          Alcotest.(check bool) "journal replayed entries" true (replayed > 0)
+      | Error e -> Alcotest.failf "journal replay: %s" e);
+      let warm = run store2 in
+      Repro_serve.Basis_store.close store2;
+      Alcotest.(check bool) "warm run installed snapshots" true
+        (warm.Sweep.basis_warm_hits > 0);
+      (* warm-starting changes the pivot path, so cold and warm agree
+         to LP tolerance, not bitwise (only the jobs and --batch-rhs
+         toggles carry the bitwise guarantee) *)
+      Array.iteri
+        (fun i a ->
+          match (a, warm.Sweep.results.(i)) with
+          | Some c, Some w ->
+              check_float (Printf.sprintf "scenario %d opt cold vs warm" i)
+                c.Sweep.opt w.Sweep.opt;
+              (match (c.Sweep.heur, w.Sweep.heur) with
+              | None, None -> ()
+              | Some ch, Some wh ->
+                  check_float
+                    (Printf.sprintf "scenario %d heur cold vs warm" i)
+                    ch wh
+              | _ ->
+                  Alcotest.failf
+                    "scenario %d: heuristic feasibility differs" i)
+          | _ -> Alcotest.failf "scenario %d missing" i)
+        cold.Sweep.results)
+
 let test_sweep_cache_hits () =
   let pathset, plan = test_plan () in
   let cache = Repro_serve.Solve_cache.create () in
   let options cache = { (sweep_options 1) with Sweep.cache } in
-  ignore (Sweep.run ~options:(options (Some cache)) ~paths:2 pathset plan);
+  let first = Sweep.run ~options:(options (Some cache)) ~paths:2 pathset plan in
+  (* first run: opt values repeat across thresholds but every (demand,
+     threshold) pair is new, so no scenario is answered entirely from
+     the cache *)
+  Alcotest.(check int) "first run solves every scenario" 0
+    first.Sweep.from_cache;
   let r = Sweep.run ~options:(options (Some cache)) ~paths:2 pathset plan in
   Alcotest.(check bool) "warm re-run all cached" true
     (Array.for_all
@@ -262,6 +457,8 @@ let test_sweep_cache_hits () =
          | Some sr -> sr.Sweep.cached_opt && sr.Sweep.cached_heur
          | None -> false)
        r.Sweep.results);
+  Alcotest.(check int) "warm re-run counted as cache-served"
+    r.Sweep.completed r.Sweep.from_cache;
   (* cached values agree with a cacheless run (to tolerance, not
      bitwise: a cached OPT may have been computed at a different
      warm-start point since the cache is shared across thresholds) *)
@@ -361,6 +558,9 @@ let test_verbose_stats_line () =
       warm_misses = 1;
       rhs_ftran = 11;
       rhs_dual = 3;
+      rhs_batch = 7;
+      rhs_batch_cols = 10;
+      rhs_peeled = 1;
       presolve_rows = 5;
       presolve_cols = 6;
       cuts_added = 8;
@@ -379,7 +579,8 @@ let test_verbose_stats_line () =
       if not (contains field) then
         Alcotest.failf "field %S missing from %S" field line)
     [
-      "rhs_ftran=11"; "rhs_dual=3"; "refactorizations=2"; "etas=7";
+      "rhs_ftran=11"; "rhs_dual=3"; "rhs_batch=7"; "rhs_batch_cols=10";
+      "rhs_peeled=1"; "refactorizations=2"; "etas=7";
       "warm_hits=4"; "warm_misses=1"; "presolve_rows=5"; "presolve_cols=6";
       "cuts_added=8"; "cuts_active=2"; "bounds_tightened=13";
     ]
@@ -404,12 +605,28 @@ let () =
           rhs_resolve_matches_cold Backend.Sparse;
           rhs_resolve_matches_cold Backend.Dense;
         ];
+      ( "resolve_rhs_batch",
+        [
+          Alcotest.test_case "dual-fallback peel (sparse)" `Quick
+            (test_rhs_batch_peel Backend.Sparse);
+          Alcotest.test_case "dual-fallback peel (dense)" `Quick
+            (test_rhs_batch_peel Backend.Dense);
+        ] );
+      qsuite "resolve_rhs_batch_differential"
+        [
+          rhs_batch_matches_scalar Backend.Sparse;
+          rhs_batch_matches_scalar Backend.Dense;
+        ];
       ( "sweep",
         [
           Alcotest.test_case "matches the rebuild oracle" `Quick
             test_sweep_matches_evaluate;
           Alcotest.test_case "jobs=1 equals jobs=4 bitwise" `Quick
             test_sweep_jobs_deterministic;
+          Alcotest.test_case "batch toggle is bit-identical" `Quick
+            test_sweep_batch_toggle_deterministic;
+          Alcotest.test_case "basis snapshot store round trip" `Quick
+            test_sweep_basis_store_round_trip;
           Alcotest.test_case "solve cache round trip" `Quick
             test_sweep_cache_hits;
           Alcotest.test_case "pivot budget degrades to partial" `Quick

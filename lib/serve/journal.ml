@@ -60,6 +60,8 @@ let read_be32 s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
+let crc32 s = crc32_update 0l s
+
 (* CRC of one record's integrity-protected region: key, length, value. *)
 let record_crc ~key ~value =
   let crc = crc32_update 0l (be64 key) in
@@ -76,6 +78,48 @@ let read_file path =
    [overhead] bytes of framing per record. *)
 let overhead = 16
 
+(* Scan complete records out of an in-memory buffer starting at [pos].
+   Stops before a structurally torn tail (which may just be a record
+   still in flight when the buffer was captured — the replica keeps it
+   pending until the next chunk arrives). CRC-corrupt but well-framed
+   records are consumed and counted as skipped. *)
+let scan_records contents ~pos ~f =
+  let n = String.length contents in
+  let pos = ref pos in
+  let applied = ref 0 in
+  let skipped = ref 0 in
+  let torn = ref false in
+  while (not !torn) && !pos + overhead <= n do
+    let key = read_be64 contents !pos in
+    let len = read_be32 contents (!pos + 8) in
+    if len < 0 || !pos + overhead + len > n then torn := true
+    else begin
+      let value = String.sub contents (!pos + 12) len in
+      let stored = Int32.of_int (read_be32 contents (!pos + 12 + len)) in
+      let computed =
+        Int32.of_int
+          (Int32.to_int (Int32.logand (record_crc ~key ~value) 0xFFFFFFFFl)
+          land 0xFFFFFFFF)
+      in
+      if Int32.logand stored 0xFFFFFFFFl = Int32.logand computed 0xFFFFFFFFl
+      then begin
+        f ~key ~value;
+        incr applied
+      end
+      else begin
+        (* a flipped bit inside an otherwise well-framed record: skip
+           just this record and keep scanning — dropping one cached
+           solve is cheap, dropping the rest of the journal is not *)
+        incr skipped;
+        Log.warn (fun m ->
+            m "scan: CRC mismatch at offset %d (key %Ld), record skipped"
+              !pos key)
+      end;
+      pos := !pos + overhead + len
+    end
+  done;
+  (!pos, !applied, !skipped)
+
 let replay path ~f =
   if not (Sys.file_exists path) then Ok 0
   else
@@ -90,46 +134,12 @@ let replay path ~f =
         else if String.sub contents 0 hl <> header then
           Error (path ^ ": unknown journal header/version")
         else begin
-          let n = String.length contents in
-          let pos = ref hl in
-          let count = ref 0 in
-          let skipped = ref 0 in
-          let truncated = ref false in
-          while (not !truncated) && !pos + overhead <= n do
-            let key = read_be64 contents !pos in
-            let len = read_be32 contents (!pos + 8) in
-            if len < 0 || !pos + overhead + len > n then truncated := true
-            else begin
-              let value = String.sub contents (!pos + 12) len in
-              let stored = Int32.of_int (read_be32 contents (!pos + 12 + len)) in
-              let computed =
-                Int32.of_int
-                  (Int32.to_int (Int32.logand (record_crc ~key ~value) 0xFFFFFFFFl)
-                  land 0xFFFFFFFF)
-              in
-              if Int32.logand stored 0xFFFFFFFFl = Int32.logand computed 0xFFFFFFFFl
-              then begin
-                f ~key ~value;
-                incr count
-              end
-              else begin
-                (* a flipped bit inside an otherwise well-framed record:
-                   skip just this record and keep replaying — dropping one
-                   cached solve is cheap, dropping the rest of the journal
-                   is not *)
-                incr skipped;
-                Log.warn (fun m ->
-                    m "%s: CRC mismatch at offset %d (key %Ld), record skipped"
-                      path !pos key)
-              end;
-              pos := !pos + overhead + len
-            end
-          done;
-          if !skipped > 0 then
+          let _end_pos, count, skipped = scan_records contents ~pos:hl ~f in
+          if skipped > 0 then
             Log.warn (fun m ->
-                m "%s: %d corrupt record(s) skipped, %d replayed" path !skipped
-                  !count);
-          Ok !count
+                m "%s: %d corrupt record(s) skipped, %d replayed" path skipped
+                  count);
+          Ok count
         end
 
 let open_append path =

@@ -1,0 +1,139 @@
+module Resilience = Repro_resilience
+
+let src = Logs.Src.create "repro.serve.membership" ~doc:"shard failure detector"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status = Alive | Dead
+
+type stats = {
+  pings : int;
+  deaths : int;
+  recoveries : int;
+  dead_now : int;
+}
+
+type t = {
+  addrs : Protocol.addr array;
+  status : status array;
+  misses : int array;
+  mu : Mutex.t;
+  miss_limit : int;
+  interval : float;
+  ping : Protocol.addr -> bool;
+  stop : bool Atomic.t;
+  mutable detector : Thread.t option;
+  mutable pings : int;
+  mutable deaths : int;
+  mutable recoveries : int;
+}
+
+(* One cheap round trip with a bounded wait: a wedged shard must read
+   as dead, not hang the detector. *)
+let default_ping addr =
+  match Client.connect_addr_typed addr with
+  | Error _ -> false
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.set_timeouts c 2.0;
+          match Client.call_typed c Protocol.Ping with
+          | Ok _ -> true
+          | Error _ -> false)
+
+let create ?(miss_limit = 2) ?(interval = 0.5) ?(ping = default_ping) addrs =
+  let addrs = Array.of_list addrs in
+  {
+    addrs;
+    status = Array.make (Array.length addrs) Alive;
+    misses = Array.make (Array.length addrs) 0;
+    mu = Mutex.create ();
+    miss_limit;
+    interval;
+    ping;
+    stop = Atomic.make false;
+    detector = None;
+    pings = 0;
+    deaths = 0;
+    recoveries = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let mark_ok t i =
+  t.misses.(i) <- 0;
+  if t.status.(i) = Dead then begin
+    t.status.(i) <- Alive;
+    t.recoveries <- t.recoveries + 1;
+    Log.info (fun m ->
+        m "shard %s recovered" (Protocol.addr_to_string t.addrs.(i)))
+  end
+
+let mark_miss t i =
+  t.misses.(i) <- t.misses.(i) + 1;
+  if t.status.(i) = Alive && t.misses.(i) >= t.miss_limit then begin
+    t.status.(i) <- Dead;
+    t.deaths <- t.deaths + 1;
+    Log.warn (fun m ->
+        m "shard %s marked dead after %d missed probes"
+          (Protocol.addr_to_string t.addrs.(i))
+          t.misses.(i))
+  end
+
+let report_success t i = locked t (fun () -> mark_ok t i)
+let report_failure t i = locked t (fun () -> mark_miss t i)
+
+let detector_loop t =
+  while not (Atomic.get t.stop) do
+    Array.iteri
+      (fun i addr ->
+        if not (Atomic.get t.stop) then begin
+          let ok = t.ping addr in
+          locked t (fun () ->
+              t.pings <- t.pings + 1;
+              if ok then mark_ok t i else mark_miss t i)
+        end)
+      t.addrs;
+    (* sleep in small slices so [stop] joins promptly *)
+    let slept = ref 0. in
+    while (not (Atomic.get t.stop)) && !slept < t.interval do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done
+  done
+
+let start t =
+  if t.detector = None then t.detector <- Some (Thread.create detector_loop t)
+
+let stop t =
+  Atomic.set t.stop true;
+  match t.detector with
+  | None -> ()
+  | Some th ->
+      t.detector <- None;
+      Thread.join th
+
+let shard_count t = Array.length t.addrs
+let addr t i = t.addrs.(i)
+let alive t i = locked t (fun () -> t.status.(i) = Alive)
+
+let live_count t =
+  locked t (fun () ->
+      Array.fold_left
+        (fun n s -> if s = Alive then n + 1 else n)
+        0 t.status)
+
+let stats t : stats =
+  locked t (fun () ->
+      {
+        pings = t.pings;
+        deaths = t.deaths;
+        recoveries = t.recoveries;
+        dead_now =
+          Array.fold_left
+            (fun n s -> if s = Dead then n + 1 else n)
+            0 t.status;
+      })

@@ -1,0 +1,55 @@
+(** Heartbeat failure detector for a set of daemon shards.
+
+    The same watchdog shape as {!Repro_engine.Pool}: a background
+    thread probes every shard each [interval] seconds with a
+    timeout-bounded ping; [miss_limit] consecutive misses mark a shard
+    [Dead], any successful probe marks it [Alive] again. The router
+    additionally feeds request-path evidence in through
+    {!report_failure}/{!report_success}, so a shard that dies between
+    heartbeats is suspected after its first failed request rather than
+    a full probe period later.
+
+    Dead is advisory, not fencing: the router merely deprioritises dead
+    shards in ring order (and will still try them when nothing else is
+    left), so a false positive costs latency, never availability. *)
+
+type t
+
+type status = Alive | Dead
+
+type stats = {
+  pings : int;  (** heartbeat probes sent *)
+  deaths : int;  (** Alive→Dead transitions *)
+  recoveries : int;  (** Dead→Alive transitions *)
+  dead_now : int;
+}
+
+val create :
+  ?miss_limit:int ->
+  ?interval:float ->
+  ?ping:(Protocol.addr -> bool) ->
+  Protocol.addr list ->
+  t
+(** All shards start [Alive]. Defaults: [miss_limit] 2, [interval]
+    0.5s. [ping] (injectable for tests) defaults to one
+    timeout-bounded protocol ping round trip. *)
+
+val start : t -> unit
+(** Spawn the detector thread; idempotent. Usable without [start] as a
+    passive record of {!report_failure} evidence. *)
+
+val stop : t -> unit
+(** Stop and join the detector. *)
+
+val shard_count : t -> int
+val addr : t -> int -> Protocol.addr
+val alive : t -> int -> bool
+val live_count : t -> int
+
+val report_failure : t -> int -> unit
+(** Request-path evidence: a failed connect or torn conversation counts
+    as a missed probe (same [miss_limit] threshold). *)
+
+val report_success : t -> int -> unit
+
+val stats : t -> stats

@@ -1,0 +1,213 @@
+let src = Logs.Src.create "repro.serve.replica" ~doc:"journal replication tailer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* One journal being tailed from one peer. [pending] holds bytes
+   fetched but not yet consumed: the peer's journal may have been
+   captured mid-append, so a structurally torn tail stays pending until
+   the next chunk completes it. *)
+type stream = {
+  kind : [ `Solve | `Basis ];
+  mutable off : int;  (* next byte offset to request from the peer *)
+  mutable pending : string;
+  mutable header_done : bool;
+  mutable broken : bool;  (* foreign header: never poll again *)
+}
+
+type peer_stats = {
+  peer : Protocol.addr;
+  solve_offset : int;
+  basis_offset : int;
+  errors : int;
+  last_error : string option;
+}
+
+type peer = {
+  addr : Protocol.addr;
+  mutable conn : Client.t option;
+  solve : stream;
+  basis : stream;
+  mutable errors : int;
+  mutable last_error : string option;
+}
+
+type stats = { applied : int; seen : int; peers : peer_stats list }
+
+type t = {
+  peers : peer list;
+  interval : float;
+  apply : journal:[ `Solve | `Basis ] -> key:int64 -> value:string -> bool;
+  mu : Mutex.t;
+  stop : bool Atomic.t;
+  mutable thread : Thread.t option;
+  mutable applied : int;
+  mutable seen : int;
+}
+
+let fresh_stream kind =
+  { kind; off = 0; pending = ""; header_done = false; broken = false }
+
+let reset_stream s =
+  s.off <- 0;
+  s.pending <- "";
+  s.header_done <- false
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let drop_conn peer =
+  Option.iter Client.close peer.conn;
+  peer.conn <- None
+
+let record_error t peer msg =
+  locked t (fun () ->
+      peer.errors <- peer.errors + 1;
+      peer.last_error <- Some msg);
+  drop_conn peer
+
+let get_conn peer =
+  match peer.conn with
+  | Some c -> Ok c
+  | None -> (
+      (* no retry loop here: the poll cadence is the retry loop, and a
+         dead peer must not stall the other peers' replication *)
+      match Client.connect_addr_typed peer.addr with
+      | Ok c ->
+          Client.set_timeouts c 5.0;
+          peer.conn <- Some c;
+          Ok c
+      | Error e -> Error (Client.error_to_string e))
+
+(* Consume every complete record now sitting in [s.pending]. *)
+let drain t s =
+  if s.header_done then begin
+    let end_pos, _applied, _skipped =
+      Journal.scan_records s.pending ~pos:0 ~f:(fun ~key ~value ->
+          let installed = t.apply ~journal:s.kind ~key ~value in
+          locked t (fun () ->
+              t.seen <- t.seen + 1;
+              if installed then t.applied <- t.applied + 1))
+    in
+    if end_pos > 0 then
+      s.pending <-
+        String.sub s.pending end_pos (String.length s.pending - end_pos)
+  end
+
+let poll_stream t peer (s : stream) =
+  if not s.broken then
+    match get_conn peer with
+    | Error e -> record_error t peer e
+    | Ok conn -> (
+        match
+          Client.call_typed conn
+            (Protocol.Journal_tail { journal = s.kind; offset = s.off })
+        with
+        | Error e -> record_error t peer (Client.error_to_string e)
+        | Ok reply -> (
+            let size = Option.value ~default:0 (Json.obj_int "size" reply) in
+            let next = Option.value ~default:s.off (Json.obj_int "next" reply) in
+            let chunk_hex =
+              Option.value ~default:"" (Json.obj_str "chunk_hex" reply)
+            in
+            match Protocol.hex_decode chunk_hex with
+            | None -> record_error t peer "undecodable journal chunk"
+            | Some chunk ->
+                if size < s.off then begin
+                  (* the peer's journal shrank (fresh replacement, or a
+                     torn-tail truncation on its restart): start over *)
+                  Log.info (fun m ->
+                      m "%s: %s journal reset by peer, re-tailing from 0"
+                        (Protocol.addr_to_string peer.addr)
+                        (match s.kind with `Solve -> "solve" | `Basis -> "basis"));
+                  reset_stream s
+                end
+                else begin
+                  s.off <- next;
+                  if chunk <> "" then s.pending <- s.pending ^ chunk;
+                  if not s.header_done then begin
+                    let hl = String.length Journal.header in
+                    if String.length s.pending >= hl then begin
+                      if String.sub s.pending 0 hl = Journal.header then begin
+                        s.pending <-
+                          String.sub s.pending hl (String.length s.pending - hl);
+                        s.header_done <- true
+                      end
+                      else begin
+                        s.broken <- true;
+                        record_error t peer "foreign journal header"
+                      end
+                    end
+                  end;
+                  drain t s
+                end))
+
+let poll_peer t peer =
+  poll_stream t peer peer.solve;
+  if not (Atomic.get t.stop) then poll_stream t peer peer.basis
+
+let loop t =
+  while not (Atomic.get t.stop) do
+    List.iter
+      (fun peer -> if not (Atomic.get t.stop) then poll_peer t peer)
+      t.peers;
+    let slept = ref 0. in
+    while (not (Atomic.get t.stop)) && !slept < t.interval do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done
+  done;
+  List.iter drop_conn t.peers
+
+let start ?(interval = 0.25) ~peers ~apply () =
+  let t =
+    {
+      peers =
+        List.map
+          (fun addr ->
+            {
+              addr;
+              conn = None;
+              solve = fresh_stream `Solve;
+              basis = fresh_stream `Basis;
+              errors = 0;
+              last_error = None;
+            })
+          peers;
+      interval;
+      apply;
+      mu = Mutex.create ();
+      stop = Atomic.make false;
+      thread = None;
+      applied = 0;
+      seen = 0;
+    }
+  in
+  t.thread <- Some (Thread.create loop t);
+  t
+
+let stop t =
+  Atomic.set t.stop true;
+  match t.thread with
+  | None -> ()
+  | Some th ->
+      t.thread <- None;
+      Thread.join th
+
+let stats t : stats =
+  locked t (fun () ->
+      {
+        applied = t.applied;
+        seen = t.seen;
+        peers =
+          List.map
+            (fun p ->
+              {
+                peer = p.addr;
+                solve_offset = p.solve.off;
+                basis_offset = p.basis.off;
+                errors = p.errors;
+                last_error = p.last_error;
+              })
+            t.peers;
+      })

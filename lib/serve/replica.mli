@@ -1,0 +1,56 @@
+(** Journal replication: tail peers' solve- and basis-cache journals.
+
+    Each daemon shard runs one replica thread that polls every
+    configured peer with {!Protocol.Journal_tail} requests, streaming
+    the peer's append-only journal files in bounded hex chunks from the
+    byte offset where the previous poll stopped. Fetched bytes are
+    reassembled in a pending buffer and consumed with
+    {!Journal.scan_records}: a chunk boundary (or the peer's own
+    in-flight append) may tear a record, and the torn tail simply waits
+    for the next chunk. Tailing starts at offset 0, so a {e fresh}
+    replacement shard warms its caches with everything a peer has ever
+    journalled before (and while) serving its first solves.
+
+    The [apply] callback deduplicates: a record whose key is already
+    resident returns [false] and is not re-journalled, so two shards
+    tailing each other converge instead of ping-ponging records back
+    and forth forever. A peer whose journal shrinks (it was itself
+    replaced, or truncated a torn tail on restart) is re-tailed from
+    offset 0; a peer serving a foreign journal header is marked broken
+    and never polled again.
+
+    Peer failures are absorbed, never propagated: a dead peer costs one
+    error count per poll tick and the next tick retries — the poll
+    cadence is the retry policy. *)
+
+type t
+
+type peer_stats = {
+  peer : Protocol.addr;
+  solve_offset : int;  (** bytes of the peer's solve journal consumed *)
+  basis_offset : int;
+  errors : int;
+  last_error : string option;
+}
+
+type stats = {
+  applied : int;  (** records installed into local caches *)
+  seen : int;  (** records streamed (includes already-resident ones) *)
+  peers : peer_stats list;
+}
+
+val start :
+  ?interval:float ->
+  peers:Protocol.addr list ->
+  apply:(journal:[ `Solve | `Basis ] -> key:int64 -> value:string -> bool) ->
+  unit ->
+  t
+(** Spawn the tailer thread; polls every peer each [interval] (default
+    0.25s) seconds. [apply] installs one journal record into the local
+    cache and returns whether it was actually installed (false: already
+    resident or undecodable). *)
+
+val stop : t -> unit
+(** Stop, join, drop peer connections. *)
+
+val stats : t -> stats

@@ -1,0 +1,517 @@
+module Resilience = Repro_resilience
+
+let src = Logs.Src.create "repro.serve.router" ~doc:"consistent-hash shard router"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  routed : int;
+  failovers : int;
+  shed : int;
+  failed : int;
+  membership : Membership.stats;
+}
+
+type t = {
+  shards : Protocol.addr array;
+  ring : (int64 * int) array;  (* (vnode hash, shard index), sorted *)
+  membership : Membership.t;
+  breakers : Resilience.Breaker.t array;
+  retry : Resilience.Retry.policy;
+  deadline : float option;
+  mu : Mutex.t;
+  mutable routed : int;
+  mutable failovers : int;
+  mutable shed : int;
+  mutable failed : int;
+}
+
+(* Vnode hashes reuse the FNV-1a fingerprint machinery so ring
+   placement is stable across processes and restarts. *)
+let vnode_hash addr i =
+  Fingerprint.finish
+    (Fingerprint.feed_string Fingerprint.empty
+       (Printf.sprintf "%s#%d" (Protocol.addr_to_string addr) i))
+
+(* Connect retries stay short: failover to the next shard is the real
+   recovery path, the retry only rides out an accept-queue blip. *)
+let default_retry =
+  {
+    Resilience.Retry.retries = 2;
+    base = 0.02;
+    factor = 2.;
+    max_delay = 0.25;
+    jitter = 0.5;
+  }
+
+let create ?(vnodes = 64) ?miss_limit ?heartbeat_interval ?ping
+    ?(retry = default_retry) ?deadline shards =
+  if shards = [] then invalid_arg "Router.create: no shards";
+  let shard_arr = Array.of_list shards in
+  let ring =
+    Array.init (Array.length shard_arr * vnodes) (fun k ->
+        let s = k / vnodes and v = k mod vnodes in
+        (vnode_hash shard_arr.(s) v, s))
+  in
+  Array.sort
+    (fun (h1, s1) (h2, s2) ->
+      match Int64.unsigned_compare h1 h2 with
+      | 0 -> compare s1 s2
+      | c -> c)
+    ring;
+  {
+    shards = shard_arr;
+    ring;
+    membership =
+      Membership.create ?miss_limit ?interval:heartbeat_interval ?ping shards;
+    breakers =
+      Array.init (Array.length shard_arr) (fun _ ->
+          Resilience.Breaker.create ());
+    retry;
+    deadline;
+    mu = Mutex.create ();
+    routed = 0;
+    failovers = 0;
+    shed = 0;
+    failed = 0;
+  }
+
+let start t = Membership.start t.membership
+let shutdown t = Membership.stop t.membership
+let membership t = t.membership
+let shard_addrs t = Array.to_list t.shards
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Shard preference order for a ring key: the successor vnode's shard,
+   then each further successor's shard (deduplicated) — the classic
+   consistent-hash walk, so when a shard dies its keys spill to the
+   next shard clockwise and everyone else's placement is untouched. *)
+let ring_order t key =
+  let n = Array.length t.ring in
+  let nshards = Array.length t.shards in
+  (* first vnode with hash >= key (wrapping) *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.ring.(mid)) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  let start = if !lo = n then 0 else !lo in
+  let seen = Array.make nshards false in
+  let order = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < nshards && !i < n do
+    let _, s = t.ring.((start + !i) mod n) in
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      order := s :: !order;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !order
+
+let order_for t req =
+  match Protocol.routing_key req with
+  | Some key -> ring_order t key
+  | None ->
+      (* control-plane ops have no affinity: any shard will do *)
+      List.init (Array.length t.shards) Fun.id
+
+(* ---- sessions ------------------------------------------------------- *)
+
+(* A session owns its shard connections outright (one per shard, lazily
+   dialed), so concurrent sessions never interleave frames on a shared
+   socket and no per-request locking is needed. *)
+type session = { t : t; conns : (int, Client.t) Hashtbl.t }
+
+let session t = { t; conns = Hashtbl.create 4 }
+
+let close_session s =
+  Hashtbl.iter (fun _ c -> Client.close c) s.conns;
+  Hashtbl.reset s.conns
+
+let drop_conn s i =
+  match Hashtbl.find_opt s.conns i with
+  | None -> ()
+  | Some c ->
+      Client.close c;
+      Hashtbl.remove s.conns i
+
+let conn_for s i ~remaining =
+  let conn =
+    match Hashtbl.find_opt s.conns i with
+    | Some c -> Ok c
+    | None -> (
+        match Client.connect_addr_retry ~policy:s.t.retry s.t.shards.(i) with
+        | Ok c ->
+            Hashtbl.replace s.conns i c;
+            Ok c
+        | Error e -> Error e)
+  in
+  Result.map
+    (fun c ->
+      (* a deadline-bounded call must not block forever on a hung
+         shard; 0 disables the socket timeout *)
+      Client.set_timeouts c (Option.value ~default:0. remaining);
+      c)
+    conn
+
+(* Failover decision for a reply that did arrive: "overloaded" and
+   "degraded" mean this shard is shedding, so another shard may still
+   answer; every other application error is the query's own fate and
+   is relayed verbatim (retrying a bad request elsewhere is wrong). *)
+let sheds_load = function
+  | Client.App_error { code = "overloaded" | "degraded"; _ } -> true
+  | _ -> false
+
+let call_raw (s : session) ?deadline ~payload req =
+  let t = s.t in
+  let budget = match deadline with Some _ as d -> d | None -> t.deadline in
+  let t0 = Unix.gettimeofday () in
+  let remaining () =
+    Option.map (fun b -> b -. (Unix.gettimeofday () -. t0)) budget
+  in
+  let expired () = match remaining () with Some r -> r <= 0. | None -> false in
+  locked t (fun () -> t.routed <- t.routed + 1);
+  let order = order_for t req in
+  (* dead shards move to the back rather than out: with everything
+     marked dead (a detector false positive storm) we still try *)
+  let alive, dead =
+    List.partition (fun i -> Membership.alive t.membership i) order
+  in
+  let rec attempt tried = function
+    | [] ->
+        locked t (fun () -> t.failed <- t.failed + 1);
+        Error
+          (Option.value tried
+             ~default:(Client.Io "router: no shard reachable"))
+    | i :: rest ->
+        if expired () then begin
+          locked t (fun () -> t.failed <- t.failed + 1);
+          Error
+            (Option.value tried
+               ~default:(Client.Io "router: deadline exhausted"))
+        end
+        else begin
+          if tried <> None then
+            locked t (fun () -> t.failovers <- t.failovers + 1);
+          match Resilience.Breaker.admit t.breakers.(i) with
+          | Resilience.Breaker.Shed ->
+              locked t (fun () -> t.shed <- t.shed + 1);
+              attempt
+                (Some
+                   (Option.value tried
+                      ~default:
+                        (Client.App_error
+                           {
+                             code = "degraded";
+                             message = "router: shard circuit open";
+                           })))
+                rest
+          | Resilience.Breaker.Admit | Resilience.Breaker.Probe -> (
+              let t1 = Unix.gettimeofday () in
+              let record ok =
+                Resilience.Breaker.record t.breakers.(i) ~ok
+                  ~latency_s:(Unix.gettimeofday () -. t1)
+              in
+              match conn_for s i ~remaining:(remaining ()) with
+              | Error e ->
+                  record false;
+                  Membership.report_failure t.membership i;
+                  attempt (Some e) rest
+              | Ok conn -> (
+                  match Client.request_raw conn payload with
+                  | Error e ->
+                      (* transport died mid-conversation: this
+                         connection is unusable and the shard suspect *)
+                      drop_conn s i;
+                      record false;
+                      Membership.report_failure t.membership i;
+                      attempt (Some e) rest
+                  | Ok raw -> (
+                      match Json.of_string raw with
+                      | Error e ->
+                          drop_conn s i;
+                          record false;
+                          Membership.report_failure t.membership i;
+                          attempt (Some (Client.Malformed_reply e)) rest
+                      | Ok j -> (
+                          match Client.split_ok j with
+                          | Ok _ ->
+                              record true;
+                              Membership.report_success t.membership i;
+                              Ok raw
+                          | Error e when sheds_load e ->
+                              record false;
+                              attempt (Some e) rest
+                          | Error _ ->
+                              (* the shard answered: relay its typed
+                                 error verbatim *)
+                              record true;
+                              Membership.report_success t.membership i;
+                              Ok raw))))
+        end
+  in
+  attempt None (alive @ dead)
+
+let call s ?deadline req =
+  let payload = Json.to_string (Protocol.request_to_json req) in
+  match call_raw s ?deadline ~payload req with
+  | Error _ as e -> e
+  | Ok raw -> (
+      match Json.of_string raw with
+      | Error e -> Error (Client.Malformed_reply e)
+      | Ok j -> Client.split_ok j)
+
+let stats t : stats =
+  let membership = Membership.stats t.membership in
+  locked t (fun () ->
+      {
+        routed = t.routed;
+        failovers = t.failovers;
+        shed = t.shed;
+        failed = t.failed;
+        membership;
+      })
+
+(* ---- proxy server ---------------------------------------------------- *)
+
+type server = {
+  router : t;
+  listen_addr : Protocol.addr;
+  listen_fd : Unix.file_descr;
+  framing : [ `Plain | `Crc ];
+  port : int option;
+  sstop : bool Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_mu : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  conn_threads : Thread.t list ref;
+  threads_mu : Mutex.t;
+}
+
+let stats_reply srv =
+  let s = stats srv.router in
+  Protocol.ok
+    [
+      ("router", Json.Bool true);
+      ( "shards",
+        Json.List
+          (List.mapi
+             (fun i addr ->
+               Json.Obj
+                 [
+                   ("addr", Json.Str (Protocol.addr_to_string addr));
+                   ( "status",
+                     Json.Str
+                       (if Membership.alive (membership srv.router) i then
+                          "alive"
+                        else "dead") );
+                 ])
+             (shard_addrs srv.router)) );
+      ("routed", Json.Num (float_of_int s.routed));
+      ("failovers", Json.Num (float_of_int s.failovers));
+      ("shed", Json.Num (float_of_int s.shed));
+      ("failed", Json.Num (float_of_int s.failed));
+      ( "membership",
+        Json.Obj
+          [
+            ("pings", Json.Num (float_of_int s.membership.Membership.pings));
+            ("deaths", Json.Num (float_of_int s.membership.Membership.deaths));
+            ( "recoveries",
+              Json.Num (float_of_int s.membership.Membership.recoveries) );
+            ("dead_now", Json.Num (float_of_int s.membership.Membership.dead_now));
+          ] );
+    ]
+
+let error_code_of = function
+  | Client.Connect_refused _ | Client.Io _ -> "unavailable"
+  | Client.Malformed_reply _ -> "internal"
+  | Client.App_error { code; _ } -> code
+
+let serve_conn srv fd =
+  let sess = session srv.router in
+  let write payload =
+    match srv.framing with
+    | `Plain -> Protocol.write_frame fd payload
+    | `Crc -> Protocol.write_frame_crc fd payload
+  in
+  let write_json j = write (Json.to_string j) in
+  let rec loop () =
+    let frame =
+      match srv.framing with
+      | `Plain -> (
+          match Protocol.read_frame fd with
+          | Ok v -> Ok v
+          | Error _ -> Error None)
+      | `Crc -> (
+          match Protocol.read_frame_crc fd with
+          | Ok v -> Ok v
+          | Error e -> Error (Some (Protocol.frame_error_to_string e)))
+    in
+    match frame with
+    | Ok None | Error None -> ()
+    | Error (Some msg) ->
+        (* a desynchronised peer cannot be resynchronised: answer a
+           typed error, then drop the connection *)
+        (try write_json (Protocol.error ~code:"bad-frame" msg)
+         with Unix.Unix_error _ -> ())
+    | Ok (Some payload) -> (
+        let req =
+          match Json.of_string payload with
+          | Error e -> Error e
+          | Ok j -> Protocol.request_of_json j
+        in
+        match req with
+        | Error e ->
+            write_json (Protocol.error ~code:"bad-request" e);
+            loop ()
+        | Ok Protocol.Shutdown ->
+            (* shuts the router down, not a random shard *)
+            write_json (Protocol.ok [ ("stopping", Json.Bool true) ]);
+            Atomic.set srv.sstop true
+        | Ok Protocol.Stats ->
+            (* router-level stats; shard stats come from the shards *)
+            write_json (stats_reply srv);
+            loop ()
+        | Ok r -> (
+            match call_raw sess ~payload r with
+            | Ok raw ->
+                (* verbatim relay: routed responses stay byte-identical
+                   to single-shard ones *)
+                write raw;
+                loop ()
+            | Error e ->
+                write_json
+                  (Protocol.error ~code:(error_code_of e)
+                     (Client.error_to_string e));
+                loop ()))
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  close_session sess;
+  Mutex.lock srv.conns_mu;
+  Hashtbl.remove srv.conns fd;
+  Mutex.unlock srv.conns_mu;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop srv =
+  let rec go () =
+    if not (Atomic.get srv.sstop) then begin
+      (match Unix.select [ srv.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept srv.listen_fd with
+          | conn, _ ->
+              Mutex.lock srv.conns_mu;
+              Hashtbl.replace srv.conns conn ();
+              Mutex.unlock srv.conns_mu;
+              let th = Thread.create (serve_conn srv) conn in
+              Mutex.lock srv.threads_mu;
+              srv.conn_threads := th :: !(srv.conn_threads);
+              Mutex.unlock srv.threads_mu
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      go ()
+    end
+  in
+  go ();
+  try Unix.close srv.listen_fd with Unix.Unix_error _ -> ()
+
+let bind_listener addr =
+  match addr with
+  | Protocol.Unix_sock path -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      match
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64
+      with
+      | () -> Ok (fd, None)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen on %s: %s" path
+               (Unix.error_message e)))
+  | Protocol.Tcp { host; port } -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.setsockopt fd Unix.SO_REUSEADDR true
+       with Unix.Unix_error _ -> ());
+      let ip =
+        match Unix.inet_addr_of_string host with
+        | ip -> ip
+        | exception Failure _ -> Unix.inet_addr_loopback
+      in
+      match
+        Unix.bind fd (Unix.ADDR_INET (ip, port));
+        Unix.listen fd 64
+      with
+      | () ->
+          let actual =
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> port
+          in
+          Ok (fd, Some actual)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen on %s:%d: %s" host port
+               (Unix.error_message e)))
+
+let serve_start t ~listen =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  match bind_listener listen with
+  | Error _ as e -> e
+  | Ok (fd, port) ->
+      start t;
+      let srv =
+        {
+          router = t;
+          listen_addr = listen;
+          listen_fd = fd;
+          framing = Protocol.framing_of_addr listen;
+          port;
+          sstop = Atomic.make false;
+          conns = Hashtbl.create 16;
+          conns_mu = Mutex.create ();
+          accept_thread = None;
+          conn_threads = ref [];
+          threads_mu = Mutex.create ();
+        }
+      in
+      srv.accept_thread <- Some (Thread.create accept_loop srv);
+      Ok srv
+
+let server_port srv = srv.port
+
+let serve_stop srv = Atomic.set srv.sstop true
+
+let serve_wait srv =
+  (match srv.accept_thread with
+  | None -> ()
+  | Some th ->
+      srv.accept_thread <- None;
+      Thread.join th);
+  (* nudge idle connections off their blocking reads, then drain *)
+  Mutex.lock srv.conns_mu;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    srv.conns;
+  Mutex.unlock srv.conns_mu;
+  Mutex.lock srv.threads_mu;
+  let to_join = !(srv.conn_threads) in
+  Mutex.unlock srv.threads_mu;
+  List.iter Thread.join to_join;
+  shutdown srv.router;
+  match srv.listen_addr with
+  | Protocol.Unix_sock path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ()

@@ -1,0 +1,105 @@
+(** Consistent-hash router over N daemon shards.
+
+    Placement: each shard contributes [vnodes] virtual nodes to a hash
+    ring (FNV-1a of ["addr#i"], the fingerprint machinery, so the ring
+    is identical in every process that knows the shard list). A request
+    with a {!Protocol.routing_key} goes to the shard owning the key's
+    successor vnode; on failure it {e fails over} clockwise to the next
+    distinct shard, which is exactly the shard that inherits the key
+    range if the owner stays dead — the failover order and the
+    rebalanced ring agree, so retried queries land where future queries
+    will, and their cached solves stay reachable.
+
+    Per shard: a {!Repro_resilience.Breaker} sheds calls to a shard
+    whose recent calls failed; connects go through
+    {!Repro_resilience.Retry} with a short jittered backoff; the
+    {!Membership} failure detector (heartbeats + request-path evidence)
+    demotes dead shards to last-resort. An optional deadline bounds the
+    whole call including failover: socket timeouts are set to the
+    remaining budget before each attempt.
+
+    Application errors other than ["overloaded"]/["degraded"] are {e
+    relayed}, not failed over — a bad request is equally bad on every
+    shard, and a deadline-exceeded still warms the owner's cache.
+
+    Results are byte-identical to a single-shard deployment: exactly
+    one shard computes each answer (the same deterministic code path),
+    and the proxy relays its reply bytes verbatim. *)
+
+type t
+
+type stats = {
+  routed : int;  (** calls entered *)
+  failovers : int;  (** extra shard attempts beyond the first *)
+  shed : int;  (** attempts suppressed by an open breaker *)
+  failed : int;  (** calls that exhausted every shard *)
+  membership : Membership.stats;
+}
+
+val create :
+  ?vnodes:int ->
+  ?miss_limit:int ->
+  ?heartbeat_interval:float ->
+  ?ping:(Protocol.addr -> bool) ->
+  ?retry:Repro_resilience.Retry.policy ->
+  ?deadline:float ->
+  Protocol.addr list ->
+  t
+(** [vnodes] defaults to 64 per shard; [retry] to a short 2-retry
+    jittered backoff; [deadline] (seconds, per call including failover)
+    to unbounded. Raises [Invalid_argument] on an empty shard list. *)
+
+val start : t -> unit
+(** Start the heartbeat failure detector. *)
+
+val shutdown : t -> unit
+(** Stop the failure detector (open sessions stay usable). *)
+
+val membership : t -> Membership.t
+val shard_addrs : t -> Protocol.addr list
+val stats : t -> stats
+
+(** {1 Sessions}
+
+    A session owns one lazily-dialed connection per shard; sessions are
+    single-threaded by construction (create one per thread or per
+    server connection) so concurrent calls never interleave frames. *)
+
+type session
+
+val session : t -> session
+val close_session : session -> unit
+
+val call :
+  session -> ?deadline:float -> Protocol.request -> (Json.t, Client.error) result
+(** Route, failover, parse: [Ok] is a success reply, shard application
+    errors surface as [App_error], exhaustion as the last transport
+    error. *)
+
+val call_raw :
+  session ->
+  ?deadline:float ->
+  payload:string ->
+  Protocol.request ->
+  (string, Client.error) result
+(** The relay primitive: send [payload] (the already-encoded request —
+    [req] is only consulted for the routing key) and return the chosen
+    shard's reply bytes verbatim. *)
+
+(** {1 Proxy server}
+
+    A standalone process speaking the daemon protocol on [listen]
+    (plain frames on a Unix socket, CRC frames on TCP) and relaying
+    every data-plane request to the shards. [Stats] answers router-level
+    stats; [Shutdown] stops the {e router}, never a shard. *)
+
+type server
+
+val serve_start : t -> listen:Protocol.addr -> (server, string) result
+val server_port : server -> int option
+(** The actual TCP port (useful with a requested port of 0). *)
+
+val serve_stop : server -> unit
+val serve_wait : server -> unit
+(** Join the accept loop, drain connections, stop the detector, unlink
+    a Unix listen socket. *)

@@ -1,0 +1,439 @@
+(* Cluster tests for the fault-tolerant serving layer: the membership
+   failure detector, the consistent-hash router over live in-process
+   daemon shards (routing consistency, byte-identity with a single-shard
+   deployment, kill-one-shard failover with zero client-visible
+   failures), journal replication warming a fresh replacement from a
+   peer, and failover under an injected connection reset. *)
+
+module S = Repro_serve
+module Json = S.Json
+module Faults = Repro_resilience.Faults
+
+let temp_path suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "repro-cluster-test-%d-%s" (Unix.getpid ()) suffix)
+
+let tcp_addr port = S.Protocol.Tcp { host = "127.0.0.1"; port }
+
+let await ?(tries = 200) ?(delay = 0.025) msg pred =
+  let rec go n =
+    if pred () then ()
+    else if n <= 0 then Alcotest.failf "timed out waiting for %s" msg
+    else begin
+      Thread.delay delay;
+      go (n - 1)
+    end
+  in
+  go tries
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fake_addrs n =
+  List.init n (fun i -> S.Protocol.Unix_sock (Printf.sprintf "/fake-%d" i))
+
+let test_membership_detector () =
+  let healthy = [| true; true; true |] in
+  let index_of = function
+    | S.Protocol.Unix_sock p ->
+        int_of_string (String.sub p 6 (String.length p - 6))
+    | _ -> Alcotest.fail "unexpected addr"
+  in
+  let m =
+    S.Membership.create ~miss_limit:2 ~interval:0.02
+      ~ping:(fun addr -> healthy.(index_of addr))
+      (fake_addrs 3)
+  in
+  S.Membership.start m;
+  Fun.protect
+    ~finally:(fun () -> S.Membership.stop m)
+    (fun () ->
+      await "first probe round" (fun () ->
+          (S.Membership.stats m).S.Membership.pings >= 3);
+      Alcotest.(check int) "all alive" 3 (S.Membership.live_count m);
+      healthy.(1) <- false;
+      await "death after miss_limit probes" (fun () ->
+          not (S.Membership.alive m 1));
+      Alcotest.(check bool) "others unaffected" true
+        (S.Membership.alive m 0 && S.Membership.alive m 2);
+      healthy.(1) <- true;
+      await "recovery on first good probe" (fun () -> S.Membership.alive m 1);
+      let st = S.Membership.stats m in
+      Alcotest.(check bool) "transitions counted" true
+        (st.S.Membership.deaths >= 1
+        && st.S.Membership.recoveries >= 1
+        && st.S.Membership.dead_now = 0))
+
+(* Request-path evidence alone (no detector thread) drives the same
+   state machine. *)
+let test_membership_request_evidence () =
+  let m = S.Membership.create ~miss_limit:2 (fake_addrs 2) in
+  Alcotest.(check bool) "starts alive" true (S.Membership.alive m 0);
+  S.Membership.report_failure m 0;
+  Alcotest.(check bool) "one miss is not death" true (S.Membership.alive m 0);
+  S.Membership.report_failure m 0;
+  Alcotest.(check bool) "second miss is" false (S.Membership.alive m 0);
+  Alcotest.(check int) "live count" 1 (S.Membership.live_count m);
+  S.Membership.report_success m 0;
+  Alcotest.(check bool) "success revives" true (S.Membership.alive m 0)
+
+(* ------------------------------------------------------------------ *)
+(* In-process shards                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type shard = { handle : S.Daemon.handle; port : int; socket : string }
+
+let start_shard ?(peers = []) ?cache_dir suffix =
+  let socket = temp_path suffix in
+  let config =
+    {
+      (S.Daemon.default_config ~socket_path:socket) with
+      S.Daemon.tcp_port = Some 0;
+      peers;
+      cache_dir;
+      replica_interval = 0.05;
+    }
+  in
+  match S.Daemon.start config with
+  | Error e -> Alcotest.failf "start %s: %s" suffix e
+  | Ok handle ->
+      let port =
+        match S.Daemon.tcp_port handle with
+        | Some p -> p
+        | None -> Alcotest.failf "%s: no tcp port" suffix
+      in
+      { handle; port; socket }
+
+let stop_shard s =
+  S.Daemon.stop s.handle;
+  S.Daemon.wait s.handle
+
+let b4_dp_instance =
+  {
+    S.Protocol.topology = "b4";
+    paths = 2;
+    heuristic = S.Protocol.Dp { threshold_frac = 0.05 };
+  }
+
+let eval_req seed =
+  S.Protocol.Evaluate
+    {
+      instance = b4_dp_instance;
+      demand = S.Protocol.Gen { gen = `Gravity; seed };
+      deadline = None;
+    }
+
+let with_conn port f =
+  match S.Client.connect_addr_typed (tcp_addr port) with
+  | Error e -> Alcotest.failf "connect :%d: %s" port (S.Client.error_to_string e)
+  | Ok c ->
+      S.Client.set_timeouts c 30.0;
+      Fun.protect ~finally:(fun () -> S.Client.close c) (fun () -> f c)
+
+let direct_call port req =
+  with_conn port (fun c ->
+      match S.Client.call_typed c req with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "direct call: %s" (S.Client.error_to_string e))
+
+let shard_stat shard path =
+  let stats = direct_call shard.port S.Protocol.Stats in
+  let rec walk j = function
+    | [] -> Json.int j
+    | k :: rest -> (
+        match Json.member k j with None -> None | Some j -> walk j rest)
+  in
+  walk stats path
+
+let executed shard =
+  Option.value ~default:(-1) (shard_stat shard [ "scheduler"; "executed" ])
+
+let expect_cached name want r =
+  match Option.bind (Json.member "ok" r) Json.bool with
+  | Some true ->
+      Alcotest.(check (option bool))
+        name (Some want)
+        (Option.bind (Json.member "cached" r) Json.bool)
+  | _ -> Alcotest.failf "%s: not ok: %s" name (Json.to_string r)
+
+let strip_serving_fields = function
+  | Json.Obj l ->
+      Json.Obj
+        (List.filter (fun (k, _) -> k <> "cached" && k <> "coalesced") l)
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* Router over live shards                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every distinct request is computed exactly once across the cluster:
+   the session's second pass hits the owning shard's cache, so
+   consistent hashing is actually consistent. *)
+let test_router_routes_consistently () =
+  let shards = List.map start_shard [ "rc0.sock"; "rc1.sock"; "rc2.sock" ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter stop_shard shards)
+    (fun () ->
+      let router =
+        S.Router.create ~heartbeat_interval:0.1
+          (List.map (fun s -> tcp_addr s.port) shards)
+      in
+      S.Router.start router;
+      Fun.protect
+        ~finally:(fun () -> S.Router.shutdown router)
+        (fun () ->
+          let sess = S.Router.session router in
+          Fun.protect
+            ~finally:(fun () -> S.Router.close_session sess)
+            (fun () ->
+              let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+              List.iter
+                (fun seed ->
+                  match S.Router.call sess (eval_req seed) with
+                  | Ok r ->
+                      expect_cached
+                        (Printf.sprintf "seed %d computed" seed)
+                        false r
+                  | Error e ->
+                      Alcotest.failf "seed %d: %s" seed
+                        (S.Client.error_to_string e))
+                seeds;
+              List.iter
+                (fun seed ->
+                  match S.Router.call sess (eval_req seed) with
+                  | Ok r ->
+                      expect_cached
+                        (Printf.sprintf "seed %d cached on re-route" seed)
+                        true r
+                  | Error e ->
+                      Alcotest.failf "seed %d retry: %s" seed
+                        (S.Client.error_to_string e))
+                seeds;
+              let total =
+                List.fold_left (fun acc s -> acc + executed s) 0 shards
+              in
+              Alcotest.(check int)
+                "each request solved exactly once cluster-wide"
+                (List.length seeds) total;
+              let st = S.Router.stats router in
+              Alcotest.(check int) "no exhausted calls" 0 st.S.Router.failed)))
+
+(* The acceptance property: a solve served through the router is
+   byte-identical to the same solve on a single-shard deployment. *)
+let test_router_byte_identity () =
+  let single = start_shard "bi-single.sock" in
+  let shards =
+    List.map start_shard [ "bi0.sock"; "bi1.sock"; "bi2.sock"; "bi3.sock" ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter stop_shard (single :: shards))
+    (fun () ->
+      let router =
+        S.Router.create (List.map (fun s -> tcp_addr s.port) shards)
+      in
+      let sess = S.Router.session router in
+      Fun.protect
+        ~finally:(fun () -> S.Router.close_session sess)
+        (fun () ->
+          let req = eval_req 42 in
+          let payload = Json.to_string (S.Protocol.request_to_json req) in
+          (* semantic identity: 1 shard vs routed across 4 *)
+          let direct = direct_call single.port req in
+          let routed =
+            match S.Router.call sess req with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "routed: %s" (S.Client.error_to_string e)
+          in
+          Alcotest.(check bool)
+            "single-shard and routed replies identical" true
+            (strip_serving_fields direct = strip_serving_fields routed);
+          (* raw byte identity: the router relays the owner's cached
+             reply verbatim *)
+          let routed_raw =
+            match S.Router.call_raw sess ~payload req with
+            | Ok raw -> raw
+            | Error e ->
+                Alcotest.failf "routed raw: %s" (S.Client.error_to_string e)
+          in
+          let owner =
+            match List.filter (fun s -> executed s = 1) shards with
+            | [ s ] -> s
+            | l -> Alcotest.failf "expected one owner, found %d" (List.length l)
+          in
+          let owner_raw =
+            with_conn owner.port (fun c ->
+                match S.Client.request_raw c payload with
+                | Ok raw -> raw
+                | Error e ->
+                    Alcotest.failf "owner raw: %s" (S.Client.error_to_string e))
+          in
+          Alcotest.(check bool)
+            "router-relayed bytes equal the owner's bytes" true
+            (String.equal routed_raw owner_raw)))
+
+(* kill -9 one shard mid-workload: every client request keeps
+   succeeding (failover recomputes what the victim's cache held), and
+   the detector marks the victim dead. *)
+let test_kill_one_shard_failover () =
+  let shards = List.map start_shard [ "ko0.sock"; "ko1.sock"; "ko2.sock" ] in
+  let victim = List.nth shards 1 in
+  let killed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun s -> if not (!killed && s == victim) then stop_shard s)
+        shards)
+    (fun () ->
+      let router =
+        S.Router.create ~heartbeat_interval:0.05 ~miss_limit:2
+          (List.map (fun s -> tcp_addr s.port) shards)
+      in
+      S.Router.start router;
+      Fun.protect
+        ~finally:(fun () -> S.Router.shutdown router)
+        (fun () ->
+          let sess = S.Router.session router in
+          Fun.protect
+            ~finally:(fun () -> S.Router.close_session sess)
+            (fun () ->
+              let call_must_succeed seed =
+                match S.Router.call sess (eval_req seed) with
+                | Ok r -> (
+                    match Option.bind (Json.member "ok" r) Json.bool with
+                    | Some true -> ()
+                    | _ ->
+                        Alcotest.failf "seed %d: app error: %s" seed
+                          (Json.to_string r))
+                | Error e ->
+                    Alcotest.failf "seed %d failed: %s" seed
+                      (S.Client.error_to_string e)
+              in
+              (* warm phase across all shards *)
+              List.iter call_must_succeed [ 1; 2; 3; 4; 5; 6 ];
+              S.Daemon.kill victim.handle;
+              killed := true;
+              (* repeats (some owned by the victim) and fresh keys: all
+                 must survive the failover *)
+              List.iter call_must_succeed
+                [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ];
+              let st = S.Router.stats router in
+              Alcotest.(check int)
+                "zero client-visible failures" 0 st.S.Router.failed;
+              await "victim marked dead" (fun () ->
+                  (S.Membership.stats (S.Router.membership router))
+                    .S.Membership.dead_now = 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Journal replication                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_cache_dir suffix f =
+  let dir = temp_path suffix in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* A fresh shard that peers with a warm one must serve the peer's
+   cached solves without executing anything itself: warmth arrives over
+   the replicated journal, not by recomputation. *)
+let test_replica_warms_from_peer () =
+  with_cache_dir "rep-a" (fun dir_a ->
+      with_cache_dir "rep-b" (fun dir_b ->
+          let a = start_shard ~cache_dir:dir_a "rep-a.sock" in
+          Fun.protect
+            ~finally:(fun () -> stop_shard a)
+            (fun () ->
+              expect_cached "seed 21 computed on a" false
+                (direct_call a.port (eval_req 21));
+              expect_cached "seed 22 computed on a" false
+                (direct_call a.port (eval_req 22));
+              let b =
+                start_shard ~cache_dir:dir_b
+                  ~peers:[ tcp_addr a.port ] "rep-b.sock"
+              in
+              Fun.protect
+                ~finally:(fun () -> stop_shard b)
+                (fun () ->
+                  await "journal replicated" (fun () ->
+                      Option.value ~default:0
+                        (shard_stat b [ "replication"; "records" ])
+                      >= 2);
+                  (* warm hit-rate asserted before b's first solve *)
+                  Alcotest.(check int) "b has executed nothing" 0 (executed b);
+                  expect_cached "peer's solve already warm on b" true
+                    (direct_call b.port (eval_req 21));
+                  Alcotest.(check int)
+                    "warm answer cost no solve" 0 (executed b)))))
+
+(* ------------------------------------------------------------------ *)
+(* Injected connection reset                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The first CRC frame written in the process (the session's request to
+   its first shard) is torn and reset; the router must fail over and
+   still answer. Heartbeats stay off so the fault schedule is ours. *)
+let test_conn_reset_failover () =
+  let shards = List.map start_shard [ "cr0.sock"; "cr1.sock" ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter stop_shard shards)
+    (fun () ->
+      let router =
+        S.Router.create (List.map (fun s -> tcp_addr s.port) shards)
+      in
+      let sess = S.Router.session router in
+      Fun.protect
+        ~finally:(fun () -> S.Router.close_session sess)
+        (fun () ->
+          Faults.arm ~seed:5
+            ~points:[ ("conn_reset", { Faults.prob = 1.; limit = Some 1 }) ];
+          Fun.protect ~finally:Faults.disarm (fun () ->
+              (match S.Router.call sess (eval_req 31) with
+              | Ok r -> expect_cached "answered despite reset" false r
+              | Error e ->
+                  Alcotest.failf "call failed: %s" (S.Client.error_to_string e));
+              Alcotest.(check bool)
+                "reset actually fired" true
+                (Faults.fired "conn_reset" = 1);
+              let st = S.Router.stats router in
+              Alcotest.(check bool)
+                "failover happened" true (st.S.Router.failovers >= 1))))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "repro_cluster"
+    [
+      ( "membership",
+        [
+          Alcotest.test_case "detector transitions" `Quick
+            test_membership_detector;
+          Alcotest.test_case "request-path evidence" `Quick
+            test_membership_request_evidence;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "consistent routing, one solve per key" `Quick
+            test_router_routes_consistently;
+          Alcotest.test_case "byte-identical to single shard" `Quick
+            test_router_byte_identity;
+          Alcotest.test_case "kill one shard, zero failures" `Quick
+            test_kill_one_shard_failover;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "fresh shard warms from peer" `Quick
+            test_replica_warms_from_peer;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "conn_reset fails over" `Quick
+            test_conn_reset_failover;
+        ] );
+    ]

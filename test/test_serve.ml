@@ -866,6 +866,233 @@ let test_daemon_persistent_cache () =
             (Option.bind (Json.member "cached" r) Json.bool)))
 
 (* ------------------------------------------------------------------ *)
+(* CRC framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      close a;
+      close b)
+    (fun () -> f a b)
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.to_string b
+
+(* Hand-rolled frame: independent of write_frame_crc, so an encoder bug
+   can't cancel out a matching decoder bug. *)
+let crc_frame payload =
+  let crc = Int32.to_int (S.Journal.crc32 payload) land 0xffffffff in
+  "RPF2" ^ be32 (String.length payload) ^ payload ^ be32 crc
+
+let write_all fd s =
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  go 0
+
+let test_frame_crc_roundtrip () =
+  with_socketpair (fun a b ->
+      let payloads = [ "hello"; ""; String.make 70_000 'x'; "{\"op\":\"ping\"}" ] in
+      let writer = Thread.create (fun () ->
+          List.iter (S.Protocol.write_frame_crc a) payloads;
+          Unix.close a)
+          ()
+      in
+      List.iter
+        (fun expected ->
+          match S.Protocol.read_frame_crc b with
+          | Ok (Some p) ->
+              Alcotest.(check bool)
+                "payload intact" true (String.equal p expected)
+          | Ok None -> Alcotest.fail "premature EOF"
+          | Error e -> Alcotest.failf "read: %s" (S.Protocol.frame_error_to_string e))
+        payloads;
+      (match S.Protocol.read_frame_crc b with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "clean close must read as EOF");
+      Thread.join writer)
+
+let read_one bytes =
+  with_socketpair (fun a b ->
+      write_all a bytes;
+      Unix.close a;
+      S.Protocol.read_frame_crc b)
+
+let test_frame_crc_errors () =
+  (match read_one ("XXXX" ^ be32 5 ^ "hello") with
+  | Error S.Protocol.Bad_magic -> ()
+  | r ->
+      Alcotest.failf "bad magic: %s"
+        (match r with
+        | Ok _ -> "accepted"
+        | Error e -> S.Protocol.frame_error_to_string e));
+  (match read_one ("RPF2" ^ be32 (S.Protocol.max_frame + 1)) with
+  | Error (S.Protocol.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized length accepted");
+  (let frame = crc_frame "payload" in
+   match read_one (String.sub frame 0 (String.length frame - 3)) with
+   | Error (S.Protocol.Torn _) -> ()
+   | _ -> Alcotest.fail "truncated frame not reported torn");
+  (let frame = Bytes.of_string (crc_frame "payload") in
+   Bytes.set frame 9 (Char.chr (Char.code (Bytes.get frame 9) lxor 0x40));
+   match read_one (Bytes.to_string frame) with
+   | Error S.Protocol.Crc_mismatch -> ()
+   | _ -> Alcotest.fail "flipped payload byte not caught by CRC")
+
+(* Arbitrary bytes at the decoder: any outcome is fine except an
+   exception or a hang (the writer side is closed, so a correct decoder
+   always terminates). *)
+let qcheck_frame_garbage =
+  QCheck.Test.make ~count:200 ~name:"frame decoder survives garbage"
+    QCheck.(string_of Gen.char)
+    (fun junk ->
+      match read_one junk with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+(* Every strict prefix of a valid frame is torn (or clean EOF at 0). *)
+let qcheck_frame_truncation =
+  QCheck.Test.make ~count:100 ~name:"truncated frames read as torn"
+    QCheck.(pair (string_of Gen.char) (float_bound_inclusive 1.))
+    (fun (payload, frac) ->
+      let frame = crc_frame payload in
+      let cut = int_of_float (frac *. float_of_int (String.length frame)) in
+      let cut = max 0 (min (String.length frame) cut) in
+      match read_one (String.sub frame 0 cut) with
+      | Ok None -> cut = 0
+      | Ok (Some p) -> cut = String.length frame && String.equal p payload
+      | Error (S.Protocol.Torn _) -> cut > 0 && cut < String.length frame
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* TCP transport                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_tcp_daemon suffix f =
+  let config =
+    {
+      (S.Daemon.default_config ~socket_path:(temp_path suffix)) with
+      S.Daemon.tcp_port = Some 0;
+    }
+  in
+  match S.Daemon.start config with
+  | Error e -> Alcotest.failf "start: %s" e
+  | Ok h ->
+      let port =
+        match S.Daemon.tcp_port h with
+        | Some p -> p
+        | None -> Alcotest.fail "daemon reports no TCP port"
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          S.Daemon.stop h;
+          S.Daemon.wait h)
+        (fun () -> f port)
+
+let connect_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  fd
+
+let assert_tcp_alive port =
+  match S.Client.connect_addr_typed (S.Protocol.Tcp { host = "127.0.0.1"; port }) with
+  | Error e -> Alcotest.failf "daemon dead: %s" (S.Client.error_to_string e)
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> S.Client.close c)
+        (fun () ->
+          match S.Client.call_typed c S.Protocol.Ping with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "daemon not answering: %s"
+                (S.Client.error_to_string e))
+
+let test_tcp_roundtrip () =
+  with_tcp_daemon "tcp1.sock" (fun port ->
+      match S.Client.connect_addr_typed (S.Protocol.Tcp { host = "127.0.0.1"; port }) with
+      | Error e -> Alcotest.failf "connect: %s" (S.Client.error_to_string e)
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> S.Client.close c)
+            (fun () ->
+              let r =
+                expect_ok "evaluate over tcp"
+                  (Result.map_error S.Client.error_to_string
+                     (S.Client.call_typed c
+                        (S.Protocol.Evaluate
+                           {
+                             instance = b4_dp_instance;
+                             demand = S.Protocol.Gen { gen = `Gravity; seed = 11 };
+                             deadline = None;
+                           })))
+              in
+              Alcotest.(check (option bool))
+                "computed" (Some false)
+                (Option.bind (Json.member "cached" r) Json.bool)))
+
+(* Garbage at the daemon's TCP decoder: a typed bad-frame error (or a
+   plain drop), and the daemon stays alive for the next client. *)
+let test_tcp_garbage_rejected () =
+  with_tcp_daemon "tcp2.sock" (fun port ->
+      List.iter
+        (fun junk ->
+          let fd = connect_tcp port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              write_all fd junk;
+              (match S.Protocol.read_frame_crc fd with
+              | Ok (Some reply) -> (
+                  match Json.of_string reply with
+                  | Ok j ->
+                      Alcotest.(check (option string))
+                        "typed bad-frame error" (Some "bad-frame")
+                        (Option.bind (Json.member "error" j)
+                           (Json.obj_str "code"))
+                  | Error e -> Alcotest.failf "unparseable error reply: %s" e)
+              | Ok None -> () (* dropped: acceptable *)
+              | Error _ -> () (* reset mid-reply: acceptable *));
+              assert_tcp_alive port))
+        [
+          "this is not a frame at all";
+          "RPF2" ^ be32 (S.Protocol.max_frame + 77);
+          "\x00\x00\x00\x04ping" (* plain frame on the CRC listener *);
+        ])
+
+(* A client dying mid-frame (torn write) must not wedge or kill the
+   daemon. *)
+let test_tcp_torn_frame_dropped () =
+  with_tcp_daemon "tcp3.sock" (fun port ->
+      let frame = crc_frame "{\"op\":\"ping\"}" in
+      let fd = connect_tcp port in
+      write_all fd (String.sub frame 0 (String.length frame - 5));
+      Unix.close fd;
+      assert_tcp_alive port)
+
+(* With the partial_write fault armed, every frame is shipped as two
+   delayed writes — short reads on both sides of the conversation. *)
+let test_tcp_partial_write_fault () =
+  Repro_resilience.Faults.arm ~seed:3
+    ~points:
+      [ ("partial_write", { Repro_resilience.Faults.prob = 1.; limit = None }) ];
+  Fun.protect ~finally:Repro_resilience.Faults.disarm (fun () ->
+      with_tcp_daemon "tcp4.sock" (fun port ->
+          assert_tcp_alive port;
+          Alcotest.(check bool)
+            "fault actually fired" true
+            (Repro_resilience.Faults.fired "partial_write" > 0)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "repro_serve"
@@ -932,5 +1159,23 @@ let () =
             test_daemon_find_gap_and_unknown_topology;
           Alcotest.test_case "journal survives restart" `Quick
             test_daemon_persistent_cache;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "crc frame roundtrip" `Quick
+            test_frame_crc_roundtrip;
+          Alcotest.test_case "typed frame errors" `Quick test_frame_crc_errors;
+          QCheck_alcotest.to_alcotest qcheck_frame_garbage;
+          QCheck_alcotest.to_alcotest qcheck_frame_truncation;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "evaluate over tcp" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "garbage stream rejected typed" `Quick
+            test_tcp_garbage_rejected;
+          Alcotest.test_case "torn frame dropped, daemon lives" `Quick
+            test_tcp_torn_frame_dropped;
+          Alcotest.test_case "partial-write fault tolerated" `Quick
+            test_tcp_partial_write_fault;
         ] );
     ]
